@@ -1,0 +1,87 @@
+"""Datasheet validation: the staged access-time model vs the column
+simulation.
+
+The compiler promises timing guarantees extrapolated from simulated
+leaf cells; this bench closes the loop by simulating a complete read
+through the *generated transistor netlists* (cells + precharge + sense
+amp on a shared column) and comparing the bit-line development and
+sense stages against the datasheet's staged model.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro import RamConfig
+from repro.circuit.column_sim import simulate_read_access
+from repro.core.datasheet import build_datasheet
+from repro.tech import get_process
+
+PROCESS = get_process("cda07")
+
+
+def test_column_sim_vs_datasheet_stages(benchmark):
+    rows = 32
+    result = benchmark.pedantic(
+        simulate_read_access,
+        kwargs=dict(process=PROCESS, rows=rows, stored_bit=1, row=17,
+                    t_develop=0.6e-9),
+        rounds=1, iterations=1,
+    )
+    config = RamConfig(words=rows * 4, bpw=4, bpc=4, strap_every=0)
+    datasheet = build_datasheet(config, area_mm2=1.0)
+    model_bitline_sense = (
+        datasheet.stage_delays["bitline"] + datasheet.stage_delays["sense"]
+    )
+    sim_develop_sense = result.access_time_s
+
+    print_table(
+        "Datasheet staged model vs column transistor simulation "
+        f"({rows} rows, cda07)",
+        ["quantity", "datasheet model", "column simulation"],
+        [
+            ["bit-line + sense path",
+             f"{model_bitline_sense * 1e9:.2f} ns",
+             f"{sim_develop_sense * 1e9:.2f} ns"],
+            ["read value", "-",
+             f"{result.value_read} (stored {result.value_stored})"],
+            ["differential at sense", "~0.12 V target",
+             f"{abs(result.differential_v):.2f} V"],
+        ],
+    )
+
+    # The model and the transistor-level simulation must agree within
+    # 3x — the accuracy class of staged RC models vs transient runs.
+    ratio = model_bitline_sense / sim_develop_sense
+    assert 1 / 3 <= ratio <= 3.0
+    assert result.correct
+
+
+def test_access_grows_with_rows(benchmark):
+    """More rows -> more bit-line capacitance -> slower development.
+    Checked in both the model and the simulation."""
+
+    def measure():
+        out = []
+        for rows in (8, 32, 64):
+            sim = simulate_read_access(
+                PROCESS, rows=rows, stored_bit=0, row=rows // 2,
+                t_develop=0.6e-9,
+            )
+            config = RamConfig(words=rows * 4, bpw=4, bpc=4,
+                               strap_every=0)
+            ds = build_datasheet(config, area_mm2=1.0)
+            out.append((rows, abs(sim.differential_v),
+                        ds.stage_delays["bitline"]))
+        return out
+
+    data = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Bit-line loading vs rows (fixed 0.6 ns develop window)",
+        ["rows", "simulated differential", "model bit-line delay"],
+        [[r, f"{d:.2f} V", f"{m * 1e9:.2f} ns"] for r, d, m in data],
+    )
+    differentials = [d for _, d, _ in data]
+    model_delays = [m for _, _, m in data]
+    # More rows: smaller developed differential, larger modelled delay.
+    assert differentials[0] > differentials[-1]
+    assert model_delays == sorted(model_delays)

@@ -1,0 +1,99 @@
+"""Section V: fault coverage of the microprogrammed IFA-9 BIST.
+
+"IFA-9 detects a wide range of functional faults caused by layout
+defects; for example, stuck-at and stuck-open faults, transition faults
+and state coupling faults" plus retention faults via its two Delay
+elements, with Johnson backgrounds covering intra-word couplings.
+The bench measures per-class coverage for IFA-9 against the MATS+ and
+March C- baselines.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.bist import IFA_9, MARCH_C_MINUS, MATS_PLUS
+from repro.memsim import coverage_campaign
+
+KINDS = ("stuck_at", "transition", "stuck_open", "state_coupling",
+         "idempotent_coupling", "inversion_coupling", "data_retention")
+KW = dict(samples_per_kind=15, rows=8, bpw=4, bpc=2, seed=17)
+
+
+def run_campaigns():
+    return {
+        test.name: coverage_campaign(test, kinds=KINDS, **KW)
+        for test in (IFA_9, MARCH_C_MINUS, MATS_PLUS)
+    }
+
+
+def test_fault_coverage_comparison(benchmark):
+    reports = benchmark.pedantic(run_campaigns, rounds=1, iterations=1)
+
+    rows = []
+    for kind in KINDS:
+        rows.append(
+            [kind] + [
+                f"{reports[name].coverage(kind):.0%}"
+                for name in ("IFA-9", "March C-", "MATS+")
+            ]
+        )
+    rows.append(
+        ["OVERALL"] + [
+            f"{reports[name].coverage():.0%}"
+            for name in ("IFA-9", "March C-", "MATS+")
+        ]
+    )
+    print_table(
+        "Fault coverage by march test",
+        ["fault class", "IFA-9", "March C-", "MATS+"],
+        rows,
+    )
+
+    ifa = reports["IFA-9"]
+    # The paper's coverage claims:
+    assert ifa.coverage("stuck_at") == 1.0
+    assert ifa.coverage("transition") == 1.0
+    assert ifa.coverage("data_retention") == 1.0
+    assert ifa.coverage("state_coupling") >= 0.9
+    assert ifa.coverage("stuck_open") >= 0.9
+    # Baselines must measurably lose:
+    assert reports["MATS+"].coverage("data_retention") == 0.0
+    assert reports["March C-"].coverage("data_retention") == 0.0
+    assert ifa.coverage() > reports["MATS+"].coverage()
+
+
+def test_backgrounds_matter_for_wide_words():
+    """Ablation: intra-word couplings need the Johnson backgrounds.
+    With bpw=8 an aggressor/victim pair inside one word is invisible to
+    a single-background test of the same march ops."""
+    from repro.bist.march import parse_march
+    from repro.memsim import MemoryArray
+    from repro.memsim.coverage import _single_fault_detected
+    from repro.memsim.faults import StateCoupling
+
+    rows, bpw, bpc = 8, 8, 2
+    array = MemoryArray(rows, bpw, bpc, spares=1)
+    # Victim and aggressor in the SAME word (adjacent word bits, same
+    # column): every all-0/all-1 background writes them identically.
+    agg = array.cell_index(2, 3, 1)
+    vic = array.cell_index(2, 4, 1)
+    fault = StateCoupling(agg, vic, w=1, v=1)
+
+    detected_full = _single_fault_detected(IFA_9, rows, bpw, bpc, fault)
+    assert detected_full
+
+    # Same ops, but collapse DATAGEN to a single background by using a
+    # 1-bit word generator view: emulate by testing with bpw=1-style
+    # patterns — all-0 / all-1 only.
+    single_bg = parse_march("IFA-9-single", str(IFA_9).replace("; ", ";"))
+    from repro.bist.controller import BistScheduler
+    from repro.memsim.device import BisrRam
+
+    device = BisrRam(rows=rows, bpw=bpw, bpc=bpc, spares=1)
+    device.array.inject(
+        StateCoupling(agg, vic, w=1, v=1)
+    )
+    scheduler = BistScheduler(single_bg, bpw=bpw)
+    scheduler.datagen._patterns = [0]  # ablate: background 0 only
+    result = scheduler.run(device, passes=1)
+    assert result.fail_count == 0  # escapes without backgrounds

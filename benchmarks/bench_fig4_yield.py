@@ -1,0 +1,100 @@
+"""Fig. 4: yield vs. number of defects for 0/4/8/16 spare rows.
+
+Configuration from the paper: 1024 rows, bpc = 4, bpw = 4.  Growth
+factors (redundant + BISR area over plain area) come from actually
+compiling both variants with the tool, exactly as the paper prescribes
+("the total number of defects shown in the x axis must be multiplied by
+the growth factor").
+"""
+
+import pytest
+
+from conftest import print_table
+from repro import RamConfig, compile_ram
+from repro.yieldmodel import yield_curve
+
+ROWS, BPW, BPC = 1024, 4, 4
+SPARE_COUNTS = (0, 4, 8, 16)
+DEFECTS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 50.0, 80.0)
+
+
+def compiled_growth_factors():
+    """Area growth factor per spare count, measured on real layouts."""
+    factors = []
+    base = None
+    for spares in SPARE_COUNTS:
+        if spares == 0:
+            factors.append(1.0)
+            continue
+        ram = compile_ram(
+            RamConfig(words=ROWS * BPC, bpw=BPW, bpc=BPC, spares=spares,
+                      strap_every=0)
+        )
+        if base is None:
+            base = ram.area_report.baseline_mm2
+        factors.append(ram.area_report.total_mm2 / base)
+    return factors
+
+
+def compute_fig4(growth):
+    return yield_curve(ROWS, BPW, BPC, SPARE_COUNTS, DEFECTS,
+                       growth_factors=growth)
+
+
+@pytest.fixture(scope="module")
+def growth():
+    return compiled_growth_factors()
+
+
+def test_fig4_yield_curves(benchmark, growth):
+    curves = benchmark(compute_fig4, growth)
+
+    rows = []
+    for i, n in enumerate(DEFECTS):
+        rows.append(
+            [f"{n:.0f}"] + [f"{series[i]:.4f}" for _, series in curves]
+        )
+    print_table(
+        "Fig. 4 — yield vs defects (1024 rows, bpc=4, bpw=4)",
+        ["defects"] + [f"{s} spares" for s in SPARE_COUNTS],
+        rows,
+    )
+    print(f"growth factors: "
+          f"{[f'{g:.4f}' for g in growth]}")
+
+    # Monte-Carlo cross-check of the analytic curve at 4 spares.
+    from repro.yieldmodel.montecarlo import simulate_yield
+    import numpy as np
+
+    rng = np.random.default_rng(11)
+    mc_rows = []
+    for n in (1.0, 5.0, 10.0):
+        analytic = dict(curves)[4][DEFECTS.index(n)]
+        mc = simulate_yield(ROWS, 4, BPW, BPC, n,
+                            growth_factor=growth[1],
+                            trials=20_000, rng=rng)
+        mc_rows.append([f"{n:.0f}", f"{analytic:.4f}",
+                        f"{mc.yield_estimate:.4f}"])
+        assert mc.yield_estimate == pytest.approx(analytic, abs=0.05)
+    print_table(
+        "Monte-Carlo cross-check (4 spares, 20k trials/point)",
+        ["defects", "analytic Y_R", "Monte-Carlo"],
+        mc_rows,
+    )
+
+    by_spares = dict(curves)
+    # Shape claims of the figure:
+    # (a) with no spares the yield collapses exponentially;
+    assert by_spares[0][DEFECTS.index(5.0)] < 0.01
+    # (b) BISR holds the yield up: 4 spares still >30% at 5 defects
+    #     (vs <1% without) — a >30x improvement;
+    assert by_spares[4][DEFECTS.index(5.0)] > 0.3
+    assert by_spares[4][DEFECTS.index(5.0)] > \
+        30 * by_spares[0][DEFECTS.index(5.0)]
+    # (c) more spares win once defects exceed the small budgets;
+    at_20 = [by_spares[s][DEFECTS.index(20.0)] for s in SPARE_COUNTS]
+    assert at_20 == sorted(at_20)
+    # (d) every curve starts at 1 and decreases monotonically.
+    for _, series in curves:
+        assert series[0] == pytest.approx(1.0)
+        assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))

@@ -1,0 +1,71 @@
+"""Fig. 5: reliability vs. device age for 0/4/8/16 spare rows.
+
+Configuration: 1024 regular rows, bpc = bpw = 4.  The per-cell defect
+rate exponent is garbled in the available paper text; 1e-5 per kilohour
+reproduces the stated ~70,000-hour (about 8 years) 4-vs-8-spare
+crossover (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.reliability import crossover_age, mttf_words, reliability_words
+
+ROWS, BPW, BPC = 1024, 4, 4
+LAM = 1e-5 / 1000.0  # per hour per cell
+SPARES = (0, 4, 8, 16)
+HOURS = (0, 5_000, 20_000, 50_000, 70_000, 100_000, 200_000, 400_000)
+
+
+def compute_fig5():
+    series = {}
+    for s in SPARES:
+        series[s] = [
+            reliability_words(t, ROWS, s, BPW, BPC, LAM) for t in HOURS
+        ]
+    crossover = crossover_age(ROWS, BPW, BPC, LAM, 4, 8, t_hint=7e4)
+    return series, crossover
+
+
+def test_fig5_reliability_curves(benchmark):
+    series, crossover = benchmark(compute_fig5)
+
+    rows = []
+    for i, t in enumerate(HOURS):
+        rows.append(
+            [f"{t:>7}"] + [f"{series[s][i]:.4f}" for s in SPARES]
+        )
+    print_table(
+        "Fig. 5 — reliability vs age (1024 rows, bpc=4, bpw=4, "
+        "lambda=1e-5/kh)",
+        ["hours"] + [f"{s} spares" for s in SPARES],
+        rows,
+    )
+    print(f"4-vs-8 spare crossover: {crossover:,.0f} h "
+          f"(~{crossover / 8766:.1f} years; paper: ~70,000 h / 8 years)")
+
+    # Shape claims:
+    # (a) young device: fewer spares more reliable (4 > 8 > 16 at 5 kh);
+    young = [series[s][HOURS.index(5_000)] for s in (4, 8, 16)]
+    assert young == sorted(young, reverse=True)
+    # (b) old device: more spares win (8 > 4 at 200 kh);
+    assert series[8][HOURS.index(200_000)] > \
+        series[4][HOURS.index(200_000)]
+    # (c) any spares beat none from mid-life on;
+    assert series[4][HOURS.index(50_000)] > series[0][HOURS.index(50_000)]
+    # (d) the crossover lands near the paper's 70 kh.
+    assert 4e4 <= crossover <= 1.2e5
+
+
+def test_fig5_mttf(benchmark):
+    """MTTF companion numbers (closed form, exact rationals)."""
+    mttfs = benchmark(
+        lambda: {s: mttf_words(128, s, BPW, BPC, LAM) for s in (0, 4, 8)}
+    )
+    print_table(
+        "Fig. 5 companion — MTTF (128 rows)",
+        ["spares", "MTTF (hours)"],
+        [[s, f"{m:,.0f}"] for s, m in mttfs.items()],
+    )
+    assert mttfs[4] > mttfs[0]
+    assert mttfs[8] > mttfs[4]

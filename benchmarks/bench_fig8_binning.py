@@ -1,0 +1,58 @@
+"""Fig. 8: frequency binning under process variation.
+
+"Minor process variations cause a statistical distribution of the
+number of chips about a median clock frequency ... the vendor may be
+forced to considerably expand his supply of all parts to meet [skewed]
+demand ... compelling the vendor to charge enough of a premium to cover
+the cost of the unsold (slower) parts."
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.cost import SpeedBinning, binning_distribution
+
+
+def test_fig8_distribution(benchmark):
+    edges = (80.0, 90.0, 100.0, 110.0, 120.0)
+    fractions = benchmark(binning_distribution, 100.0, 10.0, edges)
+
+    labels = ["<80", "80-90", "90-100", "100-110", "110-120", ">120"]
+    print_table(
+        "Fig. 8 — production fraction per frequency bin "
+        "(mean 100 MHz, sigma 10)",
+        ["bin (MHz)", "fraction"],
+        [[l, f"{f:.1%}"] for l, f in zip(labels, fractions)],
+    )
+    assert sum(fractions) == pytest.approx(1.0)
+    # Bell shape: interior bins dominate, symmetric tails.
+    assert fractions[2] == max(fractions)
+    assert fractions[0] == pytest.approx(fractions[-1], rel=1e-6)
+
+
+def test_fig8_demand_mismatch_premium(benchmark):
+    binning = SpeedBinning(
+        mean_mhz=100.0, sigma_mhz=10.0,
+        bin_edges=(90.0, 110.0),
+        prices=(120.0, 250.0, 500.0),
+    )
+
+    def scenario():
+        supply = binning.supply_fractions()
+        matched = binning.production_scale_for_demand(supply)
+        skewed = binning.production_scale_for_demand([0.1, 0.3, 0.6])
+        premium = binning.premium_for_demand([0.1, 0.3, 0.6],
+                                             unit_cost=60.0)
+        return supply, matched, skewed, premium
+
+    supply, matched, skewed, premium = benchmark(scenario)
+    print(f"\nsupply fractions: "
+          f"{[f'{s:.1%}' for s in supply]}")
+    print(f"production scale (matched demand):  {matched:.2f}x")
+    print(f"production scale (60% fast demand): {skewed:.2f}x")
+    print(f"premium per sold unit at $60 cost:  ${premium:.2f}")
+
+    # Shape claims:
+    assert matched == pytest.approx(1.0)
+    assert skewed > 3.0        # big overbuild for fast-part demand
+    assert premium > 60.0      # premium exceeds the unit cost itself

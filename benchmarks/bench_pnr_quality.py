@@ -1,0 +1,100 @@
+"""Section II: place-and-route quality.
+
+"The layout generation quality is provably (1 + epsilon)-optimal ...
+for a fixed 'small' epsilon that does not depend on the size of the
+memory array."  The bench measures the placement epsilon across
+compiled configurations (it must stay bounded as arrays grow), the
+port-alignment heuristic's residual, and the abutment count of the
+assembled datapath.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro import RamConfig, compile_ram
+from repro.core.floorplan import build_floorplan
+from repro.pnr import Block, place_decreasing_area, placement_quality
+
+CONFIGS = (
+    RamConfig(words=128, bpw=8, bpc=4, strap_every=0),
+    RamConfig(words=512, bpw=16, bpc=4, strap_every=0),
+    RamConfig(words=2048, bpw=32, bpc=8, strap_every=0),
+)
+
+
+def measure_epsilon(config):
+    plan = build_floorplan(config)
+    blocks = [
+        Block.from_cell(cell) for cell in plan.macrocells.values()
+    ]
+    placement = place_decreasing_area(blocks)
+    return placement_quality(placement, blocks)
+
+
+def test_pnr_epsilon_bounded(benchmark):
+    quality = benchmark.pedantic(
+        measure_epsilon, args=(CONFIGS[0],), rounds=1, iterations=1
+    )
+    rows = []
+    epsilons = []
+    for config in CONFIGS:
+        q = measure_epsilon(config)
+        epsilons.append(q.epsilon)
+        rows.append(
+            [
+                f"{config.bits // 1024} Kbit",
+                f"{q.fill_ratio:.3f}",
+                f"{q.aspect_ratio:.2f}",
+                f"{q.epsilon:.3f}",
+            ]
+        )
+    print_table(
+        "P&R quality: whole-module placement",
+        ["capacity", "fill ratio", "aspect ratio", "epsilon"],
+        rows,
+    )
+
+    # (1 + epsilon) optimality with epsilon independent of array size:
+    # epsilon stays below a fixed bound and does not grow with the
+    # memory.
+    assert all(e <= 0.5 for e in epsilons)
+    assert epsilons[-1] <= epsilons[0] + 0.05
+
+
+def test_datapath_abuts_without_routing(benchmark):
+    """"No routing is necessary and the signals in adjacent modules are
+    perfectly aligned and connected by abutments."  Tile bit cells at
+    their natural pitch and count the port abutments."""
+    from repro.cells.sram6t import HEIGHT_LAMBDA, WIDTH_LAMBDA, sram6t_cell
+    from repro.layout import Cell
+    from repro.pnr import abutting_ports
+    from repro.tech import get_process
+
+    def count_abutments():
+        process = get_process("cda07")
+        lam = process.lambda_cu
+        bit = sram6t_cell(process)
+        tilearr = Cell("tile")
+        tilearr.tile(
+            bit, columns=4, rows=4,
+            pitch_x=WIDTH_LAMBDA * lam, pitch_y=HEIGHT_LAMBDA * lam,
+            alternate_mirror_y=True,
+        )
+        return abutting_ports(tilearr)
+
+    pairs = benchmark.pedantic(count_abutments, rounds=1, iterations=1)
+    kinds = {}
+    for _, pa, _, pb in pairs:
+        key = tuple(sorted((pa, pb)))
+        kinds[key] = kinds.get(key, 0) + 1
+    print("\nabutment connections in a 4x4 tile:")
+    for key, n in sorted(kinds.items()):
+        print(f"  {key[0]} <-> {key[1]}: {n}")
+
+    # Horizontal: word line + rails pair left/right edges; vertical:
+    # bit lines pair top edges (mirrored rows) and bottom edges.
+    assert kinds.get(("wl", "wl_r"), 0) == 12      # 3 seams x 4 rows
+    assert kinds.get(("bl", "bl_t"), 0) + \
+        kinds.get(("bl_t", "bl_t"), 0) + \
+        kinds.get(("bl", "bl"), 0) >= 12           # 3 seams x 4 cols
+    assert len(pairs) >= 48

@@ -1,0 +1,128 @@
+"""Section VI: randomized self-repair campaign.
+
+Monte-Carlo over defect counts: inject defects, run the full two-pass
+(and iterated 2k-pass) BIST/BISR flow, measure the repaired fraction,
+and compare against the analytic repair probability.  Also exercises
+the paper's two negative results: column defects swamp row redundancy,
+and too many faulty rows exhaust the spares.
+"""
+
+import random
+
+import pytest
+
+from conftest import print_table
+from repro.bist import IFA_9, BistScheduler
+from repro.bisr import analyze_repair
+from repro.memsim import BisrRam, DefectInjector, FaultMix
+from repro.memsim.faults import ColumnStuck, RowStuck
+from repro.yieldmodel import bisr_yield
+
+ROWS, BPW, BPC, SPARES = 16, 4, 4, 4
+TRIALS = 25
+
+
+def campaign(defect_counts, seed=23):
+    rng = random.Random(seed)
+    mix = FaultMix(column_defect=0.0)  # column defects measured separately
+    results = {}
+    for n in defect_counts:
+        repaired = 0
+        for _ in range(TRIALS):
+            device = BisrRam(rows=ROWS, bpw=BPW, bpc=BPC, spares=SPARES)
+            DefectInjector(rng=rng, mix=mix).inject(device.array, n)
+            outcome = BistScheduler(IFA_9, bpw=BPW).run(
+                device, passes=6, stop_on_repair_fail=False
+            )
+            repaired += outcome.repaired
+        results[n] = repaired / TRIALS
+    return results
+
+
+def test_repair_campaign(benchmark):
+    counts = (1, 2, 4, 8, 16)
+    results = benchmark.pedantic(
+        campaign, args=(counts,), rounds=1, iterations=1
+    )
+    rows = []
+    for n in counts:
+        analytic = bisr_yield(ROWS, SPARES, BPW, BPC, n)
+        rows.append(
+            [n, f"{results[n]:.0%}", f"{analytic:.0%}"]
+        )
+    print_table(
+        f"Repair campaign — {ROWS} rows, {SPARES} spares, "
+        f"{TRIALS} trials/point",
+        ["defects", "BIST/BISR repaired", "analytic Y_R"],
+        rows,
+    )
+
+    # Shape claims:
+    # (a) low defect counts repair nearly always;
+    assert results[1] >= 0.9
+    # (b) the repaired fraction decreases with defect count;
+    values = [results[n] for n in counts]
+    assert values[0] >= values[-1]
+    # (c) saturation: at 16 defects (~expected faulty rows >> spares)
+    #     most arrays are beyond repair.
+    assert results[16] <= 0.6
+
+
+def test_column_defect_swamps_row_redundancy():
+    """Paper: "If a column is faulty, the row redundancy will be quickly
+    swamped ... column failures can be detected but not directly
+    repaired"."""
+    device = BisrRam(rows=ROWS, bpw=BPW, bpc=BPC, spares=SPARES)
+    device.array.inject(
+        ColumnStuck(0, device.array.total_rows, device.array.phys_cols, 1)
+    )
+    result = BistScheduler(IFA_9, bpw=BPW).run(device)
+    assert not result.repaired         # detected, not repairable
+    assert device.tlb.overflowed       # redundancy swamped
+    assert result.fail_count > 0       # but definitely detected
+
+
+def test_exactly_spares_many_rows_repairable():
+    """Boundary: S faulty rows repair; S+1 do not."""
+    device = BisrRam(rows=ROWS, bpw=BPW, bpc=BPC, spares=SPARES)
+    for row in range(SPARES):
+        device.array.inject(RowStuck(row, device.array.phys_cols, 1))
+    assert BistScheduler(IFA_9, bpw=BPW).run(device).repaired
+
+    device2 = BisrRam(rows=ROWS, bpw=BPW, bpc=BPC, spares=SPARES)
+    for row in range(SPARES + 1):
+        device2.array.inject(RowStuck(row, device2.array.phys_cols, 1))
+    assert not BistScheduler(IFA_9, bpw=BPW).run(device2).repaired
+
+
+def test_static_analysis_agrees_on_random_patterns(benchmark):
+    def check(seed):
+        rng = random.Random(seed)
+        agreements = 0
+        trials = 20
+        for _ in range(trials):
+            bad_rows = sorted(
+                rng.sample(range(ROWS), rng.randrange(0, SPARES + 3))
+            )
+            bad_spares = [s for s in range(SPARES)
+                          if rng.random() < 0.25]
+            device = BisrRam(rows=ROWS, bpw=BPW, bpc=BPC, spares=SPARES)
+            for r in bad_rows:
+                device.array.inject(
+                    RowStuck(r, device.array.phys_cols, 1)
+                )
+            for s in bad_spares:
+                device.array.inject(
+                    RowStuck(ROWS + s, device.array.phys_cols, 1)
+                )
+            prediction = analyze_repair(bad_rows, SPARES, bad_spares)
+            outcome = BistScheduler(IFA_9, bpw=BPW).run(
+                device, passes=10, stop_on_repair_fail=False
+            )
+            agreements += outcome.repaired == prediction.repairable
+        return agreements / trials
+
+    agreement = benchmark.pedantic(check, args=(99,), rounds=1,
+                                   iterations=1)
+    print(f"\nstatic-vs-dynamic agreement: {agreement:.0%}")
+    assert agreement == 1.0

@@ -1,0 +1,51 @@
+"""Table II: cost per good die for commercial microprocessors, with and
+without embedded-RAM BISR (four spare rows).
+
+Reconstructed 1993-94 MPR inputs (see repro.cost.mpr); blank entries
+mark 2-metal chips exactly as in the paper.
+"""
+
+from conftest import print_table
+from repro.cost import MPR_1994_DATASET, table2_rows
+
+
+def test_table2_die_cost(benchmark):
+    rows_data = benchmark(table2_rows)
+
+    table = []
+    for r in rows_data:
+        if r["die_cost_with"] is None:
+            table.append(
+                [r["name"], f"{r['metal_layers']}M",
+                 f"${r['die_cost_without']:.2f}", "-", "-"]
+            )
+        else:
+            table.append(
+                [
+                    r["name"],
+                    f"{r['metal_layers']}M",
+                    f"${r['die_cost_without']:.2f}",
+                    f"${r['die_cost_with']:.2f}",
+                    f"{r['improvement']:.2f}x",
+                ]
+            )
+    print_table(
+        "Table II — cost per good die, without / with RAM BISR",
+        ["processor", "metals", "without", "with", "improvement"],
+        table,
+    )
+
+    by_name = {r["name"]: r for r in rows_data}
+    # Shape claims:
+    # (a) all 2-metal chips blank;
+    for cpu in MPR_1994_DATASET:
+        entry = by_name[cpu.name]
+        assert (entry["die_cost_with"] is None) == (not cpu.supports_bisr)
+    # (b) BISR never increases the die cost;
+    for r in rows_data:
+        if r["die_cost_with"] is not None:
+            assert r["die_cost_with"] <= r["die_cost_without"]
+    # (c) the big low-yield dies improve "by a factor of about 2";
+    assert by_name["TI SuperSPARC"]["improvement"] >= 1.5
+    # (d) small high-yield dies improve only marginally.
+    assert by_name["Intel486DX2"]["improvement"] <= 1.10

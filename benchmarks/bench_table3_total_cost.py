@@ -1,0 +1,50 @@
+"""Table III: total manufacturing cost per packaged, tested chip.
+
+MPR cost model: die cost + wafer test & assembly + packaging & final
+test.  The paper reports reductions from 2.35% (Intel486DX2) up to
+47.2% (TI SuperSPARC) when the on-chip caches get BISR.
+"""
+
+from conftest import print_table
+from repro.cost import table3_rows
+
+
+def test_table3_total_cost(benchmark):
+    rows_data = benchmark(table3_rows)
+
+    table = []
+    for r in rows_data:
+        if r["total_with"] is None:
+            table.append(
+                [r["name"], f"${r['total_without']:.2f}", "-", "-",
+                 f"{r['die_cost_share']:.0%}"]
+            )
+        else:
+            table.append(
+                [
+                    r["name"],
+                    f"${r['total_without']:.2f}",
+                    f"${r['total_with']:.2f}",
+                    f"-{r['reduction_percent']:.1f}%",
+                    f"{r['die_cost_share']:.0%}",
+                ]
+            )
+    print_table(
+        "Table III — total manufacturing cost per packaged chip",
+        ["processor", "without", "with", "reduction", "die share"],
+        table,
+    )
+
+    by_name = {r["name"]: r for r in rows_data}
+    # Shape claims:
+    # (a) the reduction band spans small (~2-8%) for cheap dies to
+    #     large (30-50%) for SuperSPARC-class dies;
+    assert 1.0 <= by_name["Intel486DX2"]["reduction_percent"] <= 8.0
+    assert 30.0 <= by_name["TI SuperSPARC"]["reduction_percent"] <= 50.0
+    # (b) die cost is 30-70%+ of the total, growing with die size;
+    assert by_name["Intel486DX2"]["die_cost_share"] < \
+        by_name["TI SuperSPARC"]["die_cost_share"]
+    # (c) reductions are ordered consistently with Table II's
+    #     improvements (bigger die-cost wins -> bigger total wins).
+    assert by_name["MIPS R4400"]["reduction_percent"] > \
+        by_name["PowerPC603"]["reduction_percent"]

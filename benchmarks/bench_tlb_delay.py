@@ -1,0 +1,112 @@
+"""Section VI: the TLB delay penalty and its masking.
+
+The paper quotes "about 1.2 ns with four spare rows and a 0.7-um
+technology" and guarantees maskability for 1-4 spares.  The bench
+sweeps spares and processes through the analytic model, cross-checks
+the match-line stage against a transient simulation of the CAM
+discharge path, and evaluates the three masking strategies.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.bisr import (
+    AsyncPrechargeOverlap,
+    DecoderUpsizing,
+    SyncAddressRegisterOverlap,
+    best_masking_strategy,
+    tlb_delay_breakdown,
+    tlb_delay_s,
+)
+from repro.cells import cam_match_netlist
+from repro.spice import TransientEngine, crossing_time, step
+from repro.tech import available_processes, get_process
+
+ADDRESS_BITS = 10
+
+
+def sweep():
+    rows = {}
+    for pname in available_processes():
+        p = get_process(pname)
+        rows[pname] = [
+            tlb_delay_s(p, ADDRESS_BITS, s) for s in (1, 4, 8, 16)
+        ]
+    return rows
+
+
+def test_tlb_delay_sweep(benchmark):
+    data = benchmark(sweep)
+    print_table(
+        "TLB delay penalty (ns), 10-bit row address",
+        ["process", "1 spare", "4 spares", "8 spares", "16 spares"],
+        [
+            [name] + [f"{d * 1e9:.2f}" for d in delays]
+            for name, delays in sorted(data.items())
+        ],
+    )
+
+    # (a) the paper's operating point: ~1.2 ns @ cda07, 4 spares;
+    assert 0.9e-9 <= data["cda07"][1] <= 1.5e-9
+    # (b) monotone in spares on every process;
+    for delays in data.values():
+        assert delays == sorted(delays)
+    # (c) faster processes are faster.
+    assert data["cda05"][1] < data["cda07"][1]
+
+
+def test_match_line_stage_vs_transient():
+    """The analytic match-line stage must agree with a transient
+    simulation of the CAM discharge path within 2x."""
+    p = get_process("cda07")
+    parts = tlb_delay_breakdown(p, ADDRESS_BITS, 4)
+    analytic = parts["match_line"]
+
+    net = cam_match_netlist(p, ADDRESS_BITS,
+                            matchline_cap_f=150e-15)
+    net.add_source("sl", step(0.2e-9, 0.0, p.vdd))
+    result = TransientEngine(net).run(
+        6e-9, record=["match"], initial={"match": p.vdd}
+    )
+    t_start = 0.2e-9
+    t_cross = crossing_time(result, "match", p.vdd / 2, rising=False)
+    simulated = t_cross - t_start
+    print(f"\nmatch-line: analytic {analytic * 1e9:.3f} ns vs "
+          f"transient {simulated * 1e9:.3f} ns")
+    assert 0.5 <= analytic / simulated <= 2.0
+
+
+def test_masking_verdicts(benchmark):
+    p = get_process("cda07")
+    access = 6e-9  # a realistic large-macro access time at 0.7 um
+
+    def verdicts():
+        out = {}
+        for spares in (1, 4, 8, 16):
+            penalty = tlb_delay_s(p, ADDRESS_BITS, spares)
+            best = best_masking_strategy(
+                [
+                    AsyncPrechargeOverlap(precharge_time_s=0.4 * access),
+                    SyncAddressRegisterOverlap(
+                        clock_low_time_s=0.5 * access
+                    ),
+                    DecoderUpsizing(decoder_delay_s=0.4 * access),
+                ],
+                penalty,
+            )
+            out[spares] = (penalty, best)
+        return out
+
+    data = benchmark(verdicts)
+    print_table(
+        "TLB delay masking (cda07, 6 ns access)",
+        ["spares", "penalty", "masked via"],
+        [
+            [s, f"{pen * 1e9:.2f} ns",
+             best.strategy if best else "NOT MASKABLE"]
+            for s, (pen, best) in data.items()
+        ],
+    )
+    # The paper guarantees masking up to 4 spares.
+    for spares in (1, 4):
+        assert data[spares][1] is not None

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the same rows/series the paper reports (run with ``-s`` to see them).
+Absolute numbers come from our simulator substrate, not the authors'
+testbed; each bench asserts the *shape* claims (who wins, by roughly
+what factor, where crossovers fall) so a regression in any model breaks
+the bench.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Fixed-width table printer used by all benches."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Layout gallery: regenerate the paper's Figs. 6-7 as SVG + CIF.
+
+Compiles the two figure configurations (plus a small teaching macro),
+writes SVG plots, CIF layout files, and the TRPLA control-code plane
+files into ``examples/out/``.
+"""
+
+from pathlib import Path
+
+from repro import RamConfig, compile_ram
+
+OUT = Path(__file__).parent / "out"
+
+GALLERY = {
+    # "SRAM array with 4K words of 128 bits each (bpw), 8 bits per
+    # column (bpc), 32 cells between strap, four spare rows and buffer
+    # size 2" — Fig. 6 (64 kB).
+    "fig6_64kB": RamConfig(words=4096, bpw=128, bpc=8, spares=4,
+                           gate_size=2, strap_every=32),
+    # Fig. 7 (128 kB): 256-bit words, 16 bits per column.
+    "fig7_128kB": RamConfig(words=4096, bpw=256, bpc=16, spares=4,
+                            gate_size=2, strap_every=32),
+    # A small macro whose SVG is readable down to the leaf cells.
+    "teaching_2kbit": RamConfig(words=64, bpw=32, bpc=4, spares=4,
+                                strap_every=8),
+}
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+    for name, config in GALLERY.items():
+        ram = compile_ram(config)
+        svg_path = OUT / f"{name}.svg"
+        depth = None if "teaching" in name else 2
+        svg_path.write_text(
+            ram.render_svg(flatten_depth=depth, width_px=1200)
+        )
+        cif_path = OUT / f"{name}.cif"
+        ram.write_cif(cif_path)
+        planes = ram.write_control_code(OUT / f"{name}_control")
+        ar = ram.area_report
+        print(f"{name}: {config.describe()}")
+        print(f"  {ar.total_mm2:.2f} mm^2, overhead "
+              f"{ar.overhead_percent:.2f}%")
+        print(f"  wrote {svg_path.name}, {cif_path.name}, "
+              f"{planes['and'].parent.name}/")
+        print(ram.render_ascii(columns=72, rows=14))
+        print()
+
+
+if __name__ == "__main__":
+    main()

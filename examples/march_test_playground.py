@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""March-test playground: author a test, microprogram it, measure it.
+
+"Changing these files to implement a different test algorithm is a
+simple and straightforward matter" — this example does the full loop: a
+custom march test written in the paper's notation is compiled into a
+TRPLA microprogram (and its two plane files), then its fault coverage
+is measured against IFA-9 and the classic baselines.
+"""
+
+from pathlib import Path
+
+from repro.bist import (
+    IFA_9,
+    MARCH_C_MINUS,
+    MATS_PLUS,
+    build_test_program,
+    parse_march,
+    write_plane_files,
+)
+from repro.bist.microcode import assemble
+from repro.memsim import coverage_campaign
+
+OUT = Path(__file__).parent / "out"
+
+#: A custom test: March C- plus one retention pause — cheaper than
+#: IFA-9 (11 ops/address vs 12, one Delay instead of two) but keeps
+#: most of the retention coverage.
+MY_MARCH = parse_march(
+    "March C-R",
+    "m(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); Delay; m(r0)",
+)
+
+KINDS = ("stuck_at", "transition", "stuck_open", "state_coupling",
+         "data_retention")
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+
+    print(f"custom test: {MY_MARCH}")
+    print(f"  {MY_MARCH.operations_per_address} ops/address, "
+          f"{MY_MARCH.delay_count} retention pause(s)\n")
+
+    # Microprogram it, as BISRAMGEN would, and emit the plane files.
+    program = build_test_program(MY_MARCH, passes=2)
+    pla = assemble(program)
+    and_path = OUT / "march_cr_and.plane"
+    or_path = OUT / "march_cr_or.plane"
+    write_plane_files(and_path, or_path, pla.and_plane, pla.or_plane)
+    print(f"controller: {len(program)} states in {pla.state_bits} "
+          f"flip-flops, {pla.term_count} PLA terms")
+    print(f"control code written to {and_path.name} / {or_path.name}\n")
+
+    # Coverage shoot-out.
+    print(f"{'fault class':<18}" + "".join(
+        f"{name:>12}" for name in
+        ("IFA-9", "March C-R", "March C-", "MATS+")
+    ))
+    reports = {
+        test.name: coverage_campaign(
+            test, kinds=KINDS, samples_per_kind=20,
+            rows=8, bpw=4, bpc=2, seed=7,
+        )
+        for test in (IFA_9, MY_MARCH, MARCH_C_MINUS, MATS_PLUS)
+    }
+    for kind in KINDS:
+        row = f"{kind:<18}"
+        for name in ("IFA-9", "March C-R", "March C-", "MATS+"):
+            row += f"{reports[name].coverage(kind):>12.0%}"
+        print(row)
+    row = f"{'OVERALL':<18}"
+    for name in ("IFA-9", "March C-R", "March C-", "MATS+"):
+        row += f"{reports[name].coverage():>12.0%}"
+    print(row)
+
+    print("\nreading: one Delay catches leak-to-0 or leak-to-1 only "
+          "when the pause happens while the victim holds the leaking "
+          "polarity; IFA-9's two pauses (after opposite backgrounds) "
+          "catch both, which is why it keeps 100% retention coverage.")
+
+
+if __name__ == "__main__":
+    main()

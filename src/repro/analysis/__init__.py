@@ -1,0 +1,24 @@
+"""Design-space analysis utilities built on the models.
+
+* :mod:`~repro.analysis.spare_optimizer` — choose the spare-row count
+  that maximises the economic return: the yield benefit of more spares
+  against their silicon cost and reliability exposure,
+* :mod:`~repro.analysis.comparison` — head-to-head comparison of the
+  BISRAMGEN TLB scheme against the Chen-Sunada hierarchical baseline
+  (repair capability, delay penalty, silicon granularity).
+"""
+
+from repro.analysis.spare_optimizer import (
+    SpareChoice,
+    optimize_spares,
+    spare_tradeoff_table,
+)
+from repro.analysis.comparison import SchemeComparison, compare_schemes
+
+__all__ = [
+    "SpareChoice",
+    "optimize_spares",
+    "spare_tradeoff_table",
+    "SchemeComparison",
+    "compare_schemes",
+]

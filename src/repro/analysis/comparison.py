@@ -1,0 +1,118 @@
+"""BISRAMGEN vs. Chen-Sunada, quantified (paper §III).
+
+The paper argues four advantages over the hierarchical two-fault
+scheme; this module computes the two quantitative ones on equal-sized
+memories:
+
+* **repair capability** — "BISRAMGEN affords a much greater degree of
+  fault tolerance of about bpc*S to 4*bpc*S faulty addresses in each
+  subblock" vs two per subblock,
+* **delay penalty** — parallel TLB compare vs sequential capture-
+  register compare.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bisr.chen_sunada import (
+    ChenSunadaRam,
+    sequential_compare_delay_s,
+)
+from repro.bisr.delay import tlb_delay_s
+from repro.bisr.repair import analyze_repair
+from repro.core.config import RamConfig
+from repro.tech.process import get_process
+
+
+@dataclass(frozen=True)
+class SchemeComparison:
+    """Head-to-head numbers for one configuration."""
+
+    config: RamConfig
+    bisramgen_capacity_words: int
+    chen_sunada_capacity_words: int
+    bisramgen_worst_case_kill: int
+    chen_sunada_worst_case_kill: int
+    bisramgen_delay_s: float
+    chen_sunada_delay_s: float
+    chen_sunada_delay_equal_entries_s: float
+    survival_bisramgen: float
+    survival_chen_sunada: float
+
+
+def compare_schemes(
+    config: RamConfig,
+    subblocks: int = 16,
+    spare_subblocks: int = 1,
+    random_faults: int = 6,
+    trials: int = 200,
+    seed: int = 5,
+) -> SchemeComparison:
+    """Compare the two schemes on one memory configuration.
+
+    ``survival_*`` is a Monte-Carlo estimate: the fraction of random
+    ``random_faults``-word fault patterns each scheme repairs.
+    """
+    process = get_process(config.process)
+    words = config.words
+    wps = words // subblocks
+    if wps < 1:
+        raise ValueError("more subblocks than words")
+
+    # Capacity: best case repairable faulty words.
+    bis_capacity = config.spares * config.bpc  # spare words
+    cs = ChenSunadaRam(subblocks, wps, spare_subblocks)
+    cs_capacity = cs.repair_capacity_words()
+
+    # Worst case kill: smallest fault count that can defeat each.
+    bis_kill = config.spares + 1          # S+1 faulty rows
+    cs_kill = cs.worst_case_unrepairable()
+
+    # Delay penalties.  The sequential compare is cheap at two capture
+    # registers but scales linearly with the entry count; the parallel
+    # TLB barely grows.  Comparing both at the TLB's entry count is the
+    # paper's point: "BISRAMGEN, which uses a very fast, parallel
+    # comparison ... produces a very tiny delay penalty".
+    bis_delay = tlb_delay_s(process, config.row_address_bits,
+                            config.spares)
+    local_bits = max(1, (wps - 1).bit_length())
+    cs_delay = sequential_compare_delay_s(process, local_bits)
+    cs_delay_equal = sequential_compare_delay_s(
+        process, local_bits, captures=config.spares
+    )
+
+    # Monte-Carlo survival under a realistic defect mix: half the
+    # defects are row defects (a broken word/bit line corrupts all bpc
+    # words of the row — the clustering that motivates row repair),
+    # half are single-word spot defects.
+    rng = random.Random(seed)
+    bis_wins = cs_wins = 0
+    for _ in range(trials):
+        faulty_words = set()
+        for _ in range(random_faults):
+            if rng.random() < 0.5:
+                row = rng.randrange(config.rows)
+                faulty_words.update(
+                    row * config.bpc + c for c in range(config.bpc)
+                )
+            else:
+                faulty_words.add(rng.randrange(words))
+        rows = sorted({a // config.bpc for a in faulty_words})
+        bis_wins += analyze_repair(rows, config.spares).repairable
+        cs_wins += ChenSunadaRam(
+            subblocks, wps, spare_subblocks
+        ).repairable(sorted(faulty_words))
+    return SchemeComparison(
+        config=config,
+        bisramgen_capacity_words=bis_capacity,
+        chen_sunada_capacity_words=cs_capacity,
+        bisramgen_worst_case_kill=bis_kill,
+        chen_sunada_worst_case_kill=cs_kill,
+        bisramgen_delay_s=bis_delay,
+        chen_sunada_delay_s=cs_delay,
+        chen_sunada_delay_equal_entries_s=cs_delay_equal,
+        survival_bisramgen=bis_wins / trials,
+        survival_chen_sunada=cs_wins / trials,
+    )

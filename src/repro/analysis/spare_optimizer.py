@@ -1,0 +1,131 @@
+"""Spare-count optimisation.
+
+The paper exposes spares in {4, 8, 16} and shows both sides of the
+trade: more spares buy manufacturing yield (Fig. 4) but cost silicon,
+can forfeit the TLB delay-masking guarantee (only 1-4 spares are
+vouched for), and *reduce* early-life reliability (Fig. 5).  This
+module turns those models into a decision: given a defect environment
+and a die-cost structure, which spare count minimises the effective
+cost per good, maskable die?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bisr.delay import tlb_delay_s
+from repro.core.config import RamConfig
+from repro.reliability.model import reliability_words
+from repro.tech.process import get_process
+from repro.yieldmodel.repair_prob import bisr_yield
+
+#: The spare counts BISRAMGEN offers (plus 0 as the no-BISR reference).
+CANDIDATES = (0, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class SpareChoice:
+    """One evaluated spare count."""
+
+    spares: int
+    yield_value: float
+    area_factor: float
+    tlb_delay_s: float
+    tlb_maskable: bool
+    reliability_at_horizon: float
+    cost_per_good_die: float
+
+    def summary(self) -> str:
+        mask = "maskable" if self.tlb_maskable else "NOT maskable"
+        return (
+            f"{self.spares:>2} spares: yield {self.yield_value:6.1%}, "
+            f"area x{self.area_factor:.3f}, "
+            f"TLB {self.tlb_delay_s * 1e9:.2f} ns ({mask}), "
+            f"R(horizon) {self.reliability_at_horizon:6.1%}, "
+            f"cost/good x{self.cost_per_good_die:.3f}"
+        )
+
+
+def evaluate_spares(
+    config: RamConfig,
+    spares: int,
+    expected_defects: float,
+    field_lambda_per_hour: float = 1e-9,
+    horizon_hours: float = 5 * 8766,
+    mask_budget_s: float = 1.3e-9,
+) -> SpareChoice:
+    """Score one spare count for a configuration and environment.
+
+    ``cost_per_good_die`` is normalised: (area factor) / yield — the
+    die-cost proportionality of the MPR model with everything constant
+    except the RAM redundancy.
+    """
+    if expected_defects < 0:
+        raise ValueError("expected_defects must be non-negative")
+    process = get_process(config.process)
+    # Area: spares add rows; the BIST/BISR circuitry is spare-count
+    # insensitive to first order (TLB rows are the only per-spare cost).
+    area_factor = 1.0 + spares / config.rows * 1.02
+    y = bisr_yield(
+        config.rows, spares, config.bpw, config.bpc,
+        expected_defects, growth_factor=area_factor,
+    )
+    if spares > 0:
+        delay = tlb_delay_s(process, config.row_address_bits, spares)
+        maskable = delay <= mask_budget_s
+    else:
+        delay = 0.0
+        maskable = True
+    reliability = reliability_words(
+        horizon_hours, config.rows, spares, config.bpw, config.bpc,
+        field_lambda_per_hour,
+    )
+    cost = area_factor / max(y, 1e-12)
+    return SpareChoice(
+        spares=spares,
+        yield_value=y,
+        area_factor=area_factor,
+        tlb_delay_s=delay,
+        tlb_maskable=maskable,
+        reliability_at_horizon=reliability,
+        cost_per_good_die=cost,
+    )
+
+
+def spare_tradeoff_table(
+    config: RamConfig,
+    expected_defects: float,
+    candidates: Sequence[int] = CANDIDATES,
+    **kwargs,
+) -> List[SpareChoice]:
+    """Evaluate every candidate spare count."""
+    return [
+        evaluate_spares(config, s, expected_defects, **kwargs)
+        for s in candidates
+    ]
+
+
+def optimize_spares(
+    config: RamConfig,
+    expected_defects: float,
+    candidates: Sequence[int] = CANDIDATES,
+    require_maskable: bool = True,
+    min_reliability: float = 0.0,
+    **kwargs,
+) -> Optional[SpareChoice]:
+    """The cheapest good-die choice meeting the constraints.
+
+    Returns None when no candidate satisfies both the maskability and
+    reliability constraints (the caller must relax one).
+    """
+    table = spare_tradeoff_table(config, expected_defects, candidates,
+                                 **kwargs)
+    feasible = [
+        c for c in table
+        if (c.tlb_maskable or not require_maskable)
+        and c.reliability_at_horizon >= min_reliability
+    ]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda c: c.cost_per_good_die)

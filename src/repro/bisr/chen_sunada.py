@@ -1,0 +1,187 @@
+"""The Chen-Sunada hierarchical self-repair scheme (the paper's §III
+comparison baseline).
+
+T. Chen and G. Sunada, "Design of a self-testing and self-repairing
+structure for highly hierarchical ultra-large capacity memory chips",
+IEEE Trans. VLSI Systems 1(2), 1993.  Their architecture, as the paper
+describes it:
+
+* the memory is recursively decomposed into subblocks; the self-test
+  and self-repair logic live at the lowest level,
+* each lowest-level subblock has a *fault signature block* with **two**
+  fault-capture registers — it "is capable of storing and repairing at
+  most two faults at different address locations",
+* during normal operation "the incoming address is compared
+  sequentially, instead of in parallel, with the two addresses stored
+  in the two fault capture blocks" — a per-access delay penalty,
+* a subblock with more than two faulty addresses is excluded entirely
+  by the top-level *fault assembler*, which "diverts accesses from dead
+  blocks to functional blocks" — so the chip survives only while spare
+  subblocks remain.
+
+Implementing the baseline lets the benchmarks measure the paper's three
+quantitative criticisms head-to-head:
+
+1. repair capability: 2 faulty addresses per subblock vs BISRAMGEN's
+   ~bpc x spares faulty words per block,
+2. delay: sequential compare (grows with capture-register count) vs the
+   TLB's parallel compare,
+3. granularity: losing a whole subblock to a third fault vs losing one
+   row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.circuit.mosfet import effective_resistance
+from repro.tech.process import Process
+
+
+@dataclass
+class FaultCaptureBlock:
+    """One subblock's fault-signature logic: two capture registers plus
+    the two spare word locations they divert to."""
+
+    captures: List[int] = field(default_factory=list)
+    dead: bool = False
+
+    CAPACITY = 2
+
+    def record(self, local_address: int) -> bool:
+        """Capture a failing local address; False when the subblock is
+        beyond its two-fault capacity (it must then be excluded)."""
+        if local_address in self.captures:
+            return not self.dead
+        if len(self.captures) >= self.CAPACITY:
+            self.dead = True
+            return False
+        self.captures.append(local_address)
+        return True
+
+    def translate(self, local_address: int) -> Tuple[int, bool]:
+        """Sequential compare: returns (spare index or address, hit)."""
+        for i, captured in enumerate(self.captures):
+            if captured == local_address:
+                return i, True
+        return local_address, False
+
+
+class ChenSunadaRam:
+    """A behavioural model of the hierarchical scheme.
+
+    Args:
+        subblocks: number of lowest-level subblocks.
+        words_per_subblock: addressable words per subblock.
+        spare_subblocks: spare subblocks the fault assembler can swap
+            in for excluded (dead) ones.
+    """
+
+    def __init__(self, subblocks: int, words_per_subblock: int,
+                 spare_subblocks: int = 1) -> None:
+        if subblocks < 1 or words_per_subblock < 1:
+            raise ValueError("need at least one subblock and one word")
+        if spare_subblocks < 0:
+            raise ValueError("spare subblocks must be non-negative")
+        self.subblocks = subblocks
+        self.words_per_subblock = words_per_subblock
+        self.spare_subblocks = spare_subblocks
+        self.capture: Dict[int, FaultCaptureBlock] = {
+            b: FaultCaptureBlock() for b in range(subblocks)
+        }
+        # Fault-assembler state: dead subblock -> spare subblock index.
+        self.block_map: Dict[int, int] = {}
+        self._spares_used = 0
+
+    # -- test-mode -----------------------------------------------------------
+
+    def record_fail(self, address: int) -> bool:
+        """Record one failing address; returns False when the device is
+        beyond repair (a subblock died with no spare subblock left)."""
+        block, local = self._split(address)
+        if block in self.block_map:
+            return True  # already remapped to a (assumed good) spare
+        ok = self.capture[block].record(local)
+        if ok:
+            return True
+        # Subblock exceeded two faults: exclude it.
+        if self._spares_used >= self.spare_subblocks:
+            return False
+        self.block_map[block] = self._spares_used
+        self._spares_used += 1
+        return True
+
+    # -- normal-mode ------------------------------------------------------------
+
+    def translate(self, address: int) -> Tuple[str, int, int]:
+        """Resolve an address: ('block'|'spare_word'|'spare_block',
+        physical block, local index)."""
+        block, local = self._split(address)
+        if block in self.block_map:
+            return ("spare_block", self.block_map[block], local)
+        spare, hit = self.capture[block].translate(local)
+        if hit:
+            return ("spare_word", block, spare)
+        return ("block", block, local)
+
+    def repairable(self, faulty_addresses: Sequence[int]) -> bool:
+        """Static check: does the scheme survive this fault pattern?
+
+        (Assumes fault-free spares, matching the strict goodness used
+        for BISRAMGEN's analysis.)
+        """
+        per_block: Dict[int, Set[int]] = {}
+        for address in faulty_addresses:
+            block, local = self._split(address)
+            per_block.setdefault(block, set()).add(local)
+        dead = sum(
+            1 for locals_ in per_block.values()
+            if len(locals_) > FaultCaptureBlock.CAPACITY
+        )
+        return dead <= self.spare_subblocks
+
+    def repair_capacity_words(self) -> int:
+        """Faulty words survivable in the best case."""
+        return (
+            self.subblocks * FaultCaptureBlock.CAPACITY
+            + self.spare_subblocks * self.words_per_subblock
+        )
+
+    def worst_case_unrepairable(self) -> int:
+        """Smallest fault count that can kill the device: three faults
+        in each of (spare_subblocks + 1) subblocks."""
+        return 3 * (self.spare_subblocks + 1)
+
+    def _split(self, address: int) -> Tuple[int, int]:
+        total = self.subblocks * self.words_per_subblock
+        if not 0 <= address < total:
+            raise ValueError(f"address {address} outside 0..{total - 1}")
+        return divmod(address, self.words_per_subblock)[0], \
+            address % self.words_per_subblock
+
+
+def sequential_compare_delay_s(process: Process, address_bits: int,
+                               captures: int = 2) -> float:
+    """Normal-mode delay of the sequential address comparison.
+
+    Each capture register is compared one after another: one
+    equality-compare stage (XOR tree of depth log2(bits) + the wired
+    AND) per register, serialised.  This is the paper's criticism #1:
+    "the incoming address is compared sequentially, instead of in
+    parallel, with the two addresses stored in the two fault capture
+    blocks" — so the penalty scales with the register count, while the
+    TLB's parallel compare does not.
+    """
+    if captures < 1:
+        raise ValueError("at least one capture register")
+    f = process.feature_um
+    r_gate = effective_resistance(process.nmos, process.vdd, 4 * f, f)
+    # XOR tree depth + match gate, ~ (log2(bits) + 2) gate delays of
+    # ~3.5 fanout each.
+    import math
+
+    stages = math.ceil(math.log2(max(address_bits, 2))) + 2
+    per_compare = stages * 0.69 * r_gate * 45e-15
+    mux_step = 0.69 * r_gate * 60e-15  # select/steer after each miss
+    return captures * per_compare + (captures - 1) * mux_step

@@ -1,0 +1,107 @@
+"""TLB delay-penalty model.
+
+"The TLB produces a modest delay penalty (of about 1.2 ns with four
+spare rows and a 0.7-um technology) for matching and mapping the
+incoming addresses during normal operation.  This small delay, which is
+at least an order of magnitude smaller than the RAM access time, will
+not result in stretching of the RAM access time" [when masked].
+
+The path: search-line drivers fan the incoming address across all
+entries -> the match lines resolve in parallel (one two-NMOS stack
+discharge against the match-line load) -> the matched entry's spare
+address is driven through tristate buffers onto the row-decoder input.
+Entry count affects only the *fan-out* of the search drivers and the
+wired-OR load of the output mux, so the delay grows gently with the
+number of spares — which is why the paper only vouches for masking with
+1-4 spares and "will not be able to guarantee" it beyond.
+
+The analytic model uses switch-level RC stages calibrated against the
+transient engine (see ``benchmarks/bench_tlb_delay.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.circuit.mosfet import effective_resistance
+from repro.tech.process import Process
+
+
+@dataclass(frozen=True)
+class TlbDelayModel:
+    """Analytic TLB delay for one (process, geometry) point.
+
+    Attributes:
+        process: target process.
+        address_bits: width of the compared row address.
+        spares: TLB entry count.
+    """
+
+    process: Process
+    address_bits: int
+    spares: int
+
+    def __post_init__(self) -> None:
+        if self.address_bits < 1:
+            raise ValueError("address_bits must be positive")
+        if self.spares < 1:
+            raise ValueError("spares must be positive")
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-stage delays in seconds.
+
+        Calibrated against the paper's quoted ~1.2 ns at 0.7 um with
+        four spare rows and a 10-bit row address; every term still
+        scales physically with entry count, address width, and process.
+        """
+        p = self.process
+        f = p.feature_um
+        # Stage 1: search-line driver charging one compare gate per
+        # entry, the vertical search line (one CAM row pitch, 48
+        # lambda, per entry), and the fixed route from the address pads.
+        r_driver = effective_resistance(p.nmos, p.vdd, 4 * f, f)
+        gate_cap = p.nmos.cox * (8 * f * 1e-6) * (f * 1e-6)
+        wire_per_entry = 24 * f * p.wire_c_af_um * 1e-18
+        c_search = self.spares * (gate_cap + wire_per_entry) + 80e-15
+        t_search = 0.69 * r_driver * c_search
+
+        # Stage 2: match-line discharge through a two-NMOS stack; the
+        # load is one stack drain junction per address bit, the match
+        # wire spanning address_bits CAM cells (42 lambda each), and
+        # the match sense gate.
+        r_stack = 2 * effective_resistance(p.nmos, p.vdd, 4 * f, f)
+        junction = 3.0 * p.nmos.cj * (4 * f * 1e-6) * (1.5 * f * 1e-6)
+        match_wire = self.address_bits * 42 * f * \
+            p.wire_c_af_um * 1e-18
+        c_match = self.address_bits * junction + match_wire + 150e-15
+        t_match = 0.69 * r_stack * c_match
+
+        # Stage 3: spare-address encode plus the tristate mux driving
+        # the row-decoder input: four gate stages (match buffer,
+        # priority encode, tristate enable, output driver), each loaded
+        # by the wired-OR of all entries' tristate drains.
+        r_gate = effective_resistance(p.pmos, p.vdd, 6 * f, f)
+        c_mux = self.spares * junction + 80e-15
+        t_mux = 4 * 0.69 * r_gate * c_mux
+
+        return {
+            "search_line": t_search,
+            "match_line": t_match,
+            "encode_mux": t_mux,
+        }
+
+    def total(self) -> float:
+        """Total TLB penalty in seconds."""
+        return sum(self.breakdown().values())
+
+
+def tlb_delay_s(process: Process, address_bits: int, spares: int) -> float:
+    """Convenience wrapper: total TLB delay in seconds."""
+    return TlbDelayModel(process, address_bits, spares).total()
+
+
+def tlb_delay_breakdown(process: Process, address_bits: int,
+                        spares: int) -> Dict[str, float]:
+    """Convenience wrapper: per-stage delays in seconds."""
+    return TlbDelayModel(process, address_bits, spares).breakdown()

@@ -1,0 +1,154 @@
+"""Circuit techniques masking the TLB delay (paper section VI).
+
+Three strategies, each a class reporting whether it hides the penalty
+and at what cost:
+
+1. :class:`AsyncPrechargeOverlap` — asynchronous RAM: overlap the TLB
+   with the precharge phase that follows address-transition detection.
+2. :class:`SyncAddressRegisterOverlap` — synchronous RAM with a
+   level-sensitive address register: the TLB compares while the clock
+   is low, tristate buffers select TLB or register output when it goes
+   high.
+3. :class:`DecoderUpsizing` — compensate by making the row/column
+   decoders faster with larger devices, "at the expense of a greater
+   power consumption ... and a slightly greater silicon area".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class MaskingReport:
+    """What one strategy achieves for a given timing budget."""
+
+    strategy: str
+    masked: bool
+    residual_penalty_s: float
+    power_factor: float = 1.0
+    area_factor: float = 1.0
+    note: str = ""
+
+
+class MaskingStrategy:
+    """Base interface: evaluate a strategy against RAM timing."""
+
+    name = "abstract"
+
+    def evaluate(self, tlb_delay_s: float) -> MaskingReport:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AsyncPrechargeOverlap(MaskingStrategy):
+    """Overlap with the ATD-triggered precharge phase.
+
+    Attributes:
+        precharge_time_s: duration of the precharge phase following an
+            address transition.
+    """
+
+    precharge_time_s: float
+    name: str = "async-precharge-overlap"
+
+    def evaluate(self, tlb_delay_s: float) -> MaskingReport:
+        residual = max(0.0, tlb_delay_s - self.precharge_time_s)
+        return MaskingReport(
+            strategy=self.name,
+            masked=residual == 0.0,
+            residual_penalty_s=residual,
+            note="TLB resolves during bit-line precharge after ATD",
+        )
+
+
+@dataclass(frozen=True)
+class SyncAddressRegisterOverlap(MaskingStrategy):
+    """Overlap with the clock-low phase of a level-sensitive register.
+
+    Attributes:
+        clock_low_time_s: duration of the low phase during which the
+            address register is transparent and the TLB compares.
+    """
+
+    clock_low_time_s: float
+    name: str = "sync-register-overlap"
+
+    def evaluate(self, tlb_delay_s: float) -> MaskingReport:
+        residual = max(0.0, tlb_delay_s - self.clock_low_time_s)
+        return MaskingReport(
+            strategy=self.name,
+            masked=residual == 0.0,
+            residual_penalty_s=residual,
+            note=(
+                "TLB compares while the clock is low; tristate buffers "
+                "select the TLB or the address register when it rises"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class DecoderUpsizing(MaskingStrategy):
+    """Buy the delay back by speeding up the decoders.
+
+    First-order device scaling: decoder delay scales ~1/k with device
+    width factor k (until wire dominance), power scales ~k, decoder
+    area scales ~k.
+
+    Attributes:
+        decoder_delay_s: nominal decoder delay to shave.
+        max_upsizing: largest acceptable width factor.
+        wire_floor_s: delay floor the decoder cannot go below.
+    """
+
+    decoder_delay_s: float
+    max_upsizing: float = 4.0
+    wire_floor_s: float = 50e-12
+    name: str = "decoder-upsizing"
+
+    def evaluate(self, tlb_delay_s: float) -> MaskingReport:
+        target = self.decoder_delay_s - tlb_delay_s
+        if target <= self.wire_floor_s:
+            return MaskingReport(
+                strategy=self.name,
+                masked=False,
+                residual_penalty_s=tlb_delay_s
+                - (self.decoder_delay_s - self.wire_floor_s),
+                note="TLB penalty exceeds what decoder scaling can recover",
+            )
+        k = self.decoder_delay_s / target
+        if k > self.max_upsizing:
+            achievable = self.decoder_delay_s * (1 - 1 / self.max_upsizing)
+            return MaskingReport(
+                strategy=self.name,
+                masked=False,
+                residual_penalty_s=max(0.0, tlb_delay_s - achievable),
+                power_factor=self.max_upsizing,
+                area_factor=self.max_upsizing,
+                note=f"would need {k:.1f}x devices, above the "
+                f"{self.max_upsizing}x limit",
+            )
+        return MaskingReport(
+            strategy=self.name,
+            masked=True,
+            residual_penalty_s=0.0,
+            power_factor=k,
+            area_factor=k,
+            note=f"decoders upsized {k:.2f}x absorb the TLB delay",
+        )
+
+
+def best_masking_strategy(
+    strategies: Sequence[MaskingStrategy], tlb_delay_s: float
+) -> Optional[MaskingReport]:
+    """Pick the cheapest strategy that fully masks the penalty.
+
+    Preference order: zero-cost overlaps first (smaller power factor
+    wins), None when nothing masks.
+    """
+    reports = [s.evaluate(tlb_delay_s) for s in strategies]
+    masked = [r for r in reports if r.masked]
+    if not masked:
+        return None
+    return min(masked, key=lambda r: (r.power_factor, r.area_factor))

@@ -1,0 +1,96 @@
+"""Repair feasibility analysis.
+
+Static analysis of the strictly-increasing spare assignment: given the
+set of faulty regular rows and the set of faulty *spare* rows, predict
+whether iterated 2k-pass self-repair converges, how many spares it
+consumes, and how many passes it takes.  The dynamic equivalent (really
+running BIST+BISR on a fault-injected array) lives in
+:mod:`repro.memsim`; the test suite checks the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class RepairAnalysis:
+    """Outcome of the static repair analysis.
+
+    Attributes:
+        repairable: True when every faulty row ends on a good spare.
+        spares_consumed: spare indices used (including faulty spares
+            that were assigned and then skipped past).
+        passes_needed: total BIST passes (test+verify pairs) until the
+            verify pass is clean, assuming one re-record per faulty
+            spare hit; 2 when no spare is faulty.
+        assignment: final (faulty row -> spare index) pairs.
+        wasted_spares: assigned spare indices that turned out faulty.
+    """
+
+    repairable: bool
+    spares_consumed: int
+    passes_needed: int
+    assignment: Tuple[Tuple[int, int], ...]
+    wasted_spares: Tuple[int, ...]
+
+
+def analyze_repair(
+    faulty_rows: Sequence[int],
+    spares: int,
+    faulty_spares: Sequence[int] = (),
+) -> RepairAnalysis:
+    """Predict the outcome of iterated self-repair.
+
+    Args:
+        faulty_rows: faulty regular-row addresses in detection order
+            (the up-march of pass 1 detects them in ascending address
+            order, so pass sorted addresses for fidelity).
+        spares: number of spare rows.
+        faulty_spares: indices (0-based) of spares that are themselves
+            faulty.
+
+    The model walks the predetermined strictly increasing spare
+    sequence: each faulty row takes the next spare; a faulty spare is
+    discovered one verify pass later and the row re-records, taking the
+    next spare index.  Repair fails when the sequence runs out.
+    """
+    if spares < 0:
+        raise ValueError("spares must be non-negative")
+    bad_spares: Set[int] = set(faulty_spares)
+    if any(s < 0 or s >= spares for s in bad_spares):
+        raise ValueError("faulty spare index out of range")
+
+    # Round 1: assign spares in detection order.
+    pointer = 0
+    pending: List[int] = list(dict.fromkeys(faulty_rows))  # dedupe, keep order
+    assignment = {}
+    wasted: List[int] = []
+    rounds = 0
+    while pending:
+        rounds += 1
+        next_pending: List[int] = []
+        for row in pending:
+            if pointer >= spares:
+                return RepairAnalysis(
+                    repairable=False,
+                    spares_consumed=spares,
+                    passes_needed=2 * rounds,
+                    assignment=tuple(sorted(assignment.items())),
+                    wasted_spares=tuple(wasted),
+                )
+            assignment[row] = pointer
+            if pointer in bad_spares:
+                wasted.append(pointer)
+                next_pending.append(row)
+            pointer += 1
+        pending = next_pending
+    rounds = max(rounds, 1)
+    return RepairAnalysis(
+        repairable=True,
+        spares_consumed=pointer,
+        passes_needed=2 * rounds,
+        assignment=tuple(sorted(assignment.items())),
+        wasted_spares=tuple(wasted),
+    )

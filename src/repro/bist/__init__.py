@@ -1,0 +1,79 @@
+"""Built-in self-test engine.
+
+The BIST scheme of the paper, in behavioural form that mirrors the
+hardware one-to-one:
+
+* :mod:`~repro.bist.march` — march-test notation (IFA-9, IFA-13, MATS+,
+  March C-) with a parser for the paper's arrow notation,
+* :mod:`~repro.bist.addgen` — ADDGEN, the binary up/down address counter,
+* :mod:`~repro.bist.datagen` — DATAGEN, the Johnson-counter background
+  generator and read comparator,
+* :mod:`~repro.bist.microcode` — the microprogram assembler producing
+  AND/OR plane personalities,
+* :mod:`~repro.bist.trpla` — TRPLA, the pseudo-NMOS NOR-NOR control PLA
+  model, including the two plane files read "at runtime",
+* :mod:`~repro.bist.controller` — the test-and-repair state machine,
+  both as an algorithmic reference scheduler and as a cycle-stepped
+  TRPLA-driven controller (tested to emit identical operation streams).
+"""
+
+from repro.bist.march import (
+    MarchElement,
+    MarchTest,
+    Op,
+    Order,
+    parse_march,
+    ALL_TESTS,
+    IFA_9,
+    IFA_13,
+    MATS_PLUS,
+    MARCH_C_MINUS,
+    MARCH_X,
+    MARCH_Y,
+    MARCH_B,
+)
+from repro.bist.transparent import TransparentBist, transparent_march
+from repro.bist.field_repair import FieldRepairController, MaintenanceResult
+from repro.bist.addgen import AddGen
+from repro.bist.datagen import DataGen, backgrounds_for_word
+from repro.bist.microcode import Microprogram, MicroInstruction, assemble
+from repro.bist.trpla import Trpla, write_plane_files, read_plane_files
+from repro.bist.controller import (
+    BistScheduler,
+    TrplaController,
+    MemoryOp,
+    build_test_program,
+)
+
+__all__ = [
+    "MarchElement",
+    "MarchTest",
+    "Op",
+    "Order",
+    "parse_march",
+    "ALL_TESTS",
+    "IFA_9",
+    "IFA_13",
+    "MATS_PLUS",
+    "MARCH_C_MINUS",
+    "MARCH_X",
+    "MARCH_Y",
+    "MARCH_B",
+    "TransparentBist",
+    "transparent_march",
+    "FieldRepairController",
+    "MaintenanceResult",
+    "AddGen",
+    "DataGen",
+    "backgrounds_for_word",
+    "Microprogram",
+    "MicroInstruction",
+    "assemble",
+    "Trpla",
+    "write_plane_files",
+    "read_plane_files",
+    "BistScheduler",
+    "TrplaController",
+    "MemoryOp",
+    "build_test_program",
+]

@@ -1,0 +1,70 @@
+"""ADDGEN: the binary up/down test address counter.
+
+"The test address generator ADDGEN needs to generate a forward as well
+as a reverse addressing sequence.  Consequently, it is implemented as a
+binary up/down counter."
+
+The model is bit-accurate: ``step`` performs the ripple increment or
+decrement exactly as the counter-bit chain does, wrapping modulo the
+address space, and raises the ``done`` flag when the terminal address
+has been reached (all-ones going up, zero going down).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class AddGen:
+    """A ``width``-bit binary up/down counter over ``limit`` addresses.
+
+    ``limit`` allows an address space that is not a full power of two
+    (e.g. regular rows plus mapped spare rows in pass 2); the counter
+    then counts 0..limit-1.
+    """
+
+    def __init__(self, width: int, limit: int = 0) -> None:
+        if width < 1:
+            raise ValueError("counter width must be at least 1")
+        max_count = 1 << width
+        if limit == 0:
+            limit = max_count
+        if not 1 <= limit <= max_count:
+            raise ValueError(
+                f"limit {limit} does not fit in {width} bits"
+            )
+        self.width = width
+        self.limit = limit
+        self.value = 0
+        self.up = True
+
+    def reset(self, up: bool = True) -> None:
+        """Load the starting address for a march of the given direction."""
+        self.up = up
+        self.value = 0 if up else self.limit - 1
+
+    @property
+    def done(self) -> bool:
+        """True at the last address of the current direction."""
+        if self.up:
+            return self.value == self.limit - 1
+        return self.value == 0
+
+    def step(self) -> int:
+        """Advance one address (wrapping) and return the new value."""
+        if self.up:
+            self.value = (self.value + 1) % self.limit
+        else:
+            self.value = (self.value - 1) % self.limit
+        return self.value
+
+    def sequence(self) -> Iterator[int]:
+        """Yield one full sweep in the current direction (limit values)."""
+        self.reset(self.up)
+        yield self.value
+        while not self.done:
+            yield self.step()
+
+    def bits(self) -> tuple:
+        """Current address as a LSB-first bit tuple (hardware view)."""
+        return tuple((self.value >> i) & 1 for i in range(self.width))

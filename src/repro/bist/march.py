@@ -1,0 +1,185 @@
+"""March-test notation.
+
+A march test is a sequence of march elements; each element visits every
+address in a fixed order (ascending, descending, or either) and applies
+a short sequence of operations at each address.  The paper's IFA-9
+march notation is::
+
+    m(w0), u(r0,w1), u(r1,w0), d(r0,w1), d(r1,w0), Delay,
+    m(r0,w1), Delay, m(r1)
+
+where ``u`` is an up-march, ``d`` a down-march, ``m`` either order, and
+``Delay`` the data-retention pause during which the embedded processor
+tristates the RAM interface.  Data values 0/1 are relative to the
+current background pattern: "for a wide-word RAM, this test has to be
+repeated with multiple background patterns".
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class Order(enum.Enum):
+    """Address order of a march element."""
+
+    UP = "u"
+    DOWN = "d"
+    EITHER = "m"  # the paper's updown arrow: order is irrelevant
+
+
+class Op(enum.Enum):
+    """One memory operation within a march element.
+
+    Values are relative to the background: ``W0`` writes the background
+    pattern, ``W1`` its complement; ``R0``/``R1`` read and compare
+    against the respective pattern.
+    """
+
+    W0 = "w0"
+    W1 = "w1"
+    R0 = "r0"
+    R1 = "r1"
+
+    @property
+    def is_read(self) -> bool:
+        return self in (Op.R0, Op.R1)
+
+    @property
+    def data_bit(self) -> int:
+        """0 when the op concerns the background, 1 for its complement."""
+        return 1 if self in (Op.W1, Op.R1) else 0
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One march element: an address order plus an op sequence.
+
+    A delay (data-retention pause) is modelled as an element with an
+    empty op tuple and ``is_delay`` True.
+    """
+
+    order: Order
+    ops: Tuple[Op, ...]
+    is_delay: bool = False
+
+    def __post_init__(self) -> None:
+        if self.is_delay and self.ops:
+            raise ValueError("a delay element carries no operations")
+        if not self.is_delay and not self.ops:
+            raise ValueError("a march element needs at least one op")
+
+    def __str__(self) -> str:
+        if self.is_delay:
+            return "Delay"
+        ops = ",".join(op.value for op in self.ops)
+        return f"{self.order.value}({ops})"
+
+
+DELAY = MarchElement(order=Order.EITHER, ops=(), is_delay=True)
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A named march test."""
+
+    name: str
+    elements: Tuple[MarchElement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise ValueError("a march test needs at least one element")
+
+    @property
+    def operations_per_address(self) -> int:
+        """Total ops applied per address per background (test length /N)."""
+        return sum(len(e.ops) for e in self.elements)
+
+    @property
+    def delay_count(self) -> int:
+        return sum(1 for e in self.elements if e.is_delay)
+
+    def __str__(self) -> str:
+        return "; ".join(str(e) for e in self.elements)
+
+
+_ELEMENT_RE = re.compile(r"^([umd])\(([a-z0-9,]+)\)$")
+
+
+def parse_march(name: str, notation: str) -> MarchTest:
+    """Parse the textual march notation into a :class:`MarchTest`.
+
+    Grammar: semicolon-separated elements, each ``u(...)``, ``d(...)``,
+    ``m(...)`` with comma-separated ops from {w0, w1, r0, r1}, or the
+    bare word ``Delay``.
+
+    Raises:
+        ValueError: on any syntax error, citing the offending element.
+    """
+    elements: List[MarchElement] = []
+    for raw in notation.split(";"):
+        token = raw.strip()
+        if not token:
+            continue
+        if token.lower() == "delay":
+            elements.append(DELAY)
+            continue
+        match = _ELEMENT_RE.match(token)
+        if not match:
+            raise ValueError(f"bad march element {token!r} in {name}")
+        order = Order(match.group(1))
+        try:
+            ops = tuple(Op(o.strip()) for o in match.group(2).split(","))
+        except ValueError:
+            raise ValueError(
+                f"bad op list {match.group(2)!r} in element {token!r}"
+            ) from None
+        elements.append(MarchElement(order=order, ops=ops))
+    return MarchTest(name=name, elements=tuple(elements))
+
+
+#: IFA-9 — the test BISRAMGEN microprograms into the TRPLA (section V).
+IFA_9 = parse_march(
+    "IFA-9",
+    "m(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); Delay; "
+    "m(r0,w1); Delay; m(r1)",
+)
+
+#: IFA-13 — used by Chen and Sunada's scheme (section III); IFA-9 plus
+#: separate read-after-delay verification marches.
+IFA_13 = parse_march(
+    "IFA-13",
+    "m(w0); u(r0,w1,r1); u(r1,w0,r0); d(r0,w1,r1); d(r1,w0,r0); Delay; "
+    "m(r0,w1); Delay; m(r1)",
+)
+
+#: MATS+ — the minimal stuck-at test, a useful lower bound baseline.
+MATS_PLUS = parse_march("MATS+", "m(w0); u(r0,w1); d(r1,w0)")
+
+#: March C- — the classic coupling-fault test, a stronger baseline.
+MARCH_C_MINUS = parse_march(
+    "March C-",
+    "m(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); m(r0)",
+)
+
+#: March X — the inversion-coupling test (4N + 2N ops).
+MARCH_X = parse_march("March X", "m(w0); u(r0,w1); d(r1,w0); m(r0)")
+
+#: March Y — March X plus transition-fault reads.
+MARCH_Y = parse_march(
+    "March Y", "m(w0); u(r0,w1,r1); d(r1,w0,r0); m(r0)"
+)
+
+#: March B — the 17N linked test for linked idempotent couplings.
+MARCH_B = parse_march(
+    "March B",
+    "m(w0); u(r0,w1,r1,w0,r0,w1); u(r1,w0,w1); "
+    "d(r1,w0,w1,w0); d(r0,w1,w0)",
+)
+
+ALL_TESTS: Tuple[MarchTest, ...] = (
+    IFA_9, IFA_13, MATS_PLUS, MARCH_C_MINUS, MARCH_X, MARCH_Y, MARCH_B,
+)

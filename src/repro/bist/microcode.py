@@ -1,0 +1,225 @@
+"""Microprogram representation and the PLA personality assembler.
+
+The test-and-repair controller is "a combined test and repair controller
+that is used for generating control signals in both BIST and BISR modes
+of operation ... implemented as a pseudo-NMOS NOR-NOR PLA loaded with
+the control code".  A microprogram here is a list of states, each with
+
+* a set of asserted control outputs, and
+* a prioritized branch list on condition inputs (with a default).
+
+:func:`assemble` lowers the program to the two personality matrices the
+PLA is "loaded" with: the AND plane selects product terms from the
+state code and condition literals, the OR plane drives the next-state
+code and the control outputs.  Because a PLA ORs every matching term,
+next-state terms must be *disjoint*: the assembler expands each state's
+default branch into explicit product terms over the complement of the
+conditions its other branches test, so exactly one next-state term
+fires per cycle.  The same matrices feed both the behavioural
+:class:`~repro.bist.trpla.Trpla` model and the
+:func:`~repro.cells.pla.pla_cell` layout generator, so the controller
+that runs the self-test is the controller whose silicon is measured.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+#: A branch: ((input, value), ...) conditions -> target state name.
+Branch = Tuple[Tuple[Tuple[str, int], ...], str]
+
+
+@dataclass(frozen=True)
+class MicroInstruction:
+    """One controller state.
+
+    Attributes:
+        name: unique state name.
+        outputs: control signals asserted while in this state.
+        branches: ordered ``(conditions, next_state)`` pairs; conditions
+            map input names to required values.  The first branch whose
+            conditions all hold is taken.
+        default: state entered when no branch matches.
+    """
+
+    name: str
+    outputs: Tuple[str, ...] = ()
+    branches: Tuple[Branch, ...] = ()
+    default: str = ""
+
+    def next_state(self, inputs: Mapping[str, int]) -> str:
+        """Resolve the successor for the given condition inputs."""
+        for conditions, target in self.branches:
+            if all(inputs.get(k, 0) == v for k, v in conditions):
+                return target
+        if not self.default:
+            raise ValueError(f"state {self.name!r} has no default successor")
+        return self.default
+
+
+class Microprogram:
+    """An ordered collection of states with validation."""
+
+    def __init__(self, states: Sequence[MicroInstruction],
+                 start: str) -> None:
+        if not states:
+            raise ValueError("a microprogram needs at least one state")
+        self.states: Dict[str, MicroInstruction] = {}
+        for st in states:
+            if st.name in self.states:
+                raise ValueError(f"duplicate state name {st.name!r}")
+            self.states[st.name] = st
+        if start not in self.states:
+            raise ValueError(f"unknown start state {start!r}")
+        self.start = start
+        self._validate_targets()
+
+    def _validate_targets(self) -> None:
+        for st in self.states.values():
+            targets = [t for _, t in st.branches]
+            if st.default:
+                targets.append(st.default)
+            if not targets:
+                raise ValueError(f"state {st.name!r} has no successors")
+            for t in targets:
+                if t not in self.states:
+                    raise ValueError(
+                        f"state {st.name!r} branches to unknown {t!r}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def state_bits(self) -> int:
+        """Flip-flops needed for a dense binary state encoding."""
+        return max(1, (len(self.states) - 1).bit_length())
+
+    def condition_inputs(self) -> Tuple[str, ...]:
+        """All condition input names, sorted."""
+        names = set()
+        for st in self.states.values():
+            for conditions, _ in st.branches:
+                names.update(k for k, _ in conditions)
+        return tuple(sorted(names))
+
+    def control_outputs(self) -> Tuple[str, ...]:
+        """All control output names, sorted."""
+        names = set()
+        for st in self.states.values():
+            names.update(st.outputs)
+        return tuple(sorted(names))
+
+    def encoding(self) -> Dict[str, int]:
+        """Dense binary state codes, in declaration order, start first."""
+        ordered = [self.start] + [n for n in self.states if n != self.start]
+        return {name: i for i, name in enumerate(ordered)}
+
+
+@dataclass(frozen=True)
+class AssembledPla:
+    """The PLA personality plus its signal maps."""
+
+    and_plane: Tuple[Tuple[int, ...], ...]
+    or_plane: Tuple[Tuple[int, ...], ...]
+    input_names: Tuple[str, ...]   # state bits then condition inputs
+    output_names: Tuple[str, ...]  # next-state bits then control outputs
+    state_encoding: Dict[str, int]
+    state_bits: int
+
+    @property
+    def term_count(self) -> int:
+        return len(self.and_plane)
+
+
+def _disjoint_cases(
+    branches: Sequence[Branch], default: str
+) -> List[Tuple[Dict[str, int], str]]:
+    """Expand prioritized branches into disjoint (assignment, target) terms.
+
+    Enumerates assignments of the condition variables this state tests
+    and resolves each through the priority order, then merges
+    assignments reaching the same target back into cubes where possible
+    (here: keeps full minterms — with <=3 tested variables per state the
+    term count stays small and correctness is trivial to audit).
+    """
+    variables = sorted({k for conds, _ in branches for k, _ in conds})
+    if not variables:
+        return [({}, default)]
+    cases: List[Tuple[Dict[str, int], str]] = []
+    for values in itertools.product((0, 1), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        target = default
+        for conds, tgt in branches:
+            if all(assignment[k] == v for k, v in conds):
+                target = tgt
+                break
+        cases.append((assignment, target))
+    return cases
+
+
+def assemble(program: Microprogram) -> AssembledPla:
+    """Lower a microprogram to AND/OR personality matrices.
+
+    Product terms per state: one disjoint next-state term per condition
+    case, plus (when the state asserts control outputs) one
+    unconditional term carrying only those outputs.  Literal columns
+    come in (true, complement) pairs per input, matching the layout
+    generator's column order.
+    """
+    encoding = program.encoding()
+    n_bits = program.state_bits
+    conditions = program.condition_inputs()
+    controls = program.control_outputs()
+    input_names = tuple(f"s{i}" for i in range(n_bits)) + conditions
+    output_names = tuple(f"ns{i}" for i in range(n_bits)) + controls
+    input_index = {name: i for i, name in enumerate(input_names)}
+
+    and_rows: List[Tuple[int, ...]] = []
+    or_rows: List[Tuple[int, ...]] = []
+
+    def state_literals(code: int) -> List[int]:
+        row = [0] * (2 * len(input_names))
+        for b in range(n_bits):
+            bit = (code >> b) & 1
+            row[2 * b + (0 if bit else 1)] = 1
+        return row
+
+    for name, st in program.states.items():
+        code = encoding[name]
+        # Disjoint next-state terms.
+        for assignment, target in _disjoint_cases(st.branches, st.default):
+            if not target:
+                raise ValueError(
+                    f"state {name!r} lacks a successor for inputs "
+                    f"{assignment}"
+                )
+            row = state_literals(code)
+            for cname, value in assignment.items():
+                col = input_index[cname]
+                row[2 * col + (0 if value else 1)] = 1
+            out = [0] * len(output_names)
+            tcode = encoding[target]
+            for b in range(n_bits):
+                if (tcode >> b) & 1:
+                    out[b] = 1
+            and_rows.append(tuple(row))
+            or_rows.append(tuple(out))
+        # Unconditional control-output term.
+        if st.outputs:
+            and_rows.append(tuple(state_literals(code)))
+            out = [0] * len(output_names)
+            for cname in st.outputs:
+                out[n_bits + controls.index(cname)] = 1
+            or_rows.append(tuple(out))
+
+    return AssembledPla(
+        and_plane=tuple(and_rows),
+        or_plane=tuple(or_rows),
+        input_names=input_names,
+        output_names=output_names,
+        state_encoding=encoding,
+        state_bits=n_bits,
+    )

@@ -1,0 +1,120 @@
+"""Test application time and DATAGEN hardware trade-off (paper §V).
+
+"The generation of log2(bpw)+1 background patterns in each word
+requires less hardware than that of bpw patterns, and is thereby
+preferable, even though it causes a greater test application time."
+The design space has three corners: a single background (cheapest and
+fastest, but blind to intra-word couplings), the Johnson counter's
+log2(bpw)+1 backgrounds (BISRAMGEN's choice), and a full bpw-pattern
+generator.  This module makes the trade computable:
+
+* :func:`test_application_time` — wall-clock of one self-test pass,
+* :func:`datagen_hardware` — flip-flop/gate cost of the three
+  background-generation schemes,
+* :func:`retention_wait_total` — the data-retention pauses ("say
+  100 ms" each) that dominate IFA test time on real parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bist.march import MarchTest
+
+#: The retention wait the paper suggests the embedded processor holds
+#: the interface tristated for.
+DEFAULT_RETENTION_WAIT_S = 100e-3
+
+
+@dataclass(frozen=True)
+class TestTime:
+    """Breakdown of one pass's application time."""
+
+    operations: int
+    op_time_s: float
+    retention_time_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.op_time_s + self.retention_time_s
+
+
+def backgrounds_for_scheme(bpw: int, scheme: str) -> int:
+    """Background count per scheme.
+
+    * ``single``  — all-0 only (plus inversion): no intra-word coverage,
+    * ``johnson`` — log2(bpw)+1 (BISRAMGEN's DATAGEN),
+    * ``walking`` — bpw walking-one patterns (full per-pair coverage in
+      one polarity each, the hardware-hungry alternative).
+    """
+    if bpw < 1 or bpw & (bpw - 1):
+        raise ValueError("bpw must be a positive power of two")
+    if scheme == "single":
+        return 1
+    if scheme == "johnson":
+        return bpw.bit_length()
+    if scheme == "walking":
+        return bpw
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def test_application_time(
+    march: MarchTest,
+    words: int,
+    bpw: int,
+    cycle_s: float,
+    scheme: str = "johnson",
+    retention_wait_s: float = DEFAULT_RETENTION_WAIT_S,
+    passes: int = 2,
+) -> TestTime:
+    """Self-test duration for ``passes`` passes of ``march``.
+
+    Operations scale with words x ops-per-address x backgrounds; every
+    Delay element costs one full retention wait per background per
+    pass.
+    """
+    if words < 1 or cycle_s <= 0 or passes < 1:
+        raise ValueError("words, cycle_s, passes must be positive")
+    backgrounds = backgrounds_for_scheme(bpw, scheme)
+    ops = march.operations_per_address * words * backgrounds * passes
+    waits = march.delay_count * backgrounds * passes
+    return TestTime(
+        operations=ops,
+        op_time_s=ops * cycle_s,
+        retention_time_s=waits * retention_wait_s,
+    )
+
+
+def datagen_hardware(bpw: int, scheme: str) -> Dict[str, int]:
+    """First-order hardware cost of the background generator.
+
+    Flip-flop and 2-input-gate-equivalent counts:
+
+    * ``single``: no generator at all (constant + the inversion XORs),
+    * ``johnson``: log2(bpw)+1 flip-flops in a twisted ring plus a
+      decode gate per word bit,
+    * ``walking``: a bpw-bit ring counter (one flip-flop per word bit).
+
+    Comparators (bpw XORs + OR tree) are common to all and excluded.
+    """
+    if bpw < 1 or bpw & (bpw - 1):
+        raise ValueError("bpw must be a positive power of two")
+    if scheme == "single":
+        return {"flip_flops": 0, "gates": 0}
+    if scheme == "johnson":
+        stages = bpw.bit_length()
+        return {"flip_flops": stages, "gates": bpw}
+    if scheme == "walking":
+        return {"flip_flops": bpw, "gates": bpw // 2}
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def retention_wait_total(march: MarchTest, bpw: int,
+                         scheme: str = "johnson",
+                         passes: int = 2,
+                         retention_wait_s: float =
+                         DEFAULT_RETENTION_WAIT_S) -> float:
+    """Total retention-pause time across the whole self-test."""
+    backgrounds = backgrounds_for_scheme(bpw, scheme)
+    return march.delay_count * backgrounds * passes * retention_wait_s

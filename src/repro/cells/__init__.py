@@ -1,0 +1,65 @@
+"""Leaf-cell generators.
+
+Every generator takes a :class:`~repro.tech.process.Process` and returns
+a DRC-clean :class:`~repro.layout.cell.Cell` whose dimensions are pure
+functions of the design rules — the mechanism behind BISRAMGEN's
+design-rule independence.  Generators for circuit-critical cells also
+provide a companion ``*_netlist`` builder so the SPICE engine can
+characterise them ("generate simple leaf cells ahead of time and extract
+and simulate them").
+
+Leaf cells are designed for abutment: bit lines span the full cell
+height at fixed x offsets and word lines span the full width at fixed y
+offsets, so tiling cells at their natural pitch connects every signal
+without routing.
+"""
+
+from repro.cells.base import CellBuilder
+from repro.cells.stdcell import draw_logic_block, logic_block_width
+from repro.cells.sram6t import sram6t_cell, sram6t_netlist
+from repro.cells.precharge import precharge_cell, precharge_netlist
+from repro.cells.senseamp import senseamp_cell, senseamp_netlist
+from repro.cells.drivers import (
+    wordline_driver_cell,
+    wordline_driver_netlist,
+    write_driver_cell,
+    tristate_buffer_cell,
+)
+from repro.cells.decoders import row_decoder_cell, column_decoder_cell
+from repro.cells.column_mux import column_mux_cell
+from repro.cells.sequential import (
+    dff_cell,
+    counter_bit_cell,
+    johnson_bit_cell,
+    comparator_slice_cell,
+)
+from repro.cells.cam import cam_cell, cam_match_netlist
+from repro.cells.pla import pla_cell
+from repro.cells.strap import strap_cell
+
+__all__ = [
+    "CellBuilder",
+    "draw_logic_block",
+    "logic_block_width",
+    "sram6t_cell",
+    "sram6t_netlist",
+    "precharge_cell",
+    "precharge_netlist",
+    "senseamp_cell",
+    "senseamp_netlist",
+    "wordline_driver_cell",
+    "wordline_driver_netlist",
+    "write_driver_cell",
+    "tristate_buffer_cell",
+    "row_decoder_cell",
+    "column_decoder_cell",
+    "column_mux_cell",
+    "dff_cell",
+    "counter_bit_cell",
+    "johnson_bit_cell",
+    "comparator_slice_cell",
+    "cam_cell",
+    "cam_match_netlist",
+    "pla_cell",
+    "strap_cell",
+]

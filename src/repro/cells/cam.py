@@ -1,0 +1,101 @@
+"""TLB CAM cell: one stored address bit with parallel match logic.
+
+The BISR circuit stores faulty row addresses in "a hardware translation
+lookaside buffer (TLB) that performs an extremely fast, parallel address
+comparison between the incoming address pattern and a set of stored
+address patterns".  The cell is an SRAM-style storage pair plus an XOR
+match stack that conditionally discharges a shared match line; a row of
+``address_bits`` cells forms one TLB entry, and all rows compare
+simultaneously — the parallelism that distinguishes BISRAMGEN from Chen
+and Sunada's sequential comparison.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellBuilder
+from repro.cells.sram6t import HEIGHT_LAMBDA as ROW_PITCH
+from repro.circuit.netlist import GND, Netlist
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+WIDTH_LAMBDA = 84
+HEIGHT_LAMBDA = ROW_PITCH
+
+
+def cam_cell(process: Process) -> Cell:
+    """Generate the CAM bit cell at the SRAM row pitch."""
+    b = CellBuilder("cam_bit", process)
+    w, h = WIDTH_LAMBDA, HEIGHT_LAMBDA
+
+    b.rect("metal1", 0, 0, w, 4)
+    b.rect("metal1", 0, h - 4, w, h)
+
+    # Search lines (true/complement) in metal2, full height.
+    b.wire_v("metal2", 0, h, 6)
+    b.wire_v("metal2", 0, h, 78)
+    # Shared match line in metal3, full width.
+    b.wire_h("metal3", 0, w, 24)
+
+    # Storage inverter pair (as in the 6T cell, compacted).
+    y_n, y_p = 10, 38
+    b.rect("ndiff", 18, y_n - 2, 50, y_n + 2)
+    b.rect("pdiff", 18, y_p - 2, 50, y_p + 2)
+    b.rect("nwell", 13, y_p - 7, 55, y_p + 7)
+    for x_gate in (28, 40):
+        b.wire_v("poly", y_n - 4, y_p + 4, x_gate)
+    for y, layer in ((y_n, "ndiff"), (y_p, "pdiff")):
+        b.contact(layer, 20, y)
+        b.contact(layer, 34, y)
+        b.contact(layer, 48, y)
+    b.wire_v("metal1", 0, y_n, 34)
+    b.wire_v("metal1", y_p, h, 34)
+    b.wire_v("metal1", y_n, y_p, 20)
+    b.wire_v("metal1", y_n, y_p, 48)
+    b.contact("poly", 28, 20)
+    b.wire_h("metal1", 28, 48, 20, width_lam=4)
+    b.contact("poly", 40, 31)
+    b.wire_h("metal1", 20, 40, 31, width_lam=4)
+
+    # Match stack: two series NMOS pulling the match line low on a
+    # mismatch, gated by stored bit and search line respectively.
+    b.rect("ndiff", 58, 8, 62, 30)
+    b.rect("poly", 54, 13, 66, 15)
+    b.rect("poly", 54, 21, 66, 23)
+    b.contact("ndiff", 60, 10)
+    b.wire_v("metal1", 0, 10, 60)
+    b.contact("ndiff", 60, 27)
+    b.via1(60, 27)
+    b.via2(60, 27)  # the via2 landing pad reaches the match line band
+
+    b.edge_port("sl", "metal2", "bottom", 4.5, 7.5, 0, "in")
+    b.edge_port("slb", "metal2", "bottom", 76.5, 79.5, 0, "in")
+    b.edge_port("match", "metal3", "left", 21.5, 26.5, 0, "out")
+    b.edge_port("gnd", "metal1", "left", 0, 4, 0, "supply")
+    b.edge_port("vdd", "metal1", "left", h - 4, h, 0, "supply")
+    return b.finish()
+
+
+def cam_match_netlist(process: Process, address_bits: int,
+                      matchline_cap_f: float = 60e-15) -> Netlist:
+    """Match-line discharge path for one TLB entry of ``address_bits``.
+
+    Models the worst-case match decision: the match line, precharged
+    high, discharges through one mismatching bit's two-NMOS stack.  Used
+    by the TLB delay benchmark (the paper quotes ~1.2 ns at 0.7 um with
+    4 spare rows).
+    """
+    if address_bits < 1:
+        raise ValueError("address_bits must be positive")
+    f = process.feature_um
+    wn = 4 * f
+    net = Netlist("cam_match")
+    # One discharging stack (stored bit=1, search=1 mismatch).
+    net.add_mosfet("match", "sl", "mid", process.nmos, wn)
+    net.add_mosfet("mid", "stored", GND, process.nmos, wn)
+    net.add_source("stored", process.vdd)
+    # Match-line load: wire plus one stack drain junction per bit.
+    per_bit_junction = 2e-15
+    net.add_capacitor(
+        "match", GND, matchline_cap_f + address_bits * per_bit_junction
+    )
+    return net

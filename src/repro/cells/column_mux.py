@@ -1,0 +1,64 @@
+"""Column multiplexer cell (paper Fig. 2).
+
+"To implement column-multiplexing, the outputs of the column decoders
+are sent to pass-transistor multiplexers, which select one set of
+bit-line pairs."  One cell carries the two NMOS pass devices for one
+bit-line pair; a row of ``bpc`` such cells, each driven by one select
+line, forms the log2(bpc)-to-bpc multiplexer of one I/O subarray.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellBuilder
+from repro.cells.sram6t import WIDTH_LAMBDA as COLUMN_PITCH
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+HEIGHT_LAMBDA = 36
+
+
+def column_mux_cell(process: Process) -> Cell:
+    """Generate the pass-transistor column-mux cell."""
+    b = CellBuilder("column_mux", process)
+    w, h = COLUMN_PITCH, HEIGHT_LAMBDA
+
+    # Bit lines from the array (top) and data lines to the senseamp
+    # (bottom).
+    b.wire_v("metal2", 0, h, 4)     # BL
+    b.wire_v("metal2", 0, h, 64)    # BLB
+    b.wire_v("metal2", 0, 12, 24)   # DL
+    b.wire_v("metal2", 0, 12, 44)   # DLB
+
+    # Pass device BL -> DL.
+    b.rect("ndiff", 12, 8, 16, 30)
+    b.rect("poly", 8, 17, 20, 19)
+    b.contact("ndiff", 14, 26)
+    b.via1(14, 26)
+    b.wire_h("metal2", 4, 14, 26)
+    b.contact("ndiff", 14, 10)
+    b.via1(14, 10)
+    b.wire_h("metal2", 14, 24, 10)
+
+    # Pass device BLB -> DLB.
+    b.rect("ndiff", 52, 8, 56, 30)
+    b.rect("poly", 48, 17, 60, 19)
+    b.contact("ndiff", 54, 26)
+    b.via1(54, 26)
+    b.wire_h("metal2", 54, 64, 26)
+    b.contact("ndiff", 54, 10)
+    b.via1(54, 10)
+    b.wire_h("metal2", 44, 54, 10)
+
+    # Common select gate wiring across the cell in poly, tapped to
+    # metal1 mid-cell so the select line can run horizontally.
+    b.wire_h("poly", 8, 60, 18)
+    b.contact("poly", 34, 18)
+    b.wire_h("metal1", 0, w, 18)
+
+    b.edge_port("bl", "metal2", "top", 2.5, 5.5, h)
+    b.edge_port("blb", "metal2", "top", 62.5, 65.5, h)
+    b.edge_port("dl", "metal2", "bottom", 22.5, 25.5, 0)
+    b.edge_port("dlb", "metal2", "bottom", 42.5, 45.5, 0)
+    b.edge_port("sel", "metal1", "left", 16.5, 19.5, 0, "in")
+    b.edge_port("sel_r", "metal1", "right", 16.5, 19.5, w, "in")
+    return b.finish()

@@ -1,0 +1,79 @@
+"""Static row and column address decoders.
+
+"The RAM layouts produced by BISRAMGEN use ... static row and column
+address decoding" (conclusion).  A decoder cell is one k-input static
+CMOS NAND (active-low output) whose address inputs run vertically over
+the cell in metal3, so a column of row-decoder cells shares the address
+bus by abutment; the paired word-line driver inverts the NAND output.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellBuilder
+from repro.cells.sram6t import HEIGHT_LAMBDA as ROW_PITCH
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+
+def _nand_decoder(name: str, process: Process, address_bits: int,
+                  height: int) -> Cell:
+    if address_bits < 1:
+        raise ValueError("decoder needs at least one address bit")
+    b = CellBuilder(name, process)
+    pitch = 12
+    first_x = 22
+    w = first_x + pitch * (address_bits - 1) + 14
+    h = height
+
+    b.rect("metal1", 0, 0, w, 4)
+    b.rect("metal1", 0, h - 4, w, h)
+
+    # Series NMOS stack (output at the left end, GND at the right).
+    y_n = 12
+    b.rect("ndiff", 4, y_n - 2, w - 4, y_n + 2)
+    b.contact("ndiff", 6, y_n)
+    b.contact("ndiff", w - 6, y_n)
+    b.wire_v("metal1", 0, y_n, w - 6)
+
+    # Parallel PMOS row (output contact left, VDD right).
+    y_p = h - 15
+    b.rect("pdiff", 4, y_p - 2, w - 4, y_p + 2)
+    b.rect("nwell", 0, y_p - 7, w, y_p + 7)
+    b.contact("pdiff", 6, y_p)
+    b.contact("pdiff", w - 6, y_p)
+    b.wire_v("metal1", y_p, h, w - 6)
+
+    # Gate columns, one per address bit, with metal3 address lines
+    # running vertically over the cell.
+    y_tap = (y_n + y_p) / 2
+    for i in range(address_bits):
+        x = first_x + i * pitch
+        b.wire_v("poly", y_n - 4, y_p + 4, x)
+        b.contact("poly", x, y_tap)
+        b.via1(x, y_tap)
+        b.via2(x, y_tap)
+        b.wire_v("metal3", 0, h, x)
+        b.edge_port(f"a{i}", "metal3", "bottom", x - 2.5, x + 2.5, 0, "in")
+        b.edge_port(f"a{i}_t", "metal3", "top", x - 2.5, x + 2.5, h, "in")
+
+    # Output strap: joins the NMOS and PMOS output terminals and exits
+    # in metal2 on the left edge (toward the word-line driver).
+    b.wire_v("metal1", y_n, y_p, 6)
+    b.via1(6, y_tap)
+    b.wire_h("metal2", 0, 6, y_tap)
+    b.edge_port(
+        "out", "metal2", "left", y_tap - 1.5, y_tap + 1.5, 0, "out"
+    )
+    b.edge_port("gnd", "metal1", "left", 0, 4, 0, "supply")
+    b.edge_port("vdd", "metal1", "left", h - 4, h, 0, "supply")
+    return b.finish()
+
+
+def row_decoder_cell(process: Process, address_bits: int) -> Cell:
+    """Row-decoder NAND at the SRAM row pitch."""
+    return _nand_decoder("row_decoder", process, address_bits, ROW_PITCH)
+
+
+def column_decoder_cell(process: Process, address_bits: int) -> Cell:
+    """Column-decoder NAND (log2(bpc) inputs), taller for wiring room."""
+    return _nand_decoder("column_decoder", process, address_bits, 56)

@@ -1,0 +1,150 @@
+"""Driver cells: word-line driver, write driver, tristate buffer.
+
+"Critical components in the RAM circuitry, such as the precharge
+transistors and the word line drivers, are made larger than minimal size
+to increase their current drive strengths."  The ``gate_size`` parameter
+of each generator is that knob.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellBuilder
+from repro.cells.sram6t import HEIGHT_LAMBDA as ROW_PITCH
+from repro.cells.stdcell import draw_logic_block
+from repro.circuit.netlist import Netlist
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+WL_DRIVER_WIDTH_LAMBDA = 68
+
+
+def wordline_driver_cell(process: Process, gate_size: int = 1) -> Cell:
+    """Two-stage word-line driver at the SRAM row pitch.
+
+    Input arrives from the row decoder in metal2 on the left edge; the
+    output drives the array's metal3 word line on the right edge, so a
+    column of drivers abuts the array's left side.
+    """
+    if gate_size < 1:
+        raise ValueError("gate_size must be >= 1")
+    b = CellBuilder("wl_driver", process)
+    w, h = WL_DRIVER_WIDTH_LAMBDA, ROW_PITCH
+    dev_w = 6 + 2 * (gate_size - 1)
+
+    b.rect("metal1", 0, 0, w, 4)
+    b.rect("metal1", 0, h - 4, w, h)
+
+    # NMOS strip: out1 | gnd(shared) | out2 with gates at x=23 and x=41.
+    y_n = 13
+    b.rect("ndiff", 8, y_n - dev_w / 2, 56, y_n + dev_w / 2)
+    y_p = 39
+    b.rect("pdiff", 8, y_p - dev_w / 2, 56, y_p + dev_w / 2)
+    b.rect("nwell", 3, y_p - dev_w / 2 - 5, 61, y_p + dev_w / 2 + 5)
+    for x_gate in (23, 41):
+        b.wire_v("poly", y_n - dev_w / 2 - 2, y_p + dev_w / 2 + 2, x_gate)
+    for y in (y_n, y_p):
+        b.contact("ndiff" if y == y_n else "pdiff", 13, y)
+        b.contact("ndiff" if y == y_n else "pdiff", 32, y)
+        b.contact("ndiff" if y == y_n else "pdiff", 51, y)
+    b.wire_v("metal1", 0, y_n, 32)      # GND strap
+    b.wire_v("metal1", y_p, h, 32)      # VDD strap
+
+    # Stage-1 output strap and its hop to the stage-2 gate.
+    b.wire_v("metal1", y_n, y_p, 13)
+    b.contact("poly", 41, 20)
+    b.wire_h("metal1", 13, 41, 20)
+
+    # Stage-2 output strap, then up to metal3 for the word line.
+    b.wire_v("metal1", y_n, y_p, 51)
+    b.via1(51, 28)
+    b.via2(51, 28)
+    b.wire_h("metal3", 51, w, 28)
+
+    # Input: metal2 from the left edge onto the stage-1 gate.
+    b.contact("poly", 23, 28)
+    b.via1(23, 28)
+    b.wire_h("metal2", 0, 23, 28)
+
+    b.edge_port("in", "metal2", "left", 26.5, 29.5, 0, "in")
+    b.edge_port("wl", "metal3", "right", 25.5, 30.5, w, "out")
+    b.edge_port("gnd", "metal1", "left", 0, 4, 0, "supply")
+    b.edge_port("vdd", "metal1", "left", h - 4, h, 0, "supply")
+    return b.finish()
+
+
+def wordline_driver_netlist(process: Process, gate_size: int = 1,
+                            wl_cap_f: float = 500e-15) -> Netlist:
+    """The word-line drive chain: three inverters, progressive sizing.
+
+    The chain inverts overall — the decoder's NAND output is active
+    low, the word line active high.  Stage one is the small buffer at
+    the decoder output (drawn in the decoder cell); the two drawn
+    driver stages follow at 3x and 9x.
+    """
+    from repro.circuit.netlist import GND
+
+    f = process.feature_um
+    wn1 = 3 * f * gate_size
+    wp1 = 7.5 * f * gate_size
+    net = Netlist("wl_driver")
+    net.add_inverter("in", "s1", process.nmos, process.pmos, wn1, wp1)
+    net.add_inverter("s1", "s2", process.nmos, process.pmos,
+                     3 * wn1, 3 * wp1)
+    net.add_inverter("s2", "wl", process.nmos, process.pmos,
+                     9 * wn1, 9 * wp1)
+    net.add_capacitor("wl", GND, wl_cap_f)
+    return net
+
+
+def write_driver_cell(process: Process, gate_size: int = 1) -> Cell:
+    """Write driver at the column pitch: drives DL/DLB from data in.
+
+    Drawn with the verified logic-block pattern (6 transistor columns:
+    data inverter, two enable-gated drivers).
+    """
+    if gate_size < 1:
+        raise ValueError("gate_size must be >= 1")
+    b = CellBuilder("write_driver", process)
+    block = draw_logic_block(b, n_gates=6, height=52)
+    w = block.width
+    # Data lines up to the mux in metal2.
+    b.via1(block.gate_xs[0] - 4, block.y_nmos)
+    b.wire_v("metal2", block.y_nmos, 52, block.gate_xs[0] - 4)
+    b.via1(block.gate_xs[-1] + 4, block.y_nmos)
+    b.wire_v("metal2", block.y_nmos, 52, block.gate_xs[-1] + 4)
+    b.edge_port(
+        "dl", "metal2", "top",
+        block.gate_xs[0] - 5.5, block.gate_xs[0] - 2.5, 52,
+    )
+    b.edge_port(
+        "dlb", "metal2", "top",
+        block.gate_xs[-1] + 2.5, block.gate_xs[-1] + 5.5, 52,
+    )
+    b.point_port("d", "metal1", block.gate_xs[0], block.y_input_band, "in")
+    b.point_port("we", "metal1", block.gate_xs[2], block.y_input_band, "in")
+    b.edge_port("gnd", "metal1", "left", 0, 4, 0, "supply")
+    b.edge_port("vdd", "metal1", "left", 48, 52, 0, "supply")
+    return b.finish()
+
+
+def tristate_buffer_cell(process: Process, gate_size: int = 1) -> Cell:
+    """Tristate buffer used at TLB and address-register outputs.
+
+    "This selection can be achieved using suitably sized tristate
+    buffers at the outputs of the TLB and the address register" — the
+    mechanism that masks the TLB delay in synchronous RAMs.
+    """
+    if gate_size < 1:
+        raise ValueError("gate_size must be >= 1")
+    b = CellBuilder("tristate", process)
+    block = draw_logic_block(b, n_gates=4)
+    b.point_port("d", "metal1", block.gate_xs[0], block.y_input_band, "in")
+    b.point_port("en", "metal1", block.gate_xs[1], block.y_input_band, "in")
+    b.point_port(
+        "q", "metal1", block.gate_xs[-1] + 4, block.y_nmos, "out"
+    )
+    b.edge_port("gnd", "metal1", "left", 0, 4, 0, "supply")
+    b.edge_port(
+        "vdd", "metal1", "left", block.height - 4, block.height, 0, "supply"
+    )
+    return b.finish()

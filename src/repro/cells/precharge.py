@@ -1,0 +1,89 @@
+"""Bit-line precharge / equalisation cell.
+
+"Often RAM bit-lines are precharged in anticipation of read in order to
+reduce the access time" (paper section VI).  The cell holds the classic
+three-PMOS precharge: two pull-ups from VDD to BL/BLB and one equalising
+pass device between them, all gated by the active-low precharge signal.
+Width matches the bit-cell pitch so a row of these abuts the array.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellBuilder
+from repro.cells.sram6t import WIDTH_LAMBDA as COLUMN_PITCH
+from repro.circuit.netlist import Netlist
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+HEIGHT_LAMBDA = 44
+
+
+def precharge_cell(process: Process, gate_size: int = 1) -> Cell:
+    """Generate the precharge cell.
+
+    ``gate_size`` scales the precharge device widths — the paper's
+    "critical components ... such as the precharge transistors ... are
+    made larger than minimal size to increase their current drive
+    strengths".
+    """
+    if gate_size < 1:
+        raise ValueError("gate_size must be >= 1")
+    b = CellBuilder("precharge", process)
+    w, h = COLUMN_PITCH, HEIGHT_LAMBDA
+    dev_w = 6 + 2 * (gate_size - 1)
+
+    b.rect("metal1", 0, h - 4, w, h)  # VDD rail on top edge
+    b.wire_v("metal2", 0, h, 4)       # BL
+    b.wire_v("metal2", 0, h, 64)      # BLB
+
+    # Pull-up pair: one pdiff strip, two gates, VDD contact mid.
+    y_pu = 27
+    b.rect("pdiff", 14, y_pu - dev_w / 2, 54, y_pu + dev_w / 2)
+    for x_gate in (25, 43):
+        b.wire_v("poly", 18, y_pu + dev_w / 2 + 2, x_gate)
+    b.contact("pdiff", 18, y_pu)
+    b.contact("pdiff", 34, y_pu)
+    b.contact("pdiff", 50, y_pu)
+    b.wire_v("metal1", y_pu, h, 34)   # VDD strap
+    b.via1(18, y_pu)
+    b.wire_h("metal2", 4, 18, y_pu)   # to BL
+    b.via1(50, y_pu)
+    b.wire_h("metal2", 50, 64, y_pu)  # to BLB
+
+    # Equalising device between the bit lines.
+    y_eq = 11
+    b.rect("pdiff", 24, y_eq - 3, 44, y_eq + 3)
+    b.wire_v("poly", y_eq - 5, y_eq + 5, 34)
+    b.contact("pdiff", 28, y_eq)
+    b.contact("pdiff", 40, y_eq)
+    b.via1(28, y_eq)
+    b.wire_h("metal2", 4, 28, y_eq)
+    b.via1(40, y_eq)
+    b.wire_h("metal2", 40, 64, y_eq)
+
+    # Common gate wiring: join the three gates in poly, contact to
+    # metal1, run the active-low precharge signal to the left edge.
+    b.wire_h("poly", 18, 46, 19)
+    b.wire_v("poly", y_eq + 5, 19, 34)
+    b.contact("poly", 20, 19)
+    b.wire_h("metal1", 0, 20, 19)
+    b.rect(
+        "nwell", 9, 3, 59, y_pu + dev_w / 2 + 5
+    )
+
+    b.edge_port("bl", "metal2", "bottom", 2.5, 5.5, 0)
+    b.edge_port("blb", "metal2", "bottom", 62.5, 65.5, 0)
+    b.edge_port("pcb", "metal1", "left", 17.5, 20.5, 0, "in")
+    b.edge_port("vdd", "metal1", "left", h - 4, h, 0, "supply")
+    return b.finish()
+
+
+def precharge_netlist(process: Process, gate_size: int = 1) -> Netlist:
+    """Netlist view: three PMOS devices gated by ``pcb``."""
+    f = process.feature_um
+    w_dev = (3 + gate_size) * f
+    net = Netlist("precharge")
+    net.add_mosfet("bl", "pcb", "vdd", process.pmos, w_dev)
+    net.add_mosfet("blb", "pcb", "vdd", process.pmos, w_dev)
+    net.add_mosfet("bl", "pcb", "blb", process.pmos, w_dev)
+    return net

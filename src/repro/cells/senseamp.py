@@ -1,0 +1,116 @@
+"""Current-mode sense amplifier (paper Fig. 3).
+
+"Fast memory access is achieved by using current-mode sensing ... a
+minor current differential in the bl and blb lines latches the sense
+amplifier.  In write mode, the sense amplifier is bypassed and the
+bit-lines are directly accessed."
+
+The layout is a cross-coupled NMOS latch with PMOS loads and an NMOS
+tail device gated by the sense-enable signal; the netlist view is what
+the Fig. 3 benchmark simulates.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellBuilder
+from repro.cells.sram6t import WIDTH_LAMBDA as COLUMN_PITCH
+from repro.circuit.netlist import GND, Netlist
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+HEIGHT_LAMBDA = 100
+
+
+def senseamp_cell(process: Process, gate_size: int = 1) -> Cell:
+    """Generate the sense-amplifier cell at the bit-cell column pitch."""
+    if gate_size < 1:
+        raise ValueError("gate_size must be >= 1")
+    b = CellBuilder("senseamp", process)
+    w, h = COLUMN_PITCH, HEIGHT_LAMBDA
+
+    b.rect("metal1", 0, 0, w, 4)          # GND
+    b.rect("metal1", 0, h - 4, w, h)      # VDD
+    b.wire_v("metal2", 0, h, 4)           # BL (data line after mux)
+    b.wire_v("metal2", 0, h, 64)          # BLB
+
+    # Cross-coupled NMOS pair.
+    y_n = 23
+    b.rect("ndiff", 14, y_n - 3, 54, y_n + 3)
+    b.contact("ndiff", 18, y_n)
+    b.contact("ndiff", 34, y_n)   # common tail node
+    b.contact("ndiff", 50, y_n)
+
+    # PMOS load pair.
+    y_p = 73
+    b.rect("pdiff", 14, y_p - 3, 54, y_p + 3)
+    b.rect("nwell", 9, y_p - 10, 59, y_p + 10)
+    b.contact("pdiff", 18, y_p)
+    b.contact("pdiff", 34, y_p)
+    b.contact("pdiff", 50, y_p)
+    b.wire_v("metal1", y_p, h, 34)        # VDD strap
+
+    # Gates run vertically across both pairs; cross-coupled in metal1.
+    for x_gate in (25, 43):
+        b.wire_v("poly", y_n - 5, y_p + 5, x_gate)
+    b.contact("poly", 25, 34)
+    b.wire_h("metal1", 25, 50, 34, width_lam=4)   # gate L -> out R
+    b.contact("poly", 43, 41)
+    b.wire_h("metal1", 18, 43, 41, width_lam=4)   # gate R -> out L
+
+    # Output straps joining NMOS drains and PMOS loads.
+    b.wire_v("metal1", y_n, y_p, 18)
+    b.wire_v("metal1", y_n, y_p, 50)
+
+    # Tail device gated by sense-enable.
+    y_t = 11
+    b.rect("ndiff", 26, y_t - 3, 42, y_t + 3)
+    b.wire_v("poly", y_t - 5, y_t + 5, 34)
+    b.contact("ndiff", 30, y_t)
+    b.contact("ndiff", 38, y_t)
+    b.wire_v("metal1", 0, y_t, 38)                # tail source to GND
+    b.wire_v("metal1", y_t, y_n - 3, 30)
+    b.wire_h("metal1", 30, 34, y_n - 3)           # tail drain to pair
+    # Sense-enable to the right edge.
+    b.wire_h("poly", 34, 48, 6)
+    b.wire_v("poly", 6, y_t - 5, 34)
+    b.contact("poly", 48, 9)
+    b.wire_h("metal1", 48, w, 9)
+
+    # Bit-line taps into the latch outputs.
+    b.via1(4, 50)
+    b.wire_h("metal1", 4, 18, 50)
+    b.via1(64, 57)
+    b.wire_h("metal1", 50, 64, 57)
+
+    b.edge_port("bl", "metal2", "top", 2.5, 5.5, h)
+    b.edge_port("blb", "metal2", "top", 62.5, 65.5, h)
+    b.edge_port("se", "metal1", "right", 7.5, 10.5, w, "in")
+    b.point_port("out", "metal1", 18, 60, "out")
+    b.point_port("outb", "metal1", 50, 60, "out")
+    b.edge_port("gnd", "metal1", "left", 0, 4, 0, "supply")
+    b.edge_port("vdd", "metal1", "left", h - 4, h, 0, "supply")
+    return b.finish()
+
+
+def senseamp_netlist(process: Process, gate_size: int = 1,
+                     bitline_cap_f: float = 200e-15) -> Netlist:
+    """Netlist of the sense amp loaded by the bit-line capacitance.
+
+    Nodes: ``bl``/``blb`` differential inputs, ``out``/``outb`` latch
+    outputs, ``se`` sense enable.  The Fig. 3 benchmark drives a small
+    differential onto the bit lines and measures the latch decision.
+    """
+    f = process.feature_um
+    wn = (4 + 2 * gate_size) * f
+    wp = (3 + gate_size) * f
+    net = Netlist("senseamp")
+    # Cross-coupled inverter latch on out/outb.
+    net.add_inverter("out", "outb", process.nmos, process.pmos, wn, wp)
+    net.add_inverter("outb", "out", process.nmos, process.pmos, wn, wp)
+    # Pass devices coupling the bit lines into the latch when sensing.
+    net.add_mosfet("bl", "se", "out", process.nmos, wn)
+    net.add_mosfet("blb", "se", "outb", process.nmos, wn)
+    # Bit-line loads.
+    net.add_capacitor("bl", GND, bitline_cap_f)
+    net.add_capacitor("blb", GND, bitline_cap_f)
+    return net

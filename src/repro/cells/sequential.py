@@ -1,0 +1,102 @@
+"""Sequential leaf cells: D flip-flop, up/down counter bit, Johnson bit.
+
+These build ADDGEN (a binary up/down address counter), DATAGEN (a
+Johnson counter generating the log2(bpw)+1 background patterns), and
+the 6-flip-flop state register of the 59-state test controller.  Layout
+uses the verified logic-block pattern; function is modelled behaviourally
+in :mod:`repro.bist`.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellBuilder
+from repro.cells.stdcell import draw_logic_block
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+#: Transistor-column counts, from standard static CMOS realisations:
+#: transmission-gate DFF = 16 devices -> 8 columns of N/P pairs; the
+#: counter bits add an XOR (up/down toggle steering) or the Johnson
+#: feedback mux.
+_DFF_GATES = 8
+_COUNTER_BIT_GATES = 12
+_JOHNSON_BIT_GATES = 10
+
+
+def dff_cell(process: Process) -> Cell:
+    """Positive-edge D flip-flop at the standard row pitch."""
+    b = CellBuilder("dff", process)
+    block = draw_logic_block(b, _DFF_GATES)
+    b.point_port("d", "metal1", block.gate_xs[0], block.y_input_band, "in")
+    b.point_port("clk", "metal1", block.gate_xs[1], block.y_input_band, "in")
+    b.point_port(
+        "q", "metal1", block.gate_xs[-1] + 4, block.y_nmos, "out"
+    )
+    _supply_ports(b, block.height)
+    return b.finish()
+
+
+def counter_bit_cell(process: Process) -> Cell:
+    """One bit of the ADDGEN binary up/down counter.
+
+    "The test address generator ADDGEN needs to generate a forward as
+    well as a reverse addressing sequence.  Consequently, it is
+    implemented as a binary up/down counter."
+    """
+    b = CellBuilder("counter_bit", process)
+    block = draw_logic_block(b, _COUNTER_BIT_GATES)
+    b.point_port("clk", "metal1", block.gate_xs[0], block.y_input_band, "in")
+    b.point_port("up", "metal1", block.gate_xs[1], block.y_input_band, "in")
+    b.point_port(
+        "carry_in", "metal1", block.gate_xs[2], block.y_input_band, "in"
+    )
+    b.point_port(
+        "q", "metal1", block.gate_xs[-1] + 4, block.y_nmos, "out"
+    )
+    b.point_port(
+        "carry_out", "metal1", block.gate_xs[-1] + 4, block.y_pmos, "out"
+    )
+    _supply_ports(b, block.height)
+    return b.finish()
+
+
+def johnson_bit_cell(process: Process) -> Cell:
+    """One stage of the DATAGEN Johnson counter.
+
+    "The test data generator DATAGEN is a Johnson counter that can
+    generate log2(bpw)+1 data backgrounds for a bpw-bit RAM word."
+    """
+    b = CellBuilder("johnson_bit", process)
+    block = draw_logic_block(b, _JOHNSON_BIT_GATES)
+    b.point_port("clk", "metal1", block.gate_xs[0], block.y_input_band, "in")
+    b.point_port("d", "metal1", block.gate_xs[1], block.y_input_band, "in")
+    b.point_port(
+        "q", "metal1", block.gate_xs[-1] + 4, block.y_nmos, "out"
+    )
+    b.point_port(
+        "qb", "metal1", block.gate_xs[-1] + 4, block.y_pmos, "out"
+    )
+    _supply_ports(b, block.height)
+    return b.finish()
+
+
+def comparator_slice_cell(process: Process) -> Cell:
+    """One XOR slice of the DATAGEN read comparator.
+
+    "This comparison is done using exclusive-OR gates and a bpw-input OR
+    gate in a straightforward manner."
+    """
+    b = CellBuilder("xor_slice", process)
+    block = draw_logic_block(b, 6)
+    b.point_port("a", "metal1", block.gate_xs[0], block.y_input_band, "in")
+    b.point_port("b", "metal1", block.gate_xs[1], block.y_input_band, "in")
+    b.point_port(
+        "y", "metal1", block.gate_xs[-1] + 4, block.y_nmos, "out"
+    )
+    _supply_ports(b, block.height)
+    return b.finish()
+
+
+def _supply_ports(b: CellBuilder, height: int) -> None:
+    b.edge_port("gnd", "metal1", "left", 0, 4, 0, "supply")
+    b.edge_port("vdd", "metal1", "left", height - 4, height, 0, "supply")

@@ -1,0 +1,163 @@
+"""The 6T SRAM bit cell.
+
+BISRAMGEN "implements the 6T SRAM cell layout that causes a near-zero
+critical area for [fatal global] faults" (paper section VII).  The cell
+here is a full six-transistor layout drawn on the scalable rule deck:
+
+* two cross-coupled CMOS inverters (vertical poly gates, horizontal
+  diffusion strips, metal-1 cross-couple wiring),
+* two NMOS access transistors at the cell edges (vertical diffusion,
+  horizontal poly gate stubs),
+* metal-2 bit lines spanning the full cell height,
+* a metal-3 word line spanning the full cell width, strapped down to the
+  access gate poly through a via stack — the strapped-word-line style
+  that keeps the global WL off the poly layer (this is also what gives
+  the near-zero fatal critical area: no global net is drawn in a single
+  wide unbroken strip across the cell),
+* metal-1 GND and VDD rails on the bottom and top edges, shared between
+  vertically abutting rows when odd rows are mirrored.
+
+The cell is 68 x 48 lambda and abuts on all four sides at its natural
+pitch: bit lines connect vertically, word line and supply rails connect
+horizontally.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellBuilder
+from repro.circuit.netlist import Netlist
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+#: Cell dimensions in lambda; exported so array builders can compute
+#: pitches without generating a cell first.
+WIDTH_LAMBDA = 68
+HEIGHT_LAMBDA = 48
+
+#: x centers (lambda) of the vertical structures, mirror-symmetric
+#: about x = 34.
+_X_BL = 4        # bit line (metal2)
+_X_ACC_L = 10    # left access transistor diffusion
+_X_Q_L = 18      # left storage-node strap (metal1)
+_X_GATE_L = 26   # left inverter gate poly
+_X_MID = 34      # shared GND/VDD contact column
+_X_GATE_R = 42
+_X_Q_R = 50
+_X_ACC_R = 58
+_X_BLB = 64
+
+#: y bands (lambda).
+_Y_NMOS = 10     # NMOS diffusion strip center
+_Y_WL = 17       # word-line / access-gate band center
+_Y_XA = 20       # cross-couple A (gate L -> node R)
+_Y_XB = 27       # cross-couple B (gate R -> node L)
+_Y_PMOS = 34     # PMOS diffusion strip center
+
+
+def sram6t_cell(process: Process) -> Cell:
+    """Generate the 6T bit cell for ``process``."""
+    b = CellBuilder("sram6t", process)
+    w, h = WIDTH_LAMBDA, HEIGHT_LAMBDA
+
+    # Supply rails on the horizontal edges (shared by row mirroring).
+    b.rect("metal1", 0, 0, w, 4)          # GND rail
+    b.rect("metal1", 0, h - 4, w, h)      # VDD rail
+
+    # Bit lines: metal2, full height.
+    b.wire_v("metal2", 0, h, _X_BL)
+    b.wire_v("metal2", 0, h, _X_BLB)
+
+    # Word line: metal3, full width.
+    b.wire_h("metal3", 0, w, _Y_WL)
+
+    # Inverter pair: horizontal NMOS and PMOS diffusion strips crossed by
+    # two vertical poly gates.
+    b.rect("ndiff", _X_Q_L - 2, _Y_NMOS - 2, _X_Q_R + 2, _Y_NMOS + 2)
+    b.rect("pdiff", _X_Q_L - 2, _Y_PMOS - 2, _X_Q_R + 2, _Y_PMOS + 2)
+    b.rect("nwell", _X_Q_L - 7, _Y_PMOS - 7, _X_Q_R + 7, _Y_PMOS + 7)
+    for x_gate in (_X_GATE_L, _X_GATE_R):
+        b.wire_v("poly", _Y_NMOS - 4, _Y_PMOS + 4, x_gate)
+
+    # Inverter terminals: storage nodes left/right, shared supplies mid.
+    for y, rail_y in ((_Y_NMOS, 0), (_Y_PMOS, h)):
+        b.contact("ndiff" if y == _Y_NMOS else "pdiff", _X_Q_L, y)
+        b.contact("ndiff" if y == _Y_NMOS else "pdiff", _X_MID, y)
+        b.contact("ndiff" if y == _Y_NMOS else "pdiff", _X_Q_R, y)
+    # Supply straps from the middle contacts to the rails.
+    b.wire_v("metal1", 0, _Y_NMOS, _X_MID)
+    b.wire_v("metal1", _Y_PMOS, h, _X_MID)
+    # Storage-node straps joining NMOS and PMOS drains.
+    b.wire_v("metal1", _Y_NMOS, _Y_PMOS, _X_Q_L)
+    b.wire_v("metal1", _Y_NMOS, _Y_PMOS, _X_Q_R)
+
+    # Cross-couple A: left gate poly -> right storage node.
+    b.contact("poly", _X_GATE_L, _Y_XA)
+    b.wire_h("metal1", _X_GATE_L, _X_Q_R, _Y_XA, width_lam=4)
+    # Cross-couple B: right gate poly -> left storage node.
+    b.contact("poly", _X_GATE_R, _Y_XB)
+    b.wire_h("metal1", _X_Q_L, _X_GATE_R, _Y_XB, width_lam=4)
+
+    # Access transistors: vertical diffusion columns at the cell edges,
+    # horizontal poly gate stubs strapped up to the metal3 word line.
+    for x_acc, x_bl, inner_x in (
+        (_X_ACC_L, _X_BL, _X_Q_L),
+        (_X_ACC_R, _X_BLB, _X_Q_R),
+    ):
+        b.rect("ndiff", x_acc - 2, 8, x_acc + 2, 30)
+        # Gate stub across the column; contact + via stack to the WL on
+        # the bit-line side of the column.
+        x_tap = x_acc - 4 if x_bl < x_acc else x_acc + 4
+        # The stub must clear the diffusion by the gate endcap on BOTH
+        # sides (the tap side reaches further anyway).
+        stub_x1 = min(x_tap - 2, x_acc - 4)
+        stub_x2 = max(x_tap + 2, x_acc + 4)
+        b.rect("poly", stub_x1, _Y_WL - 1, stub_x2, _Y_WL + 1)
+        b.contact("poly", x_tap, _Y_WL)
+        b.via1(x_tap, _Y_WL)
+        b.via2(x_tap, _Y_WL)
+        # Bottom terminal: metal1 over to the storage-node strap.
+        b.contact("ndiff", x_acc, _Y_NMOS)
+        b.wire_h(
+            "metal1", min(x_acc, inner_x), max(x_acc, inner_x), _Y_NMOS
+        )
+        # Top terminal: contact + via1, metal2 over to the bit line.
+        b.contact("ndiff", x_acc, _Y_XB)
+        b.via1(x_acc, _Y_XB)
+        b.wire_h("metal2", min(x_bl, x_acc), max(x_bl, x_acc), _Y_XB)
+
+    # Abutment ports, on both facing edges so tiled neighbours pair up:
+    # bit lines vertically (bottom/top), word line and rails
+    # horizontally (left/right).
+    b.edge_port("bl", "metal2", "bottom", _X_BL - 1.5, _X_BL + 1.5, 0)
+    b.edge_port("blb", "metal2", "bottom", _X_BLB - 1.5, _X_BLB + 1.5, 0)
+    b.edge_port("bl_t", "metal2", "top", _X_BL - 1.5, _X_BL + 1.5, h)
+    b.edge_port("blb_t", "metal2", "top", _X_BLB - 1.5, _X_BLB + 1.5, h)
+    b.edge_port("wl", "metal3", "left", _Y_WL - 2.5, _Y_WL + 2.5, 0, "in")
+    b.edge_port("wl_r", "metal3", "right", _Y_WL - 2.5, _Y_WL + 2.5, w,
+                "in")
+    b.edge_port("gnd", "metal1", "left", 0, 4, 0, "supply")
+    b.edge_port("vdd", "metal1", "left", h - 4, h, 0, "supply")
+    b.edge_port("gnd_r", "metal1", "right", 0, 4, w, "supply")
+    b.edge_port("vdd_r", "metal1", "right", h - 4, h, w, "supply")
+    return b.finish()
+
+
+def sram6t_netlist(process: Process, wl_node: str = "wl",
+                   bl_node: str = "bl", blb_node: str = "blb") -> Netlist:
+    """Transistor netlist of one bit cell (for characterisation).
+
+    Device sizes follow standard cell-ratio practice: pull-down twice the
+    access width (read stability), pull-up at minimum (writability).
+    """
+    f = process.feature_um
+    net = Netlist("sram6t")
+    w_access = 3 * f
+    w_pd = 6 * f
+    w_pu = 3 * f
+    # Cross-coupled inverters on storage nodes q / qb.
+    net.add_inverter("qb", "q", process.nmos, process.pmos, w_pd, w_pu)
+    net.add_inverter("q", "qb", process.nmos, process.pmos, w_pd, w_pu)
+    # Access devices.
+    net.add_mosfet(bl_node, wl_node, "q", process.nmos, w_access)
+    net.add_mosfet(blb_node, wl_node, "qb", process.nmos, w_access)
+    return net

@@ -1,0 +1,115 @@
+"""A verified standard-cell drawing pattern for control-logic leaf cells.
+
+The BIST/BISR periphery (flip-flops, counter bits, comparator slices,
+tristate buffers) does not need bit-cell-level layout craft; what matters
+is that every generated cell is DRC-clean on any rule deck and has an
+area that scales like real standard cells.  ``draw_logic_block`` draws
+the one pattern that guarantees this:
+
+* GND and VDD rails on the bottom/top cell edges,
+* one horizontal NMOS and one horizontal PMOS diffusion strip,
+* ``n_gates`` vertical poly gates at a safe pitch crossing both strips,
+* gate-input contacts in a middle band, source/drain contacts on the
+  strips,
+* an n-well around the PMOS strip.
+
+All spacings are derived from the rule deck with margin, so the pattern
+passes DRC at every supported lambda.  Transistor-level function is
+carried by the companion netlists and behavioural models, as in any
+abstracted standard-cell flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cells.base import CellBuilder
+
+#: Standard-cell row height in lambda — matches the SRAM row pitch so
+#: row-pitched periphery (decoders, drivers, TLB rows) abuts the array.
+ROW_HEIGHT_LAMBDA = 48
+
+#: Horizontal pitch between poly gates, lambda.
+GATE_PITCH_LAMBDA = 8
+
+#: x coordinate of the first gate, lambda.
+FIRST_GATE_LAMBDA = 12
+
+
+@dataclass(frozen=True)
+class LogicBlock:
+    """Landmark coordinates (lambda) of a drawn logic block."""
+
+    width: int
+    height: int
+    gate_xs: List[float]
+    y_nmos: float
+    y_pmos: float
+    y_input_band: float
+
+
+def logic_block_width(n_gates: int) -> int:
+    """Cell width in lambda for ``n_gates`` transistor columns."""
+    if n_gates < 1:
+        raise ValueError("a logic block needs at least one gate")
+    return FIRST_GATE_LAMBDA * 2 + GATE_PITCH_LAMBDA * (n_gates - 1)
+
+
+def draw_logic_block(
+    b: CellBuilder,
+    n_gates: int,
+    height: int = ROW_HEIGHT_LAMBDA,
+    contact_all_terminals: bool = True,
+) -> LogicBlock:
+    """Draw the standard pattern into ``b`` and return its landmarks."""
+    w = logic_block_width(n_gates)
+    h = height
+    y_nmos = 13.0
+    y_pmos = h - 13.0
+    y_mid = (y_nmos + y_pmos) / 2.0
+
+    # Supply rails on the horizontal edges.
+    b.rect("metal1", 0, 0, w, 4)
+    b.rect("metal1", 0, h - 4, w, h)
+
+    gate_xs = [
+        float(FIRST_GATE_LAMBDA + i * GATE_PITCH_LAMBDA) for i in range(n_gates)
+    ]
+    x1 = gate_xs[0] - 6
+    x2 = gate_xs[-1] + 6
+
+    # Diffusion strips and well.
+    b.rect("ndiff", x1, y_nmos - 3, x2, y_nmos + 3)
+    b.rect("pdiff", x1, y_pmos - 3, x2, y_pmos + 3)
+    b.rect("nwell", x1 - 5, y_pmos - 8, x2 + 5, y_pmos + 8)
+
+    # Poly gates crossing both strips, with an input contact mid-cell.
+    for x in gate_xs:
+        b.wire_v("poly", y_nmos - 5, y_pmos + 5, x)
+        b.contact("poly", x, y_mid)
+
+    # Source/drain contacts between gates (and at the strip ends).
+    if contact_all_terminals:
+        terminal_xs = [gate_xs[0] - 4]
+        terminal_xs += [x + GATE_PITCH_LAMBDA / 2 for x in gate_xs[:-1]]
+        terminal_xs.append(gate_xs[-1] + 4)
+        for x in terminal_xs:
+            b.contact("ndiff", x, y_nmos)
+            b.contact("pdiff", x, y_pmos)
+
+    # Tie the first and last PMOS terminals to VDD and the first and
+    # last NMOS terminals to GND — every real gate topology grounds its
+    # stack ends, and this also exercises rail strapping.
+    for x in (gate_xs[0] - 4, gate_xs[-1] + 4):
+        b.wire_v("metal1", 0, y_nmos, x)
+        b.wire_v("metal1", y_pmos, h, x)
+
+    return LogicBlock(
+        width=w,
+        height=h,
+        gate_xs=gate_xs,
+        y_nmos=y_nmos,
+        y_pmos=y_pmos,
+        y_input_band=y_mid,
+    )

@@ -1,0 +1,51 @@
+"""Strap cell: the inter-subarray spacing column.
+
+"The strap space parameter provides design flexibility in increasing
+the spacing between subarrays at regular intervals.  This may be
+required for various reasons; for example, to allow over-the-cell
+wiring across the RAM array to save silicon area."
+
+The cell carries the word line straight through in metal3, continues
+the supply rails, and ties the well — leaving the metal-2 tracks free
+for the user's over-the-cell wiring.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellBuilder
+from repro.cells.sram6t import HEIGHT_LAMBDA as ROW_PITCH
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+_Y_WL = 17  # must match the bit cell's word-line band
+
+
+def strap_cell(process: Process, width_lambda: int = 16) -> Cell:
+    """Generate a strap column of the given width (lambda).
+
+    Raises:
+        ValueError: when the width cannot hold a legal well tie.
+    """
+    if width_lambda < 12:
+        raise ValueError(
+            f"strap width {width_lambda} lambda too narrow; needs >= 12"
+        )
+    b = CellBuilder("strap", process)
+    w, h = width_lambda, ROW_PITCH
+
+    b.rect("metal1", 0, 0, w, 4)          # GND rail through
+    b.rect("metal1", 0, h - 4, w, h)      # VDD rail through
+    b.wire_h("metal3", 0, w, _Y_WL)       # word line through
+
+    # Substrate/well tie: an n-well tap strip strapped to VDD.
+    mid = w / 2
+    b.rect("nwell", mid - 6, h - 16, mid + 6, h)
+    b.contact("ndiff", mid, h - 8)
+    b.wire_v("metal1", h - 8, h, mid)
+
+    b.edge_port("wl", "metal3", "left", _Y_WL - 2.5, _Y_WL + 2.5, 0, "in")
+    b.edge_port("wl_r", "metal3", "right", _Y_WL - 2.5, _Y_WL + 2.5, w,
+                "out")
+    b.edge_port("gnd", "metal1", "left", 0, 4, 0, "supply")
+    b.edge_port("vdd", "metal1", "left", h - 4, h, 0, "supply")
+    return b.finish()

@@ -1,0 +1,38 @@
+"""Transistor-level circuit representation.
+
+The compiler keeps a netlist view alongside the layout view: leaf-cell
+generators emit both.  The netlist feeds the :mod:`repro.spice` engine
+for the two SPICE-driven features of the paper — automatic P/N sizing so
+critical gates have balanced rise and fall times, and extraction-based
+extrapolation of timing/area/power guarantees before the full layout is
+built.
+"""
+
+from repro.circuit.netlist import (
+    Netlist,
+    Mosfet,
+    Resistor,
+    Capacitor,
+    VoltageSource,
+    GND,
+)
+from repro.circuit.mosfet import mosfet_current
+from repro.circuit.sizing import balance_inverter, size_for_drive
+from repro.circuit.extract import extract_parasitics
+from repro.circuit.spice_export import write_spice, export_spice, read_spice
+
+__all__ = [
+    "Netlist",
+    "Mosfet",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "GND",
+    "mosfet_current",
+    "balance_inverter",
+    "size_for_drive",
+    "extract_parasitics",
+    "write_spice",
+    "export_spice",
+    "read_spice",
+]

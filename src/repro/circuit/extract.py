@@ -1,0 +1,95 @@
+"""Parasitic extraction from layout geometry.
+
+The compiler "can generate simple leaf cells ahead of time and extract
+and simulate them, thereby extrapolating and providing timing, area, and
+power guarantees for the overall system before designing the overall
+layout".  This module implements the extraction half: given a cell, it
+estimates the wire resistance and capacitance per conducting layer from
+the drawn geometry, producing the lumped parasitics the timing models
+attach to bit lines, word lines, and TLB match lines.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+
+@dataclass(frozen=True)
+class WireParasitics:
+    """Lumped parasitics of one layer's wiring in a cell."""
+
+    layer: str
+    length_um: float
+    resistance_ohm: float
+    capacitance_f: float
+
+
+def extract_parasitics(cell: Cell, process: Process) -> Dict[str, WireParasitics]:
+    """Per-layer lumped RC of all drawn conductor geometry in ``cell``.
+
+    Wire length of a rectangle is its long dimension; resistance uses the
+    squares count (length/width * sheet rho), capacitance uses the
+    per-micron wire capacitance of the process scaled by a per-layer
+    factor (upper metals are farther from the substrate).
+    """
+    length_um: Dict[str, float] = defaultdict(float)
+    squares: Dict[str, float] = defaultdict(float)
+    conductor_names = {l.name for l in process.layers.conductors()}
+    for layer, rect in cell.flatten():
+        if layer not in conductor_names or rect.area == 0:
+            continue
+        long_cu = max(rect.width, rect.height)
+        short_cu = min(rect.width, rect.height)
+        if short_cu == 0:
+            continue
+        length_um[layer] += long_cu / 100.0
+        squares[layer] += long_cu / short_cu
+
+    cap_scale = {"metal1": 1.0, "metal2": 0.8, "metal3": 0.65,
+                 "poly": 1.6, "ndiff": 2.0, "pdiff": 2.0}
+    rho_scale = {"metal1": 1.0, "metal2": 1.0, "metal3": 0.7,
+                 "poly": 300.0, "ndiff": 500.0, "pdiff": 700.0}
+    out = {}
+    for layer, total_len in length_um.items():
+        out[layer] = WireParasitics(
+            layer=layer,
+            length_um=total_len,
+            resistance_ohm=squares[layer]
+            * process.wire_r_ohm_sq
+            * rho_scale.get(layer, 1.0),
+            capacitance_f=total_len
+            * process.wire_c_af_um
+            * cap_scale.get(layer, 1.0)
+            * 1e-18,
+        )
+    return out
+
+
+def bitline_parasitics(process: Process, rows: int,
+                       cell_height_cu: int) -> WireParasitics:
+    """Lumped RC of one bit line spanning ``rows`` cells.
+
+    Used by the access-time model without building the array layout: the
+    bit line is a metal2 wire of length rows * cell height plus one
+    diffusion junction per attached access transistor.
+    """
+    if rows <= 0:
+        raise ValueError("rows must be positive")
+    length_um = rows * cell_height_cu / 100.0
+    width_um = process.rules.min_width("metal2") / 100.0
+    res = (length_um / width_um) * process.wire_r_ohm_sq
+    wire_cap = length_um * process.wire_c_af_um * 0.8e-18
+    junction_cap = rows * process.nmos.cj * (
+        (3 * process.feature_um * 1e-6) * (1.5 * process.feature_um * 1e-6)
+    )
+    return WireParasitics(
+        layer="metal2",
+        length_um=length_um,
+        resistance_ohm=res,
+        capacitance_f=wire_cap + junction_cap,
+    )

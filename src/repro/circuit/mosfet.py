@@ -1,0 +1,102 @@
+"""Level-1 (Shichman-Hodges) MOSFET current evaluation.
+
+The drain current model behind both the transient engine and the
+analytic delay estimates.  Level 1 is the model of choice for sizing
+heuristics: it is monotone, cheap, and its errors cancel in the
+rise/fall *ratio* the sizing loop actually optimises.
+"""
+
+from __future__ import annotations
+
+from repro.tech.spice_params import MosParams
+
+
+def mosfet_current(
+    params: MosParams, vg: float, vd: float, vs: float, w_um: float, l_um: float
+) -> float:
+    """Drain current (amps) flowing *into* the drain terminal.
+
+    Handles source/drain symmetry: terminals are swapped so the level-1
+    equations always see ``vds >= 0`` for NMOS (``<= 0`` for PMOS), and
+    the sign of the returned current follows the original orientation.
+    """
+    if params.polarity == "nmos":
+        return _nmos_like(params, vg, vd, vs, w_um, l_um, sign=1.0)
+    # A PMOS is an NMOS in mirrored voltages.
+    return -_nmos_like(
+        params_as_n(params), -vg, -vd, -vs, w_um, l_um, sign=1.0
+    )
+
+
+def params_as_n(p: MosParams) -> MosParams:
+    """View PMOS parameters through the NMOS equations (|vto|, same kp)."""
+    if p.polarity == "nmos":
+        return p
+    return MosParams(
+        polarity="nmos",
+        vto=-p.vto,
+        kp=p.kp,
+        lambda_=p.lambda_,
+        cox=p.cox,
+        cj=p.cj,
+        cjsw=p.cjsw,
+        min_l_um=p.min_l_um,
+    )
+
+
+def _nmos_like(
+    params: MosParams,
+    vg: float,
+    vd: float,
+    vs: float,
+    w_um: float,
+    l_um: float,
+    sign: float,
+) -> float:
+    # Exploit source/drain symmetry: conduct from the higher terminal to
+    # the lower one.
+    flipped = False
+    if vd < vs:
+        vd, vs = vs, vd
+        flipped = True
+    vgs = vg - vs
+    vds = vd - vs
+    vt = params.vto
+    if vgs <= vt:
+        ids = 0.0
+    else:
+        beta = params.beta(w_um, l_um)
+        vov = vgs - vt
+        if vds < vov:
+            ids = beta * (vov - vds / 2.0) * vds
+        else:
+            ids = 0.5 * beta * vov * vov * (1.0 + params.lambda_ * vds)
+    if flipped:
+        ids = -ids
+    return sign * ids
+
+
+def saturation_current(params: MosParams, vdd: float, w_um: float,
+                       l_um: float) -> float:
+    """On-current with full gate drive, used by first-order delay models."""
+    p = params_as_n(params)
+    vov = vdd - p.vto
+    if vov <= 0:
+        return 0.0
+    return 0.5 * p.beta(w_um, l_um) * vov * vov
+
+
+def effective_resistance(params: MosParams, vdd: float, w_um: float,
+                         l_um: float) -> float:
+    """Switch-model on-resistance ``~ vdd / Idsat`` in ohms.
+
+    The classic RC delay approximation: a conducting device is a
+    resistor of this value.  Used for TLB match-line and decoder delay
+    estimates where a transient run per configuration would be wasteful.
+    """
+    ion = saturation_current(params, vdd, w_um, l_um)
+    if ion <= 0.0:
+        return float("inf")
+    # The 0.75 factor calibrates the switch model against the transient
+    # engine for a single inverter driving a fixed load.
+    return 0.75 * vdd / ion

@@ -1,0 +1,109 @@
+"""SPICE-driven transistor sizing.
+
+"For a given gate size, the P and N transistors are automatically sized
+to balance the rise and fall times.  This is made possible by built-in
+access to SPICE utilities." — the paper, section II.
+
+:func:`balance_inverter` does exactly that: simulate an inverter driving
+a load, bisect on the P/N width ratio until rise and fall times agree to
+tolerance.  :func:`size_for_drive` scales critical gates (precharge
+devices, word-line drivers) above minimum size for current drive, the
+other sizing knob the paper exposes via its *size-of-critical-gates*
+parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import GND, Netlist
+from repro.spice.analysis import fall_time, rise_time
+from repro.spice.engine import TransientEngine
+from repro.spice.waveforms import pulse
+from repro.tech.process import Process
+
+
+@dataclass(frozen=True)
+class InverterSizing:
+    """Result of the rise/fall balancing loop."""
+
+    wn_um: float
+    wp_um: float
+    rise_s: float
+    fall_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.wp_um / self.wn_um
+
+    @property
+    def imbalance(self) -> float:
+        """Relative rise/fall mismatch, 0 = perfectly balanced."""
+        avg = (self.rise_s + self.fall_s) / 2.0
+        return abs(self.rise_s - self.fall_s) / avg
+
+
+def _measure(process: Process, wn: float, wp: float,
+             load_ff: float) -> tuple:
+    """Simulate one inverter with a pulse input; return (rise, fall)."""
+    net = Netlist("inv_sizing")
+    net.add_source("vdd", process.vdd)
+    half_period = 4e-9
+    net.add_source(
+        "in", pulse(0.5e-9, half_period, 0.0, process.vdd, t_edge=100e-12)
+    )
+    net.add_inverter("in", "out", process.nmos, process.pmos, wn, wp)
+    net.add_capacitor("out", GND, load_ff * 1e-15)
+    engine = TransientEngine(net)
+    result = engine.run(
+        2 * half_period, record=["in", "out"], initial={"out": process.vdd}
+    )
+    # Input pulse rising -> output falls first, then rises at pulse end.
+    fall = fall_time(result, "out", process.vdd)
+    rise = rise_time(result, "out", process.vdd, after=0.5e-9 + half_period / 2)
+    return rise, fall
+
+
+def balance_inverter(
+    process: Process,
+    wn_um: float,
+    load_ff: float = 20.0,
+    tolerance: float = 0.05,
+    max_iterations: int = 12,
+) -> InverterSizing:
+    """Find the PMOS width balancing rise and fall for a given NMOS width.
+
+    Bisects on the P/N ratio in [0.5, 6].  The optimum is a little above
+    the kp ratio of the process (~2.5) because the falling input edge
+    assists the rising output.
+    """
+    if wn_um <= 0:
+        raise ValueError("NMOS width must be positive")
+    lo, hi = 0.5, 6.0
+    best = None
+    for _ in range(max_iterations):
+        ratio = (lo + hi) / 2.0
+        rise, fall = _measure(process, wn_um, wn_um * ratio, load_ff)
+        sizing = InverterSizing(wn_um, wn_um * ratio, rise, fall)
+        if best is None or sizing.imbalance < best.imbalance:
+            best = sizing
+        if sizing.imbalance <= tolerance:
+            return sizing
+        if rise > fall:
+            lo = ratio  # PMOS too weak: rise slow -> widen P
+        else:
+            hi = ratio
+    return best
+
+
+def size_for_drive(process: Process, gate_size: int,
+                   base_wn_um: float = None) -> float:
+    """Width in um for a critical gate of integer size ``gate_size``.
+
+    ``gate_size`` is the paper's user parameter ("size of critical gates
+    in the RAM circuitry"): 1 = minimum, k = k times minimum drive.
+    """
+    if gate_size < 1:
+        raise ValueError("gate size must be >= 1")
+    base = base_wn_um if base_wn_um is not None else 3 * process.feature_um
+    return base * gate_size

@@ -1,0 +1,381 @@
+"""Command-line interface: ``python -m repro`` / ``bisramgen``.
+
+The original BISRAMGEN was an interactively invoked generator ("when
+invoked, BISRAMGEN allows the user to input the values of the circuit
+parameters").  This CLI exposes the same workflow non-interactively:
+
+```
+bisramgen compile  --words 2048 --bpw 32 --bpc 8 [--cif m.cif] ...
+bisramgen selftest --words 256 --bpw 8 --bpc 4 --defects 3 --seed 1
+bisramgen yield    --words 4096 --bpw 4 --bpc 4 --defects 0,5,10,20
+bisramgen reliability --words 4096 --bpw 4 --bpc 4 --years 1,5,10
+bisramgen cost     [--processor "TI SuperSPARC"]
+bisramgen coverage --march IFA-9 --samples 20
+bisramgen optimize --words 1024 --bpw 16 --bpc 4 --defects 3.0
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro import RamConfig, compile_ram
+from repro.analysis import optimize_spares, spare_tradeoff_table
+from repro.bist import ALL_TESTS, parse_march
+from repro.bist.controller import BistScheduler
+from repro.cost import table2_rows, table3_rows
+from repro.memsim import DefectInjector, coverage_campaign
+from repro.reliability import reliability_words
+from repro.yieldmodel import bisr_yield
+
+_MARCHES = {t.name: t for t in ALL_TESTS}
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser,
+                          spares_default: int = 4) -> None:
+    parser.add_argument("--words", type=int, required=True,
+                        help="addressable words")
+    parser.add_argument("--bpw", type=int, required=True,
+                        help="bits per word (power of two)")
+    parser.add_argument("--bpc", type=int, required=True,
+                        help="bits per column / mux factor (power of two)")
+    parser.add_argument("--spares", type=int, default=spares_default,
+                        choices=(4, 8, 16), help="spare rows")
+    parser.add_argument("--process", default="cda07",
+                        choices=("cda05", "mos06", "cda07", "mos08"))
+    parser.add_argument("--gate-size", type=int, default=1,
+                        help="critical-gate drive multiplier")
+    parser.add_argument("--strap-every", type=int, default=32,
+                        help="bit-cell columns between straps (0=none)")
+
+
+def _config_from(args: argparse.Namespace) -> RamConfig:
+    return RamConfig(
+        words=args.words, bpw=args.bpw, bpc=args.bpc,
+        spares=args.spares, process=args.process,
+        gate_size=args.gate_size, strap_every=args.strap_every,
+    )
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(x) for x in text.split(",") if x.strip()]
+
+
+def _float_list(text: str) -> List[float]:
+    return [float(x) for x in text.split(",") if x.strip()]
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    ram = compile_ram(config)
+    print(ram.datasheet.summary())
+    ar = ram.area_report
+    print(f"\narea: {ar.total_mm2:.3f} mm^2 "
+          f"(plain {ar.baseline_mm2:.3f}, overhead "
+          f"{ar.overhead_percent:.2f}%, BIST/BISR alone "
+          f"{ar.bist_bisr_only_percent:.2f}%)")
+    if args.ascii:
+        print()
+        print(ram.render_ascii())
+    if args.svg:
+        with open(args.svg, "w") as handle:
+            handle.write(ram.render_svg())
+        print(f"wrote {args.svg}")
+    if args.cif:
+        ram.write_cif(args.cif)
+        print(f"wrote {args.cif}")
+    if args.control_dir:
+        paths = ram.write_control_code(args.control_dir)
+        print(f"wrote {paths['and']} and {paths['or']}")
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    ram = compile_ram(config)
+    device = ram.simulation_model()
+    if args.defects:
+        injector = DefectInjector(rng=random.Random(args.seed))
+        faults = injector.inject(device.array, args.defects)
+        print(f"injected {len(faults)} defects: "
+              f"{[f.describe() for f in faults]}")
+    controller = ram.self_test_controller(device)
+    result = controller.run()
+    print(f"pass 1+2: {result.op_count} ops, "
+          f"{result.fail_count} comparator hits, "
+          f"TLB map {device.tlb.mapped_rows()}")
+    cycles = 1
+    while result.repair_unsuccessful and cycles < args.max_cycles:
+        cycles += 1
+        result = ram.self_test_controller(device, fresh=False).run()
+        print(f"cycle {cycles}: TLB map {device.tlb.mapped_rows()}")
+    if result.repaired:
+        print(f"REPAIRED after {cycles} two-pass cycle(s); functional "
+              f"sweep mismatches: {device.check_pattern(0)}")
+        return 0
+    print("REPAIR UNSUCCESSFUL (too many faults or dead spares)")
+    return 1
+
+
+def cmd_yield(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    print(f"{'defects':>8}  {'0 spares':>9}  {config.spares:>2} spares")
+    for n in _float_list(args.defects):
+        y0 = bisr_yield(config.rows, 0, config.bpw, config.bpc, n)
+        ys = bisr_yield(config.rows, config.spares, config.bpw,
+                        config.bpc, n,
+                        growth_factor=1 + config.spares / config.rows)
+        print(f"{n:>8.1f}  {y0:>9.4f}  {ys:>9.4f}")
+    return 0
+
+
+def cmd_reliability(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    lam = args.rate / 1000.0
+    print(f"lambda = {args.rate:g} per kilohour per cell")
+    print(f"{'years':>6}  {'0 spares':>9}  {config.spares:>2} spares")
+    for years in _float_list(args.years):
+        t = years * 8766
+        r0 = reliability_words(t, config.rows, 0, config.bpw,
+                               config.bpc, lam)
+        rs = reliability_words(t, config.rows, config.spares,
+                               config.bpw, config.bpc, lam)
+        print(f"{years:>6.1f}  {r0:>9.4f}  {rs:>9.4f}")
+    return 0
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    t2 = {r["name"]: r for r in table2_rows()}
+    names = [args.processor] if args.processor else sorted(t2)
+    print(f"{'processor':<16}{'die w/o':>10}{'die w/':>10}"
+          f"{'total w/o':>11}{'total w/':>10}{'saving':>8}")
+    for row3 in table3_rows():
+        name = row3["name"]
+        if name not in names:
+            continue
+        row2 = t2[name]
+        w2 = row2["die_cost_with"]
+        w3 = row3["total_with"]
+        print(
+            f"{name:<16}"
+            f"{row2['die_cost_without']:>10.2f}"
+            f"{(f'{w2:.2f}' if w2 else '-'):>10}"
+            f"{row3['total_without']:>11.2f}"
+            f"{(f'{w3:.2f}' if w3 else '-'):>10}"
+            + (f"{row3['reduction_percent']:>7.1f}%"
+               if row3["reduction_percent"] is not None else
+               f"{'-':>8}")
+        )
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    if args.march in _MARCHES:
+        march = _MARCHES[args.march]
+    else:
+        march = parse_march("custom", args.march)
+    report = coverage_campaign(
+        march,
+        kinds=("stuck_at", "transition", "stuck_open",
+               "state_coupling", "data_retention"),
+        samples_per_kind=args.samples,
+    )
+    print(f"march: {march}")
+    for kind, detected, total, cov in report.summary_rows():
+        print(f"  {kind:<16} {detected:>3}/{total:<3}  {cov:.0%}")
+    print(f"  {'OVERALL':<16} {'':>7}  {report.coverage():.0%}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Signoff: DRC, net continuity, and controller equivalence for one
+    configuration — the checks a user runs before trusting a macro."""
+    from repro.bist import IFA_9
+    from repro.bist.controller import TrplaController
+    from repro.layout import DrcChecker
+    from repro.memsim import BisrRam
+    from repro.pnr.connectivity import net_spans_instances, net_statistics
+    from repro.tech import get_process
+
+    config = _config_from(args)
+    ram = compile_ram(config)
+    process = get_process(config.process)
+    failures = 0
+
+    violations = DrcChecker(process).check(
+        ram.floorplan.macrocells["array"], max_violations=10
+    )
+    print(f"[{'PASS' if not violations else 'FAIL'}] DRC on the array "
+          f"macro ({len(violations)} violations)")
+    failures += bool(violations)
+    for v in violations[:5]:
+        print(f"       {v}")
+
+    continuous = net_spans_instances(
+        ram.floorplan.top, ["array", "precharge_row", "mux_row"], "bl"
+    )
+    stats = net_statistics(ram.floorplan.top)
+    print(f"[{'PASS' if continuous else 'FAIL'}] bit-line net "
+          f"continuity ({stats['nets']} nets, "
+          f"{stats['abutments']} abutments)")
+    failures += not continuous
+
+    d1 = BisrRam(rows=min(config.rows, 8), bpw=config.bpw,
+                 bpc=config.bpc, spares=config.spares)
+    d2 = BisrRam(rows=min(config.rows, 8), bpw=config.bpw,
+                 bpc=config.bpc, spares=config.spares)
+    r1 = BistScheduler(IFA_9, bpw=config.bpw, record_ops=True).run(d1)
+    r2 = TrplaController(IFA_9, bpw=config.bpw, target=d2,
+                         record_ops=True).run()
+    equal = r1.ops == r2.ops
+    print(f"[{'PASS' if equal else 'FAIL'}] TRPLA controller matches "
+          f"the reference scheduler ({r2.op_count} ops)")
+    failures += not equal
+
+    clean = ram.self_test_controller().run().repaired
+    print(f"[{'PASS' if clean else 'FAIL'}] defect-free self-test")
+    failures += not clean
+
+    print("verdict:", "SIGNOFF CLEAN" if failures == 0
+          else f"{failures} check(s) failed")
+    return 0 if failures == 0 else 1
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    """Inject defects, run a diagnostic pass, classify the damage."""
+    from repro.bist import IFA_9
+    from repro.memsim import collect_fail_records, diagnose
+
+    config = _config_from(args)
+    ram = compile_ram(config)
+    device = ram.simulation_model()
+    injector = DefectInjector(rng=random.Random(args.seed))
+    faults = injector.inject(device.array, args.defects)
+    print(f"injected: {[f.describe() for f in faults]}")
+    records = collect_fail_records(IFA_9, device, bpw=config.bpw)
+    result = diagnose(
+        records, config.rows, config.bpw, config.bpc, config.spares
+    )
+    print(f"{len(records)} comparator hits")
+    print(f"diagnosis: {result.summary()}")
+    if result.repairable_with_rows:
+        print(f"verdict: repairable with {result.spares_needed} of "
+              f"{config.spares} spare rows")
+        return 0
+    print("verdict: NOT repairable with row redundancy"
+          + (" (column defect present)" if result.column_faults else ""))
+    return 1
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    table = spare_tradeoff_table(config, args.defects)
+    for choice in table:
+        print(choice.summary())
+    best = optimize_spares(config, args.defects)
+    if best is None:
+        print("no feasible spare count under the constraints")
+        return 1
+    print(f"\nrecommended: {best.spares} spares")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bisramgen",
+        description="A physical design tool for built-in "
+                    "self-repairable static RAMs (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a BISR-RAM macro")
+    _add_config_arguments(p)
+    p.add_argument("--ascii", action="store_true",
+                   help="print the layout sketch")
+    p.add_argument("--svg", help="write an SVG layout plot")
+    p.add_argument("--cif", help="write the CIF layout")
+    p.add_argument("--control-dir",
+                   help="write the TRPLA plane files here")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("selftest",
+                       help="inject defects and run BIST/BISR")
+    _add_config_arguments(p)
+    p.add_argument("--defects", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-cycles", type=int, default=4,
+                   help="2-pass repair cycles before giving up")
+    p.set_defaults(func=cmd_selftest)
+
+    p = sub.add_parser("yield", help="repairable yield vs defects")
+    _add_config_arguments(p)
+    p.add_argument("--defects", default="0,1,2,5,10,20",
+                   help="comma-separated defect counts")
+    p.set_defaults(func=cmd_yield)
+
+    p = sub.add_parser("reliability", help="reliability vs age")
+    _add_config_arguments(p)
+    p.add_argument("--years", default="1,2,5,10")
+    p.add_argument("--rate", type=float, default=1e-6,
+                   help="cell failure rate per kilohour")
+    p.set_defaults(func=cmd_reliability)
+
+    p = sub.add_parser("cost",
+                       help="Tables II/III manufacturing-cost study")
+    p.add_argument("--processor", help="restrict to one processor")
+    p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser("coverage", help="march-test fault coverage")
+    p.add_argument("--march", default="IFA-9",
+                   help="a known name (IFA-9, IFA-13, MATS+, March C-) "
+                        "or march notation like 'm(w0); u(r0,w1)'")
+    p.add_argument("--samples", type=int, default=20)
+    p.set_defaults(func=cmd_coverage)
+
+    p = sub.add_parser("verify",
+                       help="signoff checks: DRC, net continuity, "
+                            "controller equivalence, clean self-test")
+    _add_config_arguments(p)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("diagnose",
+                       help="classify injected damage from the BIST "
+                            "failure log")
+    _add_config_arguments(p)
+    p.add_argument("--defects", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("optimize", help="choose the spare-row count")
+    _add_config_arguments(p)
+    p.add_argument("--defects", type=float, default=3.0,
+                   help="expected defects in the array")
+    p.set_defaults(func=cmd_optimize)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

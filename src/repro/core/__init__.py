@@ -1,0 +1,23 @@
+"""The BISRAMGEN compiler core.
+
+* :mod:`~repro.core.config` — the user parameters (bpw, bpc, word
+  count, spare rows, critical gate size, strap space) with the paper's
+  validation rules,
+* :mod:`~repro.core.floorplan` — macrocell generation and assembly,
+* :mod:`~repro.core.datasheet` — the timing/area/power guarantees
+  extrapolated from characterised leaf cells,
+* :mod:`~repro.core.compiler` — :class:`BISRAMGen`, the top-level tool:
+  layout + simulation model + datasheet from one configuration.
+"""
+
+from repro.core.config import RamConfig
+from repro.core.datasheet import Datasheet
+from repro.core.compiler import BISRAMGen, CompiledRam, compile_ram
+
+__all__ = [
+    "RamConfig",
+    "Datasheet",
+    "BISRAMGen",
+    "CompiledRam",
+    "compile_ram",
+]

@@ -1,0 +1,198 @@
+"""BISRAMGen: the top-level physical design tool.
+
+One call compiles a :class:`~repro.core.config.RamConfig` into:
+
+* the hierarchical layout (DRC-checkable, CIF/SVG-exportable),
+* the behavioural simulation model (a fault-injectable
+  :class:`~repro.memsim.device.BisrRam` plus the TRPLA-driven test
+  controller),
+* the TRPLA control-code plane files,
+* the datasheet of extrapolated guarantees,
+* the Table I area accounting (BIST/BISR overhead vs. the plain RAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.bist.controller import TrplaController
+from repro.bist.march import IFA_9, MarchTest
+from repro.bist.trpla import write_plane_files
+from repro.core.config import RamConfig
+from repro.core.datasheet import Datasheet, build_datasheet
+from repro.core.floorplan import Floorplan, build_floorplan
+from repro.layout.cif import write_cif
+from repro.layout.render import render_ascii, render_svg
+from repro.memsim.device import BisrRam
+from repro.tech.process import get_process
+
+
+@dataclass
+class AreaReport:
+    """Table I accounting for one configuration.
+
+    ``total_mm2``/``baseline_mm2`` sum the macrocell areas (silicon
+    spent); ``bbox_mm2`` is the assembled module's bounding box, which
+    additionally contains floorplan dead space.
+    """
+
+    total_mm2: float
+    baseline_mm2: float
+    array_mm2: float
+    bist_bisr_mm2: float
+    spare_rows_mm2: float
+    bbox_mm2: float = 0.0
+
+    @property
+    def overhead_percent(self) -> float:
+        """BIST+BISR+spares overhead over the plain RAM module.
+
+        Table I's metric: the redundant module's area over the area of
+        the same RAM without BIST, BISR, or spare rows.
+        """
+        return 100.0 * (self.total_mm2 / self.baseline_mm2 - 1.0)
+
+    @property
+    def bist_bisr_only_percent(self) -> float:
+        """Overhead excluding the spare rows, which the paper does not
+        count ("redundancy is used in a vast majority of large RAMs
+        even if there is no self-repair")."""
+        return 100.0 * (
+            (self.total_mm2 - self.spare_rows_mm2) / self.baseline_mm2
+            - 1.0
+        )
+
+
+@dataclass
+class CompiledRam:
+    """Everything BISRAMGen produces for one configuration."""
+
+    config: RamConfig
+    floorplan: Floorplan
+    datasheet: Datasheet
+    area_report: AreaReport
+
+    def simulation_model(self) -> BisrRam:
+        """A fresh behavioural device for this configuration."""
+        return BisrRam(
+            rows=self.config.rows,
+            bpw=self.config.bpw,
+            bpc=self.config.bpc,
+            spares=self.config.spares,
+        )
+
+    def self_test_controller(self, device: Optional[BisrRam] = None,
+                             march: MarchTest = IFA_9,
+                             fresh: bool = True) -> TrplaController:
+        """The TRPLA-driven BIST/BISR controller bound to a device."""
+        return TrplaController(
+            march, bpw=self.config.bpw,
+            target=device or self.simulation_model(),
+            fresh=fresh,
+        )
+
+    def write_control_code(self, directory) -> Dict[str, Path]:
+        """Emit the two TRPLA plane files the tool reads at runtime."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        and_path = directory / "trpla_and.plane"
+        or_path = directory / "trpla_or.plane"
+        pla = self.floorplan.assembled_pla
+        write_plane_files(and_path, or_path, pla.and_plane, pla.or_plane)
+        return {"and": and_path, "or": or_path}
+
+    def write_cif(self, path) -> None:
+        """Export the full layout hierarchy as CIF."""
+        process = get_process(self.config.process)
+        with open(path, "w") as stream:
+            write_cif(self.floorplan.top, stream, process.layers)
+
+    def render_svg(self, flatten_depth: int = 2, width_px: int = 900
+                   ) -> str:
+        """A layout plot (the view of the paper's Figs. 6-7)."""
+        process = get_process(self.config.process)
+        return render_svg(
+            self.floorplan.top, process.layers,
+            width_px=width_px, flatten_depth=flatten_depth,
+        )
+
+    def render_ascii(self, columns: int = 78, rows: int = 24) -> str:
+        """A terminal floorplan sketch."""
+        return render_ascii(self.floorplan.top, columns, rows)
+
+    def flow_report(self) -> str:
+        """The Fig. 1 pipeline, summarised for this compilation run:
+        what each phase produced, from leaf cells to guarantees."""
+        config = self.config
+        plan = self.floorplan
+        pla = plan.assembled_pla
+        ds = self.datasheet
+        ar = self.area_report
+        leaf_kinds = sorted(
+            {c.name for macro in plan.macrocells.values()
+             for c in macro.subcells().values()
+             if not c.instances()}
+        )
+        lines = [
+            f"BISRAMGEN flow report — {config.describe()}",
+            f"1. leaf-cell library      : {len(leaf_kinds)} kinds "
+            f"({', '.join(leaf_kinds[:6])}"
+            f"{', ...' if len(leaf_kinds) > 6 else ''})",
+            f"2. macrocell generation   : {len(plan.macrocells)} macros "
+            f"({', '.join(sorted(plan.macrocells))})",
+            f"3. control microprogram   : {pla.term_count} PLA terms, "
+            f"{pla.state_bits} state flip-flops",
+            f"4. assembly               : "
+            f"{len(plan.top.instances())} placed blocks, "
+            f"bbox {ar.bbox_mm2:.2f} mm^2",
+            f"5. area accounting        : {ar.total_mm2:.2f} mm^2 spent "
+            f"(overhead {ar.overhead_percent:.2f}% over the plain RAM)",
+            f"6. guarantees             : access "
+            f"{ds.read_access_s * 1e9:.2f} ns, TLB "
+            f"{ds.tlb_penalty_s * 1e9:.2f} ns "
+            f"({'masked' if ds.tlb_masked else 'NOT masked'}), "
+            f"self-test {ds.selftest_total_s:.1f} s",
+        ]
+        return "\n".join(lines)
+
+
+class BISRAMGen:
+    """The physical design tool for built-in self-repairable RAMs."""
+
+    def __init__(self, config: RamConfig, march: MarchTest = IFA_9) -> None:
+        self.config = config
+        self.march = march
+
+    def build(self) -> CompiledRam:
+        """Compile the configuration into layout + models + datasheet."""
+        floorplan = build_floorplan(self.config, self.march,
+                                    with_bisr=True)
+        baseline = build_floorplan(self.config, self.march,
+                                   with_bisr=False)
+        cu2_to_mm2 = 1e-10
+        total = floorplan.component_area_mm2()
+        base = baseline.component_area_mm2()
+        report = AreaReport(
+            total_mm2=total,
+            baseline_mm2=base,
+            array_mm2=floorplan.area_mm2("array"),
+            bist_bisr_mm2=floorplan.bist_bisr_area_cu2() * cu2_to_mm2,
+            spare_rows_mm2=floorplan.spare_rows_area_cu2(self.config)
+            * cu2_to_mm2,
+            bbox_mm2=floorplan.area_mm2(),
+        )
+        datasheet = build_datasheet(self.config, total)
+        return CompiledRam(
+            config=self.config,
+            floorplan=floorplan,
+            datasheet=datasheet,
+            area_report=report,
+        )
+
+
+def compile_ram(config: RamConfig, march: MarchTest = IFA_9
+                ) -> CompiledRam:
+    """One-call compilation (the examples' entry point)."""
+    return BISRAMGen(config, march).build()

@@ -1,0 +1,122 @@
+"""RAM configuration: the parameters the user gives BISRAMGEN.
+
+"The parameters explicitly specified by the user include: bpw, bpc,
+number of words, number of spare rows (4, 8, or 16), size of critical
+gates in the RAM circuitry, and the strap space. ... The value of bpc
+must be a power of 2."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RamConfig:
+    """A validated BISR-RAM configuration.
+
+    Attributes:
+        words: number of addressable words (CPU-visible).
+        bpw: bits per word (power of two).
+        bpc: bits per column, the column-mux factor (power of two).
+        spares: spare rows; the paper's tool offers 4, 8 or 16 and only
+            guarantees a maskable TLB delay up to 4 ("BISRAMGEN will
+            allow a user to generate a RAM array with more spares but
+            will not be able to guarantee that the TLB delay penalty
+            can be masked").
+        gate_size: integer drive-strength multiplier for critical gates
+            (precharge devices, word-line drivers).
+        strap_every: bit-cell columns between strap columns (0 = no
+            straps); Figs. 6-7 use 32.
+        strap_width_lambda: width of each strap column in lambda.
+        process: process preset name ("cda05", "mos06", "cda07",
+            "mos08").
+    """
+
+    words: int
+    bpw: int
+    bpc: int
+    spares: int = 4
+    gate_size: int = 1
+    strap_every: int = 32
+    strap_width_lambda: int = 16
+    process: str = "cda07"
+
+    def __post_init__(self) -> None:
+        if self.words < 1:
+            raise ValueError("words must be positive")
+        for name in ("bpw", "bpc"):
+            value = getattr(self, name)
+            if value < 1 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two")
+        if self.words % self.bpc:
+            raise ValueError(
+                f"words ({self.words}) must be a multiple of bpc "
+                f"({self.bpc}) so rows come out integral"
+            )
+        if self.spares not in (4, 8, 16):
+            raise ValueError(
+                "spares must be 4, 8, or 16 (the options BISRAMGEN offers)"
+            )
+        if self.gate_size < 1:
+            raise ValueError("gate_size must be >= 1")
+        if self.strap_every < 0:
+            raise ValueError("strap_every must be non-negative")
+        if self.strap_every and self.strap_width_lambda < 12:
+            raise ValueError("strap columns need >= 12 lambda for well ties")
+
+    # -- derived geometry -----------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Regular word-line count."""
+        return self.words // self.bpc
+
+    @property
+    def total_rows(self) -> int:
+        return self.rows + self.spares
+
+    @property
+    def columns(self) -> int:
+        """Physical bit-line pair count (bpw subarrays of bpc each)."""
+        return self.bpw * self.bpc
+
+    @property
+    def bits(self) -> int:
+        """Usable capacity in bits."""
+        return self.words * self.bpw
+
+    @property
+    def row_address_bits(self) -> int:
+        return max(1, (self.rows - 1).bit_length())
+
+    @property
+    def column_address_bits(self) -> int:
+        return max(1, (self.bpc - 1).bit_length()) if self.bpc > 1 else 0
+
+    @property
+    def address_bits(self) -> int:
+        return max(1, (self.words - 1).bit_length())
+
+    @property
+    def spare_word_fraction(self) -> float:
+        """Redundancy level: spare words over regular words.
+
+        The paper notes 1-4 spare rows give bpc/words to 4*bpc/words
+        redundancy, "large enough in practice".
+        """
+        return (self.spares * self.bpc) / self.words
+
+    @property
+    def strap_count(self) -> int:
+        if not self.strap_every:
+            return 0
+        return max(0, (self.columns - 1) // self.strap_every)
+
+    def describe(self) -> str:
+        kb = self.bits / 1024
+        return (
+            f"{self.words} words x {self.bpw} bits ({kb:.0f} Kbit), "
+            f"bpc={self.bpc}, rows={self.rows}+{self.spares} spare, "
+            f"process={self.process}"
+        )

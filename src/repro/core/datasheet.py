@@ -1,0 +1,189 @@
+"""Datasheet generation: the tool's timing/area/power guarantees.
+
+"BISRAMGEN ... can generate simple leaf cells ahead of time and
+extract and simulate them, thereby extrapolating and providing timing,
+area, and power guarantees for the overall system before designing the
+overall layout."  The first RAM compiler (TI's RAMGEN, 1986) already
+produced "datasheets (for setup and hold times, read access times and
+write times, and supply currents and voltages)" — this module produces
+the same document.
+
+Timing is a staged switch-level RC model over the characterised leaf
+cells: address buffer -> row decode -> word line -> bit-line
+differential -> column mux -> current-mode sense.  The TLB penalty is
+reported separately together with the masking verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bisr.delay import tlb_delay_s
+from repro.bisr.masking import (
+    AsyncPrechargeOverlap,
+    DecoderUpsizing,
+    SyncAddressRegisterOverlap,
+    best_masking_strategy,
+)
+from repro.circuit.extract import bitline_parasitics
+from repro.circuit.mosfet import effective_resistance
+from repro.cells.sram6t import HEIGHT_LAMBDA as CELL_H
+from repro.core.config import RamConfig
+from repro.tech.process import get_process
+
+
+@dataclass(frozen=True)
+class Datasheet:
+    """The guarantees document for one configuration."""
+
+    config: RamConfig
+    read_access_s: float
+    write_time_s: float
+    setup_time_s: float
+    hold_time_s: float
+    cycle_time_s: float
+    tlb_penalty_s: float
+    tlb_masked: bool
+    masking_strategy: str
+    active_power_w: float
+    standby_power_w: float
+    supply_v: float
+    area_mm2: float
+    stage_delays: Dict[str, float]
+    selftest_march_s: float = 0.0
+    selftest_retention_s: float = 0.0
+
+    @property
+    def selftest_total_s(self) -> float:
+        """Full two-pass IFA-9 self-test duration, retention included."""
+        return self.selftest_march_s + self.selftest_retention_s
+
+    def summary(self) -> str:
+        """Human-readable datasheet text."""
+        lines = [
+            f"BISRAMGEN datasheet — {self.config.describe()}",
+            f"  read access time   : {self.read_access_s * 1e9:7.2f} ns",
+            f"  write time         : {self.write_time_s * 1e9:7.2f} ns",
+            f"  cycle time         : {self.cycle_time_s * 1e9:7.2f} ns",
+            f"  address setup/hold : {self.setup_time_s * 1e9:.2f} / "
+            f"{self.hold_time_s * 1e9:.2f} ns",
+            f"  TLB penalty        : {self.tlb_penalty_s * 1e9:7.2f} ns "
+            f"({'masked via ' + self.masking_strategy if self.tlb_masked else 'NOT maskable'})",
+            f"  supply             : {self.supply_v:.1f} V",
+            f"  active / standby   : {self.active_power_w * 1e3:.1f} mW / "
+            f"{self.standby_power_w * 1e6:.1f} uW",
+            f"  area               : {self.area_mm2:.3f} mm^2",
+            f"  self-test (IFA-9)  : {self.selftest_total_s:7.2f} s "
+            f"({self.selftest_march_s * 1e3:.1f} ms march + "
+            f"{self.selftest_retention_s:.1f} s retention waits)",
+        ]
+        return "\n".join(lines)
+
+
+def build_datasheet(config: RamConfig, area_mm2: float) -> Datasheet:
+    """Extrapolate the guarantees for a configuration."""
+    process = get_process(config.process)
+    f = process.feature_um
+    vdd = process.vdd
+    lam = process.lambda_cu
+
+    # Stage 1: address buffer + predecode + the row-decoder NAND stack
+    # (series resistance grows with the address width, load with the
+    # decoder fan).
+    r_dec = effective_resistance(
+        process.nmos, vdd, 4 * f, f
+    ) * config.row_address_bits
+    c_dec = 100e-15 + 10e-15 * config.row_address_bits
+    t_buffer = 0.6e-9 * (f / 0.7)
+    t_decode = t_buffer + 0.69 * r_dec * c_dec
+
+    # Stage 2: word-line driver charging the metal-3 word line across
+    # the array plus one access-gate load per column.
+    drive_w = 6 * f * config.gate_size * 3
+    r_drv = effective_resistance(process.pmos, vdd, drive_w, f)
+    wl_length_um = config.columns * 68 * lam / 100.0
+    c_wl = wl_length_um * process.wire_c_af_um * 0.65e-18 + \
+        config.columns * process.nmos.cox * (3 * f * 1e-6) * (f * 1e-6)
+    t_wordline = 0.69 * r_drv * c_wl
+
+    # Stage 3: bit-line differential development: cell read current
+    # discharging the bit line to the ~120 mV the current-mode sense
+    # amp needs (the big win of current-mode sensing: ~0.1 V swing,
+    # not VDD/2).  The access device in series and velocity saturation
+    # derate the level-1 on-current heavily at 5 V.
+    blp = bitline_parasitics(process, config.total_rows, CELL_H * lam)
+    i_sat = 0.5 * process.nmos.beta(3 * f, f) * (vdd - process.nmos.vto) ** 2
+    i_cell = i_sat / 8.0
+    swing = 0.12
+    t_bitline = blp.capacitance_f * swing / max(i_cell, 1e-9)
+
+    # Stage 4: column mux (one pass device) + sense decision.
+    r_mux = effective_resistance(process.nmos, vdd, 4 * f, f)
+    t_mux = 0.69 * r_mux * (80e-15 + 6e-15 * config.bpc)
+    t_sense = 0.5e-9 * (f / 0.7)  # sense latch regeneration, scaled
+
+    stage_delays = {
+        "decode": t_decode,
+        "wordline": t_wordline,
+        "bitline": t_bitline,
+        "mux": t_mux,
+        "sense": t_sense,
+    }
+    read_access = sum(stage_delays.values())
+    # Writes bypass the sense amp; the write driver slams full swing.
+    write_time = t_decode + t_wordline + 2.5 * t_bitline
+
+    tlb_penalty = tlb_delay_s(
+        process, config.row_address_bits, config.spares
+    )
+    precharge_window = 0.5 * read_access
+    verdict = best_masking_strategy(
+        [
+            AsyncPrechargeOverlap(precharge_time_s=precharge_window),
+            SyncAddressRegisterOverlap(clock_low_time_s=0.5 * read_access),
+            DecoderUpsizing(decoder_delay_s=t_decode + t_wordline),
+        ],
+        tlb_penalty,
+    )
+
+    # Power: switched capacitance per cycle (bit lines of one subarray
+    # column set + word line + periphery) at the nominal cycle rate.
+    cycle = 1.4 * read_access
+    c_switched = (
+        config.columns * blp.capacitance_f * swing / vdd
+        + c_wl
+        + 200e-15
+    )
+    freq = 1.0 / cycle
+    active_power = c_switched * vdd * vdd * freq
+    standby_power = 1e-9 * config.bits * vdd  # junction leakage per cell
+
+    # Self-test duration: the two-pass IFA-9 with Johnson backgrounds
+    # at the macro's own cycle time (the retention handshakes dominate).
+    from repro.bist.march import IFA_9
+    from repro.bist.testtime import test_application_time
+
+    selftest = test_application_time(
+        IFA_9, words=config.words, bpw=config.bpw, cycle_s=cycle,
+        passes=2,
+    )
+
+    return Datasheet(
+        config=config,
+        read_access_s=read_access,
+        write_time_s=write_time,
+        setup_time_s=0.2 * read_access,
+        hold_time_s=0.1 * read_access,
+        cycle_time_s=cycle,
+        tlb_penalty_s=tlb_penalty,
+        tlb_masked=verdict is not None,
+        masking_strategy=verdict.strategy if verdict else "none",
+        active_power_w=active_power,
+        standby_power_w=standby_power,
+        supply_v=vdd,
+        area_mm2=area_mm2,
+        stage_delays=stage_delays,
+        selftest_march_s=selftest.op_time_s,
+        selftest_retention_s=selftest.retention_time_s,
+    )

@@ -1,0 +1,400 @@
+"""Macrocell generation and floorplan assembly.
+
+Builds the macrocells the paper names — RAM array, sense amplifier and
+row/column decoder arrays, DATAGEN, ADDGEN, TLB, TRPLA, STREG — and
+abuts them into the overall module:
+
+::
+
+    +---------------------------+------------------------------------+
+    | decoders | wl drivers     |  precharge row                     |
+    |          |                +------------------------------------+
+    |          |                |  array (rows + spares, straps)     |
+    |          |                +------------------------------------+
+    |          |                |  column mux row                    |
+    |          |                |  sense amps / write drivers        |
+    +---------------------------+------------------------------------+
+    |  BIST/BISR strip: TRPLA, TLB, ADDGEN, DATAGEN, STREG (placed   |
+    |  by the decreasing-area placer)                                 |
+    +-----------------------------------------------------------------+
+
+The datapath rows are assembled by exact abutment (bit-line pitch is
+shared by the bit cell, precharge, and mux cells); the control strip
+uses :func:`~repro.pnr.placer.place_decreasing_area`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bist.controller import build_test_program
+from repro.bist.march import IFA_9, MarchTest
+from repro.bist.microcode import AssembledPla, assemble
+from repro.cells import (
+    cam_cell,
+    column_mux_cell,
+    counter_bit_cell,
+    dff_cell,
+    johnson_bit_cell,
+    comparator_slice_cell,
+    pla_cell,
+    precharge_cell,
+    row_decoder_cell,
+    senseamp_cell,
+    sram6t_cell,
+    strap_cell,
+    tristate_buffer_cell,
+    wordline_driver_cell,
+    write_driver_cell,
+)
+from repro.cells.sram6t import HEIGHT_LAMBDA as CELL_H
+from repro.cells.sram6t import WIDTH_LAMBDA as CELL_W
+from repro.core.config import RamConfig
+from repro.geometry import Point, Transform
+from repro.layout.cell import Cell
+from repro.pnr.placer import Block, place_decreasing_area
+from repro.tech.process import Process, get_process
+
+
+@dataclass
+class Floorplan:
+    """Assembly result: the top cell plus the macrocell inventory."""
+
+    top: Cell
+    macrocells: Dict[str, Cell]
+    areas_cu2: Dict[str, int]
+    assembled_pla: AssembledPla
+
+    #: mm^2 per square centimicron (1 cu = 1e-5 mm).
+    _CU2_TO_MM2 = 1e-10
+
+    def area_mm2(self, name: str = None) -> float:
+        """Bounding-box area in mm^2 of one macro (or the whole module)."""
+        if name is None:
+            box = self.top.bbox()
+            return box.area * self._CU2_TO_MM2 if box else 0.0
+        return self.areas_cu2[name] * self._CU2_TO_MM2
+
+    def component_area_mm2(self) -> float:
+        """Sum of macrocell areas in mm^2 — the silicon actually spent.
+
+        The top bounding box additionally contains the assembly's dead
+        space; Table I compares spent silicon, so the overhead metric
+        uses this sum (the bounding box is also reported).
+        """
+        return sum(self.areas_cu2.values()) * self._CU2_TO_MM2
+
+    def bist_bisr_area_cu2(self) -> int:
+        """Silicon spent on test-and-repair (TRPLA, TLB, generators)."""
+        keys = ("trpla", "tlb", "addgen", "datagen", "streg")
+        return sum(self.areas_cu2[k] for k in keys if k in self.areas_cu2)
+
+    def spare_rows_area_cu2(self, config: RamConfig) -> int:
+        """Area of the redundant rows inside the array macro."""
+        array_area = self.areas_cu2["array"]
+        return array_area * config.spares // config.total_rows
+
+
+def build_floorplan(config: RamConfig, march: MarchTest = IFA_9,
+                    with_bisr: bool = True) -> Floorplan:
+    """Generate all macrocells and assemble the module.
+
+    ``with_bisr=False`` builds the plain RAM (no spares, no BIST/BISR)
+    used as the Table I baseline.
+    """
+    process = get_process(config.process)
+    lam = process.lambda_cu
+    macrocells: Dict[str, Cell] = {}
+
+    # ---- datapath macrocells --------------------------------------------
+    spares = config.spares if with_bisr else 0
+    array = _build_array(config, process, spares)
+    macrocells["array"] = array
+    macrocells["precharge_row"] = _build_column_row(
+        config, process, precharge_cell(process, config.gate_size),
+        "precharge_row",
+    )
+    macrocells["mux_row"] = _build_column_row(
+        config, process, column_mux_cell(process), "mux_row"
+    )
+    macrocells["sense_row"] = _build_sense_row(config, process)
+    macrocells["decoder_col"] = _build_decoder_column(
+        config, process, spares
+    )
+
+    # ---- BIST/BISR macrocells ---------------------------------------------
+    program = build_test_program(march, passes=2)
+    assembled = assemble(program)
+    if with_bisr:
+        macrocells["trpla"] = pla_cell(
+            process, assembled.and_plane, assembled.or_plane, name="trpla"
+        )
+        macrocells["tlb"] = _build_tlb(config, process)
+        macrocells["addgen"] = _tile_row(
+            counter_bit_cell(process), config.address_bits, "addgen"
+        )
+        macrocells["datagen"] = _build_datagen(config, process)
+        macrocells["streg"] = _tile_row(
+            dff_cell(process), assembled.state_bits, "streg"
+        )
+
+    # ---- assembly ----------------------------------------------------------------
+    top = Cell("bisr_ram" if with_bisr else "ram")
+    x_data = macrocells["decoder_col"].width
+    y = 0
+
+    def put(name: str, x: int, y_pos: int) -> None:
+        top.add_instance(
+            macrocells[name], Transform(translation=Point(x, y_pos)),
+            name=name,
+        )
+
+    # Control strip at the bottom (BISR builds only).
+    if with_bisr:
+        strip_names = ["trpla", "tlb", "addgen", "datagen", "streg"]
+        blocks = [
+            Block.from_cell(macrocells[n]) for n in strip_names
+        ]
+        placement = place_decreasing_area(
+            blocks,
+            target_width=x_data + macrocells["array"].width,
+            spacing=4 * lam,
+        )
+        for name in strip_names:
+            rect = placement.locations[name]
+            top.add_instance(
+                macrocells[name],
+                Transform(translation=Point(rect.x1, rect.y1)),
+                name=name,
+            )
+        y = placement.outline().height + 8 * lam
+
+    put("sense_row", x_data, y)
+    y += macrocells["sense_row"].height
+    put("mux_row", x_data, y)
+    y += macrocells["mux_row"].height
+    y_array = y
+    put("array", x_data, y)
+    put("decoder_col", 0, y)
+    y += macrocells["array"].height
+    put("precharge_row", x_data, y)
+
+    areas = {name: cell.area() for name, cell in macrocells.items()}
+    return Floorplan(
+        top=top, macrocells=macrocells, areas_cu2=areas,
+        assembled_pla=assembled,
+    )
+
+
+# ---------------------------------------------------------------------------
+# macro builders
+# ---------------------------------------------------------------------------
+
+
+def _build_array(config: RamConfig, process: Process,
+                 spares: int) -> Cell:
+    """The bit-cell array with strap columns and spare rows on top.
+
+    Bit-line ports are re-exported on the array's own bottom and top
+    edges so the mux row and precharge row connect to it by pure
+    abutment — checkable with :func:`repro.pnr.abutting_ports`.
+    """
+    from repro.layout.cell import Port
+
+    lam = process.lambda_cu
+    bit = sram6t_cell(process)
+    strap = (
+        strap_cell(process, config.strap_width_lambda)
+        if config.strap_every
+        else None
+    )
+    # One row strip: bit cells with straps every strap_every columns.
+    strip = Cell("row_strip")
+    column_x = []
+    x = 0
+    for c in range(config.columns):
+        if strap is not None and c and c % config.strap_every == 0:
+            strip.add_instance(
+                strap, Transform(translation=Point(x, 0)),
+                name=f"strap_{c}",
+            )
+            x += strap.width
+        column_x.append(x)
+        strip.add_instance(
+            bit, Transform(translation=Point(x, 0)), name=f"bit_{c}"
+        )
+        x += bit.width
+    array = Cell("array")
+    total_rows = config.rows + spares
+    array.tile(
+        strip, columns=1, rows=total_rows,
+        pitch_x=strip.width, pitch_y=CELL_H * lam,
+        alternate_mirror_y=True, name_prefix="row",
+    )
+    # Re-export the bit-line landings on the array boundary.
+    top_y = total_rows * CELL_H * lam
+    for c, cx in enumerate(column_x):
+        for name, local in (("bl", bit.port("bl")),
+                            ("blb", bit.port("blb"))):
+            r = local.rect
+            array.add_port(Port(
+                f"{name}_{c}", local.layer,
+                r.translated(Point(cx, 0)),
+            ))
+            array.add_port(Port(
+                f"{name}_t_{c}", local.layer,
+                r.translated(Point(cx, top_y)),
+            ))
+    return array
+
+
+def _build_column_row(config: RamConfig, process: Process,
+                      template: Cell, name: str) -> Cell:
+    """A row of per-bit-line-pair cells matching the array pitch.
+
+    The template's ``bl``/``blb`` ports are re-exported per column on
+    both the bottom edge (where the template places them) and, when the
+    template carries top-edge twins, the top edge.
+    """
+    from repro.layout.cell import Port
+
+    lam = process.lambda_cu
+    strap_w = config.strap_width_lambda * lam
+    row = Cell(name)
+    x = 0
+    for c in range(config.columns):
+        if config.strap_every and c and c % config.strap_every == 0:
+            x += strap_w
+        row.add_instance(
+            template, Transform(translation=Point(x, 0)),
+            name=f"{template.name}_{c}",
+        )
+        for pname in ("bl", "blb"):
+            if template.has_port(pname):
+                local = template.port(pname)
+                row.add_port(Port(
+                    f"{pname}_{c}", local.layer,
+                    local.rect.translated(Point(x, 0)),
+                ))
+        x += CELL_W * lam
+    return row
+
+
+def _build_sense_row(config: RamConfig, process: Process) -> Cell:
+    """Sense amp + write driver per I/O subarray."""
+    lam = process.lambda_cu
+    sense = senseamp_cell(process, config.gate_size)
+    writer = write_driver_cell(process, config.gate_size)
+    strap_w = config.strap_width_lambda * lam
+    row = Cell("sense_row")
+    subarray_width = config.bpc * CELL_W * lam
+    x = 0
+    for i in range(config.bpw):
+        row.add_instance(
+            sense, Transform(translation=Point(x, 0)), name=f"sa_{i}"
+        )
+        row.add_instance(
+            writer,
+            Transform(translation=Point(x + sense.width + 8 * lam, 0)),
+            name=f"wd_{i}",
+        )
+        x += subarray_width
+        # Straps fall inside subarrays at bpc boundaries.
+        if config.strap_every:
+            straps_passed = ((i + 1) * config.bpc - 1) // config.strap_every
+            straps_before = (i * config.bpc - 1) // config.strap_every \
+                if i else 0
+            x += (straps_passed - straps_before) * strap_w
+    return row
+
+
+def _build_decoder_column(config: RamConfig, process: Process,
+                          spares: int) -> Cell:
+    """Row decoders + word-line drivers for every (regular) row, and
+    bare drivers for the spare rows (driven by the TLB match logic)."""
+    lam = process.lambda_cu
+    decoder = row_decoder_cell(process, config.row_address_bits)
+    driver = wordline_driver_cell(process, config.gate_size)
+    col = Cell("decoder_col")
+    pitch = CELL_H * lam
+    for r in range(config.rows):
+        y = r * pitch
+        col.add_instance(
+            decoder, Transform(translation=Point(0, y)), name=f"dec_{r}"
+        )
+        col.add_instance(
+            driver,
+            Transform(translation=Point(decoder.width, y)),
+            name=f"drv_{r}",
+        )
+    for s in range(spares):
+        y = (config.rows + s) * pitch
+        col.add_instance(
+            driver,
+            Transform(translation=Point(decoder.width, y)),
+            name=f"spare_drv_{s}",
+        )
+    return col
+
+
+def _build_tlb(config: RamConfig, process: Process) -> Cell:
+    """CAM array: spares entries x row-address bits, plus the spare
+    word-line tristate drivers."""
+    lam = process.lambda_cu
+    cam = cam_cell(process)
+    tri = tristate_buffer_cell(process, config.gate_size)
+    tlb = Cell("tlb")
+    pitch_y = CELL_H * lam
+    for s in range(config.spares):
+        for b in range(config.row_address_bits):
+            tlb.add_instance(
+                cam,
+                Transform(translation=Point(b * cam.width, s * pitch_y)),
+                name=f"cam_{s}_{b}",
+            )
+        tlb.add_instance(
+            tri,
+            Transform(
+                translation=Point(
+                    config.row_address_bits * cam.width + 8 * lam,
+                    s * pitch_y,
+                )
+            ),
+            name=f"tri_{s}",
+        )
+    return tlb
+
+
+def _build_datagen(config: RamConfig, process: Process) -> Cell:
+    """Johnson counter stages + per-bit XOR comparator slices."""
+    stages = config.bpw.bit_length()  # log2(bpw) + 1
+    johnson = johnson_bit_cell(process)
+    xor = comparator_slice_cell(process)
+    dg = Cell("datagen")
+    x = 0
+    for i in range(stages):
+        dg.add_instance(
+            johnson, Transform(translation=Point(x, 0)), name=f"j_{i}"
+        )
+        x += johnson.width
+    for i in range(config.bpw):
+        dg.add_instance(
+            xor, Transform(translation=Point(x, 0)), name=f"xor_{i}"
+        )
+        x += xor.width
+    return dg
+
+
+def _tile_row(template: Cell, count: int, name: str) -> Cell:
+    """A horizontal row of identical cells."""
+    if count < 1:
+        raise ValueError(f"{name}: need at least one cell")
+    row = Cell(name)
+    for i in range(count):
+        row.add_instance(
+            template,
+            Transform(translation=Point(i * template.width, 0)),
+            name=f"{name}_{i}",
+        )
+    return row

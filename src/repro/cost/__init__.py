@@ -1,0 +1,35 @@
+"""Manufacturing cost models (paper section X, Tables II-III, Fig. 8)."""
+
+from repro.cost.wafer import dies_per_wafer, die_cost
+from repro.cost.mpr import Microprocessor, MPR_1994_DATASET, get_processor
+from repro.cost.analysis import (
+    CostBreakdown,
+    die_cost_comparison,
+    total_cost_comparison,
+    table2_rows,
+    table3_rows,
+)
+from repro.cost.binning import SpeedBinning, binning_distribution
+from repro.cost.learning import (
+    LearningCurve,
+    bisr_advantage_over_ramp,
+    extra_layer_wafer_cost,
+)
+
+__all__ = [
+    "dies_per_wafer",
+    "die_cost",
+    "Microprocessor",
+    "MPR_1994_DATASET",
+    "get_processor",
+    "CostBreakdown",
+    "die_cost_comparison",
+    "total_cost_comparison",
+    "table2_rows",
+    "table3_rows",
+    "SpeedBinning",
+    "binning_distribution",
+    "LearningCurve",
+    "bisr_advantage_over_ramp",
+    "extra_layer_wafer_cost",
+]

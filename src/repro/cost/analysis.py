@@ -1,0 +1,178 @@
+"""The Table II / Table III cost pipelines.
+
+Table II: cost per good die before wafer testing, with and without
+embedded-RAM BISR.  Table III: total manufacturing cost per packaged
+and tested chip (MPR model: die cost + wafer test & assembly +
+packaging & final test).
+
+The BISR leg of the pipeline:
+
+1. back the embedded RAM yield out of the die yield
+   (``die_yield ** cache_fraction``),
+2. invert Stapper to get the RAM's mean defect count,
+3. compute the repairable yield of the RAM organised as 1024-row,
+   4-spare BISR subarrays (the compiler's canonical organisation, four
+   spare rows as in the paper's tables),
+4. scale the die yield by the RAM improvement and shrink dies-per-wafer
+   by the BISR area overhead on the cache share of the die.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cost.mpr import MPR_1994_DATASET, Microprocessor
+from repro.cost.wafer import die_cost, dies_per_wafer
+from repro.yieldmodel.chip import embedded_ram_yield
+from repro.yieldmodel.repair_prob import bisr_yield
+from repro.yieldmodel.stapper import defects_from_yield
+
+#: Canonical compiler organisation used to evaluate cache repair.
+_SUBARRAY_ROWS = 1024
+_SUBARRAY_BPC = 4
+_SUBARRAY_BPW = 32
+_SPARES = 4
+
+#: BIST/BISR area overhead on the cache share (Table I band).
+_BISR_AREA_OVERHEAD = 0.05
+
+#: Wafer-test cost, "$5.00 per minute for wafer test".
+_TEST_COST_PER_MINUTE = 5.0
+_BAD_DIE_TEST_SECONDS = 5.0
+
+#: Packaging and final test: "about one cent per pin".
+_PACKAGE_COST_PER_PIN = 0.01
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Cost components for one processor, one configuration."""
+
+    name: str
+    die_yield: float
+    dies_per_wafer: int
+    die_cost: float
+    test_cost: float
+    package_cost: float
+    total_cost: float
+
+
+def _ram_bisr_improvement(cpu: Microprocessor) -> float:
+    """Yield improvement factor the BISR cache achieves."""
+    ram_yield = embedded_ram_yield(cpu.die_yield, cpu.cache_fraction)
+    mean_defects = defects_from_yield(ram_yield, alpha=2.0)
+    # Split the cache into canonical subarrays by area; defects spread
+    # uniformly across them.
+    cache_area_mm2 = cpu.die_area_mm2 * cpu.cache_fraction
+    # One canonical subarray of SRAM at the period's density ~ 17 mm^2
+    # (128 Kbit at ~7.7 Mbit/cm^2); the split only needs to be
+    # self-consistent, as the product over subarrays restores the total.
+    n_sub = max(1, round(cache_area_mm2 / 17.0))
+    per_sub_defects = mean_defects / n_sub
+    y_sub_plain = math.exp(-per_sub_defects)
+    y_sub_bisr = bisr_yield(
+        _SUBARRAY_ROWS, _SPARES, _SUBARRAY_BPW, _SUBARRAY_BPC,
+        per_sub_defects, growth_factor=1.0 + _BISR_AREA_OVERHEAD,
+    )
+    improvement_per_sub = max(1.0, y_sub_bisr / y_sub_plain)
+    return improvement_per_sub ** n_sub
+
+
+def _breakdown(cpu: Microprocessor, with_bisr: bool) -> CostBreakdown:
+    area = cpu.die_area_mm2
+    die_yield = cpu.die_yield
+    if with_bisr:
+        if not cpu.supports_bisr:
+            raise ValueError(
+                f"{cpu.name} cannot take BISR "
+                f"({cpu.metal_layers} metal layers, "
+                f"cache fraction {cpu.cache_fraction})"
+            )
+        improvement = _ram_bisr_improvement(cpu)
+        ram_yield = embedded_ram_yield(die_yield, cpu.cache_fraction)
+        improved_ram = min(1.0, ram_yield * improvement)
+        die_yield = (die_yield / ram_yield) * improved_ram
+        area = area * (1.0 + cpu.cache_fraction * _BISR_AREA_OVERHEAD)
+    dpw = dies_per_wafer(area, cpu.wafer_mm)
+    cost_die = cpu.wafer_cost / (dpw * die_yield)
+
+    # Wafer test: full test per good die, a few seconds per bad die,
+    # amortised over the good dies.
+    good = dpw * die_yield
+    bad = dpw - good
+    test_minutes = (
+        good * cpu.test_seconds + bad * _BAD_DIE_TEST_SECONDS
+    ) / 60.0
+    cost_test = test_minutes * _TEST_COST_PER_MINUTE / good
+
+    cost_package = cpu.pins * _PACKAGE_COST_PER_PIN
+    total = (cost_die + cost_test + cost_package) / cpu.final_test_yield
+    return CostBreakdown(
+        name=cpu.name,
+        die_yield=die_yield,
+        dies_per_wafer=dpw,
+        die_cost=cost_die,
+        test_cost=cost_test,
+        package_cost=cost_package,
+        total_cost=total,
+    )
+
+
+def die_cost_comparison(cpu: Microprocessor
+                        ) -> Optional[tuple]:
+    """(without, with) die-cost breakdowns; None for 2-metal chips."""
+    without = _breakdown(cpu, with_bisr=False)
+    if not cpu.supports_bisr:
+        return (without, None)
+    return (without, _breakdown(cpu, with_bisr=True))
+
+
+def total_cost_comparison(cpu: Microprocessor) -> Optional[tuple]:
+    """Alias of :func:`die_cost_comparison`; totals live in the rows."""
+    return die_cost_comparison(cpu)
+
+
+def table2_rows(dataset: Sequence[Microprocessor] = MPR_1994_DATASET
+                ) -> List[dict]:
+    """Table II: cost per good die, with/without RAM BISR.
+
+    Blank (None) 'with' entries mark 2-metal chips, as in the paper.
+    """
+    rows = []
+    for cpu in dataset:
+        without, with_ = die_cost_comparison(cpu)
+        rows.append(
+            {
+                "name": cpu.name,
+                "metal_layers": cpu.metal_layers,
+                "die_cost_without": without.die_cost,
+                "die_cost_with": with_.die_cost if with_ else None,
+                "improvement": (
+                    without.die_cost / with_.die_cost if with_ else None
+                ),
+            }
+        )
+    return rows
+
+
+def table3_rows(dataset: Sequence[Microprocessor] = MPR_1994_DATASET
+                ) -> List[dict]:
+    """Table III: total manufacturing cost per packaged, tested chip."""
+    rows = []
+    for cpu in dataset:
+        without, with_ = die_cost_comparison(cpu)
+        reduction = None
+        if with_:
+            reduction = 100.0 * (1.0 - with_.total_cost / without.total_cost)
+        rows.append(
+            {
+                "name": cpu.name,
+                "total_without": without.total_cost,
+                "total_with": with_.total_cost if with_ else None,
+                "reduction_percent": reduction,
+                "die_cost_share": without.die_cost / without.total_cost,
+            }
+        )
+    return rows

@@ -1,0 +1,97 @@
+"""Speed binning (paper Fig. 8).
+
+"Minor process variations cause a statistical distribution of the
+number of chips about a median clock frequency ... consider the
+hypothesis that this curve is a normal distribution.  Suppose customer
+demand does not match this curve and the demand for the fastest parts
+is more than that given by the normal curve.  In that case, the vendor
+may be forced to considerably expand his supply of all parts to meet
+this demand ... compelling the vendor to charge enough of a premium to
+cover the cost of the unsold (slower) parts."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from scipy import stats
+
+
+def binning_distribution(
+    mean_mhz: float, sigma_mhz: float, bin_edges: Sequence[float]
+) -> List[float]:
+    """Fraction of production landing in each frequency bin.
+
+    ``bin_edges`` are ascending cut frequencies; bin i holds parts with
+    max frequency in [edge_i, edge_{i+1}); the first bin is open below,
+    the last open above.
+    """
+    if sigma_mhz <= 0:
+        raise ValueError("sigma must be positive")
+    edges = list(bin_edges)
+    if edges != sorted(edges) or len(set(edges)) != len(edges):
+        raise ValueError("bin edges must be strictly ascending")
+    cdf = [0.0]
+    cdf += [float(stats.norm.cdf(e, mean_mhz, sigma_mhz)) for e in edges]
+    cdf.append(1.0)
+    return [hi - lo for lo, hi in zip(cdf, cdf[1:])]
+
+
+@dataclass(frozen=True)
+class SpeedBinning:
+    """A binned product line with per-bin demand and pricing."""
+
+    mean_mhz: float
+    sigma_mhz: float
+    bin_edges: Tuple[float, ...]
+    prices: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.prices) != len(self.bin_edges) + 1:
+            raise ValueError("need one price per bin (edges + 1)")
+
+    def supply_fractions(self) -> List[float]:
+        return binning_distribution(
+            self.mean_mhz, self.sigma_mhz, self.bin_edges
+        )
+
+    def production_scale_for_demand(
+        self, demand_fractions: Sequence[float]
+    ) -> float:
+        """Production multiplier to satisfy a mismatched demand mix.
+
+        If demand wants fraction d_i of bin i but production yields
+        s_i, the vendor must build max_i(d_i / s_i) units per unit of
+        demand — everything above 1.0 becomes unsold slower parts.
+        """
+        supply = self.supply_fractions()
+        if len(demand_fractions) != len(supply):
+            raise ValueError("demand must cover every bin")
+        if abs(sum(demand_fractions) - 1.0) > 1e-9:
+            raise ValueError("demand fractions must sum to 1")
+        scale = 0.0
+        for demand, supplied in zip(demand_fractions, supply):
+            if demand == 0:
+                continue
+            if supplied <= 0:
+                raise ValueError("demand for an empty bin is unsatisfiable")
+            scale = max(scale, demand / supplied)
+        return scale
+
+    def premium_for_demand(
+        self, demand_fractions: Sequence[float], unit_cost: float
+    ) -> float:
+        """Extra cost per sold unit caused by the demand mismatch.
+
+        The overbuilt units (scale - 1 per sold unit) are a dead cost
+        the vendor must recover as a premium on sold parts.
+        """
+        scale = self.production_scale_for_demand(demand_fractions)
+        return (scale - 1.0) * unit_cost
+
+    def revenue_per_wafer_unit(self) -> float:
+        """Expected revenue per produced unit when all bins sell."""
+        return sum(
+            f * p for f, p in zip(self.supply_fractions(), self.prices)
+        )

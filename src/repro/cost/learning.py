@@ -1,0 +1,111 @@
+"""Process maturity effects on the BISR business case (§X's
+"complications" list, modelled).
+
+The paper notes two effects its simple cost model omits:
+
+* **The learning curve.**  "Defect densities ... vary within the
+  operational life-time of any process.  The defect rate for new
+  processes (i.e., in the early part of the learning curve) is high,
+  whereas the defect rate for more mature processes is lower ...
+  [Intel's 0.8 um BiCMOS] defect rate was initially quite high but fell
+  rapidly within the next few months."  Defect learning follows the
+  classic exponential: ``D(t) = D_inf + (D_0 - D_inf) * exp(-t / tau)``.
+  The corollary this module quantifies: BISR's cost advantage is
+  largest exactly when it matters most commercially — during the
+  early-ramp months when yields are worst.
+
+* **Extra mask layers.**  "This effect can be modeled by adding a
+  certain realistic increment to the wafer cost for chips with two
+  polysilicon layers or ... local interconnect; for example, counting
+  the extra polysilicon layer as an extra metal layer, and the local
+  interconnect as one-half of a metal layer."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.cost.analysis import die_cost_comparison
+from repro.cost.mpr import Microprocessor
+from repro.yieldmodel.stapper import defects_from_yield, stapper_yield
+
+import math
+
+
+@dataclass(frozen=True)
+class LearningCurve:
+    """Exponential defect-density learning.
+
+    Attributes:
+        d0_per_cm2: defect density at process introduction.
+        d_inf_per_cm2: mature-process floor.
+        tau_months: learning time constant.
+    """
+
+    d0_per_cm2: float = 2.5
+    d_inf_per_cm2: float = 0.5
+    tau_months: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.d0_per_cm2 < self.d_inf_per_cm2:
+            raise ValueError("initial density cannot be below the floor")
+        if self.tau_months <= 0:
+            raise ValueError("tau must be positive")
+
+    def density_at(self, months: float) -> float:
+        """Defect density (per cm^2) after ``months`` in production."""
+        if months < 0:
+            raise ValueError("months must be non-negative")
+        return self.d_inf_per_cm2 + (
+            self.d0_per_cm2 - self.d_inf_per_cm2
+        ) * math.exp(-months / self.tau_months)
+
+    def die_yield_at(self, months: float, die_area_mm2: float,
+                     alpha: float = 2.0) -> float:
+        """Stapper yield of a die at a point on the learning curve."""
+        area_cm2 = die_area_mm2 / 100.0
+        return stapper_yield(self.density_at(months), area_cm2, alpha)
+
+
+def bisr_advantage_over_ramp(
+    cpu: Microprocessor,
+    curve: LearningCurve,
+    months: Tuple[float, ...] = (0.0, 3.0, 6.0, 12.0, 24.0),
+) -> List[Tuple[float, float, float, float]]:
+    """(month, die yield, die cost w/o BISR, die cost w/ BISR) rows.
+
+    Rebuilds the Table II pipeline at each maturity point by swapping
+    the processor's period-typical yield for the learning-curve value.
+    """
+    out = []
+    for month in months:
+        die_yield = curve.die_yield_at(month, cpu.die_area_mm2)
+        aged = replace(cpu, die_yield=min(max(die_yield, 1e-3), 1.0))
+        without, with_ = die_cost_comparison(aged)
+        out.append((
+            month,
+            aged.die_yield,
+            without.die_cost,
+            with_.die_cost if with_ else without.die_cost,
+        ))
+    return out
+
+
+def extra_layer_wafer_cost(base_wafer_cost: float,
+                           metal_layers: int,
+                           extra_poly_layers: int = 0,
+                           local_interconnect: bool = False,
+                           cost_per_metal_step: float = 150.0) -> float:
+    """Wafer cost adjusted for extra patterning steps.
+
+    Per the paper's recipe: each metal beyond three adds one step, an
+    extra polysilicon layer counts as one metal step, local interconnect
+    as half a step.
+    """
+    if metal_layers < 1 or extra_poly_layers < 0:
+        raise ValueError("bad layer counts")
+    steps = max(0, metal_layers - 3)
+    steps += extra_poly_layers
+    half = 0.5 if local_interconnect else 0.0
+    return base_wafer_cost + (steps + half) * cost_per_metal_step

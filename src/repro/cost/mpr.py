@@ -1,0 +1,117 @@
+"""The 1993-94 *Microprocessor Report* processor dataset.
+
+Tables II and III of the paper are computed from MPR's published
+die/wafer/package data ("based on September 1994 and August 1993 data
+... as found in [13]").  That report is proprietary; this module
+reconstructs the same inputs from the public record of the era (die
+sizes, processes, metal counts, wafer sizes, package pin counts, and
+period-typical wafer costs and yields).  Values are documented
+approximations — the cost pipeline consumes exactly these fields, so a
+reader with the original MPR numbers can swap them in.
+
+Chips on 2-metal processes get blank table entries exactly as in the
+paper: "BISR RAMs built by BISRAMGEN require three metal layers, hence
+it is not possible to implement BISR for those chips using our tool."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Microprocessor:
+    """One row of the reconstructed MPR dataset.
+
+    Attributes:
+        name: marketing name.
+        process_um: drawn feature size.
+        metal_layers: routing metals (BISR needs >= 3).
+        die_area_mm2: die area.
+        wafer_mm: wafer diameter (150 or 200).
+        wafer_cost: processed wafer cost, USD.
+        die_yield: period-typical die yield.
+        cache_fraction: on-chip cache share of the die area (from die
+            photographs, the paper's method).
+        pins: package pin count.
+        package: "PGA" or "PQFP" (final-test yield 0.97 / 0.93).
+        test_seconds: wafer test time for a good die.
+    """
+
+    name: str
+    process_um: float
+    metal_layers: int
+    die_area_mm2: float
+    wafer_mm: int
+    wafer_cost: float
+    die_yield: float
+    cache_fraction: float
+    pins: int
+    package: str
+    test_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.package not in ("PGA", "PQFP"):
+            raise ValueError(f"unknown package {self.package!r}")
+        if not 0.0 <= self.cache_fraction < 1.0:
+            raise ValueError("cache fraction must be in [0, 1)")
+        if not 0.0 < self.die_yield <= 1.0:
+            raise ValueError("die yield must be in (0, 1]")
+
+    @property
+    def supports_bisr(self) -> bool:
+        """Three metals and an on-chip cache are required."""
+        return self.metal_layers >= 3 and self.cache_fraction > 0.0
+
+    @property
+    def final_test_yield(self) -> float:
+        """"For PQFP packages, a realistic value of this final yield is
+        93%, whereas for PGA packages it is ... about 97%."""
+        return 0.97 if self.package == "PGA" else 0.93
+
+
+MPR_1994_DATASET: Tuple[Microprocessor, ...] = (
+    Microprocessor("Intel386DX", 1.0, 2, 43.0, 150, 900.0, 0.72,
+                   0.00, 132, "PQFP", 30.0),
+    Microprocessor("Intel486DX2", 0.8, 3, 81.0, 150, 1300.0, 0.60,
+                   0.10, 168, "PGA", 45.0),
+    Microprocessor("Intel486DX4", 0.6, 3, 76.0, 200, 2100.0, 0.55,
+                   0.17, 168, "PGA", 60.0),
+    Microprocessor("AMD486DX2", 0.7, 3, 81.0, 150, 1350.0, 0.55,
+                   0.10, 168, "PGA", 45.0),
+    Microprocessor("Pentium-66", 0.8, 3, 294.0, 200, 2300.0, 0.16,
+                   0.12, 273, "PGA", 300.0),
+    Microprocessor("Pentium-90", 0.6, 4, 148.0, 200, 2700.0, 0.40,
+                   0.15, 296, "PGA", 240.0),
+    Microprocessor("TI SuperSPARC", 0.8, 3, 256.0, 200, 2500.0, 0.10,
+                   0.26, 293, "PGA", 300.0),
+    Microprocessor("microSPARC", 0.8, 2, 85.0, 150, 1200.0, 0.55,
+                   0.08, 288, "PQFP", 60.0),
+    Microprocessor("HyperSPARC", 0.5, 3, 90.0, 200, 2800.0, 0.45,
+                   0.14, 144, "PGA", 120.0),
+    Microprocessor("MIPS R4400", 0.6, 3, 186.0, 200, 2600.0, 0.30,
+                   0.30, 179, "PGA", 180.0),
+    Microprocessor("MIPS R4200", 0.64, 2, 81.0, 200, 2200.0, 0.55,
+                   0.20, 179, "PQFP", 60.0),
+    Microprocessor("PowerPC601", 0.6, 4, 121.0, 200, 2600.0, 0.45,
+                   0.27, 304, "PGA", 120.0),
+    Microprocessor("PowerPC603", 0.5, 4, 85.0, 200, 2800.0, 0.50,
+                   0.20, 240, "PQFP", 90.0),
+    Microprocessor("Alpha21064", 0.75, 3, 234.0, 200, 2500.0, 0.18,
+                   0.15, 431, "PGA", 300.0),
+    Microprocessor("Motorola68040", 0.8, 2, 163.0, 150, 1300.0, 0.35,
+                   0.12, 179, "PGA", 90.0),
+)
+
+_BY_NAME: Dict[str, Microprocessor] = {p.name: p for p in MPR_1994_DATASET}
+
+
+def get_processor(name: str) -> Microprocessor:
+    """Look a processor up by name, with the valid names on error."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown processor {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,44 @@
+"""Dies-per-wafer and die-cost arithmetic.
+
+"Since wafers are circular and dies are rectangular, the larger wafers
+increase the wafer cost, but more than proportionately increase the
+number of dies-per-wafer" — the classic geometry: usable dies equal the
+wafer area over the die area minus an edge-loss term proportional to
+the wafer circumference over the die diagonal.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def dies_per_wafer(die_area_mm2: float, wafer_diameter_mm: float) -> int:
+    """Gross dies per wafer with the standard edge-loss correction.
+
+    N = pi (d/2)^2 / A  -  pi d / sqrt(2 A)
+    """
+    if die_area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    if wafer_diameter_mm <= 0:
+        raise ValueError("wafer diameter must be positive")
+    radius = wafer_diameter_mm / 2.0
+    gross = math.pi * radius * radius / die_area_mm2
+    edge_loss = math.pi * wafer_diameter_mm / math.sqrt(2.0 * die_area_mm2)
+    count = int(gross - edge_loss)
+    if count < 1:
+        raise ValueError(
+            f"die of {die_area_mm2} mm^2 does not fit a "
+            f"{wafer_diameter_mm} mm wafer"
+        )
+    return count
+
+
+def die_cost(wafer_cost: float, die_area_mm2: float,
+             wafer_diameter_mm: float, die_yield: float) -> float:
+    """Die cost = wafer cost / (dies-per-wafer * yield)."""
+    if wafer_cost <= 0:
+        raise ValueError("wafer cost must be positive")
+    if not 0.0 < die_yield <= 1.0:
+        raise ValueError("die yield must be in (0, 1]")
+    dpw = dies_per_wafer(die_area_mm2, wafer_diameter_mm)
+    return wafer_cost / (dpw * die_yield)

@@ -1,0 +1,39 @@
+"""Geometry substrate for the layout database.
+
+Everything in the layout layer is Manhattan geometry: axis-aligned
+rectangles on named mask layers, placed through one of the eight Manhattan
+orientations (four rotations with and without mirroring).  This package
+provides the value types those layers are built from:
+
+* :class:`~repro.geometry.point.Point` — an integer grid coordinate,
+* :class:`~repro.geometry.rect.Rect` — an axis-aligned rectangle,
+* :class:`~repro.geometry.transform.Transform` — one of the eight
+  Manhattan orientations plus a translation,
+* :mod:`~repro.geometry.polygon` — area/bbox helpers for rectilinear
+  polygons described as point lists.
+
+All coordinates are integers in *centimicrons* (hundredths of a micron),
+the classic resolution of CIF-era layout tools; design rules in
+:mod:`repro.tech` are expressed in the same unit.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, bounding_box, total_area
+from repro.geometry.transform import (
+    Orientation,
+    Transform,
+    ALL_ORIENTATIONS,
+)
+from repro.geometry.polygon import polygon_area, polygon_bbox
+
+__all__ = [
+    "Point",
+    "Rect",
+    "bounding_box",
+    "total_area",
+    "Orientation",
+    "Transform",
+    "ALL_ORIENTATIONS",
+    "polygon_area",
+    "polygon_bbox",
+]

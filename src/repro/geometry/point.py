@@ -1,0 +1,56 @@
+"""Integer grid points.
+
+Layout coordinates are integers in centimicrons (1 cu = 0.01 um).  Using
+integers keeps abutment arithmetic exact: two cells abut if and only if
+their edges share identical coordinates, with no floating-point epsilon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point on the integer layout grid.
+
+    Points are immutable and ordered lexicographically (x, then y), which
+    makes them usable as dict keys and sortable for canonical output.
+    """
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.x, int) or not isinstance(self.y, int):
+            raise TypeError(
+                f"Point coordinates must be integers, got ({self.x!r}, {self.y!r})"
+            )
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def scaled(self, factor: int) -> "Point":
+        """Return the point scaled by an integer factor about the origin."""
+        return Point(self.x * factor, self.y * factor)
+
+    def manhattan_distance(self, other: "Point") -> int:
+        """Manhattan (L1) distance to ``other``.
+
+        This is the natural wirelength metric for Manhattan routing: a
+        minimal one-bend route between two points has exactly this length.
+        """
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def as_tuple(self) -> tuple:
+        """Return ``(x, y)``, convenient for numpy and plotting code."""
+        return (self.x, self.y)
+
+
+ORIGIN = Point(0, 0)

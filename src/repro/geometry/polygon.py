@@ -1,0 +1,47 @@
+"""Rectilinear polygon helpers.
+
+The layout database itself stores only rectangles, but the renderer and
+the CIF exporter occasionally deal with polygon outlines (e.g. the
+L-shaped outline of a floorplan).  These helpers implement the shoelace
+area and bounding box for point-list polygons.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def polygon_area(points: Sequence[Point]) -> float:
+    """Unsigned area of a simple polygon via the shoelace formula."""
+    n = len(points)
+    if n < 3:
+        return 0.0
+    twice = 0
+    for i in range(n):
+        p = points[i]
+        q = points[(i + 1) % n]
+        twice += p.x * q.y - q.x * p.y
+    return abs(twice) / 2.0
+
+
+def polygon_bbox(points: Sequence[Point]) -> Rect:
+    """Bounding box of a non-empty point list."""
+    if not points:
+        raise ValueError("cannot take the bounding box of an empty polygon")
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    return Rect(min(xs), min(ys), max(xs), max(ys))
+
+
+def is_rectilinear(points: Sequence[Point]) -> bool:
+    """True when every edge of the polygon is axis-parallel."""
+    n = len(points)
+    for i in range(n):
+        p = points[i]
+        q = points[(i + 1) % n]
+        if p.x != q.x and p.y != q.y:
+            return False
+    return True

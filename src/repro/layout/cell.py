@@ -1,0 +1,250 @@
+"""Cells, instances, and ports — the layout hierarchy.
+
+A :class:`Cell` is a named container of
+
+* *shapes*: rectangles tagged with a layer name,
+* *ports*: named, layer-tagged rectangles that form the cell's signal
+  interface (usually zero-thickness segments on the cell boundary), and
+* *instances*: placements of child cells under a
+  :class:`~repro.geometry.transform.Transform`.
+
+The structure mirrors a CIF/GDS hierarchy.  BISRAMGEN builds macrocells
+bottom-up by tiling leaf cells ("exploits the array-like regularity in
+module functions and interconnections"), so the dominant operations are
+:meth:`Cell.add_instance`, :meth:`Cell.tile`, and abutment queries on
+ports; all are kept allocation-light because arrays can reach millions
+of bit cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry import Point, Rect, Transform, bounding_box
+from repro.geometry.transform import Orientation
+
+
+@dataclass(frozen=True)
+class Port:
+    """A named signal landing on a cell.
+
+    Attributes:
+        name: signal name, unique within the owning cell.
+        layer: layer the port metal lives on.
+        rect: port geometry in the owning cell's coordinates.  Edge ports
+            are zero-thickness rectangles lying exactly on the boundary.
+        direction: "in", "out", "inout", or "supply".
+    """
+
+    name: str
+    layer: str
+    rect: Rect
+    direction: str = "inout"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out", "inout", "supply"):
+            raise ValueError(f"bad port direction {self.direction!r}")
+
+    def transformed(self, transform: Transform) -> "Port":
+        """The port as seen through a placement transform."""
+        return replace(self, rect=self.rect.transformed(transform))
+
+
+@dataclass(frozen=True)
+class CellInstance:
+    """A placement of a child cell inside a parent."""
+
+    cell: "Cell"
+    transform: Transform
+    name: str = ""
+
+    def bbox(self) -> Optional[Rect]:
+        box = self.cell.bbox()
+        if box is None:
+            return None
+        return box.transformed(self.transform)
+
+    def port(self, name: str) -> Port:
+        """A child port mapped into the parent's coordinates."""
+        return self.cell.port(name).transformed(self.transform)
+
+    def ports(self) -> Iterator[Port]:
+        for p in self.cell.ports():
+            yield p.transformed(self.transform)
+
+
+class Cell:
+    """A layout cell: shapes + ports + child instances."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("cell name must be non-empty")
+        self.name = name
+        self._shapes: List[Tuple[str, Rect]] = []
+        self._ports: Dict[str, Port] = {}
+        self._instances: List[CellInstance] = []
+        self._bbox_cache: Optional[Rect] = None
+        self._bbox_dirty = True
+
+    # -- construction ----------------------------------------------------
+
+    def add_shape(self, layer: str, rect: Rect) -> None:
+        """Add one rectangle on ``layer``."""
+        self._shapes.append((layer, rect))
+        self._bbox_dirty = True
+
+    def add_port(self, port: Port) -> None:
+        """Register a port; names must be unique within the cell."""
+        if port.name in self._ports:
+            raise ValueError(f"duplicate port {port.name!r} in cell {self.name!r}")
+        self._ports[port.name] = port
+
+    def add_instance(
+        self,
+        cell: "Cell",
+        transform: Transform = Transform(),
+        name: str = "",
+    ) -> CellInstance:
+        """Place ``cell`` under ``transform`` and return the instance."""
+        inst = CellInstance(cell=cell, transform=transform, name=name)
+        self._instances.append(inst)
+        self._bbox_dirty = True
+        return inst
+
+    def tile(
+        self,
+        cell: "Cell",
+        columns: int,
+        rows: int,
+        pitch_x: int,
+        pitch_y: int,
+        origin: Point = Point(0, 0),
+        name_prefix: str = "t",
+        alternate_mirror_y: bool = False,
+    ) -> List[CellInstance]:
+        """Place a ``columns`` x ``rows`` array of ``cell``.
+
+        ``alternate_mirror_y`` mirrors odd rows about the x-axis, the
+        standard trick for sharing supply rails between adjacent SRAM
+        rows (every other row is flipped so VDD abuts VDD and GND abuts
+        GND).
+        """
+        if columns <= 0 or rows <= 0:
+            raise ValueError("tile counts must be positive")
+        instances = []
+        for r in range(rows):
+            for c in range(columns):
+                orient = Orientation.R0
+                y = origin.y + r * pitch_y
+                if alternate_mirror_y and r % 2 == 1:
+                    orient = Orientation.MX
+                    # MX flips about y=0, so shift up by the cell height to
+                    # keep the flipped row occupying the same pitch slot.
+                    y += pitch_y
+                t = Transform(orient, Point(origin.x + c * pitch_x, y))
+                instances.append(
+                    self.add_instance(cell, t, name=f"{name_prefix}_{r}_{c}")
+                )
+        return instances
+
+    # -- queries ----------------------------------------------------------
+
+    def shapes(self) -> Sequence[Tuple[str, Rect]]:
+        return tuple(self._shapes)
+
+    def ports(self) -> Iterator[Port]:
+        return iter(self._ports.values())
+
+    def port_names(self) -> Tuple[str, ...]:
+        return tuple(self._ports)
+
+    def port(self, name: str) -> Port:
+        try:
+            return self._ports[name]
+        except KeyError:
+            raise KeyError(
+                f"cell {self.name!r} has no port {name!r}; "
+                f"ports: {sorted(self._ports)}"
+            ) from None
+
+    def has_port(self, name: str) -> bool:
+        return name in self._ports
+
+    def instances(self) -> Sequence[CellInstance]:
+        return tuple(self._instances)
+
+    def bbox(self) -> Optional[Rect]:
+        """Bounding box over own shapes, ports, and child instances."""
+        if self._bbox_dirty:
+            boxes = [r for _, r in self._shapes]
+            boxes.extend(p.rect for p in self._ports.values())
+            for inst in self._instances:
+                b = inst.bbox()
+                if b is not None:
+                    boxes.append(b)
+            self._bbox_cache = bounding_box(boxes)
+            self._bbox_dirty = False
+        return self._bbox_cache
+
+    @property
+    def width(self) -> int:
+        box = self.bbox()
+        return 0 if box is None else box.width
+
+    @property
+    def height(self) -> int:
+        box = self.bbox()
+        return 0 if box is None else box.height
+
+    def area(self) -> int:
+        """Bounding-box area (the area metric of the paper's Table I)."""
+        box = self.bbox()
+        return 0 if box is None else box.area
+
+    # -- hierarchy operations ----------------------------------------------
+
+    def flatten(
+        self, max_depth: Optional[int] = None
+    ) -> Iterator[Tuple[str, Rect]]:
+        """Yield every shape of the hierarchy in this cell's coordinates.
+
+        ``max_depth`` limits recursion (0 = own shapes only); None means
+        full flattening.
+        """
+        yield from self._flatten(Transform(), 0, max_depth)
+
+    def _flatten(
+        self, transform: Transform, depth: int, max_depth: Optional[int]
+    ) -> Iterator[Tuple[str, Rect]]:
+        for layer, rect in self._shapes:
+            yield layer, rect.transformed(transform)
+        if max_depth is not None and depth >= max_depth:
+            return
+        for inst in self._instances:
+            sub = transform.compose(inst.transform)
+            yield from inst.cell._flatten(sub, depth + 1, max_depth)
+
+    def count_shapes(self) -> int:
+        """Total flattened shape count (used by complexity metrics)."""
+        return sum(1 for _ in self.flatten())
+
+    def subcells(self) -> Dict[str, "Cell"]:
+        """All distinct cells in the hierarchy, keyed by name."""
+        found: Dict[str, Cell] = {}
+
+        def visit(cell: "Cell") -> None:
+            if cell.name in found:
+                return
+            found[cell.name] = cell
+            for inst in cell._instances:
+                visit(inst.cell)
+
+        visit(self)
+        return found
+
+    def __repr__(self) -> str:
+        return (
+            f"Cell({self.name!r}, shapes={len(self._shapes)}, "
+            f"ports={len(self._ports)}, instances={len(self._instances)})"
+        )

@@ -1,0 +1,88 @@
+"""CIF (Caltech Intermediate Form) export.
+
+CIF is the interchange format of the era: a plain-text hierarchical
+format that the original BISRAMGEN (built on 1990s university CAD
+infrastructure) would have produced for MOSIS submission.  We emit
+standard CIF 2.0: ``DS``/``DF`` definitions, ``C`` calls with
+rotate/mirror/translate, ``L`` layer selection, and ``B`` boxes.
+
+CIF expresses boxes by center and size and its native unit is the
+centimicron, which is exactly our database unit, so the export is
+loss-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TextIO
+
+from repro.geometry.transform import Orientation
+from repro.layout.cell import Cell
+from repro.tech.layers import LayerSet
+
+#: CIF `C` call transform fragments per orientation.  CIF applies
+#: transforms left to right; our MX (flip y) is "M Y" in CIF-speak.
+#: The combined orientations MX90/MY90 are rotate-then-mirror in this
+#: library's matrix convention, so the rotation fragment comes first.
+_ORIENT_CIF = {
+    Orientation.R0: "",
+    Orientation.R90: " R 0 1",
+    Orientation.R180: " R -1 0",
+    Orientation.R270: " R 0 -1",
+    Orientation.MX: " M Y",
+    Orientation.MX90: " R 0 1 M Y",
+    Orientation.MY: " M X",
+    Orientation.MY90: " R 0 1 M X",
+}
+
+
+def write_cif(cell: Cell, stream: TextIO, layers: LayerSet) -> None:
+    """Write ``cell`` and its whole hierarchy as CIF 2.0 text.
+
+    Cells are numbered depth-first with children before parents, as CIF
+    requires definitions before calls.
+    """
+    ordered: List[Cell] = []
+    seen: Dict[str, int] = {}
+
+    def visit(c: Cell) -> None:
+        if c.name in seen:
+            return
+        for inst in c.instances():
+            visit(inst.cell)
+        seen[c.name] = len(ordered) + 1
+        ordered.append(c)
+
+    visit(cell)
+
+    stream.write(f"( CIF for {cell.name}, database unit = 1 centimicron );\n")
+    for c in ordered:
+        number = seen[c.name]
+        stream.write(f"DS {number} 1 1;\n")
+        stream.write(f"9 {c.name};\n")
+        current_layer = None
+        for layer_name, rect in c.shapes():
+            if rect.area == 0:
+                continue
+            layer = layers.get(layer_name)
+            cif_layer = layer.cif_name if layer else layer_name.upper()
+            if cif_layer != current_layer:
+                stream.write(f"L {cif_layer};\n")
+                current_layer = cif_layer
+            cx, cy = rect.x1 + rect.x2, rect.y1 + rect.y2
+            # CIF boxes take center coordinates; keep everything integral
+            # by writing doubled database units when the center is not on
+            # the grid (CIF allows any unit scaling via the DS header, but
+            # doubling centers is the conventional trick).
+            stream.write(
+                f"B {rect.width * 2} {rect.height * 2} {cx} {cy};\n"
+            )
+        for inst in c.instances():
+            child_no = seen[inst.cell.name]
+            t = inst.transform
+            frag = _ORIENT_CIF[t.orientation]
+            stream.write(
+                f"C {child_no}{frag} T {t.translation.x} {t.translation.y};\n"
+            )
+        stream.write("DF;\n")
+    stream.write(f"C {seen[cell.name]};\n")
+    stream.write("E\n")

@@ -1,0 +1,126 @@
+"""CIF reader for the exported subset — round-trip verification.
+
+Reads the CIF 2.0 the exporter emits (DS/DF definitions, ``9`` name
+extensions, B boxes with doubled centre coordinates, C calls with
+R/M/T transforms) back into a :class:`~repro.layout.cell.Cell`
+hierarchy.  Ports are not represented in CIF and are lost — geometry
+is the contract the round-trip tests check.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.geometry import Point, Rect, Transform
+from repro.geometry.transform import Orientation
+from repro.layout.cell import Cell
+from repro.tech.layers import LayerSet
+
+_CALL_RE = re.compile(
+    r"C\s+(\d+)"
+    r"((?:\s+(?:R\s+-?\d+\s+-?\d+|M\s+[XY]|T\s+-?\d+\s+-?\d+))*)"
+)
+_FRAG_RE = re.compile(r"(R\s+-?\d+\s+-?\d+|M\s+[XY]|T\s+-?\d+\s+-?\d+)")
+
+#: Rotation vector -> orientation (CIF `R a b` is the direction the
+#: cell's +x axis points after the transform).
+_ROT = {
+    (1, 0): Orientation.R0,
+    (0, 1): Orientation.R90,
+    (-1, 0): Orientation.R180,
+    (0, -1): Orientation.R270,
+}
+
+
+def read_cif(path, layers: LayerSet) -> Cell:
+    """Parse a CIF file produced by :func:`repro.layout.cif.write_cif`.
+
+    Returns the top cell (the one invoked by the trailing bare ``C``
+    call).
+
+    Raises:
+        ValueError: on structural errors (unknown calls, missing top).
+    """
+    text = Path(path).read_text()
+    cif_to_layer = {l.cif_name: l.name for l in layers}
+    cells: Dict[int, Cell] = {}
+    current: Optional[Cell] = None
+    current_layer: Optional[str] = None
+    top_number: Optional[int] = None
+
+    for raw in text.replace("\n", " ").split(";"):
+        statement = raw.strip()
+        if not statement or statement.startswith("("):
+            continue
+        if statement == "E":
+            break
+        head = statement.split()[0]
+        if head == "DS":
+            number = int(statement.split()[1])
+            current = Cell(f"cell_{number}")
+            cells[number] = current
+        elif head == "DF":
+            current = None
+        elif head == "9" and current is not None:
+            current.name = statement.split(None, 1)[1]
+        elif head == "L":
+            cif_name = statement.split()[1]
+            current_layer = cif_to_layer.get(cif_name, cif_name.lower())
+        elif head == "B":
+            if current is None:
+                raise ValueError("box outside a definition")
+            _, w2, h2, cx, cy = statement.split()[:5]
+            w2, h2, cx, cy = int(w2), int(h2), int(cx), int(cy)
+            # The exporter doubles sizes and centre coordinates so that
+            # half-unit centres stay integral; undo the doubling.
+            rect = Rect((cx - w2 // 2) // 2, (cy - h2 // 2) // 2,
+                        (cx + w2 // 2) // 2, (cy + h2 // 2) // 2)
+            current.add_shape(current_layer or "unknown", rect)
+        elif head == "C":
+            match = _CALL_RE.match(statement)
+            if not match:
+                raise ValueError(f"bad call statement {statement!r}")
+            number = int(match.group(1))
+            transform = _parse_transform(match.group(2) or "")
+            if current is None:
+                top_number = number
+            else:
+                if number not in cells:
+                    raise ValueError(
+                        f"call to undefined cell {number}"
+                    )
+                current.add_instance(cells[number], transform)
+        # Other statements (layer cards we emitted none of) ignored.
+
+    if top_number is None:
+        raise ValueError("no top-level call found")
+    if top_number not in cells:
+        raise ValueError(f"top cell {top_number} undefined")
+    return cells[top_number]
+
+
+def _parse_transform(fragments: str) -> Transform:
+    """Compose CIF transform fragments (applied left to right)."""
+    result = Transform()
+    for frag in _FRAG_RE.findall(fragments):
+        parts = frag.split()
+        if parts[0] == "T":
+            step = Transform(
+                translation=Point(int(parts[1]), int(parts[2]))
+            )
+        elif parts[0] == "R":
+            vector = (int(parts[1]), int(parts[2]))
+            if vector not in _ROT:
+                raise ValueError(f"non-Manhattan rotation {vector}")
+            step = Transform(_ROT[vector])
+        else:  # M X / M Y
+            orient = (
+                Orientation.MY if parts[1] == "X" else Orientation.MX
+            )
+            step = Transform(orient)
+        # CIF applies fragments in order: later fragments act on the
+        # already-transformed geometry.
+        result = step.compose(result)
+    return result

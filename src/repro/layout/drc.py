@@ -1,0 +1,256 @@
+"""Design-rule checking on flattened layout.
+
+The checker implements the rule classes the scalable deck defines:
+
+* minimum width per layer,
+* minimum same-layer spacing (between non-touching shape groups),
+* contact/via enclosure by the surrounding conductor.
+
+Shapes that touch or overlap are merged into connected groups first so
+that a wide wire drawn as several overlapping rectangles is not flagged
+for "spacing" against itself — the classic polygon-vs-rectangle DRC
+subtlety.  The checker runs on flattened geometry, so hierarchical
+interactions (a bit-cell shape against an abutting neighbour's shape)
+are checked for real.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.geometry import Rect
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+
+@dataclass(frozen=True)
+class DrcViolation:
+    """One design-rule violation."""
+
+    rule: str
+    layer: str
+    measured: int
+    required: int
+    where: Rect
+
+    def __str__(self) -> str:
+        return (
+            f"{self.rule} on {self.layer}: measured {self.measured} cu, "
+            f"requires {self.required} cu near "
+            f"({self.where.x1},{self.where.y1})-({self.where.x2},{self.where.y2})"
+        )
+
+
+class _DisjointSet:
+    """Union-find over shape indices, for merging touching rectangles."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, i: int) -> int:
+        while self.parent[i] != i:
+            self.parent[i] = self.parent[self.parent[i]]
+            i = self.parent[i]
+        return i
+
+    def union(self, i: int, j: int) -> None:
+        ri, rj = self.find(i), self.find(j)
+        if ri != rj:
+            self.parent[rj] = ri
+
+
+def _connected_groups(rects: Sequence[Rect]) -> List[List[Rect]]:
+    """Partition rectangles into groups that touch or overlap.
+
+    Sweep over x-sorted rectangles; only pairs whose x-ranges intersect
+    are candidates, keeping the common tiled-array case near linear.
+    """
+    n = len(rects)
+    ds = _DisjointSet(n)
+    order = sorted(range(n), key=lambda i: rects[i].x1)
+    active: List[int] = []
+    for idx in order:
+        r = rects[idx]
+        active = [a for a in active if rects[a].x2 >= r.x1]
+        for a in active:
+            if rects[a].intersects(r):
+                ds.union(a, idx)
+        active.append(idx)
+    groups: Dict[int, List[Rect]] = defaultdict(list)
+    for i in range(n):
+        groups[ds.find(i)].append(rects[i])
+    return list(groups.values())
+
+
+class DrcChecker:
+    """Checks a cell against a process rule deck."""
+
+    #: layers whose enclosure of cuts is verified: cut layer -> enclosing
+    #: conductor rule names.
+    _CUT_ENCLOSURES = {
+        "contact": ("metal1",),
+        "via1": ("metal1", "metal2"),
+        "via2": ("metal2", "metal3"),
+    }
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+
+    def check(self, cell: Cell, max_violations: int = 1000) -> List[DrcViolation]:
+        """Run all checks on the flattened cell; returns violations found."""
+        by_layer: Dict[str, List[Rect]] = defaultdict(list)
+        for layer, rect in cell.flatten():
+            by_layer[layer].append(rect)
+
+        violations: List[DrcViolation] = []
+        for layer, rects in sorted(by_layer.items()):
+            violations.extend(self._check_width(layer, rects))
+            if len(violations) >= max_violations:
+                return violations[:max_violations]
+            violations.extend(self._check_spacing(layer, rects))
+            if len(violations) >= max_violations:
+                return violations[:max_violations]
+        violations.extend(self._check_enclosures(by_layer))
+        violations.extend(self._check_gates(by_layer))
+        return violations[:max_violations]
+
+    # -- individual rule classes -----------------------------------------
+
+    def _rule(self, name: str) -> Optional[int]:
+        return self.process.rules.rules.get(name)
+
+    def _check_width(self, layer: str, rects: Sequence[Rect]) -> List[DrcViolation]:
+        required = self._rule(f"width.{layer}")
+        if required is None:
+            return []
+        out = []
+        for r in rects:
+            if r.area == 0:
+                continue  # zero-thickness port markers are not drawn metal
+            measured = min(r.width, r.height)
+            if measured < required:
+                out.append(
+                    DrcViolation("min-width", layer, measured, required, r)
+                )
+        return out
+
+    def _check_spacing(self, layer: str, rects: Sequence[Rect]) -> List[DrcViolation]:
+        required = self._rule(f"space.{layer}")
+        if required is None or len(rects) < 2:
+            return []
+        solid = [r for r in rects if r.area > 0]
+        groups = _connected_groups(solid)
+        if len(groups) < 2:
+            return []
+        # Compare group bounding boxes first (cheap reject), then the
+        # individual rectangles of close groups.
+        boxes = []
+        for g in groups:
+            box = g[0]
+            for r in g[1:]:
+                box = box.union_bbox(r)
+            boxes.append(box)
+        out = []
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                if boxes[i].spacing_to(boxes[j]) >= required:
+                    continue
+                gap = min(
+                    a.spacing_to(b) for a in groups[i] for b in groups[j]
+                )
+                if 0 < gap < required:
+                    where = boxes[i].union_bbox(boxes[j])
+                    out.append(
+                        DrcViolation("min-space", layer, gap, required, where)
+                    )
+        return out
+
+    def _check_enclosures(
+        self, by_layer: Dict[str, List[Rect]]
+    ) -> List[DrcViolation]:
+        out = []
+        for cut_layer, enclosers in self._CUT_ENCLOSURES.items():
+            cuts = by_layer.get(cut_layer, [])
+            if not cuts:
+                continue
+            for encloser in enclosers:
+                required = self._rule(f"enclose.{encloser}_{cut_layer}")
+                if required is None:
+                    continue
+                metal = by_layer.get(encloser, [])
+                for cut in cuts:
+                    grown = cut.expanded(required)
+                    if not any(m.contains_rect(grown) for m in metal):
+                        margin = self._best_margin(cut, metal)
+                        out.append(
+                            DrcViolation(
+                                f"enclosure-{encloser}",
+                                cut_layer,
+                                margin,
+                                required,
+                                cut,
+                            )
+                        )
+        return out
+
+    def _check_gates(
+        self, by_layer: Dict[str, List[Rect]]
+    ) -> List[DrcViolation]:
+        """Transistor-geometry rules at every poly-diffusion crossing.
+
+        A gate is a poly rectangle overlapping a diffusion rectangle;
+        the poly must extend past the diffusion by the endcap rule on
+        the channel axis (otherwise the transistor can leak around the
+        gate end).  The check infers the channel axis from which pair
+        of gate edges falls strictly inside the diffusion.
+        """
+        endcap = self._rule("overhang.gate_poly")
+        if endcap is None:
+            return []
+        polys = by_layer.get("poly", [])
+        out: List[DrcViolation] = []
+        for diff_layer in ("ndiff", "pdiff"):
+            for diff in by_layer.get(diff_layer, []):
+                if diff.area == 0:
+                    continue
+                for poly in polys:
+                    channel = poly.intersection(diff)
+                    if channel is None or channel.area == 0:
+                        continue
+                    crosses_x = poly.x1 <= diff.x1 and poly.x2 >= diff.x2
+                    crosses_y = poly.y1 <= diff.y1 and poly.y2 >= diff.y2
+                    if crosses_x:
+                        # Horizontal poly crossing: endcap in x already
+                        # guaranteed; nothing to measure on this axis.
+                        margin = min(diff.x1 - poly.x1,
+                                     poly.x2 - diff.x2)
+                    elif crosses_y:
+                        margin = min(diff.y1 - poly.y1,
+                                     poly.y2 - diff.y2)
+                    else:
+                        # Poly ends inside the diffusion on both axes:
+                        # no complete gate is formed — flag it.
+                        margin = -1
+                    if margin < endcap:
+                        out.append(
+                            DrcViolation(
+                                "gate-endcap", "poly",
+                                max(margin, 0), endcap, channel,
+                            )
+                        )
+        return out
+
+    @staticmethod
+    def _best_margin(cut: Rect, metal: Sequence[Rect]) -> int:
+        """Largest enclosure margin any single metal shape achieves."""
+        best = -1
+        for m in metal:
+            if not m.contains_rect(cut):
+                continue
+            margin = min(
+                cut.x1 - m.x1, m.x2 - cut.x2, cut.y1 - m.y1, m.y2 - cut.y2
+            )
+            best = max(best, margin)
+        return best

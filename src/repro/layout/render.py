@@ -1,0 +1,119 @@
+"""Layout rendering: SVG plots and terminal ASCII sketches.
+
+The paper's Figs. 6 and 7 are layout plots of compiled 64 kB and 128 kB
+BISR-SRAM macros.  :func:`render_svg` reproduces such plots from any
+cell; :func:`render_ascii` draws a coarse block diagram of the top-level
+macrocells, which is what the figures actually communicate (array,
+decoders, sense amps, BIST/BISR blocks and their relative sizes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.geometry import Rect
+from repro.layout.cell import Cell
+from repro.tech.layers import LayerSet
+
+
+def render_svg(
+    cell: Cell,
+    layers: LayerSet,
+    width_px: int = 800,
+    max_shapes: int = 200_000,
+    flatten_depth: Optional[int] = None,
+) -> str:
+    """Render a cell as an SVG string.
+
+    ``flatten_depth`` bounds the hierarchy depth drawn; depth 1 shows the
+    macrocell floorplan (the view of Figs. 6-7), None draws every
+    rectangle.
+    """
+    box = cell.bbox()
+    if box is None or box.area == 0:
+        return '<svg xmlns="http://www.w3.org/2000/svg"/>'
+    scale = width_px / box.width
+    height_px = max(1, int(box.height * scale))
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width_px}" height="{height_px}" '
+        f'viewBox="0 0 {box.width} {box.height}">',
+        f'<title>{cell.name}</title>',
+        f'<rect x="0" y="0" width="{box.width}" height="{box.height}" '
+        f'fill="white"/>',
+    ]
+    count = 0
+    for layer_name, rect in cell.flatten(max_depth=flatten_depth):
+        if rect.area == 0:
+            continue
+        count += 1
+        if count > max_shapes:
+            parts.append(f"<!-- truncated after {max_shapes} shapes -->")
+            break
+        layer = layers.get(layer_name)
+        color = layer.color if layer else "#999999"
+        x = rect.x1 - box.x1
+        # SVG y grows downward; layout y grows upward.
+        y = box.y2 - rect.y2
+        parts.append(
+            f'<rect x="{x}" y="{y}" width="{rect.width}" '
+            f'height="{rect.height}" fill="{color}" fill-opacity="0.55"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_ascii(cell: Cell, columns: int = 78, rows: int = 24) -> str:
+    """Draw the top-level floorplan as labelled ASCII boxes.
+
+    Each direct child instance becomes one box scaled into a character
+    grid; overlapping labels are truncated.  This is the "layout plot"
+    for terminals.
+    """
+    box = cell.bbox()
+    if box is None or box.area == 0:
+        return f"(cell {cell.name} is empty)"
+    grid = [[" "] * columns for _ in range(rows)]
+
+    def to_grid(r: Rect):
+        gx1 = int((r.x1 - box.x1) / box.width * (columns - 1))
+        gx2 = int((r.x2 - box.x1) / box.width * (columns - 1))
+        # invert y for screen coordinates
+        gy1 = int((box.y2 - r.y2) / box.height * (rows - 1))
+        gy2 = int((box.y2 - r.y1) / box.height * (rows - 1))
+        return gx1, gy1, max(gx2, gx1 + 1), max(gy2, gy1 + 1)
+
+    def draw_box(r: Rect, label: str) -> None:
+        x1, y1, x2, y2 = to_grid(r)
+        for x in range(x1, x2 + 1):
+            grid[y1][x] = "-"
+            grid[y2][x] = "-"
+        for y in range(y1, y2 + 1):
+            grid[y][x1] = "|"
+            grid[y][x2] = "|"
+        for corner_y, corner_x in ((y1, x1), (y1, x2), (y2, x1), (y2, x2)):
+            grid[corner_y][corner_x] = "+"
+        text = label[: max(0, x2 - x1 - 1)]
+        ty = (y1 + y2) // 2
+        tx = x1 + 1 + max(0, (x2 - x1 - 1 - len(text)) // 2)
+        for i, ch in enumerate(text):
+            if tx + i < x2:
+                grid[ty][tx + i] = ch
+
+    instances = list(cell.instances())
+    if not instances:
+        draw_box(box, cell.name)
+    else:
+        # Draw larger children first so small blocks stay visible on top.
+        for inst in sorted(
+            instances, key=lambda i: -(i.bbox().area if i.bbox() else 0)
+        ):
+            b = inst.bbox()
+            if b is None or b.area == 0:
+                continue
+            draw_box(b, inst.name or inst.cell.name)
+    header = (
+        f"{cell.name}: {box.width / 100:.1f} x {box.height / 100:.1f} um "
+        f"({box.area / 1e10:.4f} mm^2)"
+    )
+    return header + "\n" + "\n".join("".join(row).rstrip() for row in grid)

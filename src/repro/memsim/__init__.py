@@ -1,0 +1,64 @@
+"""Behavioural memory simulation with fault injection.
+
+The silicon substrate the paper's claims are tested against:
+
+* :mod:`~repro.memsim.array` — a column-multiplexed SRAM array with
+  spare rows, bit-accurate addressing (word bit ``i`` lives in I/O
+  subarray ``i``, column ``address % bpc``),
+* :mod:`~repro.memsim.faults` — IFA-style fault models: stuck-at,
+  stuck-open, transition, state/idempotent/inversion coupling, data
+  retention, plus whole-row and whole-column defects,
+* :mod:`~repro.memsim.injector` — defect placement (uniform or
+  clustered) and defect-to-fault mapping,
+* :mod:`~repro.memsim.device` — the complete BISR-RAM: array + TLB +
+  repair-mode address diversion, implementing the controller's
+  :class:`~repro.bist.controller.TestTarget` protocol,
+* :mod:`~repro.memsim.coverage` — fault-coverage campaigns over march
+  tests.
+"""
+
+from repro.memsim.array import MemoryArray
+from repro.memsim.faults import (
+    Fault,
+    StuckAt,
+    StuckOpen,
+    TransitionFault,
+    StateCoupling,
+    IdempotentCoupling,
+    InversionCoupling,
+    DataRetention,
+    RowStuck,
+    ColumnStuck,
+)
+from repro.memsim.injector import DefectInjector, FaultMix
+from repro.memsim.device import BisrRam
+from repro.memsim.coverage import coverage_campaign, CoverageReport
+from repro.memsim.diagnosis import (
+    FailRecord,
+    Diagnosis,
+    diagnose,
+    collect_fail_records,
+)
+
+__all__ = [
+    "MemoryArray",
+    "Fault",
+    "StuckAt",
+    "StuckOpen",
+    "TransitionFault",
+    "StateCoupling",
+    "IdempotentCoupling",
+    "InversionCoupling",
+    "DataRetention",
+    "RowStuck",
+    "ColumnStuck",
+    "DefectInjector",
+    "FaultMix",
+    "BisrRam",
+    "coverage_campaign",
+    "CoverageReport",
+    "FailRecord",
+    "Diagnosis",
+    "diagnose",
+    "collect_fail_records",
+]

@@ -1,0 +1,185 @@
+"""The column-multiplexed SRAM array model.
+
+Addressing follows the paper's Fig. 2 exactly: the array is ``bpw``
+I/O subarrays of ``bpc`` physical columns each; word address ``a``
+selects row ``a // bpc`` and column ``a % bpc``; word bit ``i`` lives at
+physical column ``i * bpc + (a % bpc)``.  ``spares`` extra rows sit
+above the regular rows, "fully integrated with the main array and
+[sharing] the same column multiplexers"; they are reached only through
+the spare word addresses ``regular_words + s * bpc + c``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.memsim.faults import Fault
+
+
+class MemoryArray:
+    """A bit-accurate faultable SRAM array.
+
+    Args:
+        rows: regular word-line count.
+        bpw: bits per word (power of two).
+        bpc: bits per column — the column-mux factor (power of two).
+        spares: spare rows (0 allowed: a plain non-redundant array).
+    """
+
+    def __init__(self, rows: int, bpw: int, bpc: int,
+                 spares: int = 0) -> None:
+        for name, value in (("rows", rows), ("bpw", bpw), ("bpc", bpc)):
+            if value < 1:
+                raise ValueError(f"{name} must be positive")
+        for name, value in (("bpw", bpw), ("bpc", bpc)):
+            if value & (value - 1):
+                raise ValueError(f"{name} must be a power of two")
+        if spares < 0:
+            raise ValueError("spares must be non-negative")
+        self.rows = rows
+        self.bpw = bpw
+        self.bpc = bpc
+        self.spares = spares
+        self.total_rows = rows + spares
+        self.phys_cols = bpw * bpc
+        self._bits = bytearray(self.total_rows * self.phys_cols)
+        self._faults: List[Fault] = []
+        self._cell_faults: Dict[int, List[Fault]] = defaultdict(list)
+        self._column_last: Dict[int, int] = {}
+        self.read_count = 0
+        self.write_count = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def words(self) -> int:
+        """Regular (CPU-visible) word count."""
+        return self.rows * self.bpc
+
+    @property
+    def total_words(self) -> int:
+        """Regular plus spare word count."""
+        return self.total_rows * self.bpc
+
+    @property
+    def cell_count(self) -> int:
+        return self.total_rows * self.phys_cols
+
+    def cell_index(self, row: int, word_bit: int, column: int) -> int:
+        """Flat cell index of word bit ``word_bit`` at (row, column)."""
+        if not 0 <= row < self.total_rows:
+            raise ValueError(f"row {row} out of range")
+        if not 0 <= word_bit < self.bpw:
+            raise ValueError(f"word bit {word_bit} out of range")
+        if not 0 <= column < self.bpc:
+            raise ValueError(f"column {column} out of range")
+        return row * self.phys_cols + word_bit * self.bpc + column
+
+    def split_address(self, address: int) -> Tuple[int, int]:
+        """Word address -> (row, column)."""
+        if not 0 <= address < self.total_words:
+            raise ValueError(
+                f"address {address} outside 0..{self.total_words - 1}"
+            )
+        return address // self.bpc, address % self.bpc
+
+    # -- fault management ------------------------------------------------------
+
+    def inject(self, fault: Fault) -> None:
+        """Attach a fault to the array."""
+        self._faults.append(fault)
+        for cell in fault.cells():
+            if not 0 <= cell < self.cell_count:
+                raise ValueError(
+                    f"fault {fault.describe()} touches cell {cell} "
+                    f"outside the array"
+                )
+            self._cell_faults[cell].append(fault)
+
+    def clear_faults(self) -> None:
+        self._faults.clear()
+        self._cell_faults.clear()
+
+    @property
+    def faults(self) -> Tuple[Fault, ...]:
+        return tuple(self._faults)
+
+    def faulty_rows(self) -> List[int]:
+        """Rows touched by any injected fault, ascending."""
+        rows = {cell // self.phys_cols
+                for f in self._faults for cell in f.cells()}
+        return sorted(rows)
+
+    # -- raw cell access (used by fault hooks) -----------------------------------
+
+    def raw(self, cell: int) -> int:
+        """Stored value, bypassing fault read effects."""
+        return self._bits[cell]
+
+    def force(self, cell: int, value: int) -> None:
+        """Overwrite a cell, bypassing fault write effects."""
+        self._bits[cell] = 1 if value else 0
+
+    def last_column_value(self, phys_col: int) -> int:
+        """Last value sensed on a physical column (stuck-open model)."""
+        return self._column_last.get(phys_col, 0)
+
+    # -- word access ----------------------------------------------------------------
+
+    def read_word(self, address: int, row_override: int = None) -> int:
+        """Read the ``bpw``-bit word at ``address``.
+
+        ``row_override`` substitutes the physical row while keeping the
+        column from the address — the BISR diversion path.
+        """
+        row, column = self.split_address(address)
+        if row_override is not None:
+            row = row_override
+        self.read_count += 1
+        word = 0
+        for bit in range(self.bpw):
+            cell = self.cell_index(row, bit, column)
+            value = self._bits[cell]
+            for fault in self._cell_faults.get(cell, ()):
+                value = fault.on_read(cell, value, self)
+            value = 1 if value else 0
+            self._column_last[bit * self.bpc + column] = value
+            if value:
+                word |= 1 << bit
+        return word
+
+    def write_word(self, address: int, word: int,
+                   row_override: int = None) -> None:
+        """Write the ``bpw``-bit ``word`` at ``address``."""
+        row, column = self.split_address(address)
+        if row_override is not None:
+            row = row_override
+        self.write_count += 1
+        touched = []
+        for bit in range(self.bpw):
+            cell = self.cell_index(row, bit, column)
+            old = self._bits[cell]
+            new = (word >> bit) & 1
+            for fault in self._cell_faults.get(cell, ()):
+                new = fault.on_write(cell, old, new)
+            self._bits[cell] = 1 if new else 0
+            self._column_last[bit * self.bpc + column] = self._bits[cell]
+            touched.append(cell)
+        # Coupling side effects fire after the whole word lands.
+        for cell in touched:
+            for fault in self._cell_faults.get(cell, ()):
+                fault.after_write(self, cell)
+
+    def apply_retention(self) -> None:
+        """Model the data-retention pause: leaky cells decay."""
+        for fault in self._faults:
+            fault.on_retention(self)
+
+    def fill(self, pattern_word: int) -> None:
+        """Fault-free bulk initialise every word (test setup helper)."""
+        for bit in range(self.bpw):
+            value = (pattern_word >> bit) & 1
+            for row in range(self.total_rows):
+                for column in range(self.bpc):
+                    self._bits[self.cell_index(row, bit, column)] = value

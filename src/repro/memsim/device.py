@@ -1,0 +1,126 @@
+"""The complete BISR-RAM device: array + TLB + address diversion.
+
+Implements the :class:`~repro.bist.controller.TestTarget` protocol, so
+both controller implementations can drive it, and the normal-mode API a
+system would use after self-repair.  "After a fault or defect has been
+diagnosed and the system switches back to normal operational mode, any
+incoming address intended for a faulty memory location is diverted to a
+new address."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bisr.tlb import Tlb
+from repro.memsim.array import MemoryArray
+
+
+class BisrRam:
+    """A self-repairable RAM.
+
+    Args:
+        rows: regular rows.
+        bpw: bits per word.
+        bpc: bits per column (column-mux factor).
+        spares: spare rows (also the TLB entry count).
+    """
+
+    def __init__(self, rows: int, bpw: int, bpc: int, spares: int) -> None:
+        if spares < 1:
+            raise ValueError("a BISR RAM needs at least one spare row")
+        self.array = MemoryArray(rows, bpw, bpc, spares)
+        self.tlb = Tlb(regular_rows=rows, spares=spares)
+        self.repair_mode = False
+        self.diversion_count = 0
+        self._remapped_rows = set()
+
+    # -- TestTarget protocol -------------------------------------------------
+
+    @property
+    def word_count(self) -> int:
+        """The CPU-visible address space: regular words only."""
+        return self.array.words
+
+    def read(self, address: int) -> int:
+        row = self._physical_row(address)
+        return self.array.read_word(address, row_override=row)
+
+    def write(self, address: int, word: int) -> None:
+        row = self._physical_row(address)
+        self.array.write_word(address, word, row_override=row)
+
+    def set_repair_mode(self, enabled: bool) -> None:
+        """Enable/disable TLB diversion (BIST pass 1 runs with it off).
+
+        Called at the start of every test pass; also re-arms the
+        one-remap-per-pass guard (see :meth:`record_fail`).
+        """
+        self.repair_mode = bool(enabled)
+        self._remapped_rows = set()
+
+    def record_fail(self, address: int) -> None:
+        """Record the row of a failing *incoming* address in the TLB.
+
+        The incoming (pre-diversion) row is recorded.  When diversion
+        is active (an iterated repair pass), a failure of an
+        already-mapped row means its spare is faulty, so the row
+        re-records and advances to the next spare — at most once per
+        pass: right after a mid-march remap, one read can still see the
+        fresh spare's stale contents, and that echo must not burn
+        another spare.
+        """
+        row = address // self.array.bpc
+        remap = self.repair_mode
+        if remap and row in self._remapped_rows:
+            return
+        if remap and self.tlb.translate(row)[1]:
+            self._remapped_rows.add(row)
+        self.tlb.record(row, remap=remap)
+
+    def retention_wait(self) -> None:
+        """The embedded processor tristates the interface; cells leak."""
+        self.array.apply_retention()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _physical_row(self, address: int) -> Optional[int]:
+        if not self.repair_mode:
+            return None
+        row = address // self.array.bpc
+        physical, diverted = self.tlb.translate(row)
+        if diverted:
+            self.diversion_count += 1
+            return physical
+        return None
+
+    # -- normal-mode conveniences ---------------------------------------------------
+
+    def reset_for_test(self) -> None:
+        """Fresh self-test: clear the TLB and leave repair mode off."""
+        self.tlb.reset()
+        self.repair_mode = False
+        self.diversion_count = 0
+        self._remapped_rows = set()
+
+    def check_pattern(self, pattern_word: int) -> int:
+        """Write-then-read the whole visible space; count mismatches.
+
+        A quick post-repair sanity sweep used by the examples: with a
+        successful repair it returns 0 even on a fault-injected array.
+        """
+        mismatches = 0
+        for address in range(self.word_count):
+            self.write(address, pattern_word)
+        for address in range(self.word_count):
+            if self.read(address) != pattern_word:
+                mismatches += 1
+        return mismatches
+
+    def describe(self) -> str:
+        a = self.array
+        return (
+            f"BisrRam(rows={a.rows}, bpw={a.bpw}, bpc={a.bpc}, "
+            f"spares={a.spares}, words={a.words}, "
+            f"tlb_used={self.tlb.spares_used})"
+        )

@@ -1,0 +1,171 @@
+"""Fault diagnosis from BIST failure signatures.
+
+The repair decision needs more than "address X failed": a column
+defect "will quickly swamp the row redundancy" and must be recognised
+as unrepairable *before* burning every spare, while a row defect is the
+ideal one-spare repair.  This module classifies the failure log of a
+test pass:
+
+* ``cell`` — isolated failing word bits in one (row, column) spot,
+* ``row`` — many failing words sharing one row,
+* ``column`` — failures in the same word-column position across many
+  rows, with the same failing bit lane (the signature of a broken
+  bit line).
+
+The classifier is the software twin of what a repair allocator in
+hardware would infer from the fault-capture stream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class FailRecord:
+    """One comparator hit during a test pass."""
+
+    address: int
+    observed: int
+    expected: int
+
+    def failing_bits(self) -> int:
+        return self.observed ^ self.expected
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Classified fault regions of one device."""
+
+    cell_faults: Tuple[Tuple[int, int], ...]   # (row, column) spots
+    row_faults: Tuple[int, ...]                # whole rows
+    column_faults: Tuple[Tuple[int, int], ...]  # (column, bit lane)
+    repairable_with_rows: bool
+    spares_needed: int
+
+    def summary(self) -> str:
+        return (
+            f"cells={list(self.cell_faults)}, rows={list(self.row_faults)}, "
+            f"columns={list(self.column_faults)}, "
+            f"row-repairable={self.repairable_with_rows} "
+            f"({self.spares_needed} spares needed)"
+        )
+
+
+def diagnose(
+    records: Sequence[FailRecord],
+    rows: int,
+    bpw: int,
+    bpc: int,
+    spares: int,
+    row_threshold: float = 0.5,
+    column_threshold: float = 0.5,
+) -> Diagnosis:
+    """Classify a failure log.
+
+    Args:
+        records: comparator hits from one (non-diverted) test pass.
+        rows/bpw/bpc/spares: the array organisation.
+        row_threshold: fraction of a row's words that must fail to call
+            the whole row bad.
+        column_threshold: fraction of rows that must fail at one
+            (column, bit-lane) to call the bit line bad.
+    """
+    if rows < 1:
+        raise ValueError("rows must be positive")
+    fail_words: Dict[Tuple[int, int], int] = defaultdict(int)
+    for record in records:
+        row, column = divmod(record.address, bpc)
+        fail_words[(row, column)] |= record.failing_bits()
+
+    # Column analysis first: a (column, bit lane) failing in most rows
+    # is a bit-line defect; its contributions are removed before row
+    # analysis so a broken column does not masquerade as many bad rows.
+    lane_rows: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+    for (row, column), bits in fail_words.items():
+        for bit in range(bpw):
+            if (bits >> bit) & 1:
+                lane_rows[(column, bit)].add(row)
+    column_faults = sorted(
+        lane for lane, hit_rows in lane_rows.items()
+        if len(hit_rows) >= column_threshold * rows
+    )
+    column_set = set(column_faults)
+
+    residual: Dict[Tuple[int, int], int] = {}
+    for (row, column), bits in fail_words.items():
+        kept = 0
+        for bit in range(bpw):
+            if (bits >> bit) & 1 and (column, bit) not in column_set:
+                kept |= 1 << bit
+        if kept:
+            residual[(row, column)] = kept
+
+    words_per_row: Dict[int, int] = Counter(
+        row for (row, _c) in residual
+    )
+    row_faults = sorted(
+        row for row, count in words_per_row.items()
+        if count >= max(2, row_threshold * bpc)
+    )
+    row_set = set(row_faults)
+
+    cell_faults = sorted(
+        (row, column) for (row, column) in residual
+        if row not in row_set
+    )
+
+    # Row repair covers rows and cells (a cell fault costs one spare
+    # row for its whole row) but never columns.
+    rows_needing_spares = row_set | {row for row, _ in cell_faults}
+    repairable = (
+        not column_faults and len(rows_needing_spares) <= spares
+    )
+    return Diagnosis(
+        cell_faults=tuple(cell_faults),
+        row_faults=tuple(row_faults),
+        column_faults=tuple(column_faults),
+        repairable_with_rows=repairable,
+        spares_needed=len(rows_needing_spares),
+    )
+
+
+def collect_fail_records(march, device, bpw: int) -> List[FailRecord]:
+    """Run one diagnostic pass of ``march`` and log every comparator
+    hit with observed/expected data (a richer log than the production
+    controller keeps — this is the diagnosis mode)."""
+    from repro.bist.datagen import DataGen
+    from repro.bist.march import Order
+
+    datagen = DataGen(bpw)
+    records: List[FailRecord] = []
+    datagen.reset()
+    while True:
+        for element in march.elements:
+            if element.is_delay:
+                device.retention_wait()
+                continue
+            addresses = (
+                range(device.word_count - 1, -1, -1)
+                if element.order is Order.DOWN
+                else range(device.word_count)
+            )
+            for address in addresses:
+                for op in element.ops:
+                    if op.is_read:
+                        word = device.read(address)
+                        expected = datagen.pattern(op.data_bit)
+                        if word != expected:
+                            records.append(
+                                FailRecord(address, word, expected)
+                            )
+                    else:
+                        device.write(
+                            address, datagen.pattern(op.data_bit)
+                        )
+        if datagen.done:
+            break
+        datagen.step()
+    return records

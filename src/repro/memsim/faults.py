@@ -1,0 +1,272 @@
+"""IFA-style functional fault models.
+
+"IFA-9 detects a wide range of functional faults caused by layout
+defects; for example, stuck-at and stuck-open faults, transition faults
+and state coupling faults" — plus the data-retention faults its two
+delay elements exist for.
+
+Faults hook into the array at three points:
+
+* ``on_write(cell, old, new) -> stored`` — what actually lands in the
+  cell,
+* ``on_read(cell, stored) -> observed`` — what the sense path returns,
+* ``after_write(array, cell)`` — coupling side effects on *other* cells,
+* ``on_retention(array)`` — decay during the data-retention pause.
+
+Cells are flat indices ``row * phys_cols + phys_col``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.memsim.array import MemoryArray
+
+
+class Fault:
+    """Base fault.  Subclasses override the hooks they need.
+
+    ``cells`` lists every flat cell index the fault involves, letting
+    the array build its dispatch tables.
+    """
+
+    def cells(self) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def on_write(self, cell: int, old: int, new: int) -> int:
+        return new
+
+    def on_read(self, cell: int, stored: int,
+                array: "MemoryArray") -> int:
+        return stored
+
+    def after_write(self, array: "MemoryArray", cell: int) -> None:
+        return None
+
+    def on_retention(self, array: "MemoryArray") -> None:
+        return None
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class StuckAt(Fault):
+    """Cell permanently reads (and stores) ``value``."""
+
+    cell: int
+    value: int
+
+    def cells(self) -> Tuple[int, ...]:
+        return (self.cell,)
+
+    def on_write(self, cell: int, old: int, new: int) -> int:
+        return self.value
+
+    def on_read(self, cell: int, stored: int, array) -> int:
+        return self.value
+
+    def describe(self) -> str:
+        return f"SA{self.value}@{self.cell}"
+
+
+@dataclass
+class StuckOpen(Fault):
+    """Open access path: the cell cannot be driven or sensed.
+
+    Reads return whatever the bit-line pair last carried on this
+    physical column (the classic sequential behaviour that makes
+    stuck-open faults invisible to tests without both data polarities).
+    """
+
+    cell: int
+
+    def cells(self) -> Tuple[int, ...]:
+        return (self.cell,)
+
+    def on_write(self, cell: int, old: int, new: int) -> int:
+        return old  # the write never reaches the cell
+
+    def on_read(self, cell: int, stored: int, array) -> int:
+        phys_col = cell % array.phys_cols
+        return array.last_column_value(phys_col)
+
+    def describe(self) -> str:
+        return f"SOp@{self.cell}"
+
+
+@dataclass
+class TransitionFault(Fault):
+    """The cell cannot make the ``rising``(0->1) or falling transition."""
+
+    cell: int
+    rising: bool
+
+    def cells(self) -> Tuple[int, ...]:
+        return (self.cell,)
+
+    def on_write(self, cell: int, old: int, new: int) -> int:
+        if self.rising and old == 0 and new == 1:
+            return 0
+        if not self.rising and old == 1 and new == 0:
+            return 1
+        return new
+
+    def describe(self) -> str:
+        return f"TF{'r' if self.rising else 'f'}@{self.cell}"
+
+
+@dataclass
+class StateCoupling(Fault):
+    """CFst: while the aggressor holds ``w``, the victim is forced to ``v``."""
+
+    aggressor: int
+    victim: int
+    w: int
+    v: int
+
+    def cells(self) -> Tuple[int, ...]:
+        return (self.aggressor, self.victim)
+
+    def after_write(self, array, cell: int) -> None:
+        if array.raw(self.aggressor) == self.w:
+            array.force(self.victim, self.v)
+
+    def describe(self) -> str:
+        return f"CFst<{self.aggressor}:{self.w}->{self.victim}={self.v}>"
+
+
+@dataclass
+class IdempotentCoupling(Fault):
+    """CFid: an aggressor transition forces the victim to ``v``."""
+
+    aggressor: int
+    victim: int
+    rising: bool
+    v: int
+    _prev: Optional[int] = None
+
+    def cells(self) -> Tuple[int, ...]:
+        return (self.aggressor, self.victim)
+
+    def after_write(self, array, cell: int) -> None:
+        now = array.raw(self.aggressor)
+        if self._prev is not None and cell == self.aggressor:
+            edge = (self._prev, now)
+            wanted = (0, 1) if self.rising else (1, 0)
+            if edge == wanted:
+                array.force(self.victim, self.v)
+        if cell == self.aggressor:
+            self._prev = now
+
+    def describe(self) -> str:
+        kind = "r" if self.rising else "f"
+        return f"CFid<{self.aggressor}{kind}->{self.victim}={self.v}>"
+
+
+@dataclass
+class InversionCoupling(Fault):
+    """CFin: an aggressor transition inverts the victim."""
+
+    aggressor: int
+    victim: int
+    rising: bool
+    _prev: Optional[int] = None
+
+    def cells(self) -> Tuple[int, ...]:
+        return (self.aggressor, self.victim)
+
+    def after_write(self, array, cell: int) -> None:
+        now = array.raw(self.aggressor)
+        if self._prev is not None and cell == self.aggressor:
+            edge = (self._prev, now)
+            wanted = (0, 1) if self.rising else (1, 0)
+            if edge == wanted:
+                array.force(self.victim, 1 - array.raw(self.victim))
+        if cell == self.aggressor:
+            self._prev = now
+
+    def describe(self) -> str:
+        kind = "r" if self.rising else "f"
+        return f"CFin<{self.aggressor}{kind}->{self.victim}>"
+
+
+@dataclass
+class DataRetention(Fault):
+    """DRF: the cell leaks to ``leak_value`` during a retention pause.
+
+    Exactly what the two Delay elements of IFA-9 exist to catch; only a
+    test that writes, waits, and reads both polarities detects both
+    leak directions.
+    """
+
+    cell: int
+    leak_value: int
+
+    def cells(self) -> Tuple[int, ...]:
+        return (self.cell,)
+
+    def on_retention(self, array) -> None:
+        array.force(self.cell, self.leak_value)
+
+    def describe(self) -> str:
+        return f"DRF{self.leak_value}@{self.cell}"
+
+
+@dataclass
+class RowStuck(Fault):
+    """A whole-row defect (broken word line): every cell reads ``value``.
+
+    Repairable by a single spare row — the sweet spot of row-redundancy
+    BISR.
+    """
+
+    row: int
+    phys_cols: int
+    value: int
+
+    def cells(self) -> Tuple[int, ...]:
+        base = self.row * self.phys_cols
+        return tuple(range(base, base + self.phys_cols))
+
+    def on_write(self, cell: int, old: int, new: int) -> int:
+        return self.value
+
+    def on_read(self, cell: int, stored: int, array) -> int:
+        return self.value
+
+    def describe(self) -> str:
+        return f"RowStuck{self.value}@r{self.row}"
+
+
+@dataclass
+class ColumnStuck(Fault):
+    """A whole-column defect (broken bit line): every cell reads ``value``.
+
+    "If a column is faulty, the row redundancy will be quickly swamped
+    because every single word on a faulty column will be found to be
+    faulty ... column failures can be detected but not directly
+    repaired in our approach."
+    """
+
+    phys_col: int
+    total_rows: int
+    phys_cols: int
+    value: int
+
+    def cells(self) -> Tuple[int, ...]:
+        return tuple(
+            r * self.phys_cols + self.phys_col
+            for r in range(self.total_rows)
+        )
+
+    def on_write(self, cell: int, old: int, new: int) -> int:
+        return self.value
+
+    def on_read(self, cell: int, stored: int, array) -> int:
+        return self.value
+
+    def describe(self) -> str:
+        return f"ColStuck{self.value}@c{self.phys_col}"

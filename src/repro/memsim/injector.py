@@ -1,0 +1,174 @@
+"""Defect injection: mapping manufacturing defects to functional faults.
+
+Defects are placed either uniformly or with Stapper-style clustering
+(cluster centres + local spread), then mapped to IFA fault types with a
+configurable mix.  The defaults follow the inductive-fault-analysis
+observation that most spot defects in an SRAM core manifest as
+stuck-at/transition faults, with smaller shares of stuck-open, coupling
+and retention faults, and rare whole-row/column (line-break) defects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.memsim.array import MemoryArray
+from repro.memsim.faults import (
+    ColumnStuck,
+    DataRetention,
+    Fault,
+    IdempotentCoupling,
+    InversionCoupling,
+    RowStuck,
+    StateCoupling,
+    StuckAt,
+    StuckOpen,
+    TransitionFault,
+)
+
+
+@dataclass(frozen=True)
+class FaultMix:
+    """Relative weights of fault types produced by a spot defect."""
+
+    stuck_at: float = 0.40
+    transition: float = 0.18
+    stuck_open: float = 0.10
+    state_coupling: float = 0.12
+    idempotent_coupling: float = 0.06
+    inversion_coupling: float = 0.04
+    data_retention: float = 0.08
+    row_defect: float = 0.015
+    column_defect: float = 0.005
+
+    def weights(self) -> List[float]:
+        return [
+            self.stuck_at,
+            self.transition,
+            self.stuck_open,
+            self.state_coupling,
+            self.idempotent_coupling,
+            self.inversion_coupling,
+            self.data_retention,
+            self.row_defect,
+            self.column_defect,
+        ]
+
+
+_KINDS = (
+    "stuck_at",
+    "transition",
+    "stuck_open",
+    "state_coupling",
+    "idempotent_coupling",
+    "inversion_coupling",
+    "data_retention",
+    "row_defect",
+    "column_defect",
+)
+
+
+class DefectInjector:
+    """Places defects on an array and converts them to faults.
+
+    Args:
+        rng: a seeded :class:`random.Random` for reproducible campaigns.
+        mix: fault-type weights.
+        clustering: 0 = uniform placement; larger values concentrate
+            defects around cluster centres (negative-binomial-flavoured
+            clustering: alpha small = strongly clustered).
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 mix: Optional[FaultMix] = None,
+                 clustering: float = 0.0) -> None:
+        self.rng = rng or random.Random(0)
+        self.mix = mix or FaultMix()
+        if clustering < 0:
+            raise ValueError("clustering must be non-negative")
+        self.clustering = clustering
+
+    # -- placement ------------------------------------------------------------
+
+    def _pick_cell(self, array: MemoryArray,
+                   cluster_center: Optional[int]) -> int:
+        if cluster_center is None:
+            return self.rng.randrange(array.cell_count)
+        # Spread around the centre with a geometric-ish tail.
+        spread = max(1, int(array.phys_cols * 2))
+        offset = int(self.rng.gauss(0, spread))
+        return min(max(cluster_center + offset, 0), array.cell_count - 1)
+
+    def make_fault(self, array: MemoryArray, kind: str, cell: int) -> Fault:
+        """Build one fault of ``kind`` anchored at ``cell``."""
+        rng = self.rng
+        if kind == "stuck_at":
+            return StuckAt(cell, rng.randrange(2))
+        if kind == "transition":
+            return TransitionFault(cell, rising=bool(rng.randrange(2)))
+        if kind == "stuck_open":
+            return StuckOpen(cell)
+        if kind in ("state_coupling", "idempotent_coupling",
+                    "inversion_coupling"):
+            # The coupled neighbour is physically adjacent: same row,
+            # next physical column (wrapping at the row edge).
+            row = cell // array.phys_cols
+            col = cell % array.phys_cols
+            neighbour = row * array.phys_cols + (col + 1) % array.phys_cols
+            if kind == "state_coupling":
+                return StateCoupling(
+                    aggressor=cell, victim=neighbour,
+                    w=rng.randrange(2), v=rng.randrange(2),
+                )
+            if kind == "idempotent_coupling":
+                return IdempotentCoupling(
+                    aggressor=cell, victim=neighbour,
+                    rising=bool(rng.randrange(2)), v=rng.randrange(2),
+                )
+            return InversionCoupling(
+                aggressor=cell, victim=neighbour,
+                rising=bool(rng.randrange(2)),
+            )
+        if kind == "data_retention":
+            return DataRetention(cell, leak_value=rng.randrange(2))
+        if kind == "row_defect":
+            row = cell // array.phys_cols
+            return RowStuck(row, array.phys_cols, rng.randrange(2))
+        if kind == "column_defect":
+            col = cell % array.phys_cols
+            return ColumnStuck(
+                col, array.total_rows, array.phys_cols, rng.randrange(2)
+            )
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+    def inject(self, array: MemoryArray, n_defects: int,
+               spare_rows_immune: bool = False) -> List[Fault]:
+        """Inject ``n_defects`` defects; returns the created faults.
+
+        ``spare_rows_immune`` restricts defects to regular rows — used
+        by experiments isolating the "spares must be fault-free"
+        condition.
+        """
+        if n_defects < 0:
+            raise ValueError("n_defects must be non-negative")
+        faults: List[Fault] = []
+        centres: List[int] = []
+        n_clusters = max(1, int(n_defects / max(self.clustering, 1)))
+        if self.clustering > 0:
+            centres = [
+                self.rng.randrange(array.cell_count)
+                for _ in range(n_clusters)
+            ]
+        for _ in range(n_defects):
+            centre = self.rng.choice(centres) if centres else None
+            cell = self._pick_cell(array, centre)
+            if spare_rows_immune:
+                limit = array.rows * array.phys_cols
+                cell = cell % limit
+            kind = self.rng.choices(_KINDS, weights=self.mix.weights())[0]
+            fault = self.make_fault(array, kind, cell)
+            array.inject(fault)
+            faults.append(fault)
+        return faults

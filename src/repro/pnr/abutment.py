@@ -1,0 +1,52 @@
+"""Abutment detection.
+
+"During this structured design, no routing is necessary and the
+signals in adjacent modules are perfectly aligned and connected by
+abutments between macrocells."  :func:`abutting_ports` verifies the
+claim on a placed assembly: two instance ports connect by abutment when
+their (same-layer) port rectangles coincide or touch in the parent's
+coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.layout.cell import Cell
+
+
+def abutting_ports(parent: Cell) -> List[Tuple[str, str, str, str]]:
+    """All abutment connections among the direct children of ``parent``.
+
+    Returns tuples (instance_a, port_a, instance_b, port_b).  Ports
+    connect when they share a layer and their rectangles intersect
+    (zero-thickness edge ports coincide exactly on abutting edges).
+    """
+    placed = []
+    for inst in parent.instances():
+        label = inst.name or inst.cell.name
+        for port in inst.ports():
+            placed.append((label, port))
+    found = []
+    for i, (name_a, port_a) in enumerate(placed):
+        for name_b, port_b in placed[i + 1:]:
+            if name_a == name_b:
+                continue
+            if port_a.layer != port_b.layer:
+                continue
+            if port_a.rect.intersects(port_b.rect):
+                found.append((name_a, port_a.name, name_b, port_b.name))
+    return found
+
+
+def unconnected_ports(parent: Cell, expected: List[str]) -> List[str]:
+    """Which of the expected inter-block signals failed to abut.
+
+    ``expected`` names signals (port names) that must connect by
+    abutment somewhere in the assembly; returns those with no abutment.
+    """
+    connected = set()
+    for _, port_a, _, port_b in abutting_ports(parent):
+        connected.add(port_a)
+        connected.add(port_b)
+    return [name for name in expected if name not in connected]

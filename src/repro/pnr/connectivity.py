@@ -1,0 +1,126 @@
+"""Net extraction from abutments (networkx graph of port contacts).
+
+"The signals in adjacent modules are perfectly aligned and connected by
+abutments" — so the electrical nets of an assembled macro are exactly
+the connected components of the port-abutment graph.  This module
+builds that graph and answers the two questions assembly verification
+needs:
+
+* which instance ports belong to one net (e.g. a bit line spanning
+  precharge -> every array row -> column mux),
+* whether an expected net is *continuous* (one component, not several
+  disconnected islands that merely look aligned).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.layout.cell import Cell
+from repro.pnr.abutment import abutting_ports
+
+#: One endpoint: (instance name, port name).
+Endpoint = Tuple[str, str]
+
+
+def _through_key(port_name: str) -> str:
+    """Normalise facing-edge twin names to their shared net key.
+
+    The leaf/macro port convention names the feed-through twin of a
+    port by inserting ``t`` (top) or ``r`` (right): ``bl``/``bl_t``,
+    ``wl``/``wl_r``, ``bl_3``/``bl_t_3``.  Twins are internally
+    connected (the signal runs straight through the cell), so they
+    collapse to one key here.
+    """
+    parts = [p for p in port_name.split("_") if p not in ("t", "r")]
+    return "_".join(parts)
+
+
+def connectivity_graph(parent: Cell) -> "nx.Graph":
+    """Graph over (instance, port) endpoints.
+
+    Edges: abutments between instances, plus the internal feed-through
+    connections between one instance's facing-edge twin ports (a bit
+    line entering an array at the bottom exits at the top).
+    """
+    graph = nx.Graph()
+    through: Dict[Tuple[str, str], List[Endpoint]] = {}
+    for inst in parent.instances():
+        label = inst.name or inst.cell.name
+        for port in inst.ports():
+            node = (label, port.name)
+            graph.add_node(node, layer=port.layer)
+            through.setdefault(
+                (label, _through_key(port.name)), []
+            ).append(node)
+    for nodes in through.values():
+        for a, b in zip(nodes, nodes[1:]):
+            graph.add_edge(a, b)
+    for name_a, port_a, name_b, port_b in abutting_ports(parent):
+        graph.add_edge((name_a, port_a), (name_b, port_b))
+    return graph
+
+
+def extract_nets(parent: Cell, min_size: int = 2
+                 ) -> List[FrozenSet[Endpoint]]:
+    """Connected components of the abutment graph (the nets).
+
+    Components below ``min_size`` are unconnected ports, reported by
+    :func:`dangling_ports` instead.
+    """
+    graph = connectivity_graph(parent)
+    return [
+        frozenset(component)
+        for component in nx.connected_components(graph)
+        if len(component) >= min_size
+    ]
+
+
+def dangling_ports(parent: Cell,
+                   ignore: Sequence[str] = ()) -> List[Endpoint]:
+    """Ports with no abutment partner (candidates for routing).
+
+    ``ignore`` filters port-name prefixes that legitimately terminate
+    at the macro boundary (external pins).
+    """
+    graph = connectivity_graph(parent)
+    out = []
+    for node in graph.nodes:
+        if graph.degree(node) == 0:
+            _, port_name = node
+            if any(port_name.startswith(p) for p in ignore):
+                continue
+            out.append(node)
+    return sorted(out)
+
+
+def net_spans_instances(parent: Cell, instance_names: Sequence[str],
+                        port_prefix: str) -> bool:
+    """Is there one net touching all the named instances through ports
+    with the given prefix?
+
+    The assembly check for a bit line: a single electrical net must
+    span precharge row, array, and mux row.
+    """
+    wanted = set(instance_names)
+    for net in extract_nets(parent):
+        touched = {
+            inst for inst, port in net if port.startswith(port_prefix)
+        }
+        if wanted <= touched:
+            return True
+    return False
+
+
+def net_statistics(parent: Cell) -> Dict[str, int]:
+    """Summary counts for reports: nets, endpoints, dangling ports."""
+    graph = connectivity_graph(parent)
+    components = list(nx.connected_components(graph))
+    return {
+        "endpoints": graph.number_of_nodes(),
+        "abutments": graph.number_of_edges(),
+        "nets": sum(1 for c in components if len(c) >= 2),
+        "dangling": sum(1 for c in components if len(c) == 1),
+    }

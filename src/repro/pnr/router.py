@@ -1,0 +1,169 @@
+"""Channel routing and over-the-cell (metal-3) routing.
+
+BISRAMGEN "often uses over-the-cell routing with third metal, instead
+of channel or global routing, to reduce the interconnect lengths and
+delays"; the channel router remains for connections that cannot abut.
+The channel router is the classic left-edge algorithm: nets sorted by
+left endpoint are packed greedily into horizontal tracks; the channel
+height is (track count) * (metal pitch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geometry import Rect
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+
+@dataclass(frozen=True)
+class Net:
+    """A two-sided channel net: pin x-positions on top and bottom."""
+
+    name: str
+    top_pins: Tuple[int, ...] = ()
+    bottom_pins: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.top_pins and not self.bottom_pins:
+            raise ValueError(f"net {self.name!r} has no pins")
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        xs = self.top_pins + self.bottom_pins
+        return min(xs), max(xs)
+
+
+@dataclass
+class RoutedNet:
+    """A net with its assigned track index."""
+
+    net: Net
+    track: int
+
+
+class ChannelRouter:
+    """Left-edge channel router for one horizontal channel."""
+
+    def __init__(self, process: Process, layer: str = "metal2") -> None:
+        self.process = process
+        self.layer = layer
+        self.pitch = process.rules.pitch(layer)
+
+    def assign_tracks(self, nets: Sequence[Net]) -> List[RoutedNet]:
+        """Greedy left-edge track assignment (no vertical conflicts
+        modelled — doglegs are unnecessary for the RAM's bus-shaped
+        channels)."""
+        ordered = sorted(nets, key=lambda n: n.span[0])
+        track_right: List[int] = []  # rightmost occupied x per track
+        routed: List[RoutedNet] = []
+        min_gap = self.process.rules.min_space(self.layer)
+        for net in ordered:
+            left, right = net.span
+            placed = None
+            for t, occupied in enumerate(track_right):
+                if left > occupied + min_gap:
+                    placed = t
+                    break
+            if placed is None:
+                placed = len(track_right)
+                track_right.append(right)
+            else:
+                track_right[placed] = right
+            routed.append(RoutedNet(net=net, track=placed))
+        return routed
+
+    def channel_height(self, nets: Sequence[Net]) -> int:
+        """Height (cu) of the channel the nets require."""
+        routed = self.assign_tracks(nets)
+        tracks = 1 + max((r.track for r in routed), default=0)
+        return tracks * self.pitch + self.process.rules.min_space(self.layer)
+
+    def build_channel_cell(self, nets: Sequence[Net],
+                           name: str = "channel") -> Cell:
+        """Emit the channel wiring as a layout cell.
+
+        Horizontal trunks on the channel layer; vertical stubs drop to
+        y=0 (bottom pins) and rise to the channel top (top pins) on the
+        next metal up, with vias at the junctions.
+        """
+        routed = self.assign_tracks(nets)
+        height = self.channel_height(nets)
+        cell = Cell(name)
+        width_rule = self.process.rules.min_width(self.layer)
+        vertical_layer = self._vertical_layer()
+        v_width = self.process.rules.min_width(vertical_layer)
+        cut_layer = "via1" if self.layer == "metal1" else "via2"
+        cut = self.process.rules.min_width(cut_layer)
+        for item in routed:
+            y = self.process.rules.min_space(self.layer) + \
+                item.track * self.pitch
+            left, right = item.net.span
+            cell.add_shape(
+                self.layer,
+                Rect(left - width_rule, y, right + width_rule,
+                     y + width_rule),
+            )
+            for x in item.net.bottom_pins:
+                cell.add_shape(
+                    vertical_layer,
+                    Rect(x, 0, x + v_width, y + width_rule),
+                )
+                cell.add_shape(
+                    cut_layer,
+                    Rect(x, y, x + cut, y + cut),
+                )
+            for x in item.net.top_pins:
+                cell.add_shape(
+                    vertical_layer,
+                    Rect(x, y, x + v_width, height),
+                )
+                cell.add_shape(
+                    cut_layer,
+                    Rect(x, y, x + cut, y + cut),
+                )
+        return cell
+
+    def _vertical_layer(self) -> str:
+        levels = {"metal1": "metal2", "metal2": "metal3",
+                  "metal3": "metal2"}
+        return levels[self.layer]
+
+
+def route_channel(process: Process, nets: Sequence[Net],
+                  layer: str = "metal2") -> Tuple[Cell, int]:
+    """Convenience: route one channel, return (cell, height)."""
+    router = ChannelRouter(process, layer)
+    return router.build_channel_cell(nets), router.channel_height(nets)
+
+
+def over_the_cell_route(
+    process: Process,
+    over: Cell,
+    from_x: int,
+    to_x: int,
+    y: int,
+    name: str = "otc",
+) -> Cell:
+    """A straight metal-3 wire across an existing macrocell.
+
+    The paper's preferred trick: "over-the-cell routing with third
+    metal, instead of channel or global routing".  The wire is checked
+    against the macrocell's own metal-3 so it cannot short.
+    """
+    width = process.rules.min_width("metal3")
+    space = process.rules.min_space("metal3")
+    wire = Rect(min(from_x, to_x), y, max(from_x, to_x), y + width)
+    for layer, rect in over.flatten():
+        if layer == "metal3" and rect.area > 0:
+            if wire.expanded(space - 1).intersects(rect):
+                raise ValueError(
+                    f"over-the-cell wire at y={y} conflicts with "
+                    f"existing metal3 in {over.name!r} near "
+                    f"({rect.x1},{rect.y1})"
+                )
+    cell = Cell(name)
+    cell.add_shape("metal3", wire)
+    return cell

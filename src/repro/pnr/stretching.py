@@ -1,0 +1,64 @@
+"""The stretching heuristic.
+
+"Sometimes, one macrocell may need to be stretched relative to another
+so as to cause better port alignment between the two macrocells,
+thereby decreasing interconnect lengths by causing all or most of the
+ports to be connected by abutments."
+
+:func:`stretch_cell` inserts slack at chosen cut lines: every shape and
+port entirely beyond a cut moves by that cut's stretch amount; shapes
+*spanning* a cut grow so continuous wires (rails, bit lines) stay
+continuous across the inserted space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence, Tuple
+
+from repro.geometry import Rect
+from repro.layout.cell import Cell
+
+
+def stretch_cell(
+    cell: Cell,
+    cuts: Sequence[Tuple[int, int]],
+    axis: str = "y",
+    name_suffix: str = "_stretched",
+) -> Cell:
+    """Return a stretched flat copy of ``cell``.
+
+    Args:
+        cell: source cell (flattened into the result).
+        cuts: (position, amount) pairs; everything beyond ``position``
+            on the chosen axis shifts by ``amount``; spanning shapes
+            grow.  Positions are in the cell's coordinates, amounts
+            must be non-negative.
+        axis: "x" or "y".
+    """
+    if axis not in ("x", "y"):
+        raise ValueError("axis must be 'x' or 'y'")
+    ordered = sorted(cuts)
+    if any(amount < 0 for _, amount in ordered):
+        raise ValueError("stretch amounts must be non-negative")
+
+    def shift_of(coord: int) -> int:
+        return sum(amount for pos, amount in ordered if coord > pos)
+
+    def stretch_rect(rect: Rect) -> Rect:
+        if axis == "y":
+            return Rect(
+                rect.x1, rect.y1 + shift_of(rect.y1),
+                rect.x2, rect.y2 + shift_of(rect.y2),
+            )
+        return Rect(
+            rect.x1 + shift_of(rect.x1), rect.y1,
+            rect.x2 + shift_of(rect.x2), rect.y2,
+        )
+
+    out = Cell(cell.name + name_suffix)
+    for layer, rect in cell.flatten():
+        out.add_shape(layer, stretch_rect(rect))
+    for port in cell.ports():
+        out.add_port(replace(port, rect=stretch_rect(port.rect)))
+    return out

@@ -1,0 +1,21 @@
+"""Reliability models (paper section VIII, Fig. 5)."""
+
+from repro.reliability.model import (
+    word_fault_prob_at,
+    reliability_words,
+    reliability_rows,
+    mttf_words,
+    mttf_numeric,
+    failure_pdf,
+    crossover_age,
+)
+
+__all__ = [
+    "word_fault_prob_at",
+    "reliability_words",
+    "reliability_rows",
+    "mttf_words",
+    "mttf_numeric",
+    "failure_pdf",
+    "crossover_age",
+]

@@ -1,0 +1,189 @@
+"""Reliability R(t) and MTTF of a BISR RAM (paper section VIII).
+
+Definitions (paper): R(t) is the probability of correct functioning
+until time t; f(t) = -dR/dt; MTTF = integral of R(t) from 0 to
+infinity.  "The RAM module will survive until time t if and only if at
+most S_w of the regular words are faulty until time t, and the S_w
+spare words are themselves fault-free until this time", with
+P_w(t) = 1 - exp(-bpw * lambda * t) the word fault probability for a
+per-bit failure rate lambda.
+
+Two granularities are provided:
+
+* :func:`reliability_words` — the paper's word-level formula (spare
+  capacity counted in words, S_w = spares * bpc),
+* :func:`reliability_rows` — the row-accurate variant (a spare row
+  replaces a whole faulty row), which is what the hardware does.
+
+Both exhibit the paper's headline phenomenon: "the reliability
+typically increases with the number of spares only after a period of
+several years after manufacture.  Initially the reliability is found to
+decrease with the number of spares" — young devices rarely fail, so
+extra spares only add silicon that must stay fault-free, while old
+devices exploit the repair capacity.  For the Fig. 5 configuration
+(1024 rows, bpc = bpw = 4, lambda = 1e-6 per kilohour per cell) the
+4-vs-8-spare crossover falls near 70,000 hours (about 8 years).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from scipy import integrate, optimize, special
+
+
+def word_fault_prob_at(t: float, lam: float, bpw: int) -> float:
+    """P_w(t) = 1 - exp(-bpw * lambda * t)."""
+    if t < 0 or lam < 0:
+        raise ValueError("time and failure rate must be non-negative")
+    if bpw < 1:
+        raise ValueError("bpw must be positive")
+    return 1.0 - math.exp(-bpw * lam * t)
+
+
+def _binomial_tail(n: int, k_max: int, p: float) -> float:
+    """P(X <= k_max) for X ~ Binomial(n, p), numerically stable."""
+    if p <= 0.0:
+        return 1.0
+    if p >= 1.0:
+        return 0.0 if k_max < n else 1.0
+    total = 0.0
+    log_q = n * math.log1p(-p)
+    for j in range(k_max + 1):
+        log_term = (
+            _log_comb(n, j) + j * (math.log(p) - math.log1p(-p)) + log_q
+        )
+        total += math.exp(log_term)
+    return min(total, 1.0)
+
+
+def _log_comb(n: int, k: int) -> float:
+    return float(
+        special.gammaln(n + 1) - special.gammaln(k + 1)
+        - special.gammaln(n - k + 1)
+    )
+
+
+def reliability_words(t: float, rows: int, spares: int, bpw: int,
+                      bpc: int, lam: float) -> float:
+    """The paper's word-level reliability.
+
+    R(t) = P(#faulty regular words <= S_w) * P(S_w spare words OK),
+    with W = rows*bpc regular words and S_w = spares*bpc spare words.
+    """
+    _check_geometry(rows, spares, bpw, bpc)
+    p_w = word_fault_prob_at(t, lam, bpw)
+    regular_words = rows * bpc
+    spare_words = spares * bpc
+    survive_regular = _binomial_tail(regular_words, spare_words, p_w)
+    spares_ok = math.exp(-bpw * lam * t * spare_words)
+    return survive_regular * spares_ok
+
+
+def reliability_rows(t: float, rows: int, spares: int, bpw: int,
+                     bpc: int, lam: float) -> float:
+    """Row-accurate reliability: at most ``spares`` faulty regular rows
+    and all spare rows fault-free."""
+    _check_geometry(rows, spares, bpw, bpc)
+    bits_row = bpw * bpc
+    p_row = 1.0 - math.exp(-bits_row * lam * t)
+    survive_regular = _binomial_tail(rows, spares, p_row)
+    spares_ok = math.exp(-bits_row * lam * t * spares)
+    return survive_regular * spares_ok
+
+
+def mttf_words(rows: int, spares: int, bpw: int, bpc: int,
+               lam: float) -> float:
+    """Closed-form MTTF for the word-level model.
+
+    Expanding (1-e^{-b l t})^j binomially and integrating term by term:
+    every term is an exponential in t, so the integral is an explicit
+    double sum — the paper's closed form.  The sum alternates with
+    astronomically large binomial coefficients, so it is evaluated in
+    exact rational arithmetic (the cancellation destroys float64 for
+    realistic word counts) and converted to float at the end.
+    """
+    _check_geometry(rows, spares, bpw, bpc)
+    if lam <= 0:
+        raise ValueError("failure rate must be positive for a finite MTTF")
+    from fractions import Fraction
+
+    W = rows * bpc
+    S = spares * bpc
+    total = Fraction(0)
+    for j in range(S + 1):
+        cwj = math.comb(W, j)
+        for k in range(j + 1):
+            term = Fraction(cwj * math.comb(j, k), W - j + k + S)
+            total += -term if k % 2 else term
+    return float(total) / (bpw * lam)
+
+
+def mttf_numeric(reliability: Callable[[float], float],
+                 t_scale: float) -> float:
+    """MTTF by numeric integration of an arbitrary R(t).
+
+    ``t_scale`` is a characteristic time (e.g. 1/(bpw*lam*words)) used
+    to split the integration range for accuracy.
+    """
+    if t_scale <= 0:
+        raise ValueError("t_scale must be positive")
+    first, _ = integrate.quad(reliability, 0, 10 * t_scale, limit=200)
+    second, _ = integrate.quad(
+        reliability, 10 * t_scale, 1000 * t_scale, limit=200
+    )
+    return first + second
+
+
+def failure_pdf(reliability: Callable[[float], float], t: float,
+                dt: float = None) -> float:
+    """f(t) = -dR/dt via central difference."""
+    if t < 0:
+        raise ValueError("time must be non-negative")
+    h = dt if dt is not None else max(t, 1.0) * 1e-5
+    lo = max(t - h, 0.0)
+    return (reliability(lo) - reliability(t + h)) / (t + h - lo)
+
+
+def crossover_age(
+    rows: int, bpw: int, bpc: int, lam: float,
+    spares_a: int, spares_b: int,
+    t_hint: float = 1e4,
+    model: Callable = reliability_words,
+) -> float:
+    """Age at which ``spares_b`` overtakes ``spares_a`` in reliability.
+
+    Returns the root of R_b(t) - R_a(t) near ``t_hint`` hours; raises
+    when no crossover is bracketed within [t_hint/1e3, t_hint*1e3].
+    """
+
+    def gap(t: float) -> float:
+        return (
+            model(t, rows, spares_b, bpw, bpc, lam)
+            - model(t, rows, spares_a, bpw, bpc, lam)
+        )
+
+    # Scan a log grid for the first sign change: at very large t both
+    # reliabilities underflow to zero and the gap degenerates, so a
+    # naive wide bracket would hand brentq a spurious root out there.
+    grid = [t_hint * 10 ** (e / 8.0) for e in range(-24, 25)]
+    previous_t, previous_g = grid[0], gap(grid[0])
+    for t in grid[1:]:
+        g = gap(t)
+        if previous_g != 0.0 and g != 0.0 and (previous_g < 0) != (g < 0):
+            return float(optimize.brentq(gap, previous_t, t))
+        if previous_g == 0.0 and g != 0.0:
+            previous_t, previous_g = t, g
+            continue
+        previous_t, previous_g = t, g
+    raise ValueError(
+        f"no reliability crossover found near t_hint={t_hint:g} hours"
+    )
+
+
+def _check_geometry(rows: int, spares: int, bpw: int, bpc: int) -> None:
+    if rows < 1 or bpw < 1 or bpc < 1:
+        raise ValueError("rows, bpw, bpc must be positive")
+    if spares < 0:
+        raise ValueError("spares must be non-negative")

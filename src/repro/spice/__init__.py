@@ -1,0 +1,31 @@
+"""A small transient circuit simulator ("built-in access to SPICE utilities").
+
+The engine integrates node voltages of a flat netlist (MOSFETs evaluated
+with the level-1 model, plus R, C, and ideal voltage sources) with an
+adaptive explicit scheme.  It exists to serve the compiler, not to
+compete with HSPICE: the workloads are leaf cells and short critical
+paths (inverter chains, sense amplifier, TLB match path) with tens of
+devices, where the adaptive explicit integration is fast and accurate
+enough for the sizing and guarantee extrapolation the paper describes.
+"""
+
+from repro.spice.engine import TransientEngine, TransientResult
+from repro.spice.waveforms import Pwl, step, pulse
+from repro.spice.analysis import (
+    crossing_time,
+    propagation_delay,
+    rise_time,
+    fall_time,
+)
+
+__all__ = [
+    "TransientEngine",
+    "TransientResult",
+    "Pwl",
+    "step",
+    "pulse",
+    "crossing_time",
+    "propagation_delay",
+    "rise_time",
+    "fall_time",
+]

@@ -1,0 +1,91 @@
+"""Waveform measurements: crossings, propagation delay, rise/fall times."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.spice.engine import TransientResult
+
+
+def crossing_time(
+    result: TransientResult,
+    node: str,
+    threshold: float,
+    rising: bool,
+    after: float = 0.0,
+) -> Optional[float]:
+    """First time the node crosses ``threshold`` in the given direction.
+
+    Linear interpolation between samples; None when no crossing occurs.
+    """
+    t = result.time
+    v = result.trace(node)
+    mask = t >= after
+    t = t[mask]
+    v = v[mask]
+    if len(t) < 2:
+        return None
+    if rising:
+        hits = np.nonzero((v[:-1] < threshold) & (v[1:] >= threshold))[0]
+    else:
+        hits = np.nonzero((v[:-1] > threshold) & (v[1:] <= threshold))[0]
+    if len(hits) == 0:
+        return None
+    i = int(hits[0])
+    v0, v1 = v[i], v[i + 1]
+    if v1 == v0:
+        return float(t[i])
+    frac = (threshold - v0) / (v1 - v0)
+    return float(t[i] + frac * (t[i + 1] - t[i]))
+
+
+def propagation_delay(
+    result: TransientResult,
+    input_node: str,
+    output_node: str,
+    vdd: float,
+    input_rising: bool,
+    output_rising: bool,
+    after: float = 0.0,
+) -> float:
+    """50%-to-50% propagation delay in seconds.
+
+    Raises:
+        ValueError: when either waveform never crosses 50% — the usual
+            symptom of a non-switching circuit, which callers should not
+            silently treat as zero delay.
+    """
+    half = vdd / 2.0
+    t_in = crossing_time(result, input_node, half, input_rising, after)
+    if t_in is None:
+        raise ValueError(f"input {input_node!r} never crosses 50%")
+    t_out = crossing_time(result, output_node, half, output_rising, t_in)
+    if t_out is None:
+        raise ValueError(f"output {output_node!r} never crosses 50%")
+    return t_out - t_in
+
+
+def rise_time(result: TransientResult, node: str, vdd: float,
+              after: float = 0.0) -> float:
+    """10%-to-90% rise time in seconds."""
+    t10 = crossing_time(result, node, 0.1 * vdd, rising=True, after=after)
+    if t10 is None:
+        raise ValueError(f"{node!r} never rises past 10%")
+    t90 = crossing_time(result, node, 0.9 * vdd, rising=True, after=t10)
+    if t90 is None:
+        raise ValueError(f"{node!r} never rises past 90%")
+    return t90 - t10
+
+
+def fall_time(result: TransientResult, node: str, vdd: float,
+              after: float = 0.0) -> float:
+    """90%-to-10% fall time in seconds."""
+    t90 = crossing_time(result, node, 0.9 * vdd, rising=False, after=after)
+    if t90 is None:
+        raise ValueError(f"{node!r} never falls past 90%")
+    t10 = crossing_time(result, node, 0.1 * vdd, rising=False, after=t90)
+    if t10 is None:
+        raise ValueError(f"{node!r} never falls past 10%")
+    return t10 - t90

@@ -1,0 +1,66 @@
+"""Source waveforms: piecewise-linear, step, and pulse."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+
+class Pwl:
+    """A piecewise-linear waveform defined by (time, volts) breakpoints.
+
+    Before the first breakpoint the waveform holds the first value; after
+    the last it holds the last value — SPICE PWL semantics.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if not points:
+            raise ValueError("PWL needs at least one breakpoint")
+        times = [t for t, _ in points]
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise ValueError("PWL breakpoints must be strictly increasing")
+        self._times: List[float] = list(times)
+        self._volts: List[float] = [v for _, v in points]
+
+    def __call__(self, t: float) -> float:
+        times, volts = self._times, self._volts
+        if t <= times[0]:
+            return volts[0]
+        if t >= times[-1]:
+            return volts[-1]
+        i = bisect_right(times, t)
+        t0, t1 = times[i - 1], times[i]
+        v0, v1 = volts[i - 1], volts[i]
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+    def breakpoints(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(zip(self._times, self._volts))
+
+
+def step(t_step: float, v_low: float, v_high: float,
+         t_rise: float = 50e-12) -> Pwl:
+    """A single low-to-high (or high-to-low) edge at ``t_step``."""
+    if t_rise <= 0:
+        raise ValueError("rise time must be positive")
+    return Pwl([(0.0, v_low), (t_step, v_low), (t_step + t_rise, v_high)])
+
+
+def pulse(
+    t_start: float,
+    width: float,
+    v_low: float,
+    v_high: float,
+    t_edge: float = 50e-12,
+) -> Pwl:
+    """A single pulse of the given width."""
+    if width <= 2 * t_edge:
+        raise ValueError("pulse width must exceed both edges")
+    return Pwl(
+        [
+            (0.0, v_low),
+            (t_start, v_low),
+            (t_start + t_edge, v_high),
+            (t_start + width - t_edge, v_high),
+            (t_start + width, v_low),
+        ]
+    )

@@ -1,0 +1,103 @@
+"""Mask layers of a generic 3-metal, 1-poly CMOS process.
+
+The layer list matches what a mid-1990s 3-metal CMOS process exposes to a
+layout generator.  Each layer carries the properties the rest of the tool
+needs: a CIF name for export, a drawing style for the SVG renderer, and
+whether the layer is a conductor (and therefore participates in
+connectivity extraction and spacing checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One mask layer.
+
+    Attributes:
+        name: canonical lower-case layer name used throughout the tool.
+        cif_name: layer name emitted in CIF output.
+        gds_number: numeric id for stream-format output.
+        conductor: True for layers that carry signals (diffusion, poly,
+            metals); False for implants, wells, and cuts.
+        routing_level: 0 for non-routing layers; 1..3 for metal1..metal3.
+            The paper's over-the-cell routing uses level 3.
+        color: fill color used by the SVG renderer.
+    """
+
+    name: str
+    cif_name: str
+    gds_number: int
+    conductor: bool = False
+    routing_level: int = 0
+    color: str = "#888888"
+
+
+STANDARD_LAYERS: Tuple[Layer, ...] = (
+    Layer("nwell", "CWN", 1, color="#d0d0a0"),
+    Layer("pwell", "CWP", 2, color="#a0d0d0"),
+    Layer("ndiff", "CSN", 3, conductor=True, color="#00a000"),
+    Layer("pdiff", "CSP", 4, conductor=True, color="#a06000"),
+    Layer("poly", "CPG", 5, conductor=True, color="#d04040"),
+    Layer("contact", "CCC", 6, color="#101010"),
+    Layer("metal1", "CMF", 7, conductor=True, routing_level=1, color="#4060e0"),
+    Layer("via1", "CV1", 8, color="#202020"),
+    Layer("metal2", "CMS", 9, conductor=True, routing_level=2, color="#b040b0"),
+    Layer("via2", "CV2", 10, color="#303030"),
+    Layer("metal3", "CMT", 11, conductor=True, routing_level=3, color="#30b0b0"),
+    Layer("glass", "COG", 12, color="#e0e0e0"),
+)
+
+
+class LayerSet:
+    """An ordered, name-indexed collection of layers."""
+
+    def __init__(self, layers: Tuple[Layer, ...] = STANDARD_LAYERS) -> None:
+        self._layers: Dict[str, Layer] = {}
+        for layer in layers:
+            if layer.name in self._layers:
+                raise ValueError(f"duplicate layer name {layer.name!r}")
+            self._layers[layer.name] = layer
+
+    def __getitem__(self, name: str) -> Layer:
+        try:
+            return self._layers[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown layer {name!r}; known: {sorted(self._layers)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self._layers.values())
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def get(self, name: str) -> Optional[Layer]:
+        return self._layers.get(name)
+
+    def conductors(self) -> Tuple[Layer, ...]:
+        """Layers participating in connectivity and spacing checks."""
+        return tuple(l for l in self if l.conductor)
+
+    def routing_layers(self) -> Tuple[Layer, ...]:
+        """Metal layers ordered by routing level (metal1, metal2, metal3)."""
+        return tuple(
+            sorted(
+                (l for l in self if l.routing_level > 0),
+                key=lambda l: l.routing_level,
+            )
+        )
+
+    def metal(self, level: int) -> Layer:
+        """Return the metal layer at routing level 1, 2, or 3."""
+        for layer in self:
+            if layer.routing_level == level:
+                return layer
+        raise KeyError(f"no metal layer at routing level {level}")

@@ -1,0 +1,136 @@
+"""Process presets.
+
+Each preset bundles a layer set, a resolved design-rule deck, SPICE
+device parameters, supply voltage, and wire parasitics — everything a
+leaf-cell generator or the delay models need.  The three presets mirror
+the processes named in the paper:
+
+* ``cda05`` — stands in for Cascade Design Automation ``CDA.5u3m1p``
+  (0.5 um, 3 metal, 1 poly),
+* ``mos06`` — stands in for MOSIS ``mos.6u3m1pHP`` (0.6 um HP),
+* ``cda07`` — stands in for ``CDA.7u3m1p`` (0.7 um), the process used
+  for Table I and the 1.2 ns TLB delay quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.tech.layers import LayerSet
+from repro.tech.rules import DesignRules
+from repro.tech.spice_params import MosParams, nmos_for_node, pmos_for_node
+
+
+@dataclass(frozen=True)
+class Process:
+    """A complete process description.
+
+    Attributes:
+        name: preset identifier (``cda05``, ``mos06``, ``cda07``).
+        description: human-readable note, including which proprietary
+            process this preset stands in for.
+        feature_um: drawn feature size in microns.
+        metal_layers: number of routing metals (always 3 here; the cost
+            model refuses 2-metal chips exactly as the paper does).
+        vdd: supply voltage in volts (5 V class for these nodes).
+        layers: the mask layer set.
+        rules: resolved design rules in centimicrons.
+        nmos / pmos: level-1 device parameters.
+        wire_r_ohm_sq: sheet resistance of metal1, ohms/square.
+        wire_c_af_um: metal1 wire capacitance, attofarads per micron.
+    """
+
+    name: str
+    description: str
+    feature_um: float
+    metal_layers: int
+    vdd: float
+    layers: LayerSet
+    rules: DesignRules
+    nmos: MosParams
+    pmos: MosParams
+    wire_r_ohm_sq: float
+    wire_c_af_um: float
+
+    @property
+    def lambda_cu(self) -> int:
+        return self.rules.lambda_cu
+
+    def um_to_cu(self, um: float) -> int:
+        """Convert microns to integer centimicrons."""
+        return int(round(um * 100))
+
+    def cu_to_um(self, cu: int) -> float:
+        """Convert centimicrons back to microns."""
+        return cu / 100.0
+
+
+def _make_process(name: str, description: str, feature_um: float) -> Process:
+    lambda_cu = int(round(feature_um * 100 / 2))
+    return Process(
+        name=name,
+        description=description,
+        feature_um=feature_um,
+        metal_layers=3,
+        vdd=5.0,
+        layers=LayerSet(),
+        rules=DesignRules.scalable(lambda_cu),
+        nmos=nmos_for_node(feature_um),
+        pmos=pmos_for_node(feature_um),
+        wire_r_ohm_sq=0.07,
+        wire_c_af_um=200.0 * feature_um,
+    )
+
+
+CDA05 = _make_process(
+    "cda05",
+    "Scalable stand-in for Cascade Design Automation CDA.5u3m1p "
+    "(0.5 um, 3 metal, 1 poly)",
+    0.5,
+)
+
+MOS06 = _make_process(
+    "mos06",
+    "Scalable stand-in for MOSIS mos.6u3m1pHP (0.6 um HP, 3 metal, 1 poly)",
+    0.6,
+)
+
+CDA07 = _make_process(
+    "cda07",
+    "Scalable stand-in for Cascade Design Automation CDA.7u3m1p "
+    "(0.7 um, 3 metal, 1 poly); process of the paper's Table I",
+    0.7,
+)
+
+MOS08 = _make_process(
+    "mos08",
+    "Scalable 0.8 um 3-metal preset — the node most of the Table II "
+    "microprocessor dataset was fabbed on",
+    0.8,
+)
+
+_PRESETS: Dict[str, Process] = {
+    p.name: p for p in (CDA05, MOS06, CDA07, MOS08)
+}
+
+
+def available_processes() -> Tuple[str, ...]:
+    """Names of the shipped process presets."""
+    return tuple(sorted(_PRESETS))
+
+
+def get_process(name: str) -> Process:
+    """Look a preset up by name.
+
+    Raises:
+        KeyError: when the name is not a shipped preset, listing the
+            valid choices (mirrors the tool prompting the user to pick a
+            process before invocation).
+    """
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown process {name!r}; available: {available_processes()}"
+        ) from None

@@ -1,0 +1,132 @@
+"""Scalable (lambda-based) design rules.
+
+The rule deck is the contract between a process and every leaf-cell
+generator: generators ask the deck for minimum widths, spacings, contact
+sizes, and enclosures instead of hard-coding dimensions.  This is exactly
+how BISRAMGEN achieves its design-rule independence — "a range of 3-metal
+processes with feature widths in the range of 0.5 um and above ... may be
+chosen by the user".
+
+Rules are stored as integers in centimicrons (1 cu = 0.01 um).  The deck
+is generated from a lambda value (half the feature width, per the MOSIS
+scalable-CMOS convention) plus optional per-rule overrides, so adding a
+new process is a one-liner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+
+class RuleViolationError(Exception):
+    """Raised when generated geometry violates the active design rules."""
+
+
+#: Default scalable rules, in units of lambda.  Derived from the MOSIS
+#: SCMOS rule set (rev. 7) restricted to the layers this tool draws.
+_DEFAULT_LAMBDA_RULES: Dict[str, int] = {
+    # minimum widths
+    "width.ndiff": 3,
+    "width.pdiff": 3,
+    "width.poly": 2,
+    "width.metal1": 3,
+    "width.metal2": 3,
+    "width.metal3": 5,
+    "width.contact": 2,
+    "width.via1": 2,
+    "width.via2": 2,
+    "width.nwell": 10,
+    "width.pwell": 10,
+    # minimum same-layer spacings
+    "space.ndiff": 3,
+    "space.pdiff": 3,
+    "space.poly": 2,
+    "space.metal1": 3,
+    "space.metal2": 4,
+    "space.metal3": 5,
+    "space.contact": 2,
+    "space.via1": 3,
+    "space.via2": 3,
+    "space.nwell": 9,
+    "space.pwell": 9,
+    # inter-layer rules
+    "space.poly_to_diff": 1,
+    "overhang.gate_poly": 2,       # poly endcap beyond diffusion
+    "overhang.diff_gate": 3,       # source/drain diffusion beyond gate
+    "enclose.diff_contact": 1,     # diffusion around a contact cut
+    "enclose.poly_contact": 1,
+    "enclose.metal1_contact": 1,
+    "enclose.metal1_via1": 1,
+    "enclose.metal2_via1": 1,
+    "enclose.metal2_via2": 1,
+    "enclose.metal3_via2": 2,
+    "enclose.well_diff": 5,        # well around same-type diffusion
+    "space.well_edge_diff": 5,     # well edge to opposite diffusion
+}
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """A complete rule deck for one process.
+
+    Attributes:
+        lambda_cu: lambda in centimicrons.  A 0.6 um process has
+            ``lambda_cu == 30`` (lambda = 0.3 um).
+        rules: resolved rule table in centimicrons.
+    """
+
+    lambda_cu: int
+    rules: Mapping[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def scalable(
+        cls,
+        lambda_cu: int,
+        overrides: Optional[Mapping[str, int]] = None,
+    ) -> "DesignRules":
+        """Build a deck from a lambda value, with optional lambda overrides.
+
+        Args:
+            lambda_cu: lambda in centimicrons; must be positive.
+            overrides: per-rule overrides *in lambda units* applied on top
+                of the default SCMOS-like table.
+        """
+        if lambda_cu <= 0:
+            raise ValueError(f"lambda must be positive, got {lambda_cu}")
+        table = dict(_DEFAULT_LAMBDA_RULES)
+        if overrides:
+            unknown = set(overrides) - set(table)
+            if unknown:
+                raise KeyError(f"unknown design rules: {sorted(unknown)}")
+            table.update(overrides)
+        resolved = {name: value * lambda_cu for name, value in table.items()}
+        return cls(lambda_cu=lambda_cu, rules=resolved)
+
+    def __getitem__(self, name: str) -> int:
+        try:
+            return self.rules[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown design rule {name!r}; known: {sorted(self.rules)}"
+            ) from None
+
+    def min_width(self, layer: str) -> int:
+        """Minimum drawn width of ``layer`` in centimicrons."""
+        return self[f"width.{layer}"]
+
+    def min_space(self, layer: str) -> int:
+        """Minimum same-layer spacing of ``layer`` in centimicrons."""
+        return self[f"space.{layer}"]
+
+    def enclosure(self, outer: str, inner: str) -> int:
+        """Minimum enclosure of ``inner`` by ``outer`` in centimicrons."""
+        return self[f"enclose.{outer}_{inner}"]
+
+    def pitch(self, layer: str) -> int:
+        """Width + spacing: the track pitch used by the router."""
+        return self.min_width(layer) + self.min_space(layer)
+
+    def feature_um(self) -> float:
+        """The drawn feature size (2 lambda) in microns."""
+        return 2 * self.lambda_cu / 100.0

@@ -1,0 +1,96 @@
+"""SPICE level-1 MOSFET parameters per process node.
+
+The compiler's "built-in access to SPICE utilities" (paper section II) is
+used for two things: sizing the P and N devices of critical gates so the
+rise and fall times balance, and extrapolating access-time guarantees
+from extracted leaf cells.  A level-1 (Shichman-Hodges) model is entirely
+adequate for both, and its handful of parameters are public knowledge for
+each node, unlike the proprietary BSIM decks of the real CDA/MOSIS kits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MosParams:
+    """Level-1 parameters for one device polarity.
+
+    Attributes:
+        polarity: ``"nmos"`` or ``"pmos"``.
+        vto: threshold voltage in volts (signed: negative for PMOS).
+        kp: transconductance parameter ``u0 * Cox`` in A/V^2.
+        lambda_: channel-length modulation in 1/V.
+        cox: gate-oxide capacitance per area, F/m^2.
+        cj: zero-bias junction capacitance per area, F/m^2.
+        cjsw: junction sidewall capacitance per meter, F/m.
+        min_l_um: minimum drawn channel length in microns.
+    """
+
+    polarity: str
+    vto: float
+    kp: float
+    lambda_: float
+    cox: float
+    cj: float
+    cjsw: float
+    min_l_um: float
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise ValueError(f"bad polarity {self.polarity!r}")
+        if self.polarity == "nmos" and self.vto <= 0:
+            raise ValueError("NMOS vto must be positive")
+        if self.polarity == "pmos" and self.vto >= 0:
+            raise ValueError("PMOS vto must be negative")
+
+    def beta(self, w_um: float, l_um: float) -> float:
+        """Device transconductance ``kp * W / L`` for drawn W, L in um."""
+        if w_um <= 0 or l_um <= 0:
+            raise ValueError("W and L must be positive")
+        return self.kp * (w_um / l_um)
+
+
+def nmos_for_node(feature_um: float) -> MosParams:
+    """Representative NMOS level-1 parameters for a feature size in um.
+
+    Values interpolate published MOSIS test data for 0.5-0.8 um HP/AMI
+    runs: vto ~0.7 V, kp rising as tox thins at smaller nodes.
+    """
+    _check_node(feature_um)
+    kp = 7.0e-5 + (0.8 - feature_um) * 8.0e-5   # ~70-94 uA/V^2
+    return MosParams(
+        polarity="nmos",
+        vto=0.7,
+        kp=kp,
+        lambda_=0.04,
+        cox=2.4e-3 / feature_um * 0.5,           # thinner oxide per node
+        cj=4.0e-4,
+        cjsw=3.0e-10,
+        min_l_um=feature_um,
+    )
+
+
+def pmos_for_node(feature_um: float) -> MosParams:
+    """Representative PMOS level-1 parameters (kp about 1/2.5 of NMOS)."""
+    _check_node(feature_um)
+    n = nmos_for_node(feature_um)
+    return MosParams(
+        polarity="pmos",
+        vto=-0.8,
+        kp=n.kp / 2.5,
+        lambda_=0.05,
+        cox=n.cox,
+        cj=5.0e-4,
+        cjsw=3.5e-10,
+        min_l_um=feature_um,
+    )
+
+
+def _check_node(feature_um: float) -> None:
+    if not 0.3 <= feature_um <= 2.0:
+        raise ValueError(
+            f"feature size {feature_um} um outside the supported "
+            "0.3-2.0 um range (the paper targets 0.5 um and above)"
+        )

@@ -1,0 +1,44 @@
+"""Yield models (paper section VII).
+
+* :mod:`~repro.yieldmodel.poisson` — Poisson single-cell yield and the
+  derived row/word fault probabilities,
+* :mod:`~repro.yieldmodel.stapper` — Stapper's negative-binomial yield
+  with defect clustering,
+* :mod:`~repro.yieldmodel.repair_prob` — the repairability probability
+  R and the BISR yield Y_R (the quantities of Fig. 4),
+* :mod:`~repro.yieldmodel.chip` — chip-level product yield with an
+  embedded BISR RAM among non-redundant macrocells.
+"""
+
+from repro.yieldmodel.poisson import (
+    cell_yield,
+    cell_fault_prob,
+    row_fault_prob,
+    word_fault_prob,
+)
+from repro.yieldmodel.stapper import stapper_yield, defects_from_yield
+from repro.yieldmodel.repair_prob import (
+    repair_probability,
+    bisr_yield,
+    yield_curve,
+)
+from repro.yieldmodel.chip import (
+    chip_yield,
+    embedded_ram_yield,
+    chip_yield_with_bisr,
+)
+
+__all__ = [
+    "cell_yield",
+    "cell_fault_prob",
+    "row_fault_prob",
+    "word_fault_prob",
+    "stapper_yield",
+    "defects_from_yield",
+    "repair_probability",
+    "bisr_yield",
+    "yield_curve",
+    "chip_yield",
+    "embedded_ram_yield",
+    "chip_yield_with_bisr",
+]

@@ -1,0 +1,59 @@
+"""Chip-level yield with an embedded BISR RAM (paper section VII).
+
+"The simplest model we can use to estimate the yield of a chip is the
+product of the yield of all the constituent macrocells, including the
+redundant RAM array with BISR: Y_chip = Y_RAM * prod Y_i."  All
+macrocells except the caches are assumed non-redundant, so improving
+the cache yield by a factor improves the die yield by the same factor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def chip_yield(macro_yields: Sequence[float]) -> float:
+    """Product yield over independent macrocells."""
+    if not macro_yields:
+        raise ValueError("need at least one macrocell yield")
+    y = 1.0
+    for value in macro_yields:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"yield {value} outside [0, 1]")
+        y *= value
+    return y
+
+
+def embedded_ram_yield(die_yield: float, ram_area_fraction: float) -> float:
+    """Back the embedded-RAM yield out of a published die yield.
+
+    "To calculate the embedded RAM (without BISR) yield from the die
+    yield, we can use the simple formula:
+    Embedded RAM yield = (Die yield)^(RAM area / die area)" — valid
+    when the same defect statistics cover the whole die.
+    """
+    if not 0.0 < die_yield <= 1.0:
+        raise ValueError("die yield must be in (0, 1]")
+    if not 0.0 <= ram_area_fraction <= 1.0:
+        raise ValueError("area fraction must be in [0, 1]")
+    return die_yield ** ram_area_fraction
+
+
+def chip_yield_with_bisr(
+    die_yield: float,
+    ram_area_fraction: float,
+    ram_yield_improvement: float,
+) -> float:
+    """Die yield after making the embedded RAM self-repairable.
+
+    The RAM macro's yield improves by ``ram_yield_improvement``; the
+    rest of the die is untouched, so the die yield scales by the same
+    factor, clamped at the non-RAM yield ceiling (a RAM yield cannot
+    exceed 1).
+    """
+    if ram_yield_improvement < 1.0:
+        raise ValueError("BISR cannot reduce the RAM yield in this model")
+    ram_yield = embedded_ram_yield(die_yield, ram_area_fraction)
+    rest_yield = die_yield / ram_yield
+    improved_ram = min(1.0, ram_yield * ram_yield_improvement)
+    return rest_yield * improved_ram

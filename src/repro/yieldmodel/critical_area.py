@@ -1,0 +1,132 @@
+"""Critical-area analysis (the Khare et al. discussion in §VII).
+
+"Using simulation approaches with prototype CAD tools, Khare et al.
+show that the critical area for these fatal flaws, plotted against the
+defect radius, may be either very high ... or nonexistent ...
+depending on which of two possible RAM layout templates are chosen.
+BISRAMGEN implements the 6T SRAM cell layout that causes a near-zero
+critical area for these fatal faults."
+
+A circular defect of radius r is *fatal* when it breaks a global net
+(an **open**: the defect spans the full width of a supply or word-line
+wire) or bridges two distinct nets (a **short**: the defect overlaps
+two shapes that the connectivity does not join).  The critical area of
+a layout for radius r is the area where such a defect's centre may
+land.  This module computes the standard rectangle-based estimates:
+
+* open critical area of a wire of width w, length L:
+  ``L * max(0, 2r - w)`` (the centre band where the circle covers the
+  wire's full width, approximated by its inscribed square),
+* short critical area between two parallel shapes with gap g:
+  ``overlap_length * max(0, 2r - g)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.geometry import Rect
+from repro.layout.cell import Cell
+
+
+@dataclass(frozen=True)
+class CriticalAreaReport:
+    """Critical areas (cu^2) for one layer at one defect radius."""
+
+    layer: str
+    radius_cu: int
+    open_area: float
+    short_area: float
+
+    @property
+    def total(self) -> float:
+        return self.open_area + self.short_area
+
+
+def open_critical_area(rects: Sequence[Rect], radius_cu: int) -> float:
+    """Open critical area of a set of wires at one defect radius.
+
+    Per rectangle: a defect breaks the wire when it spans the short
+    dimension; the centre band is ``long * max(0, 2r - short)``.
+    """
+    if radius_cu < 0:
+        raise ValueError("radius must be non-negative")
+    total = 0.0
+    for r in rects:
+        if r.area == 0:
+            continue
+        short = min(r.width, r.height)
+        long = max(r.width, r.height)
+        total += long * max(0, 2 * radius_cu - short)
+    return total
+
+
+def short_critical_area(rects: Sequence[Rect], radius_cu: int) -> float:
+    """Short critical area between same-layer shape pairs.
+
+    Two shapes with facing-run length ``L`` and gap ``g`` contribute
+    ``L * max(0, 2r - g)``.  Touching/overlapping shapes are one net
+    and contribute nothing.
+    """
+    if radius_cu < 0:
+        raise ValueError("radius must be non-negative")
+    total = 0.0
+    solid = [r for r in rects if r.area > 0]
+    for i, a in enumerate(solid):
+        for b in solid[i + 1:]:
+            if a.intersects(b):
+                continue
+            gap_x = max(a.x1, b.x1) - min(a.x2, b.x2)
+            gap_y = max(a.y1, b.y1) - min(a.y2, b.y2)
+            if gap_x > 0 and gap_y > 0:
+                continue  # diagonal neighbours: negligible facing run
+            if gap_x > 0:
+                run = min(a.y2, b.y2) - max(a.y1, b.y1)
+                gap = gap_x
+            else:
+                run = min(a.x2, b.x2) - max(a.x1, b.x1)
+                gap = gap_y
+            if run <= 0:
+                continue
+            total += run * max(0, 2 * radius_cu - gap)
+    return total
+
+
+def layer_critical_area(cell: Cell, layer: str,
+                        radius_cu: int) -> CriticalAreaReport:
+    """Open + short critical area of one layer of a flattened cell."""
+    rects = [r for l, r in cell.flatten() if l == layer and r.area > 0]
+    return CriticalAreaReport(
+        layer=layer,
+        radius_cu=radius_cu,
+        open_area=open_critical_area(rects, radius_cu),
+        short_area=short_critical_area(rects, radius_cu),
+    )
+
+
+def global_net_critical_area(
+    cell: Cell,
+    radius_cu: int,
+    global_layers: Sequence[str] = ("metal1", "metal3"),
+) -> Dict[str, CriticalAreaReport]:
+    """Fatal (global-net) critical areas: supply rails (metal1) and
+    word lines (metal3) — the nets whose failure no row repair can fix.
+    """
+    return {
+        layer: layer_critical_area(cell, layer, radius_cu)
+        for layer in global_layers
+    }
+
+
+def critical_area_curve(
+    cell: Cell, layer: str, radii_cu: Sequence[int]
+) -> List[Tuple[int, float]]:
+    """(radius, total critical area) series — the Khare-style plot."""
+    rects = [r for l, r in cell.flatten() if l == layer and r.area > 0]
+    out = []
+    for radius in radii_cu:
+        total = open_critical_area(rects, radius) + \
+            short_critical_area(rects, radius)
+        out.append((radius, total))
+    return out

@@ -1,0 +1,52 @@
+"""Poisson defect statistics at cell/word/row granularity.
+
+"Suppose we use the Poisson model of a single cell yield, i.e.
+y = exp(-lambda_c), where lambda_c represents the average number of
+faults per cell."  Injecting a total of ``n`` defects into an array of
+``N`` cells gives lambda_c = n/N; all word- and row-level quantities
+follow from independence of cells under the Poisson model.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def cell_yield(lambda_c: float) -> float:
+    """P(one cell is fault-free) = exp(-lambda_c)."""
+    if lambda_c < 0:
+        raise ValueError("lambda_c must be non-negative")
+    return math.exp(-lambda_c)
+
+
+def cell_fault_prob(lambda_c: float) -> float:
+    """P(one cell has at least one fault)."""
+    return 1.0 - cell_yield(lambda_c)
+
+
+def word_fault_prob(lambda_c: float, bpw: int) -> float:
+    """P(a bpw-bit word contains a faulty cell)."""
+    if bpw < 1:
+        raise ValueError("bpw must be positive")
+    return 1.0 - math.exp(-lambda_c * bpw)
+
+
+def row_fault_prob(lambda_c: float, bits_per_row: int) -> float:
+    """P(a row of ``bits_per_row`` cells contains a faulty cell).
+
+    For the paper's organisation a row holds bpw * bpc cells.
+    "The probability of not having a failing bit in a (bpw*bpc)-bit
+    row is given by (cell yield)^(bpw*bpc)."
+    """
+    if bits_per_row < 1:
+        raise ValueError("bits_per_row must be positive")
+    return 1.0 - math.exp(-lambda_c * bits_per_row)
+
+
+def lambda_per_cell(n_defects: float, total_cells: int) -> float:
+    """Average faults per cell when ``n_defects`` land on the array."""
+    if total_cells < 1:
+        raise ValueError("total_cells must be positive")
+    if n_defects < 0:
+        raise ValueError("n_defects must be non-negative")
+    return n_defects / total_cells

@@ -1,0 +1,109 @@
+"""Repairability probability R and the BISR yield Y_R (Fig. 4).
+
+"A defect pattern can be repaired successfully if and only if the
+number of faulty rows is at most equal to the number of spare rows, and
+the spares required are themselves fault-free. ... we adopt a stricter
+definition of 'goodness' from the standpoints of both manufacturing
+yield and field reliability, namely, that all the spares should be
+fault-free."
+
+Fig. 4 plots Y_R against the number of defects injected into the
+*nonredundant* array; "for a RAM with redundancy and BISR, the total
+number of defects shown in the x axis must be multiplied by the growth
+factor (i.e., the area of the redundant array with BISR divided by the
+area of the corresponding nonredundant array)".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from scipy import stats
+
+from repro.yieldmodel.poisson import lambda_per_cell, row_fault_prob
+
+
+def repair_probability(rows: int, spares: int, lambda_c: float,
+                       bits_per_row: int) -> float:
+    """R = P(#faulty regular rows <= spares) * P(all spares fault-free).
+
+    Faulty-row counts are Binomial(rows, p_row) under cell
+    independence.
+    """
+    if rows < 1 or spares < 0:
+        raise ValueError("rows must be positive, spares non-negative")
+    p_row = row_fault_prob(lambda_c, bits_per_row)
+    if spares == 0:
+        return float((1.0 - p_row) ** rows)
+    p_repairable = float(stats.binom.cdf(spares, rows, p_row))
+    p_spares_good = float((1.0 - p_row) ** spares)
+    return p_repairable * p_spares_good
+
+
+def bisr_yield(
+    rows: int,
+    spares: int,
+    bpw: int,
+    bpc: int,
+    n_defects: float,
+    growth_factor: float = 1.0,
+) -> float:
+    """Y_R for ``n_defects`` injected into the nonredundant array.
+
+    The redundant array (with its BIST/BISR circuitry) is
+    ``growth_factor`` times larger, so it absorbs proportionally more
+    defects; the per-cell rate is computed over the grown cell count so
+    the BIST/BISR circuitry's share of the silicon is charged to the
+    array (defects there are treated as fatal row faults would be —
+    a conservative accounting, matching the paper's strict goodness).
+    """
+    if n_defects < 0:
+        raise ValueError("n_defects must be non-negative")
+    if growth_factor < 1.0:
+        raise ValueError("growth factor cannot shrink the array")
+    bits_per_row = bpw * bpc
+    total_cells = rows * bits_per_row
+    grown_defects = n_defects * growth_factor
+    # Defects land uniformly over the grown area; the cell array is
+    # total_cells + spare cells of it.
+    array_cells = (rows + spares) * bits_per_row
+    area_cells_equivalent = total_cells * growth_factor
+    lambda_c = lambda_per_cell(grown_defects, max(array_cells, 1))
+    # Non-array (BIST/BISR/strap) share of the grown area: defects
+    # there kill the module outright under strict goodness.
+    overhead_cells = max(area_cells_equivalent - array_cells, 0.0)
+    overhead_defects = grown_defects * overhead_cells / area_cells_equivalent
+    y_overhead = math.exp(-overhead_defects)
+    return repair_probability(rows, spares, lambda_c, bits_per_row) * \
+        y_overhead
+
+
+def yield_curve(
+    rows: int,
+    bpw: int,
+    bpc: int,
+    spare_counts: Sequence[int],
+    defect_counts: Sequence[float],
+    growth_factors: Sequence[float] = None,
+) -> List[Tuple[int, List[float]]]:
+    """Fig. 4 data: one yield-vs-defects series per spare count.
+
+    Args:
+        spare_counts: e.g. (0, 4, 8, 16).
+        defect_counts: x axis (defects in the nonredundant array).
+        growth_factors: one per spare count; defaults to area-proportional
+            ``(rows + spares) / rows`` when layouts are not available.
+    """
+    if growth_factors is None:
+        growth_factors = [(rows + s) / rows for s in spare_counts]
+    if len(growth_factors) != len(spare_counts):
+        raise ValueError("one growth factor per spare count")
+    curves = []
+    for spares, growth in zip(spare_counts, growth_factors):
+        series = [
+            bisr_yield(rows, spares, bpw, bpc, n, growth)
+            for n in defect_counts
+        ]
+        curves.append((spares, series))
+    return curves

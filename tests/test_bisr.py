@@ -1,0 +1,205 @@
+"""Unit tests for the BISR package: TLB, repair analysis, delay, masking."""
+
+import pytest
+
+from repro.bisr import (
+    AsyncPrechargeOverlap,
+    DecoderUpsizing,
+    SyncAddressRegisterOverlap,
+    Tlb,
+    analyze_repair,
+    best_masking_strategy,
+    tlb_delay_breakdown,
+    tlb_delay_s,
+)
+from repro.tech import get_process
+
+
+class TestTlb:
+    def test_empty_translates_identity(self):
+        tlb = Tlb(regular_rows=16, spares=4)
+        assert tlb.translate(5) == (5, False)
+
+    def test_record_and_divert(self):
+        tlb = Tlb(16, 4)
+        assert tlb.record(3)
+        assert tlb.translate(3) == (16, True)
+        assert tlb.translate(4) == (4, False)
+
+    def test_strictly_increasing_assignment(self):
+        tlb = Tlb(16, 4)
+        for row in (9, 2, 14):
+            tlb.record(row)
+        assert tlb.assigned_spares() == [0, 1, 2]
+
+    def test_duplicate_record_is_noop(self):
+        tlb = Tlb(16, 4)
+        tlb.record(3)
+        tlb.record(3)
+        assert tlb.spares_used == 1
+
+    def test_remap_advances_spare(self):
+        tlb = Tlb(16, 4)
+        tlb.record(3)
+        tlb.record(3, remap=True)
+        assert tlb.translate(3) == (17, True)
+        assert tlb.spares_used == 2
+
+    def test_overflow(self):
+        tlb = Tlb(16, 2)
+        assert tlb.record(1) and tlb.record(2)
+        assert not tlb.record(3)
+        assert tlb.overflowed
+
+    def test_spare_rows_are_addressable(self):
+        """A faulty spare (row >= regular_rows) can itself be recorded —
+        the premise of iterated repair."""
+        tlb = Tlb(16, 4)
+        tlb.record(16)  # spare row 0's address
+        assert tlb.translate(16) == (16, True)
+
+    def test_out_of_range_rejected(self):
+        tlb = Tlb(16, 4)
+        with pytest.raises(ValueError):
+            tlb.record(25)
+
+    def test_reset(self):
+        tlb = Tlb(16, 4)
+        tlb.record(1)
+        tlb.reset()
+        assert len(tlb) == 0 and tlb.spares_left == 4
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Tlb(0, 4)
+        with pytest.raises(ValueError):
+            Tlb(16, 0)
+
+    def test_at_most_one_match(self):
+        """Parallel compare correctness: entries never duplicate a key."""
+        tlb = Tlb(16, 4)
+        tlb.record(5)
+        tlb.record(5, remap=True)
+        rows = [e.row for e in tlb.entries]
+        assert rows.count(5) == 1
+
+
+class TestRepairAnalysis:
+    def test_simple_repair(self):
+        r = analyze_repair([3, 7], spares=4)
+        assert r.repairable
+        assert r.spares_consumed == 2
+        assert r.passes_needed == 2
+        assert r.assignment == ((3, 0), (7, 1))
+
+    def test_not_enough_spares(self):
+        r = analyze_repair([1, 2, 3], spares=2)
+        assert not r.repairable
+
+    def test_faulty_spare_costs_extra_pass(self):
+        r = analyze_repair([5], spares=4, faulty_spares=[0])
+        assert r.repairable
+        assert r.spares_consumed == 2
+        assert r.passes_needed == 4
+        assert r.wasted_spares == (0,)
+        assert dict(r.assignment)[5] == 1
+
+    def test_all_spares_faulty(self):
+        r = analyze_repair([5], spares=2, faulty_spares=[0, 1])
+        assert not r.repairable
+
+    def test_duplicates_deduped(self):
+        r = analyze_repair([5, 5, 5], spares=4)
+        assert r.spares_consumed == 1
+
+    def test_zero_faults(self):
+        r = analyze_repair([], spares=4)
+        assert r.repairable and r.spares_consumed == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_repair([1], spares=-1)
+        with pytest.raises(ValueError):
+            analyze_repair([1], spares=2, faulty_spares=[5])
+
+
+class TestTlbDelay:
+    def test_paper_operating_point(self):
+        """~1.2 ns at 0.7 um, 4 spares, 10-bit row address."""
+        d = tlb_delay_s(get_process("cda07"), 10, 4)
+        assert 0.9e-9 <= d <= 1.5e-9
+
+    def test_grows_with_spares(self):
+        p = get_process("cda07")
+        delays = [tlb_delay_s(p, 10, s) for s in (1, 4, 8, 16)]
+        assert delays == sorted(delays)
+        assert delays[-1] > delays[0]
+
+    def test_grows_with_address_bits(self):
+        p = get_process("cda07")
+        assert tlb_delay_s(p, 12, 4) > tlb_delay_s(p, 6, 4)
+
+    def test_faster_on_smaller_process(self):
+        assert tlb_delay_s(get_process("cda05"), 10, 4) < \
+            tlb_delay_s(get_process("cda07"), 10, 4)
+
+    def test_breakdown_sums_to_total(self):
+        p = get_process("mos06")
+        parts = tlb_delay_breakdown(p, 10, 4)
+        assert sum(parts.values()) == pytest.approx(tlb_delay_s(p, 10, 4))
+        assert set(parts) == {"search_line", "match_line", "encode_mux"}
+
+    def test_validation(self):
+        p = get_process("cda07")
+        with pytest.raises(ValueError):
+            tlb_delay_s(p, 0, 4)
+        with pytest.raises(ValueError):
+            tlb_delay_s(p, 10, 0)
+
+
+class TestMasking:
+    def test_async_overlap_masks_when_precharge_longer(self):
+        r = AsyncPrechargeOverlap(2e-9).evaluate(1.2e-9)
+        assert r.masked and r.residual_penalty_s == 0.0
+
+    def test_async_overlap_partial(self):
+        r = AsyncPrechargeOverlap(1e-9).evaluate(1.2e-9)
+        assert not r.masked
+        assert r.residual_penalty_s == pytest.approx(0.2e-9)
+
+    def test_sync_overlap(self):
+        r = SyncAddressRegisterOverlap(3e-9).evaluate(1.2e-9)
+        assert r.masked
+
+    def test_decoder_upsizing_reports_cost(self):
+        r = DecoderUpsizing(decoder_delay_s=3e-9).evaluate(1.2e-9)
+        assert r.masked
+        assert r.power_factor > 1.0
+        assert r.area_factor == pytest.approx(r.power_factor)
+
+    def test_decoder_upsizing_limit(self):
+        r = DecoderUpsizing(
+            decoder_delay_s=1.5e-9, max_upsizing=2.0
+        ).evaluate(1.2e-9)
+        assert not r.masked
+
+    def test_decoder_upsizing_wire_floor(self):
+        r = DecoderUpsizing(decoder_delay_s=1.0e-9).evaluate(0.99e-9)
+        assert not r.masked
+
+    def test_best_prefers_free_overlap(self):
+        best = best_masking_strategy(
+            [
+                DecoderUpsizing(decoder_delay_s=5e-9),
+                AsyncPrechargeOverlap(2e-9),
+            ],
+            1.2e-9,
+        )
+        assert best.strategy == "async-precharge-overlap"
+        assert best.power_factor == 1.0
+
+    def test_best_none_when_unmaskable(self):
+        best = best_masking_strategy(
+            [AsyncPrechargeOverlap(0.1e-9)], 1.2e-9
+        )
+        assert best is None

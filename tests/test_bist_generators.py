@@ -1,0 +1,129 @@
+"""Unit tests for ADDGEN and DATAGEN."""
+
+import pytest
+
+from repro.bist import AddGen, DataGen, backgrounds_for_word
+
+
+class TestAddGen:
+    def test_up_sequence_covers_space(self):
+        gen = AddGen(width=3)
+        assert list(gen.sequence()) == list(range(8))
+
+    def test_down_sequence(self):
+        gen = AddGen(width=3)
+        gen.reset(up=False)
+        assert list(gen.sequence()) == list(range(7, -1, -1))
+
+    def test_limit_below_power_of_two(self):
+        gen = AddGen(width=4, limit=10)
+        assert list(gen.sequence()) == list(range(10))
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            AddGen(width=3, limit=9)
+        with pytest.raises(ValueError):
+            AddGen(width=0)
+
+    def test_done_flags(self):
+        gen = AddGen(width=2)
+        gen.reset(up=True)
+        assert not gen.done
+        for _ in range(3):
+            gen.step()
+        assert gen.done
+
+    def test_wraps(self):
+        gen = AddGen(width=2)
+        gen.reset(up=True)
+        for _ in range(4):
+            gen.step()
+        assert gen.value == 0
+
+    def test_bits_lsb_first(self):
+        gen = AddGen(width=4)
+        gen.value = 0b1010
+        assert gen.bits() == (0, 1, 0, 1)
+
+
+class TestBackgrounds:
+    def test_counts(self):
+        # log2(bpw) + 1 backgrounds.
+        assert len(backgrounds_for_word(1)) == 1
+        assert len(backgrounds_for_word(4)) == 3
+        assert len(backgrounds_for_word(32)) == 6
+
+    def test_first_is_all_zero(self):
+        assert backgrounds_for_word(8)[0] == 0
+
+    def test_stripe_patterns(self):
+        got = backgrounds_for_word(8)
+        assert got[1] == 0b10101010
+        assert got[2] == 0b11001100
+        assert got[3] == 0b11110000
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            backgrounds_for_word(6)
+        with pytest.raises(ValueError):
+            backgrounds_for_word(0)
+
+    def test_every_bit_pair_separated(self):
+        """The coupling-coverage property: every pair of distinct bits
+        gets both equal and opposite values across the background set
+        (with complements via the inversion signal)."""
+        bpw = 16
+        patterns = backgrounds_for_word(bpw)
+        for i in range(bpw):
+            for j in range(i + 1, bpw):
+                same = any(
+                    ((p >> i) & 1) == ((p >> j) & 1) for p in patterns
+                )
+                diff = any(
+                    ((p >> i) & 1) != ((p >> j) & 1) for p in patterns
+                )
+                assert same and diff, (i, j)
+
+
+class TestDataGen:
+    def test_stage_count(self):
+        assert DataGen(8).stage_count == 4  # log2(8) + 1
+
+    def test_step_through_backgrounds(self):
+        dg = DataGen(4)
+        seen = [dg.pattern(0)]
+        while not dg.done:
+            seen.append(dg.step())
+        assert seen == backgrounds_for_word(4)
+
+    def test_step_past_end_raises(self):
+        dg = DataGen(1)
+        with pytest.raises(RuntimeError):
+            dg.step()
+
+    def test_inversion(self):
+        dg = DataGen(4)
+        dg.index = 1
+        assert dg.pattern(1) == (~dg.pattern(0)) & 0xF
+
+    def test_compare_detects_any_bit(self):
+        dg = DataGen(8)
+        good = dg.pattern(0)
+        assert not dg.compare(good, 0)
+        for bit in range(8):
+            assert dg.compare(good ^ (1 << bit), 0)
+
+    def test_reset(self):
+        dg = DataGen(4)
+        dg.step()
+        dg.reset()
+        assert dg.index == 0
+
+    def test_johnson_state_walk(self):
+        dg = DataGen(8)
+        states = dg.johnson_states()
+        assert states[0] == (0, 0, 0, 0)
+        assert states[1] == (1, 0, 0, 0)
+        assert states[-1] == (1, 1, 1, 1)
+        # One bit shifts in per step: ones count == background index.
+        assert [sum(s) for s in states] == list(range(5))

@@ -1,0 +1,95 @@
+"""Unit tests for the march-test notation and parser."""
+
+import pytest
+
+from repro.bist import (
+    IFA_9,
+    IFA_13,
+    MARCH_C_MINUS,
+    MATS_PLUS,
+    MarchElement,
+    Op,
+    Order,
+    parse_march,
+)
+from repro.bist.march import DELAY
+
+
+class TestOps:
+    def test_read_classification(self):
+        assert Op.R0.is_read and Op.R1.is_read
+        assert not Op.W0.is_read and not Op.W1.is_read
+
+    def test_data_bits(self):
+        assert Op.W0.data_bit == 0 and Op.R0.data_bit == 0
+        assert Op.W1.data_bit == 1 and Op.R1.data_bit == 1
+
+
+class TestElements:
+    def test_delay_has_no_ops(self):
+        assert DELAY.is_delay and DELAY.ops == ()
+
+    def test_delay_with_ops_rejected(self):
+        with pytest.raises(ValueError):
+            MarchElement(Order.UP, (Op.R0,), is_delay=True)
+
+    def test_empty_element_rejected(self):
+        with pytest.raises(ValueError):
+            MarchElement(Order.UP, ())
+
+    def test_str(self):
+        e = MarchElement(Order.DOWN, (Op.R1, Op.W0))
+        assert str(e) == "d(r1,w0)"
+
+
+class TestParser:
+    def test_roundtrip_ifa9(self):
+        reparsed = parse_march("x", str(IFA_9).replace("; ", ";"))
+        assert reparsed.elements == IFA_9.elements
+
+    def test_bad_element(self):
+        with pytest.raises(ValueError, match="bad march element"):
+            parse_march("x", "q(w0)")
+
+    def test_bad_op(self):
+        with pytest.raises(ValueError, match="bad op list"):
+            parse_march("x", "u(w7)")
+
+    def test_delay_keyword_case_insensitive(self):
+        t = parse_march("x", "m(w0); DELAY; m(r0)")
+        assert t.elements[1].is_delay
+
+    def test_empty_notation_rejected(self):
+        with pytest.raises(ValueError):
+            parse_march("x", "  ;  ")
+
+
+class TestStandardTests:
+    def test_ifa9_structure(self):
+        # m(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); Delay;
+        # m(r0,w1); Delay; m(r1)
+        assert len(IFA_9.elements) == 9
+        assert IFA_9.delay_count == 2
+        assert IFA_9.operations_per_address == 12
+
+    def test_ifa9_orders(self):
+        orders = [e.order for e in IFA_9.elements if not e.is_delay]
+        assert orders == [
+            Order.EITHER, Order.UP, Order.UP, Order.DOWN, Order.DOWN,
+            Order.EITHER, Order.EITHER,
+        ]
+
+    def test_mats_plus_is_shortest(self):
+        assert MATS_PLUS.operations_per_address == 5
+        assert MATS_PLUS.operations_per_address < \
+            MARCH_C_MINUS.operations_per_address < \
+            IFA_9.operations_per_address
+
+    def test_ifa13_longer_than_ifa9(self):
+        assert IFA_13.operations_per_address > IFA_9.operations_per_address
+
+    def test_only_ifa_tests_have_retention_delays(self):
+        assert IFA_9.delay_count == 2
+        assert IFA_13.delay_count == 2
+        assert MATS_PLUS.delay_count == 0
+        assert MARCH_C_MINUS.delay_count == 0

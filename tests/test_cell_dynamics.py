@@ -1,0 +1,100 @@
+"""Transistor-level dynamics of the generated cells, via the transient
+engine: the 6T cell holds and accepts writes, the word-line driver
+drives its load, the precharge equalises the bit lines.
+
+These are the checks the compiler's "extract and simulate [leaf cells]
+ahead of time" flow performs to back its guarantees.
+"""
+
+import pytest
+
+from repro.cells import precharge_netlist, sram6t_netlist
+from repro.cells.drivers import wordline_driver_netlist
+from repro.circuit.netlist import GND
+from repro.spice import TransientEngine, propagation_delay, step
+from repro.tech import get_process
+
+PROCESS = get_process("cda07")
+VDD = PROCESS.vdd
+
+
+class TestSram6tDynamics:
+    def _cell(self, wl_wave, bl_wave, blb_wave, q0, t_stop=6e-9):
+        net = sram6t_netlist(PROCESS)
+        net.add_source("vdd", VDD)
+        net.add_source("wl", wl_wave)
+        net.add_source("bl", bl_wave)
+        net.add_source("blb", blb_wave)
+        engine = TransientEngine(net)
+        return engine.run(
+            t_stop, record=["q", "qb"],
+            initial={"q": q0, "qb": VDD - q0},
+        )
+
+    def test_holds_state_with_wordline_low(self):
+        for q0 in (0.0, VDD):
+            result = self._cell(0.0, VDD, VDD, q0)
+            assert result.final("q") == pytest.approx(q0, abs=0.3)
+
+    def test_write_zero(self):
+        # WL high, BL low / BLB high writes 0 into a cell holding 1.
+        result = self._cell(step(1e-9, 0.0, VDD), 0.0, VDD, q0=VDD)
+        assert result.final("q") < 0.1 * VDD
+        assert result.final("qb") > 0.9 * VDD
+
+    def test_write_one(self):
+        result = self._cell(step(1e-9, 0.0, VDD), VDD, 0.0, q0=0.0)
+        assert result.final("q") > 0.9 * VDD
+
+    def test_read_disturb_limited(self):
+        """Read access (both bit lines precharged high) must not flip a
+        stored 0 — the pull-down/access ratio guarantees it."""
+        result = self._cell(step(1e-9, 0.0, VDD), VDD, VDD, q0=0.0,
+                            t_stop=8e-9)
+        assert result.final("q") < 0.5 * VDD  # state survives the read
+
+
+class TestWordlineDriverDynamics:
+    @staticmethod
+    def _run(gate_size):
+        net = wordline_driver_netlist(PROCESS, gate_size=gate_size,
+                                      wl_cap_f=800e-15)
+        net.add_source("vdd", VDD)
+        net.add_source("in", step(0.5e-9, VDD, 0.0))
+        return TransientEngine(net).run(
+            8e-9, record=["in", "wl"],
+            initial={"wl": 0.0, "s1": 0.0, "s2": VDD},
+        )
+
+    def test_drives_heavy_load(self):
+        result = self._run(2)
+        # Decoder output falls (active low) -> WL rises.
+        assert result.final("wl") > 0.9 * VDD
+        d = propagation_delay(result, "in", "wl", VDD,
+                              input_rising=False, output_rising=True)
+        assert d < 2e-9
+
+    def test_gate_size_speeds_it_up(self):
+        def delay(gate_size):
+            return propagation_delay(
+                self._run(gate_size), "in", "wl", VDD,
+                input_rising=False, output_rising=True,
+            )
+
+        assert delay(3) < delay(1)
+
+
+class TestPrechargeDynamics:
+    def test_equalises_and_pulls_up(self):
+        net = precharge_netlist(PROCESS, gate_size=2)
+        net.add_source("vdd", VDD)
+        net.add_source("pcb", step(1e-9, VDD, 0.0))  # active low
+        net.add_capacitor("bl", GND, 300e-15)
+        net.add_capacitor("blb", GND, 300e-15)
+        result = TransientEngine(net).run(
+            12e-9, record=["bl", "blb"],
+            initial={"bl": 0.5, "blb": 4.5},
+        )
+        assert result.final("bl") > 0.85 * VDD
+        assert result.final("blb") > 0.85 * VDD
+        assert abs(result.final("bl") - result.final("blb")) < 0.1

@@ -1,0 +1,236 @@
+"""Tests for the leaf-cell generators: DRC cleanliness, abutment, ports."""
+
+import pytest
+
+from repro.cells import (
+    cam_cell,
+    cam_match_netlist,
+    column_decoder_cell,
+    column_mux_cell,
+    comparator_slice_cell,
+    counter_bit_cell,
+    dff_cell,
+    johnson_bit_cell,
+    pla_cell,
+    precharge_cell,
+    precharge_netlist,
+    row_decoder_cell,
+    senseamp_cell,
+    senseamp_netlist,
+    sram6t_cell,
+    sram6t_netlist,
+    strap_cell,
+    tristate_buffer_cell,
+    wordline_driver_cell,
+    wordline_driver_netlist,
+    write_driver_cell,
+)
+from repro.cells.sram6t import HEIGHT_LAMBDA, WIDTH_LAMBDA
+from repro.cells.stdcell import logic_block_width
+from repro.layout import Cell, DrcChecker
+from repro.tech import available_processes, get_process
+
+PLA_AND = [[1, 0, 0, 1], [0, 1, 1, 0], [1, 1, 0, 0]]
+PLA_OR = [[1, 0], [0, 1], [1, 1]]
+
+GENERATORS = {
+    "sram6t": lambda p: sram6t_cell(p),
+    "precharge": lambda p: precharge_cell(p),
+    "precharge_big": lambda p: precharge_cell(p, gate_size=3),
+    "senseamp": lambda p: senseamp_cell(p),
+    "column_mux": lambda p: column_mux_cell(p),
+    "wl_driver": lambda p: wordline_driver_cell(p),
+    "write_driver": lambda p: write_driver_cell(p),
+    "tristate": lambda p: tristate_buffer_cell(p),
+    "row_decoder": lambda p: row_decoder_cell(p, 10),
+    "column_decoder": lambda p: column_decoder_cell(p, 3),
+    "dff": lambda p: dff_cell(p),
+    "counter_bit": lambda p: counter_bit_cell(p),
+    "johnson_bit": lambda p: johnson_bit_cell(p),
+    "xor_slice": lambda p: comparator_slice_cell(p),
+    "cam": lambda p: cam_cell(p),
+    "strap": lambda p: strap_cell(p),
+    "pla": lambda p: pla_cell(p, PLA_AND, PLA_OR),
+}
+
+
+@pytest.mark.parametrize("process_name", available_processes())
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+def test_cell_is_drc_clean(process_name, kind):
+    """Every generator must produce legal layout on every process —
+    the design-rule-independence claim."""
+    process = get_process(process_name)
+    cell = GENERATORS[kind](process)
+    violations = DrcChecker(process).check(cell)
+    assert violations == [], [str(v) for v in violations[:5]]
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+def test_cell_scales_with_lambda(kind):
+    """Cell bounding boxes must scale linearly with lambda."""
+    small = GENERATORS[kind](get_process("cda05"))
+    large = GENERATORS[kind](get_process("cda07"))
+    assert large.width * 25 == small.width * 35
+    assert large.height * 25 == small.height * 35
+
+
+class TestSram6t:
+    @pytest.fixture(scope="class")
+    def bit(self):
+        return sram6t_cell(get_process("cda07"))
+
+    def test_dimensions(self, bit):
+        lam = get_process("cda07").lambda_cu
+        assert bit.width == WIDTH_LAMBDA * lam
+        assert bit.height == HEIGHT_LAMBDA * lam
+
+    def test_ports(self, bit):
+        names = set(bit.port_names())
+        assert {"bl", "blb", "wl", "gnd", "vdd"} <= names
+        # Facing-edge twins for abutment detection.
+        assert {"bl_t", "blb_t", "wl_r", "gnd_r", "vdd_r"} <= names
+
+    def test_facing_ports_align_for_tiling(self, bit):
+        """wl and wl_r sit at the same y band; bl and bl_t at the same
+        x band — the condition for pitch tiling to connect them."""
+        assert bit.port("wl").rect.y1 == bit.port("wl_r").rect.y1
+        assert bit.port("bl").rect.x1 == bit.port("bl_t").rect.x1
+
+    def test_six_transistors(self, bit):
+        # Count gate crossings: poly rect overlapping a diffusion rect.
+        shapes = list(bit.flatten())
+        diffs = [r for l, r in shapes if l in ("ndiff", "pdiff")]
+        polys = [r for l, r in shapes if l == "poly"]
+        crossings = 0
+        for d in diffs:
+            for p in polys:
+                inter = d.intersection(p)
+                if inter is not None and inter.area > 0:
+                    crossings += 1
+        assert crossings == 6
+
+    def test_mirrored_tile_array_drc_clean(self, bit):
+        process = get_process("cda07")
+        lam = process.lambda_cu
+        arr = Cell("tile")
+        arr.tile(bit, columns=3, rows=3, pitch_x=WIDTH_LAMBDA * lam,
+                 pitch_y=HEIGHT_LAMBDA * lam, alternate_mirror_y=True)
+        assert DrcChecker(process).check(arr) == []
+
+    def test_netlist_is_6t(self):
+        net = sram6t_netlist(get_process("cda07"))
+        assert len(net.mosfets) == 6
+        nmos = sum(1 for m in net.mosfets if m.params.polarity == "nmos")
+        assert nmos == 4
+
+    def test_pulldown_stronger_than_access(self):
+        net = sram6t_netlist(get_process("cda07"))
+        widths = sorted(m.w_um for m in net.mosfets
+                        if m.params.polarity == "nmos")
+        assert widths[-1] > widths[0]  # pull-down wider than access
+
+
+class TestColumnPitchMatching:
+    def test_precharge_matches_bit_cell_pitch(self):
+        p = get_process("mos06")
+        assert precharge_cell(p).width == sram6t_cell(p).width
+
+    def test_mux_matches_bit_cell_pitch(self):
+        p = get_process("mos06")
+        assert column_mux_cell(p).width == sram6t_cell(p).width
+
+    def test_row_pitch_cells(self):
+        p = get_process("mos06")
+        bit = sram6t_cell(p)
+        assert wordline_driver_cell(p).height == bit.height
+        assert row_decoder_cell(p, 8).height == bit.height
+        assert cam_cell(p).height == bit.height
+
+
+class TestPla:
+    def test_validation_ragged(self):
+        p = get_process("cda07")
+        with pytest.raises(ValueError):
+            pla_cell(p, [[1, 0], [1]], [[1], [0]])
+
+    def test_validation_row_mismatch(self):
+        p = get_process("cda07")
+        with pytest.raises(ValueError):
+            pla_cell(p, PLA_AND, [[1, 0]])
+
+    def test_validation_empty(self):
+        p = get_process("cda07")
+        with pytest.raises(ValueError):
+            pla_cell(p, [], [])
+
+    def test_ports_per_signal(self):
+        p = get_process("cda07")
+        cell = pla_cell(p, PLA_AND, PLA_OR)
+        names = set(cell.port_names())
+        assert {"in0_t", "in0_c", "in1_t", "in1_c",
+                "out0", "out1", "pc_and", "pc_or"} <= names
+
+    def test_device_count_tracks_personality(self):
+        p = get_process("cda07")
+        sparse = pla_cell(p, [[1, 0], [0, 1]], [[1], [1]], name="sparse")
+        dense = pla_cell(p, [[1, 1], [1, 1]], [[1], [1]], name="dense")
+        assert dense.count_shapes() > sparse.count_shapes()
+
+    def test_grows_with_terms(self):
+        p = get_process("cda07")
+        small = pla_cell(p, PLA_AND, PLA_OR, name="s")
+        big = pla_cell(p, PLA_AND * 3, PLA_OR * 3, name="b")
+        assert big.height > small.height
+
+
+class TestValidationErrors:
+    def test_gate_size_validated(self):
+        p = get_process("cda07")
+        for gen in (precharge_cell, senseamp_cell, wordline_driver_cell,
+                    write_driver_cell, tristate_buffer_cell):
+            with pytest.raises(ValueError):
+                gen(p, 0)
+
+    def test_decoder_needs_bits(self):
+        with pytest.raises(ValueError):
+            row_decoder_cell(get_process("cda07"), 0)
+
+    def test_strap_min_width(self):
+        with pytest.raises(ValueError):
+            strap_cell(get_process("cda07"), 4)
+
+    def test_logic_block_width_monotone(self):
+        assert logic_block_width(8) > logic_block_width(4)
+        with pytest.raises(ValueError):
+            logic_block_width(0)
+
+
+class TestCompanionNetlists:
+    def test_precharge_netlist_three_pmos(self):
+        net = precharge_netlist(get_process("cda07"))
+        assert len(net.mosfets) == 3
+        assert all(m.params.polarity == "pmos" for m in net.mosfets)
+
+    def test_senseamp_netlist_structure(self):
+        net = senseamp_netlist(get_process("cda07"))
+        assert len(net.mosfets) == 6
+        assert len(net.capacitors) == 2
+
+    def test_wl_driver_netlist_three_inverting_stages(self):
+        net = wordline_driver_netlist(get_process("cda07"))
+        assert len(net.mosfets) == 6
+        # Progressive sizing: each stage wider than the previous.
+        widths = sorted({m.w_um for m in net.mosfets
+                         if m.params.polarity == "nmos"})
+        assert len(widths) == 3
+        assert widths[1] == pytest.approx(3 * widths[0])
+        assert widths[2] == pytest.approx(9 * widths[0])
+
+    def test_cam_match_netlist_scales_cap(self):
+        small = cam_match_netlist(get_process("cda07"), 4)
+        large = cam_match_netlist(get_process("cda07"), 16)
+        assert large.capacitors[0].farads > small.capacitors[0].farads
+
+    def test_cam_match_netlist_validates(self):
+        with pytest.raises(ValueError):
+            cam_match_netlist(get_process("cda07"), 0)

@@ -1,0 +1,160 @@
+"""Unit tests for the circuit netlist, device model, extraction, sizing."""
+
+import pytest
+
+from repro.circuit import GND, Netlist, extract_parasitics, mosfet_current
+from repro.circuit.extract import bitline_parasitics
+from repro.circuit.mosfet import effective_resistance, saturation_current
+from repro.circuit.sizing import balance_inverter, size_for_drive
+from repro.geometry import Rect
+from repro.layout import Cell
+from repro.tech import get_process
+
+PROCESS = get_process("cda07")
+NMOS, PMOS = PROCESS.nmos, PROCESS.pmos
+VDD = PROCESS.vdd
+
+
+class TestNetlistConstruction:
+    def test_inverter_device_count(self):
+        net = Netlist()
+        net.add_inverter("a", "y", NMOS, PMOS, 2.0, 5.0)
+        assert len(net.mosfets) == 2
+        polarities = {m.params.polarity for m in net.mosfets}
+        assert polarities == {"nmos", "pmos"}
+
+    def test_nand_structure(self):
+        net = Netlist()
+        net.add_nand(["a", "b", "c"], "y", NMOS, PMOS, 2.0, 4.0)
+        nmos = [m for m in net.mosfets if m.params.polarity == "nmos"]
+        pmos = [m for m in net.mosfets if m.params.polarity == "pmos"]
+        assert len(nmos) == 3 and len(pmos) == 3
+        # PMOS all parallel between y and vdd.
+        assert all(m.drain == "y" and m.source == "vdd" for m in pmos)
+        # NMOS stack ends at GND.
+        assert any(m.source == GND for m in nmos)
+
+    def test_nor_structure(self):
+        net = Netlist()
+        net.add_nor(["a", "b"], "y", NMOS, PMOS, 2.0, 4.0)
+        nmos = [m for m in net.mosfets if m.params.polarity == "nmos"]
+        assert all(m.drain == "y" and m.source == GND for m in nmos)
+
+    def test_device_validation(self):
+        net = Netlist()
+        with pytest.raises(ValueError):
+            net.add_mosfet("d", "g", "s", NMOS, w_um=-1.0)
+        with pytest.raises(ValueError):
+            net.add_mosfet("d", "g", "s", NMOS, w_um=1.0, l_um=0.1)
+        with pytest.raises(ValueError):
+            net.add_resistor("a", "b", 0.0)
+        with pytest.raises(ValueError):
+            net.add_capacitor("a", "b", -1e-15)
+
+    def test_nodes(self):
+        net = Netlist()
+        net.add_inverter("a", "y", NMOS, PMOS, 2.0, 5.0)
+        net.add_capacitor("y", GND, 1e-15)
+        assert net.nodes() == {"a", "y", "vdd", GND}
+
+    def test_node_capacitance_accumulates(self):
+        net = Netlist()
+        m = net.add_mosfet("d", "g", "s", NMOS, 4.0)
+        caps = net.node_capacitance()
+        assert caps["g"] == pytest.approx(m.gate_cap())
+        assert caps["d"] == pytest.approx(m.diff_cap())
+
+
+class TestMosfetModel:
+    def test_cutoff(self):
+        assert mosfet_current(NMOS, 0.0, 5.0, 0.0, 4.0, 0.7) == 0.0
+
+    def test_linear_vs_saturation(self):
+        lin = mosfet_current(NMOS, 5.0, 0.1, 0.0, 4.0, 0.7)
+        sat = mosfet_current(NMOS, 5.0, 5.0, 0.0, 4.0, 0.7)
+        assert 0 < lin < sat
+
+    def test_symmetry_swapped_terminals(self):
+        fwd = mosfet_current(NMOS, 5.0, 3.0, 0.0, 4.0, 0.7)
+        rev = mosfet_current(NMOS, 5.0, 0.0, 3.0, 4.0, 0.7)
+        assert fwd == pytest.approx(-rev)
+
+    def test_pmos_sign(self):
+        # PMOS with gate low, source at VDD: current flows out of the
+        # drain into the load (positive into drain means negative here).
+        i = mosfet_current(PMOS, 0.0, 0.0, 5.0, 4.0, 0.7)
+        assert i < 0
+
+    def test_width_scaling(self):
+        i1 = mosfet_current(NMOS, 5.0, 5.0, 0.0, 2.0, 0.7)
+        i2 = mosfet_current(NMOS, 5.0, 5.0, 0.0, 4.0, 0.7)
+        assert i2 == pytest.approx(2 * i1)
+
+    def test_saturation_current_positive(self):
+        assert saturation_current(NMOS, VDD, 4.0, 0.7) > 0
+        assert saturation_current(PMOS, VDD, 4.0, 0.7) > 0
+
+    def test_effective_resistance_scales_inverse_width(self):
+        r1 = effective_resistance(NMOS, VDD, 2.0, 0.7)
+        r2 = effective_resistance(NMOS, VDD, 4.0, 0.7)
+        assert r1 == pytest.approx(2 * r2)
+
+    def test_effective_resistance_off_device(self):
+        weak = effective_resistance(NMOS, 0.5, 4.0, 0.7)
+        assert weak == float("inf")
+
+
+class TestExtraction:
+    def test_extract_counts_conductors_only(self):
+        c = Cell("x")
+        c.add_shape("metal1", Rect(0, 0, 1000, 105))   # 10 um wire
+        c.add_shape("nwell", Rect(0, 0, 5000, 5000))   # not a conductor
+        got = extract_parasitics(c, PROCESS)
+        assert set(got) == {"metal1"}
+        assert got["metal1"].length_um == pytest.approx(10.0)
+        assert got["metal1"].capacitance_f > 0
+
+    def test_poly_more_resistive_than_metal(self):
+        c = Cell("x")
+        c.add_shape("metal1", Rect(0, 0, 1000, 105))
+        c.add_shape("poly", Rect(0, 500, 1000, 570))
+        got = extract_parasitics(c, PROCESS)
+        assert got["poly"].resistance_ohm > \
+            100 * got["metal1"].resistance_ohm
+
+    def test_bitline_scales_with_rows(self):
+        short = bitline_parasitics(PROCESS, 64, 48 * PROCESS.lambda_cu)
+        long = bitline_parasitics(PROCESS, 256, 48 * PROCESS.lambda_cu)
+        assert long.capacitance_f == pytest.approx(
+            4 * short.capacitance_f, rel=0.05
+        )
+        assert long.resistance_ohm == pytest.approx(
+            4 * short.resistance_ohm, rel=0.05
+        )
+
+    def test_bitline_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            bitline_parasitics(PROCESS, 0, 100)
+
+
+class TestSizing:
+    def test_balance_converges(self):
+        sizing = balance_inverter(PROCESS, wn_um=2.0, load_ff=20.0)
+        assert sizing.imbalance <= 0.05
+
+    def test_balanced_ratio_near_kp_ratio(self):
+        sizing = balance_inverter(PROCESS, wn_um=2.0, load_ff=20.0)
+        kp_ratio = PROCESS.nmos.kp / PROCESS.pmos.kp
+        assert 0.6 * kp_ratio <= sizing.ratio <= 1.6 * kp_ratio
+
+    def test_balance_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            balance_inverter(PROCESS, wn_um=0.0)
+
+    def test_size_for_drive_scales(self):
+        base = size_for_drive(PROCESS, 1)
+        assert size_for_drive(PROCESS, 3) == pytest.approx(3 * base)
+
+    def test_size_for_drive_validates(self):
+        with pytest.raises(ValueError):
+            size_for_drive(PROCESS, 0)

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+CFG = ["--words", "64", "--bpw", "8", "--bpc", "4", "--strap-every", "8"]
+
+
+class TestCompile:
+    def test_basic(self, capsys):
+        code, out = run(capsys, "compile", *CFG)
+        assert code == 0
+        assert "read access time" in out
+        assert "overhead" in out
+
+    def test_ascii(self, capsys):
+        code, out = run(capsys, "compile", *CFG, "--ascii")
+        assert code == 0
+        assert "array" in out
+
+    def test_artifacts(self, capsys, tmp_path):
+        svg = tmp_path / "m.svg"
+        cif = tmp_path / "m.cif"
+        code, out = run(
+            capsys, "compile", *CFG,
+            "--svg", str(svg), "--cif", str(cif),
+            "--control-dir", str(tmp_path / "ctl"),
+        )
+        assert code == 0
+        assert svg.read_text().startswith("<svg")
+        assert "DS " in cif.read_text()
+        assert (tmp_path / "ctl" / "trpla_and.plane").exists()
+
+    def test_invalid_config_reports_error(self, capsys):
+        code = main(["compile", "--words", "63", "--bpw", "8",
+                     "--bpc", "4"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSelftest:
+    def test_clean(self, capsys):
+        code, out = run(capsys, "selftest", *CFG)
+        assert code == 0
+        assert "REPAIRED" in out
+
+    def test_with_defects(self, capsys):
+        code, out = run(capsys, "selftest", *CFG,
+                        "--defects", "2", "--seed", "4")
+        assert "injected 2 defects" in out
+
+    def test_hopeless_defects_fail(self, capsys):
+        code, out = run(capsys, "selftest", *CFG,
+                        "--defects", "60", "--seed", "1",
+                        "--max-cycles", "2")
+        assert code == 1
+        assert "UNSUCCESSFUL" in out
+
+
+class TestAnalyses:
+    def test_yield(self, capsys):
+        code, out = run(capsys, "yield", *CFG, "--defects", "0,5")
+        assert code == 0
+        assert "0 spares" in out and "1.0000" in out
+
+    def test_reliability(self, capsys):
+        code, out = run(capsys, "reliability", *CFG, "--years", "1,5")
+        assert code == 0
+        assert "lambda" in out
+
+    def test_cost_all(self, capsys):
+        code, out = run(capsys, "cost")
+        assert code == 0
+        assert "TI SuperSPARC" in out
+
+    def test_cost_single(self, capsys):
+        code, out = run(capsys, "cost", "--processor", "MIPS R4400")
+        assert code == 0
+        assert "MIPS R4400" in out
+        assert "Intel486DX2" not in out
+
+    def test_coverage_known_march(self, capsys):
+        code, out = run(capsys, "coverage", "--march", "MATS+",
+                        "--samples", "4")
+        assert code == 0
+        assert "data_retention" in out
+
+    def test_coverage_custom_notation(self, capsys):
+        code, out = run(
+            capsys, "coverage", "--march", "m(w0); u(r0,w1); d(r1)",
+            "--samples", "4",
+        )
+        assert code == 0
+
+    def test_coverage_bad_notation(self, capsys):
+        code = main(["coverage", "--march", "zz(!!)"])
+        assert code == 2
+
+    def test_optimize(self, capsys):
+        code, out = run(
+            capsys, "optimize", "--words", "1024", "--bpw", "16",
+            "--bpc", "4", "--defects", "3",
+        )
+        assert code == 0
+        assert "recommended" in out
+
+
+class TestDiagnose:
+    def test_repairable_damage(self, capsys):
+        code, out = run(capsys, "diagnose", *CFG,
+                        "--defects", "2", "--seed", "3")
+        assert "diagnosis:" in out
+        assert code in (0, 1)
+
+    def test_clean_device(self, capsys):
+        code, out = run(capsys, "diagnose", *CFG, "--defects", "0")
+        assert code == 0
+        assert "0 comparator hits" in out
+
+
+class TestVerify:
+    def test_signoff_clean(self, capsys):
+        code, out = run(capsys, "verify", *CFG)
+        assert code == 0
+        assert "SIGNOFF CLEAN" in out
+        assert out.count("[PASS]") == 4

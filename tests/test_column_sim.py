@@ -1,0 +1,122 @@
+"""Column datapath simulation tests: generated netlists, wired and
+driven through a complete precharge -> access -> sense read."""
+
+import pytest
+
+from repro.circuit.column_sim import (
+    build_column_netlist,
+    simulate_read_access,
+)
+from repro.tech import get_process
+
+PROCESS = get_process("cda07")
+
+
+class TestColumnNetlist:
+    def test_device_count(self):
+        net = build_column_netlist(PROCESS, rows=4)
+        # 4 cells x 6T + precharge 3T + senseamp 6T.
+        assert len(net.mosfets) == 4 * 6 + 3 + 6
+
+    def test_shared_bitlines(self):
+        net = build_column_netlist(PROCESS, rows=4)
+        nodes = net.nodes()
+        assert "bl" in nodes and "blb" in nodes
+        assert {"wl0", "wl1", "wl2", "wl3"} <= nodes
+        assert {"q0", "qb3"} <= nodes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_column_netlist(PROCESS, rows=0)
+
+
+class TestReadAccess:
+    @pytest.mark.parametrize("stored", (0, 1))
+    def test_full_swing_read_is_correct(self, stored):
+        result = simulate_read_access(PROCESS, rows=8, stored_bit=stored,
+                                      row=3)
+        assert result.correct
+        assert result.access_time_s < 5e-9
+
+    @pytest.mark.parametrize("stored", (0, 1))
+    def test_minor_differential_still_latches(self, stored):
+        """The Fig. 3 claim at column level: a short develop window
+        leaves only a partial bit-line differential, and the
+        current-mode latch still resolves the right value."""
+        result = simulate_read_access(
+            PROCESS, rows=16, stored_bit=stored, row=9,
+            t_develop=0.4e-9,
+        )
+        assert abs(result.differential_v) < 0.8 * PROCESS.vdd
+        assert abs(result.differential_v) > 0.02
+        assert result.correct
+
+    def test_unselected_rows_do_not_corrupt(self):
+        """Neighbour cells store the complement; the read must still
+        return the selected cell's value."""
+        for row in (0, 7):
+            result = simulate_read_access(PROCESS, rows=8,
+                                          stored_bit=1, row=row)
+            assert result.correct
+
+    def test_selected_cell_state_survives_read(self):
+        result = simulate_read_access(PROCESS, rows=8, stored_bit=0,
+                                      row=2)
+        q = result.trace.final("q2")
+        assert q < 0.5 * PROCESS.vdd  # the stored 0 survived
+
+    def test_row_bounds(self):
+        with pytest.raises(ValueError):
+            simulate_read_access(PROCESS, rows=4, stored_bit=1, row=4)
+
+    def test_works_on_every_process(self):
+        for name in ("cda05", "mos06"):
+            result = simulate_read_access(get_process(name), rows=4,
+                                          stored_bit=1, row=1)
+            assert result.correct
+
+
+class TestWriteCycle:
+    """Write-then-read through the full column: write drivers slam the
+    bit lines (the sense amp is bypassed in write mode, paper §IV.3),
+    the cell captures, and a subsequent read returns the new value."""
+
+    @pytest.mark.parametrize("bit", (0, 1))
+    def test_write_then_read(self, bit):
+        from repro.circuit.column_sim import build_column_netlist
+        from repro.spice import Pwl, TransientEngine
+
+        vdd = PROCESS.vdd
+        rows, row = 4, 1
+        net = build_column_netlist(PROCESS, rows)
+        net.add_source("vdd", vdd)
+        # Write phase (0-4 ns): drive the bit lines hard to the target
+        # value with WL high; then release WL and float the lines high
+        # (precharge) to read back is implicit in cell state.
+        net.add_source("pcb", vdd)  # precharge off
+        net.add_source("bl", Pwl([(0.0, vdd if bit else 0.0)]))
+        net.add_source("blb", Pwl([(0.0, 0.0 if bit else vdd)]))
+        net.add_source("se", 0.0)
+        for i in range(rows):
+            if i == row:
+                net.add_source(
+                    "wl1", Pwl([(0.0, 0.0), (0.5e-9, 0.0),
+                                (0.6e-9, vdd), (3.5e-9, vdd),
+                                (3.6e-9, 0.0)]),
+                )
+            else:
+                net.add_source(f"wl{i}", 0.0)
+        initial = {}
+        for i in range(rows):
+            # Every cell starts holding the complement.
+            initial[f"q{i}"] = 0.0 if bit else vdd
+            initial[f"qb{i}"] = vdd if bit else 0.0
+        result = TransientEngine(net).run(
+            6e-9, record=[f"q{row}", f"qb{row}", "q0"],
+            initial=initial,
+        )
+        q = result.final(f"q{row}")
+        assert (q > 0.9 * vdd) == bool(bit)
+        # The unselected neighbour kept its old value.
+        q0 = result.final("q0")
+        assert (q0 > 0.5 * vdd) == (not bit)

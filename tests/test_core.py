@@ -1,0 +1,224 @@
+"""Unit tests for the compiler core: config, datasheet, BISRAMGen."""
+
+import pytest
+
+from repro import BISRAMGen, RamConfig, compile_ram
+from repro.core.datasheet import build_datasheet
+from repro.core.floorplan import build_floorplan
+
+
+class TestRamConfig:
+    def test_derived_geometry(self):
+        cfg = RamConfig(words=2048, bpw=32, bpc=8)
+        assert cfg.rows == 256
+        assert cfg.columns == 256
+        assert cfg.bits == 65536
+        assert cfg.total_rows == 260
+        assert cfg.row_address_bits == 8
+        assert cfg.column_address_bits == 3
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            RamConfig(words=96, bpw=24, bpc=8)
+        with pytest.raises(ValueError):
+            RamConfig(words=96, bpw=32, bpc=6)
+
+    def test_words_multiple_of_bpc(self):
+        with pytest.raises(ValueError):
+            RamConfig(words=100, bpw=8, bpc=8)
+
+    def test_spares_choices(self):
+        for s in (4, 8, 16):
+            RamConfig(words=64, bpw=4, bpc=4, spares=s)
+        with pytest.raises(ValueError):
+            RamConfig(words=64, bpw=4, bpc=4, spares=3)
+
+    def test_gate_size_validated(self):
+        with pytest.raises(ValueError):
+            RamConfig(words=64, bpw=4, bpc=4, gate_size=0)
+
+    def test_strap_width_validated(self):
+        with pytest.raises(ValueError):
+            RamConfig(words=64, bpw=4, bpc=4, strap_width_lambda=8)
+
+    def test_spare_word_fraction(self):
+        cfg = RamConfig(words=1024, bpw=4, bpc=4, spares=4)
+        assert cfg.spare_word_fraction == pytest.approx(16 / 1024)
+
+    def test_describe(self):
+        text = RamConfig(words=2048, bpw=32, bpc=8).describe()
+        assert "64 Kbit" in text and "cda07" in text
+
+
+SMALL = RamConfig(words=64, bpw=8, bpc=4, spares=4, strap_every=8)
+
+
+class TestFloorplan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return build_floorplan(SMALL)
+
+    def test_macro_inventory(self, plan):
+        assert set(plan.macrocells) >= {
+            "array", "precharge_row", "mux_row", "sense_row",
+            "decoder_col", "trpla", "tlb", "addgen", "datagen", "streg",
+        }
+
+    def test_baseline_lacks_bist(self):
+        base = build_floorplan(SMALL, with_bisr=False)
+        assert "trpla" not in base.macrocells
+        assert "tlb" not in base.macrocells
+
+    def test_array_has_spare_rows(self, plan):
+        base = build_floorplan(SMALL, with_bisr=False)
+        ratio = plan.areas_cu2["array"] / base.areas_cu2["array"]
+        expected = SMALL.total_rows / SMALL.rows
+        assert ratio == pytest.approx(expected, rel=0.01)
+
+    def test_component_area_below_bbox(self, plan):
+        assert plan.component_area_mm2() <= plan.area_mm2() * 1.001
+
+    def test_trpla_carries_real_microprogram(self, plan):
+        # The PLA personality assembled for IFA-9 has >100 terms.
+        assert plan.assembled_pla.term_count > 100
+
+    def test_datapath_alignment(self, plan):
+        """Precharge row and mux row must span exactly the array width
+        (bit-line pitch matching)."""
+        a = plan.macrocells["array"].width
+        assert plan.macrocells["precharge_row"].width == \
+            pytest.approx(a, abs=plan.macrocells["array"].width * 0.02)
+
+    def test_every_bitline_connects_by_abutment(self, plan):
+        """'No routing is necessary': every column's bl and blb must
+        abut between array<->precharge and array<->mux."""
+        from repro.pnr import abutting_ports
+
+        pairs = abutting_ports(plan.top)
+        arr_pre = [p for p in pairs
+                   if {p[0], p[2]} == {"array", "precharge_row"}]
+        arr_mux = [p for p in pairs
+                   if {p[0], p[2]} == {"array", "mux_row"}]
+        expected = 2 * SMALL.columns  # bl + blb per column
+        assert len(arr_pre) == expected
+        assert len(arr_mux) == expected
+
+
+class TestCompile:
+    @pytest.fixture(scope="class")
+    def ram(self):
+        return compile_ram(SMALL)
+
+    def test_area_report_consistency(self, ram):
+        ar = ram.area_report
+        assert ar.total_mm2 > ar.baseline_mm2 > 0
+        assert ar.bbox_mm2 >= ar.total_mm2
+        assert ar.overhead_percent > 0
+        assert ar.bist_bisr_only_percent < ar.overhead_percent
+
+    def test_datasheet_sanity(self, ram):
+        ds = ram.datasheet
+        assert 0.5e-9 < ds.read_access_s < 50e-9
+        assert ds.cycle_time_s > ds.read_access_s
+        assert ds.tlb_penalty_s < ds.read_access_s
+        assert ds.supply_v == 5.0
+        assert ds.active_power_w > 0
+        assert "datasheet" in ds.summary()
+
+    def test_simulation_model_matches_config(self, ram):
+        device = ram.simulation_model()
+        assert device.word_count == SMALL.words
+        assert device.array.spares == SMALL.spares
+
+    def test_self_test_runs_clean(self, ram):
+        result = ram.self_test_controller().run()
+        assert result.repaired
+
+    def test_control_code_files(self, ram, tmp_path):
+        paths = ram.write_control_code(tmp_path)
+        from repro.bist import Trpla, read_plane_files
+
+        and_p, or_p = read_plane_files(paths["and"], paths["or"])
+        pla = Trpla(and_p, or_p)
+        assert pla.term_count == ram.floorplan.assembled_pla.term_count
+
+    def test_cif_export(self, ram, tmp_path):
+        path = tmp_path / "ram.cif"
+        ram.write_cif(path)
+        text = path.read_text()
+        assert text.startswith("(")
+        assert "DS " in text and text.rstrip().endswith("E")
+
+    def test_svg_render(self, ram):
+        svg = ram.render_svg()
+        assert svg.startswith("<svg") and "<rect" in svg
+
+    def test_ascii_render(self, ram):
+        art = ram.render_ascii()
+        assert "array" in art
+
+
+class TestAreaOverheadShape:
+    def test_overhead_shrinks_with_array_size(self):
+        """The paper's Table I shape: bigger arrays, smaller relative
+        BIST/BISR cost."""
+        small = compile_ram(
+            RamConfig(words=128, bpw=8, bpc=4, strap_every=0)
+        ).area_report
+        large = compile_ram(
+            RamConfig(words=1024, bpw=16, bpc=4, strap_every=0)
+        ).area_report
+        assert large.overhead_percent < small.overhead_percent
+
+    def test_realistic_size_below_seven_percent(self):
+        """'at most 7% for realistic array sizes' (64 Kbit and up)."""
+        ram = compile_ram(RamConfig(words=2048, bpw=32, bpc=8))
+        assert ram.area_report.overhead_percent <= 7.0
+
+    def test_gate_size_grows_drivers(self):
+        slim = compile_ram(SMALL)
+        beefy = compile_ram(
+            RamConfig(words=64, bpw=8, bpc=4, spares=4,
+                      strap_every=8, gate_size=3)
+        )
+        assert beefy.area_report.total_mm2 > slim.area_report.total_mm2
+
+    def test_process_independence(self):
+        """Same configuration compiles on every preset and areas scale
+        with lambda squared."""
+        r5 = compile_ram(RamConfig(words=64, bpw=8, bpc=4,
+                                   process="cda05"))
+        r7 = compile_ram(RamConfig(words=64, bpw=8, bpc=4,
+                                   process="cda07"))
+        ratio = r7.area_report.total_mm2 / r5.area_report.total_mm2
+        assert ratio == pytest.approx((0.7 / 0.5) ** 2, rel=0.01)
+
+
+class TestSelftestTime:
+    def test_datasheet_includes_selftest_duration(self):
+        ram = compile_ram(SMALL)
+        ds = ram.datasheet
+        assert ds.selftest_march_s > 0
+        assert ds.selftest_retention_s > 0
+        assert ds.selftest_total_s == pytest.approx(
+            ds.selftest_march_s + ds.selftest_retention_s
+        )
+        assert "self-test" in ds.summary()
+
+    def test_retention_dominates(self):
+        """The 100 ms handshakes dwarf the march for any small macro."""
+        ram = compile_ram(SMALL)
+        ds = ram.datasheet
+        assert ds.selftest_retention_s > 10 * ds.selftest_march_s
+
+
+class TestFlowReport:
+    def test_flow_report_covers_every_phase(self):
+        ram = compile_ram(SMALL)
+        report = ram.flow_report()
+        for marker in ("leaf-cell library", "macrocell generation",
+                       "control microprogram", "assembly",
+                       "area accounting", "guarantees"):
+            assert marker in report
+        assert "trpla" in report
+        assert "cam_bit" in report

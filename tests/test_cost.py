@@ -1,0 +1,178 @@
+"""Unit tests for the cost models (Tables II-III, Fig. 8 machinery)."""
+
+import pytest
+
+from repro.cost import (
+    MPR_1994_DATASET,
+    SpeedBinning,
+    binning_distribution,
+    die_cost,
+    die_cost_comparison,
+    dies_per_wafer,
+    get_processor,
+    table2_rows,
+    table3_rows,
+)
+
+
+class TestWaferGeometry:
+    def test_bigger_wafer_superlinear_in_area(self):
+        """Edge loss shrinks relative to area on larger wafers: the
+        paper's 'more than proportionately increase the number of
+        dies-per-wafer'."""
+        ratio = dies_per_wafer(100, 200) / dies_per_wafer(100, 150)
+        assert ratio > (200 / 150) ** 2
+
+    def test_smaller_die_more_dies(self):
+        assert dies_per_wafer(50, 200) > dies_per_wafer(200, 200)
+
+    def test_sane_magnitude(self):
+        # ~256 mm^2 on a 200 mm wafer: around 90-100 gross dies.
+        assert 80 <= dies_per_wafer(256, 200) <= 110
+
+    def test_too_big_die_rejected(self):
+        with pytest.raises(ValueError):
+            dies_per_wafer(40000, 150)
+
+    def test_die_cost_formula(self):
+        dpw = dies_per_wafer(100, 200)
+        assert die_cost(2000, 100, 200, 0.5) == pytest.approx(
+            2000 / (dpw * 0.5)
+        )
+
+    def test_die_cost_validation(self):
+        with pytest.raises(ValueError):
+            die_cost(0, 100, 200, 0.5)
+        with pytest.raises(ValueError):
+            die_cost(2000, 100, 200, 0.0)
+
+
+class TestDataset:
+    def test_lookup(self):
+        cpu = get_processor("TI SuperSPARC")
+        assert cpu.die_area_mm2 == 256.0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known"):
+            get_processor("Itanium")
+
+    def test_two_metal_chips_cannot_take_bisr(self):
+        for cpu in MPR_1994_DATASET:
+            if cpu.metal_layers < 3:
+                assert not cpu.supports_bisr
+
+    def test_final_test_yields(self):
+        assert get_processor("Intel486DX2").final_test_yield == 0.97
+        assert get_processor("Intel386DX").final_test_yield == 0.93
+
+    def test_dataset_has_both_wafer_sizes(self):
+        sizes = {cpu.wafer_mm for cpu in MPR_1994_DATASET}
+        assert sizes == {150, 200}
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r["name"]: r for r in table2_rows()}
+
+    def test_blank_entries_for_two_metal(self, rows):
+        assert rows["Intel386DX"]["die_cost_with"] is None
+        assert rows["microSPARC"]["die_cost_with"] is None
+        assert rows["MIPS R4200"]["die_cost_with"] is None
+
+    def test_bisr_always_cheaper(self, rows):
+        for r in rows.values():
+            if r["die_cost_with"] is not None:
+                assert r["die_cost_with"] < r["die_cost_without"]
+
+    def test_supersparc_near_2x(self, rows):
+        """Paper: 'a significant decrease in the cost per good die ...
+        often by a factor of about 2' — SuperSPARC is the flagship."""
+        assert rows["TI SuperSPARC"]["improvement"] >= 1.5
+
+    def test_small_die_small_benefit(self, rows):
+        assert rows["Intel486DX2"]["improvement"] <= 1.10
+
+    def test_bigger_cache_fraction_bigger_benefit(self, rows):
+        assert rows["MIPS R4400"]["improvement"] > \
+            rows["Intel486DX2"]["improvement"]
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r["name"]: r for r in table3_rows()}
+
+    def test_reduction_band_matches_paper(self, rows):
+        """Paper: reductions span 2.35% (486DX2) to 47.2% (SuperSPARC)."""
+        r486 = rows["Intel486DX2"]["reduction_percent"]
+        rss = rows["TI SuperSPARC"]["reduction_percent"]
+        assert 1.0 <= r486 <= 8.0
+        assert 30.0 <= rss <= 50.0
+
+    def test_die_cost_dominates_total(self, rows):
+        """Paper: die cost is 30-70% of the total (more for big dies)."""
+        for r in rows.values():
+            assert 0.30 <= r["die_cost_share"] <= 0.90
+
+    def test_total_with_bisr_never_higher(self, rows):
+        for r in rows.values():
+            if r["total_with"] is not None:
+                assert r["total_with"] <= r["total_without"]
+
+    def test_comparison_api(self):
+        without, with_ = die_cost_comparison(get_processor("PowerPC601"))
+        assert with_.die_yield > without.die_yield
+        assert with_.dies_per_wafer <= without.dies_per_wafer
+
+
+class TestBinning:
+    def test_fractions_sum_to_one(self):
+        fr = binning_distribution(100, 10, [90, 100, 110])
+        assert sum(fr) == pytest.approx(1.0)
+        assert len(fr) == 4
+
+    def test_symmetric_about_mean(self):
+        fr = binning_distribution(100, 10, [100])
+        assert fr[0] == pytest.approx(0.5)
+
+    def test_edges_must_ascend(self):
+        with pytest.raises(ValueError):
+            binning_distribution(100, 10, [110, 100])
+
+    def test_sigma_positive(self):
+        with pytest.raises(ValueError):
+            binning_distribution(100, 0, [100])
+
+    def test_price_count_checked(self):
+        with pytest.raises(ValueError):
+            SpeedBinning(100, 10, (90, 110), (1.0,))
+
+    def test_matched_demand_no_overbuild(self):
+        b = SpeedBinning(100, 10, (90, 110), (50.0, 80.0, 120.0))
+        supply = b.supply_fractions()
+        assert b.production_scale_for_demand(supply) == pytest.approx(1.0)
+
+    def test_fast_part_demand_forces_overbuild(self):
+        """Fig. 8's story: demand skewed to the fastest bin forces the
+        vendor to overbuild everything."""
+        b = SpeedBinning(100, 10, (90, 110), (50.0, 80.0, 120.0))
+        supply = b.supply_fractions()
+        demand = [0.0, 0.0, 1.0]
+        scale = b.production_scale_for_demand(demand)
+        assert scale == pytest.approx(1.0 / supply[2])
+        assert scale > 4.0
+
+    def test_premium_positive_under_mismatch(self):
+        b = SpeedBinning(100, 10, (90, 110), (50.0, 80.0, 120.0))
+        premium = b.premium_for_demand([0.0, 0.2, 0.8], unit_cost=30.0)
+        assert premium > 0.0
+
+    def test_demand_must_sum_to_one(self):
+        b = SpeedBinning(100, 10, (90, 110), (50.0, 80.0, 120.0))
+        with pytest.raises(ValueError):
+            b.production_scale_for_demand([0.5, 0.2, 0.2])
+
+    def test_revenue_per_unit(self):
+        b = SpeedBinning(100, 10, (100,), (50.0, 100.0))
+        assert b.revenue_per_wafer_unit() == pytest.approx(75.0)

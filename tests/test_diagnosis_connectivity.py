@@ -1,0 +1,153 @@
+"""Tests for fault diagnosis and the abutment connectivity extractor."""
+
+import pytest
+
+from repro.bist import IFA_9
+from repro.memsim import BisrRam
+from repro.memsim.diagnosis import (
+    Diagnosis,
+    FailRecord,
+    collect_fail_records,
+    diagnose,
+)
+from repro.memsim.faults import ColumnStuck, RowStuck, StuckAt
+
+
+def fresh(rows=8, bpw=4, bpc=4, spares=4):
+    return BisrRam(rows=rows, bpw=bpw, bpc=bpc, spares=spares)
+
+
+def run_diagnosis(device):
+    records = collect_fail_records(IFA_9, device, bpw=device.array.bpw)
+    a = device.array
+    return diagnose(records, a.rows, a.bpw, a.bpc, a.spares)
+
+
+class TestDiagnosis:
+    def test_single_cell(self):
+        device = fresh()
+        device.array.inject(StuckAt(device.array.cell_index(3, 1, 2), 1))
+        d = run_diagnosis(device)
+        assert d.cell_faults == ((3, 2),)
+        assert d.row_faults == ()
+        assert d.column_faults == ()
+        assert d.repairable_with_rows
+        assert d.spares_needed == 1
+
+    def test_row_defect(self):
+        device = fresh()
+        device.array.inject(RowStuck(5, device.array.phys_cols, 0))
+        d = run_diagnosis(device)
+        assert d.row_faults == (5,)
+        assert d.cell_faults == ()
+        assert d.repairable_with_rows
+
+    def test_column_defect_flagged_unrepairable(self):
+        device = fresh()
+        device.array.inject(
+            ColumnStuck(2, device.array.total_rows,
+                        device.array.phys_cols, 1)
+        )
+        d = run_diagnosis(device)
+        # Physical column 2 = word bit 0, column 2.
+        assert d.column_faults == ((2, 0),)
+        assert not d.repairable_with_rows
+        assert d.row_faults == ()  # not misdiagnosed as many bad rows
+
+    def test_mixed_pattern(self):
+        device = fresh(rows=12)
+        device.array.inject(RowStuck(1, device.array.phys_cols, 1))
+        device.array.inject(StuckAt(device.array.cell_index(7, 2, 0), 0))
+        d = run_diagnosis(device)
+        assert d.row_faults == (1,)
+        assert d.cell_faults == ((7, 0),)
+        assert d.spares_needed == 2
+        assert d.repairable_with_rows
+
+    def test_too_many_rows_not_repairable(self):
+        device = fresh(rows=12, spares=4)
+        for row in range(5):
+            device.array.inject(
+                RowStuck(row, device.array.phys_cols, 1)
+            )
+        d = run_diagnosis(device)
+        assert len(d.row_faults) == 5
+        assert not d.repairable_with_rows
+
+    def test_clean_device(self):
+        d = run_diagnosis(fresh())
+        assert d == Diagnosis((), (), (), True, 0)
+
+    def test_fail_record_bits(self):
+        r = FailRecord(address=0, observed=0b1010, expected=0b0010)
+        assert r.failing_bits() == 0b1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diagnose([], rows=0, bpw=4, bpc=4, spares=4)
+
+
+class TestConnectivity:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        from repro import RamConfig
+        from repro.core.floorplan import build_floorplan
+
+        return build_floorplan(
+            RamConfig(words=64, bpw=8, bpc=4, spares=4, strap_every=8)
+        )
+
+    def test_bitline_nets_span_datapath(self, plan):
+        from repro.pnr.connectivity import net_spans_instances
+
+        assert net_spans_instances(
+            plan.top, ["array", "precharge_row", "mux_row"], "bl"
+        )
+
+    def test_net_count_matches_columns(self, plan):
+        from repro.pnr.connectivity import extract_nets
+
+        nets = extract_nets(plan.top)
+        bl_nets = [
+            n for n in nets
+            if any(p.startswith("bl") for _, p in n)
+        ]
+        # One net per bl and per blb column.
+        assert len(bl_nets) == 2 * 32
+
+    def test_statistics(self, plan):
+        from repro.pnr.connectivity import net_statistics
+
+        stats = net_statistics(plan.top)
+        assert stats["nets"] == 64
+        assert stats["abutments"] >= 128
+        assert stats["endpoints"] > stats["nets"]
+
+    def test_gap_produces_dangling_ports(self):
+        from repro.geometry import Point, Rect, Transform
+        from repro.layout import Cell, Port
+        from repro.pnr.connectivity import dangling_ports
+
+        a = Cell("a")
+        a.add_shape("metal1", Rect(0, 0, 10, 10))
+        a.add_port(Port("p", "metal2", Rect(10, 4, 10, 6)))
+        b = Cell("b")
+        b.add_shape("metal1", Rect(0, 0, 10, 10))
+        b.add_port(Port("q", "metal2", Rect(0, 4, 0, 6)))
+        top = Cell("top")
+        top.add_instance(a, Transform(), name="A")
+        top.add_instance(b, Transform(translation=Point(11, 0)),
+                         name="B")  # 1 unit gap: no abutment
+        assert dangling_ports(top) == [("A", "p"), ("B", "q")]
+
+    def test_ignore_prefixes(self):
+        from repro.geometry import Rect, Transform
+        from repro.layout import Cell, Port
+        from repro.pnr.connectivity import dangling_ports
+
+        a = Cell("a")
+        a.add_shape("metal1", Rect(0, 0, 10, 10))
+        a.add_port(Port("ext_pin", "metal2", Rect(0, 4, 0, 6)))
+        top = Cell("top")
+        top.add_instance(a, Transform(), name="A")
+        assert dangling_ports(top, ignore=("ext_",)) == []

@@ -1,0 +1,233 @@
+"""Tests for the extension modules: Chen-Sunada baseline, transparent
+BIST, spare optimiser, and the scheme comparison."""
+
+import random
+
+import pytest
+
+from repro import RamConfig
+from repro.analysis import (
+    compare_schemes,
+    optimize_spares,
+    spare_tradeoff_table,
+)
+from repro.bisr.chen_sunada import (
+    ChenSunadaRam,
+    FaultCaptureBlock,
+    sequential_compare_delay_s,
+)
+from repro.bist import IFA_9, MATS_PLUS
+from repro.bist.march import MarchTest, Op, parse_march
+from repro.bist.transparent import (
+    TransparentBist,
+    transparent_march,
+)
+from repro.memsim import BisrRam
+from repro.memsim.faults import StuckAt, TransitionFault
+from repro.tech import get_process
+
+
+class TestFaultCaptureBlock:
+    def test_two_capacity(self):
+        block = FaultCaptureBlock()
+        assert block.record(3) and block.record(9)
+        assert not block.record(12)
+        assert block.dead
+
+    def test_duplicate_free(self):
+        block = FaultCaptureBlock()
+        block.record(3)
+        block.record(3)
+        assert len(block.captures) == 1
+
+    def test_translate_sequential(self):
+        block = FaultCaptureBlock()
+        block.record(7)
+        assert block.translate(7) == (0, True)
+        assert block.translate(8) == (8, False)
+
+
+class TestChenSunadaRam:
+    def test_two_faults_per_subblock_fine(self):
+        ram = ChenSunadaRam(subblocks=4, words_per_subblock=16)
+        assert ram.record_fail(0) and ram.record_fail(1)
+        assert ram.translate(0) == ("spare_word", 0, 0)
+        assert ram.translate(5) == ("block", 0, 5)
+
+    def test_third_fault_kills_subblock(self):
+        ram = ChenSunadaRam(4, 16, spare_subblocks=1)
+        for a in (0, 1, 2):
+            assert ram.record_fail(a)
+        assert ram.translate(3) == ("spare_block", 0, 3)
+
+    def test_no_spare_blocks_unrepairable(self):
+        ram = ChenSunadaRam(4, 16, spare_subblocks=0)
+        ram.record_fail(0)
+        ram.record_fail(1)
+        assert not ram.record_fail(2)
+
+    def test_static_repairable(self):
+        ram = ChenSunadaRam(4, 16, spare_subblocks=1)
+        # Two faults in each of two subblocks: fine.
+        assert ram.repairable([0, 1, 16, 17])
+        # Three in one subblock: uses the spare block.
+        assert ram.repairable([0, 1, 2])
+        # Three in each of two subblocks: beyond one spare block.
+        assert not ram.repairable([0, 1, 2, 16, 17, 18])
+
+    def test_capacity_and_kill_metrics(self):
+        ram = ChenSunadaRam(8, 32, spare_subblocks=1)
+        assert ram.repair_capacity_words() == 8 * 2 + 32
+        assert ram.worst_case_unrepairable() == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChenSunadaRam(0, 16)
+        ram = ChenSunadaRam(4, 16)
+        with pytest.raises(ValueError):
+            ram.record_fail(64)
+
+    def test_sequential_delay_scales_with_captures(self):
+        p = get_process("cda07")
+        d2 = sequential_compare_delay_s(p, 8, captures=2)
+        d8 = sequential_compare_delay_s(p, 8, captures=8)
+        assert d8 > 3 * d2
+
+
+class TestSchemeComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_schemes(
+            RamConfig(words=1024, bpw=16, bpc=4, spares=4),
+            subblocks=16, spare_subblocks=1,
+            random_faults=4, trials=150,
+        )
+
+    def test_survival_gap(self, comparison):
+        """Row-structured defects: BISRAMGEN survives where the
+        two-faults-per-subblock scheme dies."""
+        assert comparison.survival_bisramgen > \
+            comparison.survival_chen_sunada + 0.3
+
+    def test_parallel_compare_scales_better(self, comparison):
+        """At equal entry counts, the sequential compare exceeds the
+        parallel TLB."""
+        assert comparison.chen_sunada_delay_equal_entries_s > \
+            comparison.bisramgen_delay_s * 0.8
+        # And the gap widens with entries.
+        p = get_process("cda07")
+        from repro.bisr.delay import tlb_delay_s
+
+        seq16 = sequential_compare_delay_s(p, 8, captures=16)
+        par16 = tlb_delay_s(p, 8, 16)
+        assert seq16 > 1.5 * par16
+
+    def test_worst_case_kill(self, comparison):
+        # 5 faulty rows kill BISRAMGEN (4 spares); 6 well-placed word
+        # faults kill Chen-Sunada with one spare block.
+        assert comparison.bisramgen_worst_case_kill == 5
+        assert comparison.chen_sunada_worst_case_kill == 6
+
+
+class TestTransparentMarch:
+    def test_already_transparent_untouched(self):
+        t = parse_march("x", "m(w0); u(r0,w1); d(r1,w0); m(r0)")
+        assert transparent_march(t) is t
+
+    def test_restoring_element_appended(self):
+        t = parse_march("x", "m(w0); u(r0,w1); m(r1)")
+        got = transparent_march(t)
+        assert len(got.elements) == len(t.elements) + 1
+        assert got.elements[-1].ops == (Op.W0,)
+
+    def test_ifa9_needs_restore(self):
+        # IFA-9's last write is w1 (element m(r0,w1)): the final m(r1)
+        # verifies the complement image, so transparency needs one
+        # restoring write element.
+        got = transparent_march(IFA_9)
+        assert len(got.elements) == len(IFA_9.elements) + 1
+
+
+class TestTransparentBist:
+    def _loaded_device(self, seed=3):
+        device = BisrRam(rows=8, bpw=4, bpc=4, spares=4)
+        rng = random.Random(seed)
+        for address in range(device.word_count):
+            device.write(address, rng.randrange(16))
+        return device
+
+    def test_contents_preserved_on_clean_memory(self):
+        device = self._loaded_device()
+        before = [device.read(a) for a in range(device.word_count)]
+        result = TransparentBist(IFA_9, bpw=4).run(device)
+        after = [device.read(a) for a in range(device.word_count)]
+        assert result.passed
+        assert result.contents_preserved
+        assert before == after
+
+    def test_detects_stuck_at(self):
+        device = self._loaded_device()
+        device.array.inject(StuckAt(device.array.cell_index(2, 1, 1), 1))
+        result = TransparentBist(IFA_9, bpw=4).run(device)
+        assert not result.passed
+
+    def test_detects_transition(self):
+        device = self._loaded_device()
+        device.array.inject(
+            TransitionFault(device.array.cell_index(5, 0, 2),
+                            rising=True)
+        )
+        result = TransparentBist(IFA_9, bpw=4).run(device)
+        assert not result.passed
+
+    def test_mats_transparent_variant(self):
+        device = self._loaded_device(seed=9)
+        before = [device.read(a) for a in range(device.word_count)]
+        result = TransparentBist(MATS_PLUS, bpw=4).run(device)
+        assert result.passed and result.contents_preserved
+        assert [device.read(a) for a in range(device.word_count)] == \
+            before
+
+    def test_op_count_includes_signature_sweep(self):
+        device = self._loaded_device()
+        result = TransparentBist(MATS_PLUS, bpw=4).run(device)
+        # pre-read sweep + march ops per background (+ restore sweep).
+        assert result.op_count > \
+            MATS_PLUS.operations_per_address * device.word_count
+
+
+class TestSpareOptimizer:
+    CFG = RamConfig(words=1024, bpw=16, bpc=4, spares=4)
+
+    def test_tradeoff_table_covers_candidates(self):
+        table = spare_tradeoff_table(self.CFG, expected_defects=3.0)
+        assert [c.spares for c in table] == [0, 4, 8, 16]
+
+    def test_zero_spares_loses_under_defects(self):
+        table = spare_tradeoff_table(self.CFG, expected_defects=3.0)
+        by = {c.spares: c for c in table}
+        assert by[0].cost_per_good_die > 5 * by[4].cost_per_good_die
+
+    def test_optimum_shifts_with_defect_density(self):
+        clean = optimize_spares(self.CFG, expected_defects=0.2)
+        dirty = optimize_spares(self.CFG, expected_defects=6.0)
+        assert clean.spares <= dirty.spares
+
+    def test_maskability_constraint_excludes_16(self):
+        best = optimize_spares(
+            self.CFG, expected_defects=12.0, require_maskable=True,
+        )
+        # 16 spares exceed the 1.3 ns mask budget on cda07.
+        assert best is None or best.spares <= 8
+
+    def test_unsatisfiable_returns_none(self):
+        got = optimize_spares(
+            self.CFG, expected_defects=3.0, min_reliability=1.1,
+        )
+        assert got is None
+
+    def test_validation(self):
+        from repro.analysis.spare_optimizer import evaluate_spares
+
+        with pytest.raises(ValueError):
+            evaluate_spares(self.CFG, 4, expected_defects=-1.0)

@@ -1,0 +1,95 @@
+"""Tests for in-field transparent self-repair."""
+
+import random
+
+import pytest
+
+from repro.bist import IFA_9, MATS_PLUS
+from repro.bist.field_repair import FieldRepairController
+from repro.memsim import BisrRam
+from repro.memsim.faults import RowStuck, StuckAt
+
+
+def device_in_service(seed=11, rows=8, bpw=4, bpc=4):
+    """A device already holding live data."""
+    device = BisrRam(rows=rows, bpw=bpw, bpc=bpc, spares=4)
+    rng = random.Random(seed)
+    data = [rng.randrange(1 << bpw) for _ in range(device.word_count)]
+    for address, value in enumerate(data):
+        device.write(address, value)
+    return device, data
+
+
+class TestHealthyDevice:
+    def test_maintenance_is_a_noop(self):
+        device, data = device_in_service()
+        controller = FieldRepairController(IFA_9, device)
+        result = controller.maintenance_cycle()
+        assert result.healthy
+        assert result.faults_found == 0
+        assert result.new_rows_mapped == ()
+        assert [device.read(a) for a in range(device.word_count)] == data
+
+
+class TestFieldFailure:
+    def test_new_row_failure_repaired_in_service(self):
+        device, data = device_in_service()
+        # A word line dies in the field.
+        device.array.inject(RowStuck(5, device.array.phys_cols, 0))
+        controller = FieldRepairController(IFA_9, device)
+        result = controller.maintenance_cycle()
+        assert result.faults_found > 0
+        assert 5 in result.new_rows_mapped
+        assert result.healthy
+        # Data outside the dead row is fully intact.
+        for address, value in enumerate(data):
+            if address // device.array.bpc != 5:
+                assert device.read(address) == value
+
+    def test_rescue_accounting(self):
+        device, data = device_in_service()
+        # A single stuck cell: everything in the row except (at most)
+        # that one bit's words is rescuable.
+        device.array.inject(StuckAt(device.array.cell_index(2, 1, 0), 1))
+        controller = FieldRepairController(IFA_9, device)
+        result = controller.maintenance_cycle()
+        assert result.healthy
+        assert result.words_rescued + result.words_lost == \
+            len(result.new_rows_mapped) * device.array.bpc
+        assert result.words_rescued >= result.words_lost
+
+    def test_second_cycle_is_clean(self):
+        device, _ = device_in_service()
+        device.array.inject(RowStuck(3, device.array.phys_cols, 1))
+        controller = FieldRepairController(IFA_9, device)
+        first = controller.maintenance_cycle()
+        assert first.healthy
+        second = controller.maintenance_cycle()
+        assert second.faults_found == 0
+        assert second.new_rows_mapped == ()
+
+    def test_accumulating_failures_across_cycles(self):
+        device, _ = device_in_service(rows=12)
+        controller = FieldRepairController(IFA_9, device)
+        for cycle, row in enumerate((2, 7, 9)):
+            device.array.inject(
+                RowStuck(row, device.array.phys_cols, cycle % 2)
+            )
+            result = controller.maintenance_cycle()
+            assert result.healthy, row
+            assert row in device.tlb.mapped_rows()
+        assert device.tlb.spares_used == 3
+
+    def test_spares_exhaustion_reported(self):
+        device, _ = device_in_service(rows=12)
+        for row in range(5):  # five dead rows, four spares
+            device.array.inject(RowStuck(row, device.array.phys_cols, 1))
+        controller = FieldRepairController(IFA_9, device)
+        result = controller.maintenance_cycle()
+        assert not result.healthy
+
+    def test_works_with_other_marches(self):
+        device, _ = device_in_service()
+        device.array.inject(RowStuck(1, device.array.phys_cols, 0))
+        controller = FieldRepairController(MATS_PLUS, device)
+        assert controller.maintenance_cycle().healthy

@@ -1,0 +1,66 @@
+"""Unit tests for repro.geometry.point."""
+
+import pytest
+
+from repro.geometry import Point
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Point(3, -4)
+        assert p.x == 3 and p.y == -4
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            Point(1.5, 2)
+
+    def test_rejects_float_y(self):
+        with pytest.raises(TypeError):
+            Point(1, 2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(1, 2).x = 5
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_sub(self):
+        assert Point(5, 5) - Point(2, 3) == Point(3, 2)
+
+    def test_neg(self):
+        assert -Point(2, -3) == Point(-2, 3)
+
+    def test_scaled(self):
+        assert Point(3, -2).scaled(4) == Point(12, -8)
+
+    def test_add_sub_roundtrip(self):
+        a, b = Point(7, -9), Point(-3, 11)
+        assert (a + b) - b == a
+
+
+class TestMetrics:
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance(Point(3, 4)) == 7
+
+    def test_manhattan_symmetric(self):
+        a, b = Point(-2, 5), Point(9, -1)
+        assert a.manhattan_distance(b) == b.manhattan_distance(a)
+
+    def test_manhattan_zero(self):
+        assert Point(5, 5).manhattan_distance(Point(5, 5)) == 0
+
+
+class TestOrderingAndHash:
+    def test_lexicographic_order(self):
+        assert Point(1, 9) < Point(2, 0)
+        assert Point(1, 1) < Point(1, 2)
+
+    def test_usable_as_dict_key(self):
+        d = {Point(1, 2): "a"}
+        assert d[Point(1, 2)] == "a"
+
+    def test_as_tuple(self):
+        assert Point(4, 5).as_tuple() == (4, 5)

@@ -1,0 +1,46 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import pytest
+
+from repro.geometry import Point, Rect, polygon_area, polygon_bbox
+from repro.geometry.polygon import is_rectilinear
+
+
+class TestArea:
+    def test_rectangle(self):
+        pts = [Point(0, 0), Point(4, 0), Point(4, 3), Point(0, 3)]
+        assert polygon_area(pts) == 12.0
+
+    def test_l_shape(self):
+        pts = [
+            Point(0, 0), Point(4, 0), Point(4, 2),
+            Point(2, 2), Point(2, 4), Point(0, 4),
+        ]
+        assert polygon_area(pts) == 12.0
+
+    def test_orientation_independent(self):
+        pts = [Point(0, 0), Point(4, 0), Point(4, 3), Point(0, 3)]
+        assert polygon_area(list(reversed(pts))) == 12.0
+
+    def test_degenerate(self):
+        assert polygon_area([Point(0, 0), Point(1, 1)]) == 0.0
+
+
+class TestBbox:
+    def test_bbox(self):
+        pts = [Point(-1, 5), Point(3, -2), Point(0, 0)]
+        assert polygon_bbox(pts) == Rect(-1, -2, 3, 5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            polygon_bbox([])
+
+
+class TestRectilinear:
+    def test_rectilinear(self):
+        pts = [Point(0, 0), Point(4, 0), Point(4, 3), Point(0, 3)]
+        assert is_rectilinear(pts)
+
+    def test_diagonal_rejected(self):
+        pts = [Point(0, 0), Point(4, 4), Point(0, 4)]
+        assert not is_rectilinear(pts)

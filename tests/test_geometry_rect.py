@@ -1,0 +1,129 @@
+"""Unit tests for repro.geometry.rect."""
+
+import pytest
+
+from repro.geometry import Point, Rect, bounding_box, total_area
+from repro.geometry.transform import Orientation, Transform
+
+
+class TestConstruction:
+    def test_canonical_required(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 0, 5)
+
+    def test_from_points_canonicalises(self):
+        r = Rect.from_points(Point(5, 7), Point(1, 2))
+        assert (r.x1, r.y1, r.x2, r.y2) == (1, 2, 5, 7)
+
+    def test_from_size(self):
+        r = Rect.from_size(Point(2, 3), 10, 4)
+        assert r == Rect(2, 3, 12, 7)
+
+    def test_from_size_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.from_size(Point(0, 0), -1, 5)
+
+    def test_degenerate_allowed(self):
+        r = Rect(3, 0, 3, 10)
+        assert r.width == 0 and r.area == 0
+
+
+class TestMeasures:
+    def test_width_height_area(self):
+        r = Rect(1, 2, 5, 10)
+        assert (r.width, r.height, r.area) == (4, 8, 32)
+
+    def test_center(self):
+        assert Rect(0, 0, 10, 20).center == Point(5, 10)
+
+    def test_aspect_ratio(self):
+        assert Rect(0, 0, 10, 5).aspect_ratio() == 2.0
+        assert Rect(0, 0, 5, 10).aspect_ratio() == 2.0
+
+    def test_aspect_ratio_degenerate(self):
+        assert Rect(0, 0, 0, 5).aspect_ratio() == float("inf")
+
+
+class TestSetOperations:
+    def test_intersects_touching(self):
+        assert Rect(0, 0, 5, 5).intersects(Rect(5, 0, 10, 5))
+
+    def test_overlaps_requires_interior(self):
+        assert not Rect(0, 0, 5, 5).overlaps(Rect(5, 0, 10, 5))
+        assert Rect(0, 0, 5, 5).overlaps(Rect(4, 4, 10, 10))
+
+    def test_intersection(self):
+        got = Rect(0, 0, 10, 10).intersection(Rect(5, 5, 20, 20))
+        assert got == Rect(5, 5, 10, 10)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_union_bbox(self):
+        got = Rect(0, 0, 1, 1).union_bbox(Rect(5, 5, 6, 6))
+        assert got == Rect(0, 0, 6, 6)
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 8, 8))
+        assert not outer.contains_rect(Rect(2, 2, 11, 8))
+        assert outer.contains_point(Point(10, 10))
+
+
+class TestSpacingAndAbutment:
+    def test_spacing_straight(self):
+        assert Rect(0, 0, 5, 5).spacing_to(Rect(8, 0, 12, 5)) == 3
+
+    def test_spacing_diagonal_is_max(self):
+        # dx=2, dy=3 -> corner spacing = max = 3
+        assert Rect(0, 0, 5, 5).spacing_to(Rect(7, 8, 9, 10)) == 3
+
+    def test_spacing_zero_when_touching(self):
+        assert Rect(0, 0, 5, 5).spacing_to(Rect(5, 0, 9, 5)) == 0
+
+    def test_abuts_vertical_edge(self):
+        assert Rect(0, 0, 5, 5).abuts(Rect(5, 2, 9, 9))
+
+    def test_abuts_requires_nonzero_shared_length(self):
+        # Corner contact only: not an abutment.
+        assert not Rect(0, 0, 5, 5).abuts(Rect(5, 5, 9, 9))
+
+    def test_overlapping_do_not_abut(self):
+        assert not Rect(0, 0, 5, 5).abuts(Rect(4, 0, 9, 5))
+
+
+class TestDerivedRects:
+    def test_translated(self):
+        assert Rect(0, 0, 2, 2).translated(Point(3, 4)) == Rect(3, 4, 5, 6)
+
+    def test_expanded(self):
+        assert Rect(2, 2, 4, 4).expanded(1) == Rect(1, 1, 5, 5)
+
+    def test_expanded_negative_shrinks(self):
+        assert Rect(0, 0, 10, 10).expanded(-2) == Rect(2, 2, 8, 8)
+
+    def test_transformed_r90_recanonicalises(self):
+        t = Transform(Orientation.R90)
+        got = Rect(1, 2, 3, 5).transformed(t)
+        assert got == Rect(-5, 1, -2, 3)
+
+
+class TestAggregates:
+    def test_bounding_box(self):
+        rects = [Rect(0, 0, 1, 1), Rect(5, -2, 6, 0), Rect(2, 3, 3, 9)]
+        assert bounding_box(rects) == Rect(0, -2, 6, 9)
+
+    def test_bounding_box_empty(self):
+        assert bounding_box([]) is None
+
+    def test_total_area_disjoint(self):
+        assert total_area([Rect(0, 0, 2, 2), Rect(5, 5, 7, 7)]) == 8
+
+    def test_total_area_overlapping_not_double_counted(self):
+        assert total_area([Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)]) == 28
+
+    def test_total_area_contained(self):
+        assert total_area([Rect(0, 0, 10, 10), Rect(2, 2, 4, 4)]) == 100
+
+    def test_total_area_ignores_degenerate(self):
+        assert total_area([Rect(0, 0, 0, 10)]) == 0

@@ -1,0 +1,78 @@
+"""Unit tests for repro.geometry.transform."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.geometry.transform import (
+    ALL_ORIENTATIONS,
+    Orientation,
+    Transform,
+)
+
+
+class TestApply:
+    def test_identity(self):
+        assert Transform().apply(Point(3, 4)) == Point(3, 4)
+
+    def test_r90(self):
+        t = Transform(Orientation.R90)
+        assert t.apply(Point(1, 0)) == Point(0, 1)
+        assert t.apply(Point(0, 1)) == Point(-1, 0)
+
+    def test_r180(self):
+        assert Transform(Orientation.R180).apply(Point(2, 3)) == Point(-2, -3)
+
+    def test_mx_flips_y(self):
+        assert Transform(Orientation.MX).apply(Point(2, 3)) == Point(2, -3)
+
+    def test_my_flips_x(self):
+        assert Transform(Orientation.MY).apply(Point(2, 3)) == Point(-2, 3)
+
+    def test_translation_applied_after_orientation(self):
+        t = Transform(Orientation.R90, Point(10, 20))
+        assert t.apply(Point(1, 0)) == Point(10, 21)
+
+
+class TestGroupStructure:
+    def test_eight_distinct_orientations(self):
+        images = set()
+        probe = (Point(2, 1), Point(1, 3))
+        for orient in ALL_ORIENTATIONS:
+            t = Transform(orient)
+            images.add(tuple(t.apply(p) for p in probe))
+        assert len(images) == 8
+
+    @pytest.mark.parametrize("orient", ALL_ORIENTATIONS)
+    def test_inverse_roundtrip(self, orient):
+        t = Transform(orient, Point(13, -7))
+        inv = t.inverse()
+        for p in (Point(0, 0), Point(5, 9), Point(-3, 2)):
+            assert inv.apply(t.apply(p)) == p
+
+    @pytest.mark.parametrize("o1", ALL_ORIENTATIONS)
+    @pytest.mark.parametrize("o2", ALL_ORIENTATIONS)
+    def test_compose_matches_sequential_application(self, o1, o2):
+        outer = Transform(o1, Point(3, 4))
+        inner = Transform(o2, Point(-1, 2))
+        composed = outer.compose(inner)
+        for p in (Point(1, 0), Point(2, 5)):
+            assert composed.apply(p) == outer.apply(inner.apply(p))
+
+    def test_mirror_detection(self):
+        assert Transform(Orientation.MX).is_mirrored()
+        assert Transform(Orientation.MY90).is_mirrored()
+        assert not Transform(Orientation.R90).is_mirrored()
+        assert not Transform(Orientation.R180).is_mirrored()
+
+
+class TestRectTransform:
+    def test_area_preserved_under_all_orientations(self):
+        r = Rect(1, 2, 5, 9)
+        for orient in ALL_ORIENTATIONS:
+            got = r.transformed(Transform(orient, Point(7, -3)))
+            assert got.area == r.area
+
+    def test_r90_swaps_width_height(self):
+        r = Rect(0, 0, 10, 4)
+        got = r.transformed(Transform(Orientation.R90))
+        assert (got.width, got.height) == (4, 10)

@@ -1,0 +1,135 @@
+"""Unit tests for the layout cell hierarchy."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Transform
+from repro.geometry.transform import Orientation
+from repro.layout import Cell, Port
+
+
+def leaf(name="leaf", w=10, h=6):
+    c = Cell(name)
+    c.add_shape("metal1", Rect(0, 0, w, h))
+    c.add_port(Port("a", "metal1", Rect(0, 2, 0, 4)))
+    return c
+
+
+class TestCellBasics:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("")
+
+    def test_bbox_over_shapes(self):
+        c = Cell("c")
+        c.add_shape("poly", Rect(2, 3, 5, 9))
+        c.add_shape("metal1", Rect(-1, 0, 1, 2))
+        assert c.bbox() == Rect(-1, 0, 5, 9)
+
+    def test_bbox_empty(self):
+        assert Cell("c").bbox() is None
+        assert Cell("c").area() == 0
+
+    def test_bbox_includes_instances(self):
+        parent = Cell("p")
+        parent.add_instance(leaf(), Transform(translation=Point(100, 0)))
+        assert parent.bbox() == Rect(100, 0, 110, 6)
+
+    def test_bbox_cache_invalidation(self):
+        c = Cell("c")
+        c.add_shape("poly", Rect(0, 0, 1, 1))
+        assert c.bbox() == Rect(0, 0, 1, 1)
+        c.add_shape("poly", Rect(5, 5, 9, 9))
+        assert c.bbox() == Rect(0, 0, 9, 9)
+
+    def test_duplicate_port_rejected(self):
+        c = leaf()
+        with pytest.raises(ValueError):
+            c.add_port(Port("a", "metal1", Rect(0, 0, 0, 1)))
+
+    def test_port_lookup_error_lists_ports(self):
+        with pytest.raises(KeyError, match="ports"):
+            leaf().port("zz")
+
+    def test_port_direction_validation(self):
+        with pytest.raises(ValueError):
+            Port("x", "metal1", Rect(0, 0, 0, 0), direction="sideways")
+
+
+class TestInstances:
+    def test_instance_port_transformed(self):
+        parent = Cell("p")
+        inst = parent.add_instance(
+            leaf(), Transform(translation=Point(50, 10))
+        )
+        assert inst.port("a").rect == Rect(50, 12, 50, 14)
+
+    def test_mirrored_instance_port(self):
+        parent = Cell("p")
+        inst = parent.add_instance(leaf(), Transform(Orientation.MY))
+        assert inst.port("a").rect == Rect(0, 2, 0, 4)
+        assert inst.bbox() == Rect(-10, 0, 0, 6)
+
+
+class TestFlatten:
+    def test_two_level_flatten(self):
+        child = leaf()
+        mid = Cell("mid")
+        mid.add_instance(child, Transform(translation=Point(0, 100)))
+        top = Cell("top")
+        top.add_instance(mid, Transform(translation=Point(1000, 0)))
+        flat = list(top.flatten())
+        assert flat == [("metal1", Rect(1000, 100, 1010, 106))]
+
+    def test_flatten_depth_limit(self):
+        child = leaf()
+        mid = Cell("mid")
+        mid.add_shape("poly", Rect(0, 0, 1, 1))
+        mid.add_instance(child, Transform())
+        top = Cell("top")
+        top.add_instance(mid, Transform())
+        assert len(list(top.flatten(max_depth=1))) == 1  # mid's own shape
+        assert len(list(top.flatten())) == 2
+
+    def test_count_shapes(self):
+        child = leaf()
+        top = Cell("top")
+        for i in range(5):
+            top.add_instance(child, Transform(translation=Point(20 * i, 0)))
+        assert top.count_shapes() == 5
+
+    def test_subcells(self):
+        child = leaf()
+        mid = Cell("mid")
+        mid.add_instance(child, Transform())
+        top = Cell("top")
+        top.add_instance(mid, Transform())
+        assert set(top.subcells()) == {"top", "mid", "leaf"}
+
+
+class TestTile:
+    def test_tile_counts(self):
+        top = Cell("top")
+        got = top.tile(leaf(), columns=3, rows=2, pitch_x=10, pitch_y=6)
+        assert len(got) == 6
+        assert top.bbox() == Rect(0, 0, 30, 12)
+
+    def test_tile_mirror_keeps_slots(self):
+        top = Cell("top")
+        top.tile(leaf(), columns=1, rows=4, pitch_x=10, pitch_y=6,
+                 alternate_mirror_y=True)
+        assert top.bbox() == Rect(0, 0, 10, 24)
+
+    def test_tile_mirrored_row_flipped(self):
+        c = Cell("asym")
+        c.add_shape("metal1", Rect(0, 0, 10, 1))  # bottom-heavy marker
+        top = Cell("top")
+        top.tile(c, columns=1, rows=2, pitch_x=10, pitch_y=6,
+                 alternate_mirror_y=True)
+        shapes = sorted(r for _, r in top.flatten())
+        # Row 0 marker at y 0..1; row 1 mirrored marker at the TOP of
+        # its slot: y 11..12.
+        assert shapes == [Rect(0, 0, 10, 1), Rect(0, 11, 10, 12)]
+
+    def test_tile_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            Cell("t").tile(leaf(), columns=0, rows=1, pitch_x=1, pitch_y=1)

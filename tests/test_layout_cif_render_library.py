@@ -1,0 +1,120 @@
+"""Unit tests for CIF export, rendering, and the cell library."""
+
+import io
+
+import pytest
+
+from repro.geometry import Point, Rect, Transform
+from repro.layout import Cell, CellLibrary, render_ascii, render_svg, write_cif
+from repro.tech import get_process
+
+PROCESS = get_process("cda07")
+
+
+def make_leaf():
+    c = Cell("leafy")
+    c.add_shape("metal1", Rect(0, 0, 100, 50))
+    c.add_shape("poly", Rect(10, 10, 30, 40))
+    return c
+
+
+class TestCif:
+    def test_structure(self):
+        leaf = make_leaf()
+        top = Cell("topcell")
+        top.add_instance(leaf, Transform(translation=Point(500, 0)))
+        out = io.StringIO()
+        write_cif(top, out, PROCESS.layers)
+        text = out.getvalue()
+        assert text.count("DS ") == 2
+        assert text.count("DF;") == 2
+        assert "9 leafy;" in text
+        assert "9 topcell;" in text
+        assert text.rstrip().endswith("E")
+
+    def test_children_defined_before_parents(self):
+        leaf = make_leaf()
+        top = Cell("topcell")
+        top.add_instance(leaf, Transform())
+        out = io.StringIO()
+        write_cif(top, out, PROCESS.layers)
+        text = out.getvalue()
+        assert text.index("9 leafy;") < text.index("9 topcell;")
+
+    def test_box_center_doubling(self):
+        c = Cell("one")
+        c.add_shape("metal1", Rect(0, 0, 10, 20))
+        out = io.StringIO()
+        write_cif(c, out, PROCESS.layers)
+        # B <2*w> <2*h> <x1+x2> <y1+y2>
+        assert "B 20 40 10 20;" in out.getvalue()
+
+    def test_shared_subcell_emitted_once(self):
+        leaf = make_leaf()
+        top = Cell("topcell")
+        top.add_instance(leaf, Transform())
+        top.add_instance(leaf, Transform(translation=Point(200, 0)))
+        out = io.StringIO()
+        write_cif(top, out, PROCESS.layers)
+        assert out.getvalue().count("9 leafy;") == 1
+
+
+class TestRender:
+    def test_svg_contains_shapes(self):
+        svg = render_svg(make_leaf(), PROCESS.layers)
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") >= 3  # background + 2 shapes
+
+    def test_svg_empty_cell(self):
+        assert "<svg" in render_svg(Cell("empty"), PROCESS.layers)
+
+    def test_svg_depth_limit(self):
+        top = Cell("top")
+        top.add_instance(make_leaf(), Transform())
+        deep = render_svg(top, PROCESS.layers)
+        shallow = render_svg(top, PROCESS.layers, flatten_depth=0)
+        assert deep.count("<rect") > shallow.count("<rect")
+
+    def test_ascii_has_labels(self):
+        top = Cell("macro")
+        top.add_instance(make_leaf(), Transform(), name="blockA")
+        art = render_ascii(top)
+        assert "macro" in art
+        assert "blockA" in art.replace("\n", "")
+
+    def test_ascii_empty(self):
+        assert "empty" in render_ascii(Cell("empty"))
+
+
+class TestLibrary:
+    def test_memoisation(self):
+        calls = []
+
+        def gen(process, size):
+            calls.append(size)
+            c = Cell(f"g{size}")
+            c.add_shape("metal1", Rect(0, 0, size, size))
+            return c
+
+        lib = CellLibrary(PROCESS)
+        a = lib.get("g", gen, (100,))
+        b = lib.get("g", gen, (100,))
+        c = lib.get("g", gen, (200,))
+        assert a is b and a is not c
+        assert calls == [100, 200]
+
+    def test_user_cell_overrides_generator(self):
+        lib = CellLibrary(PROCESS)
+        custom = make_leaf()
+        lib.register_user_cell("g", custom)
+
+        def gen(process):
+            raise AssertionError("generator must not run")
+
+        assert lib.get("g", gen) is custom
+
+    def test_len_counts_cache_and_user(self):
+        lib = CellLibrary(PROCESS)
+        lib.register_user_cell("u", make_leaf())
+        lib.get("g", lambda p, s: make_leaf(), (1,))
+        assert len(lib) == 2

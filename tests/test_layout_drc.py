@@ -1,0 +1,178 @@
+"""Unit tests for the DRC checker."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.layout import Cell, DrcChecker
+from repro.tech import get_process
+
+PROCESS = get_process("cda07")  # lambda = 35 cu
+LAM = PROCESS.lambda_cu
+
+
+def checker():
+    return DrcChecker(PROCESS)
+
+
+class TestWidth:
+    def test_wide_enough_passes(self):
+        c = Cell("ok")
+        c.add_shape("metal1", Rect(0, 0, 3 * LAM, 20 * LAM))
+        assert checker().check(c) == []
+
+    def test_too_narrow_flagged(self):
+        c = Cell("bad")
+        c.add_shape("metal1", Rect(0, 0, 3 * LAM - 1, 20 * LAM))
+        violations = checker().check(c)
+        assert len(violations) == 1
+        assert violations[0].rule == "min-width"
+        assert violations[0].layer == "metal1"
+        assert violations[0].measured == 3 * LAM - 1
+
+    def test_zero_area_markers_ignored(self):
+        c = Cell("marker")
+        c.add_shape("metal1", Rect(5, 0, 5, 100))
+        assert checker().check(c) == []
+
+    def test_layer_without_rule_ignored(self):
+        c = Cell("odd")
+        c.add_shape("glass", Rect(0, 0, 1, 1))
+        assert checker().check(c) == []
+
+
+class TestSpacing:
+    def test_spaced_passes(self):
+        c = Cell("ok")
+        c.add_shape("metal1", Rect(0, 0, 3 * LAM, 3 * LAM))
+        c.add_shape("metal1", Rect(6 * LAM, 0, 9 * LAM, 3 * LAM))
+        assert checker().check(c) == []
+
+    def test_close_pair_flagged(self):
+        c = Cell("bad")
+        c.add_shape("metal1", Rect(0, 0, 3 * LAM, 3 * LAM))
+        c.add_shape("metal1", Rect(5 * LAM, 0, 8 * LAM, 3 * LAM))
+        violations = checker().check(c)
+        assert [v.rule for v in violations] == ["min-space"]
+        assert violations[0].measured == 2 * LAM
+
+    def test_touching_shapes_merge_no_violation(self):
+        # A wide wire drawn as two overlapping rectangles must not be
+        # flagged against itself.
+        c = Cell("wire")
+        c.add_shape("metal1", Rect(0, 0, 10 * LAM, 3 * LAM))
+        c.add_shape("metal1", Rect(8 * LAM, 0, 20 * LAM, 3 * LAM))
+        assert checker().check(c) == []
+
+    def test_hierarchical_spacing_checked(self):
+        child = Cell("child")
+        child.add_shape("metal1", Rect(0, 0, 3 * LAM, 3 * LAM))
+        top = Cell("top")
+        from repro.geometry import Point, Transform
+
+        top.add_instance(child, Transform())
+        top.add_instance(
+            child, Transform(translation=Point(4 * LAM, 0))
+        )
+        violations = checker().check(top)
+        assert len(violations) == 1
+        assert violations[0].measured == LAM
+
+
+class TestEnclosure:
+    def test_enclosed_contact_passes(self):
+        c = Cell("ok")
+        c.add_shape("contact", Rect(LAM, LAM, 3 * LAM, 3 * LAM))
+        c.add_shape("metal1", Rect(0, 0, 4 * LAM, 4 * LAM))
+        assert checker().check(c) == []
+
+    def test_bare_contact_flagged(self):
+        c = Cell("bad")
+        c.add_shape("contact", Rect(0, 0, 2 * LAM, 2 * LAM))
+        violations = checker().check(c)
+        assert any(v.rule == "enclosure-metal1" for v in violations)
+
+    def test_partial_enclosure_flagged(self):
+        c = Cell("bad")
+        c.add_shape("contact", Rect(LAM, LAM, 3 * LAM, 3 * LAM))
+        # Metal flush with the cut on one side: margin 0 < 1 lambda.
+        c.add_shape("metal1", Rect(LAM, 0, 4 * LAM, 4 * LAM))
+        violations = checker().check(c)
+        assert [v.rule for v in violations] == ["enclosure-metal1"]
+        assert violations[0].measured == 0
+
+    def test_via2_needs_both_metals(self):
+        c = Cell("via2")
+        c.add_shape("via2", Rect(2 * LAM, 2 * LAM, 4 * LAM, 4 * LAM))
+        c.add_shape("metal2", Rect(0, 0, 6 * LAM, 6 * LAM))
+        violations = checker().check(c)
+        assert [v.rule for v in violations] == ["enclosure-metal3"]
+
+
+class TestLimits:
+    def test_max_violations_cap(self):
+        c = Cell("noisy")
+        for i in range(30):
+            c.add_shape("metal1", Rect(i * 10 * LAM, 0,
+                                       i * 10 * LAM + LAM, 10 * LAM))
+        got = checker().check(c, max_violations=5)
+        assert len(got) == 5
+
+    def test_violation_str(self):
+        c = Cell("bad")
+        c.add_shape("metal1", Rect(0, 0, LAM, 10 * LAM))
+        text = str(checker().check(c)[0])
+        assert "min-width" in text and "metal1" in text
+
+
+class TestGateGeometry:
+    def _gate(self, poly_rect, diff_rect, diff_layer="ndiff"):
+        c = Cell("gate")
+        c.add_shape(diff_layer, diff_rect)
+        c.add_shape("poly", poly_rect)
+        return checker().check(c)
+
+    def test_proper_gate_passes(self):
+        # Vertical poly crossing a horizontal strip with 2-lambda caps.
+        violations = self._gate(
+            Rect(10 * LAM, 0, 12 * LAM, 10 * LAM),
+            Rect(0, 2 * LAM, 30 * LAM, 8 * LAM),
+        )
+        assert violations == []
+
+    def test_flush_endcap_flagged(self):
+        violations = self._gate(
+            Rect(10 * LAM, 2 * LAM, 12 * LAM, 10 * LAM),  # flush bottom
+            Rect(0, 2 * LAM, 30 * LAM, 8 * LAM),
+        )
+        assert [v.rule for v in violations] == ["gate-endcap"]
+        assert violations[0].measured == 0
+
+    def test_short_endcap_flagged(self):
+        violations = self._gate(
+            Rect(10 * LAM, LAM, 12 * LAM, 10 * LAM),  # 1-lambda cap
+            Rect(0, 2 * LAM, 30 * LAM, 8 * LAM),
+        )
+        assert [v.rule for v in violations] == ["gate-endcap"]
+        assert violations[0].measured == LAM
+
+    def test_poly_ending_inside_diffusion_flagged(self):
+        violations = self._gate(
+            Rect(10 * LAM, 4 * LAM, 12 * LAM, 6 * LAM),  # floats inside
+            Rect(0, 2 * LAM, 30 * LAM, 8 * LAM),
+        )
+        assert [v.rule for v in violations] == ["gate-endcap"]
+
+    def test_pdiff_gates_checked_too(self):
+        violations = self._gate(
+            Rect(10 * LAM, 2 * LAM, 12 * LAM, 10 * LAM),
+            Rect(0, 2 * LAM, 30 * LAM, 8 * LAM),
+            diff_layer="pdiff",
+        )
+        assert violations and violations[0].rule == "gate-endcap"
+
+    def test_nonoverlapping_poly_ignored(self):
+        violations = self._gate(
+            Rect(40 * LAM, 0, 42 * LAM, 10 * LAM),
+            Rect(0, 2 * LAM, 30 * LAM, 8 * LAM),
+        )
+        assert violations == []

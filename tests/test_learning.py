@@ -1,0 +1,83 @@
+"""Tests for the process learning-curve and extra-layer cost models."""
+
+import pytest
+
+from repro.cost import get_processor
+from repro.cost.learning import (
+    LearningCurve,
+    bisr_advantage_over_ramp,
+    extra_layer_wafer_cost,
+)
+
+
+class TestLearningCurve:
+    def test_monotone_decay_to_floor(self):
+        curve = LearningCurve(d0_per_cm2=2.5, d_inf_per_cm2=0.5,
+                              tau_months=6.0)
+        densities = [curve.density_at(m) for m in (0, 3, 6, 12, 60)]
+        assert densities == sorted(densities, reverse=True)
+        assert densities[0] == pytest.approx(2.5)
+        assert densities[-1] == pytest.approx(0.5, abs=0.01)
+
+    def test_yield_improves_with_maturity(self):
+        curve = LearningCurve()
+        y_early = curve.die_yield_at(0, 256.0)
+        y_late = curve.die_yield_at(24, 256.0)
+        assert y_late > 2 * y_early
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LearningCurve(d0_per_cm2=0.1, d_inf_per_cm2=0.5)
+        with pytest.raises(ValueError):
+            LearningCurve(tau_months=0)
+        with pytest.raises(ValueError):
+            LearningCurve().density_at(-1)
+
+
+class TestBisrOverRamp:
+    def test_advantage_largest_early(self):
+        """The §X corollary: BISR saves the most during early ramp."""
+        cpu = get_processor("TI SuperSPARC")
+        rows = bisr_advantage_over_ramp(cpu, LearningCurve())
+        savings = [
+            (month, without - with_)
+            for month, _, without, with_ in rows
+        ]
+        # Absolute savings per die shrink as the process matures.
+        values = [s for _, s in savings]
+        assert values == sorted(values, reverse=True)
+        assert values[0] > 2 * values[-1]
+
+    def test_yield_column_monotone(self):
+        cpu = get_processor("MIPS R4400")
+        rows = bisr_advantage_over_ramp(cpu, LearningCurve())
+        yields = [y for _, y, _, _ in rows]
+        assert yields == sorted(yields)
+
+    def test_bisr_never_costs_more(self):
+        cpu = get_processor("PowerPC601")
+        for _, _, without, with_ in bisr_advantage_over_ramp(
+            cpu, LearningCurve()
+        ):
+            assert with_ <= without
+
+
+class TestExtraLayers:
+    def test_three_metal_baseline_unchanged(self):
+        assert extra_layer_wafer_cost(2000.0, 3) == 2000.0
+
+    def test_four_metal_adds_one_step(self):
+        assert extra_layer_wafer_cost(2000.0, 4) == 2150.0
+
+    def test_extra_poly_counts_as_metal(self):
+        assert extra_layer_wafer_cost(2000.0, 3, extra_poly_layers=1) \
+            == 2150.0
+
+    def test_local_interconnect_half_step(self):
+        assert extra_layer_wafer_cost(
+            2000.0, 3, local_interconnect=True
+        ) == 2075.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            extra_layer_wafer_cost(2000.0, 0)

@@ -1,0 +1,108 @@
+"""Unit tests for the column-multiplexed memory array model."""
+
+import pytest
+
+from repro.memsim import MemoryArray
+from repro.memsim.faults import StuckAt
+
+
+class TestGeometry:
+    def test_counts(self):
+        a = MemoryArray(rows=8, bpw=4, bpc=4, spares=2)
+        assert a.words == 32
+        assert a.total_words == 40
+        assert a.phys_cols == 16
+        assert a.cell_count == 160
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryArray(rows=0, bpw=4, bpc=4)
+        with pytest.raises(ValueError):
+            MemoryArray(rows=4, bpw=3, bpc=4)  # not power of two
+        with pytest.raises(ValueError):
+            MemoryArray(rows=4, bpw=4, bpc=4, spares=-1)
+
+    def test_split_address(self):
+        a = MemoryArray(rows=8, bpw=4, bpc=4)
+        assert a.split_address(0) == (0, 0)
+        assert a.split_address(5) == (1, 1)
+        assert a.split_address(31) == (7, 3)
+
+    def test_split_address_range(self):
+        a = MemoryArray(rows=8, bpw=4, bpc=4, spares=1)
+        a.split_address(35)  # spare word: legal
+        with pytest.raises(ValueError):
+            a.split_address(36)
+
+    def test_cell_index_column_multiplexing(self):
+        """Word bit i lives at physical column i*bpc + col (Fig. 2)."""
+        a = MemoryArray(rows=8, bpw=4, bpc=4)
+        assert a.cell_index(0, 0, 0) == 0
+        assert a.cell_index(0, 1, 0) == 4
+        assert a.cell_index(0, 1, 3) == 7
+        assert a.cell_index(2, 0, 0) == 32
+
+    def test_cell_index_validation(self):
+        a = MemoryArray(rows=8, bpw=4, bpc=4)
+        with pytest.raises(ValueError):
+            a.cell_index(8, 0, 0)
+        with pytest.raises(ValueError):
+            a.cell_index(0, 4, 0)
+        with pytest.raises(ValueError):
+            a.cell_index(0, 0, 4)
+
+
+class TestReadWrite:
+    def test_roundtrip_all_words(self):
+        a = MemoryArray(rows=4, bpw=8, bpc=2)
+        for addr in range(a.words):
+            a.write_word(addr, addr * 7 % 256)
+        for addr in range(a.words):
+            assert a.read_word(addr) == addr * 7 % 256
+
+    def test_words_in_same_row_independent(self):
+        a = MemoryArray(rows=4, bpw=4, bpc=4)
+        a.write_word(0, 0xF)
+        a.write_word(1, 0x0)
+        assert a.read_word(0) == 0xF
+        assert a.read_word(1) == 0x0
+
+    def test_row_override(self):
+        a = MemoryArray(rows=4, bpw=4, bpc=2, spares=1)
+        a.write_word(0, 0xA, row_override=4)  # spare row
+        assert a.read_word(0) == 0  # regular row untouched
+        assert a.read_word(0, row_override=4) == 0xA
+
+    def test_counters(self):
+        a = MemoryArray(rows=4, bpw=4, bpc=2)
+        a.write_word(0, 1)
+        a.read_word(0)
+        a.read_word(1)
+        assert a.write_count == 1 and a.read_count == 2
+
+    def test_fill(self):
+        a = MemoryArray(rows=4, bpw=4, bpc=2, spares=1)
+        a.fill(0b1010)
+        for addr in range(a.total_words):
+            assert a.read_word(addr) == 0b1010
+
+
+class TestFaultManagement:
+    def test_inject_and_list(self):
+        a = MemoryArray(rows=4, bpw=4, bpc=2)
+        f = StuckAt(a.cell_index(1, 2, 0), 1)
+        a.inject(f)
+        assert a.faults == (f,)
+        assert a.faulty_rows() == [1]
+
+    def test_inject_out_of_range_rejected(self):
+        a = MemoryArray(rows=4, bpw=4, bpc=2)
+        with pytest.raises(ValueError):
+            a.inject(StuckAt(a.cell_count, 1))
+
+    def test_clear_faults(self):
+        a = MemoryArray(rows=4, bpw=4, bpc=2)
+        a.inject(StuckAt(0, 1))
+        a.clear_faults()
+        a.write_word(0, 0)
+        assert a.read_word(0) == 0

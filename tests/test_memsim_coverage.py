@@ -1,0 +1,91 @@
+"""Fault-coverage tests: the paper's detection claims, measured."""
+
+import pytest
+
+from repro.bist import IFA_9, MARCH_C_MINUS, MATS_PLUS
+from repro.memsim import coverage_campaign
+
+# Small arrays and modest sample counts keep the campaign fast while
+# the statistics stay decisive (coverage gaps below are large).
+KW = dict(samples_per_kind=12, rows=8, bpw=4, bpc=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def ifa9_report():
+    return coverage_campaign(
+        IFA_9,
+        kinds=("stuck_at", "transition", "state_coupling",
+               "data_retention", "stuck_open", "row_defect"),
+        **KW,
+    )
+
+
+class TestIfa9Coverage:
+    def test_stuck_at_full(self, ifa9_report):
+        assert ifa9_report.coverage("stuck_at") == 1.0
+
+    def test_transition_full(self, ifa9_report):
+        assert ifa9_report.coverage("transition") == 1.0
+
+    def test_state_coupling_high(self, ifa9_report):
+        assert ifa9_report.coverage("state_coupling") >= 0.9
+
+    def test_data_retention_full(self, ifa9_report):
+        """The two Delay elements exist exactly for this class."""
+        assert ifa9_report.coverage("data_retention") == 1.0
+
+    def test_stuck_open_detected(self, ifa9_report):
+        assert ifa9_report.coverage("stuck_open") >= 0.9
+
+    def test_row_defects_full(self, ifa9_report):
+        assert ifa9_report.coverage("row_defect") == 1.0
+
+    def test_overall_high(self, ifa9_report):
+        assert ifa9_report.coverage() >= 0.95
+
+
+class TestBaselineComparison:
+    def test_mats_misses_retention(self):
+        """MATS+ has no delay elements: retention faults escape."""
+        report = coverage_campaign(
+            MATS_PLUS, kinds=("data_retention",), **KW
+        )
+        assert report.coverage("data_retention") == 0.0
+
+    def test_mats_catches_stuck_at(self):
+        report = coverage_campaign(MATS_PLUS, kinds=("stuck_at",), **KW)
+        assert report.coverage("stuck_at") == 1.0
+
+    def test_march_c_minus_catches_couplings_but_not_retention(self):
+        report = coverage_campaign(
+            MARCH_C_MINUS,
+            kinds=("state_coupling", "data_retention"),
+            **KW,
+        )
+        assert report.coverage("state_coupling") >= 0.9
+        assert report.coverage("data_retention") == 0.0
+
+    def test_ifa9_dominates_mats_overall(self):
+        kinds = ("stuck_at", "transition", "state_coupling",
+                 "data_retention")
+        ifa = coverage_campaign(IFA_9, kinds=kinds, **KW)
+        mats = coverage_campaign(MATS_PLUS, kinds=kinds, **KW)
+        assert ifa.coverage() > mats.coverage()
+
+
+class TestReportApi:
+    def test_summary_rows(self):
+        report = coverage_campaign(MATS_PLUS, kinds=("stuck_at",), **KW)
+        rows = report.summary_rows()
+        assert rows[0][0] == "stuck_at"
+        assert rows[0][1] == rows[0][2]  # detected == total
+
+    def test_unknown_kind_raises(self):
+        report = coverage_campaign(MATS_PLUS, kinds=("stuck_at",), **KW)
+        with pytest.raises(ValueError):
+            report.coverage("nonexistent")
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValueError):
+            coverage_campaign(MATS_PLUS, kinds=("stuck_at",),
+                              samples_per_kind=0)

@@ -1,0 +1,177 @@
+"""Unit tests for the BISR device and the defect injector."""
+
+import random
+
+import pytest
+
+from repro.memsim import BisrRam, DefectInjector, FaultMix
+from repro.memsim.faults import RowStuck, StuckAt
+
+
+class TestBisrRam:
+    def test_word_count_is_regular_space(self):
+        d = BisrRam(rows=8, bpw=4, bpc=4, spares=4)
+        assert d.word_count == 32
+
+    def test_needs_spares(self):
+        with pytest.raises(ValueError):
+            BisrRam(rows=8, bpw=4, bpc=4, spares=0)
+
+    def test_no_diversion_without_repair_mode(self):
+        d = BisrRam(rows=8, bpw=4, bpc=4, spares=4)
+        d.tlb.record(2)
+        d.write(2 * 4, 0xF)
+        assert d.diversion_count == 0
+        assert d.array.read_word(2 * 4) == 0xF  # landed in the real row
+
+    def test_diversion_in_repair_mode(self):
+        d = BisrRam(rows=8, bpw=4, bpc=4, spares=4)
+        d.tlb.record(2)
+        d.set_repair_mode(True)
+        d.write(2 * 4, 0xF)
+        assert d.diversion_count == 1
+        # The data landed in spare row 8, column 0.
+        assert d.array.read_word(2 * 4, row_override=8) == 0xF
+        assert d.array.read_word(2 * 4) == 0
+
+    def test_record_fail_maps_row(self):
+        d = BisrRam(rows=8, bpw=4, bpc=4, spares=4)
+        d.record_fail(2 * 4 + 3)   # address in row 2
+        assert d.tlb.mapped_rows() == {2: 8}
+
+    def test_record_fail_remaps_only_in_repair_mode(self):
+        d = BisrRam(rows=8, bpw=4, bpc=4, spares=4)
+        d.record_fail(8)
+        d.record_fail(8)
+        assert d.tlb.spares_used == 1
+        d.set_repair_mode(True)
+        d.record_fail(8)
+        assert d.tlb.spares_used == 2
+
+    def test_remap_guard_once_per_pass(self):
+        d = BisrRam(rows=8, bpw=4, bpc=4, spares=4)
+        d.record_fail(8)
+        d.set_repair_mode(True)
+        d.record_fail(8)
+        d.record_fail(8)   # echo within the same pass: swallowed
+        assert d.tlb.spares_used == 2
+        d.set_repair_mode(True)  # new pass re-arms
+        d.record_fail(8)
+        assert d.tlb.spares_used == 3
+
+    def test_check_pattern_clean(self):
+        d = BisrRam(rows=4, bpw=4, bpc=2, spares=4)
+        assert d.check_pattern(0b1010) == 0
+
+    def test_check_pattern_sees_faults(self):
+        d = BisrRam(rows=4, bpw=4, bpc=2, spares=4)
+        d.array.inject(StuckAt(d.array.cell_index(1, 0, 0), 1))
+        assert d.check_pattern(0) == 1
+
+    def test_repair_hides_faults_from_normal_mode(self):
+        d = BisrRam(rows=4, bpw=4, bpc=2, spares=4)
+        d.array.inject(RowStuck(1, d.array.phys_cols, 1))
+        d.tlb.record(1)
+        d.set_repair_mode(True)
+        assert d.check_pattern(0) == 0
+
+    def test_reset_for_test(self):
+        d = BisrRam(rows=4, bpw=4, bpc=2, spares=4)
+        d.tlb.record(1)
+        d.set_repair_mode(True)
+        d.reset_for_test()
+        assert len(d.tlb) == 0 and not d.repair_mode
+
+    def test_describe(self):
+        d = BisrRam(rows=4, bpw=4, bpc=2, spares=4)
+        assert "rows=4" in d.describe()
+
+
+class TestFaultMix:
+    def test_default_weights_positive(self):
+        assert all(w >= 0 for w in FaultMix().weights())
+
+    def test_weights_order_matches_kinds(self):
+        mix = FaultMix(stuck_at=1.0, transition=0.0, stuck_open=0.0,
+                       state_coupling=0.0, idempotent_coupling=0.0,
+                       inversion_coupling=0.0, data_retention=0.0,
+                       row_defect=0.0, column_defect=0.0)
+        assert mix.weights()[0] == 1.0
+        assert sum(mix.weights()) == 1.0
+
+
+class TestInjector:
+    def test_reproducible_with_seed(self):
+        from repro.memsim import MemoryArray
+
+        def run(seed):
+            a = MemoryArray(8, 4, 4, spares=2)
+            inj = DefectInjector(rng=random.Random(seed))
+            faults = inj.inject(a, 20)
+            return [f.describe() for f in faults]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_count(self):
+        from repro.memsim import MemoryArray
+
+        a = MemoryArray(8, 4, 4, spares=2)
+        faults = DefectInjector(rng=random.Random(0)).inject(a, 15)
+        assert len(faults) == 15
+        assert len(a.faults) == 15
+
+    def test_pure_mix(self):
+        from repro.memsim import MemoryArray
+        from repro.memsim.faults import StuckAt as SA
+
+        a = MemoryArray(8, 4, 4)
+        mix = FaultMix(stuck_at=1.0, transition=0, stuck_open=0,
+                       state_coupling=0, idempotent_coupling=0,
+                       inversion_coupling=0, data_retention=0,
+                       row_defect=0, column_defect=0)
+        faults = DefectInjector(rng=random.Random(0), mix=mix).inject(a, 10)
+        assert all(isinstance(f, SA) for f in faults)
+
+    def test_spare_rows_immune_option(self):
+        from repro.memsim import MemoryArray
+
+        a = MemoryArray(8, 4, 4, spares=4)
+        inj = DefectInjector(rng=random.Random(1))
+        inj.inject(a, 50, spare_rows_immune=True)
+        assert all(r < a.rows for r in a.faulty_rows())
+
+    def test_make_fault_kinds(self):
+        from repro.memsim import MemoryArray
+
+        a = MemoryArray(8, 4, 4)
+        inj = DefectInjector(rng=random.Random(0))
+        for kind in ("stuck_at", "transition", "stuck_open",
+                     "state_coupling", "idempotent_coupling",
+                     "inversion_coupling", "data_retention",
+                     "row_defect", "column_defect"):
+            fault = inj.make_fault(a, kind, 5)
+            assert fault.cells()
+
+    def test_unknown_kind(self):
+        from repro.memsim import MemoryArray
+
+        a = MemoryArray(8, 4, 4)
+        with pytest.raises(ValueError):
+            DefectInjector().make_fault(a, "gamma_ray", 0)
+
+    def test_clustering_validation(self):
+        with pytest.raises(ValueError):
+            DefectInjector(clustering=-1)
+
+    def test_clustered_injection_concentrates(self):
+        from repro.memsim import MemoryArray
+
+        rng = random.Random(3)
+        a_uniform = MemoryArray(64, 4, 4)
+        a_clustered = MemoryArray(64, 4, 4)
+        DefectInjector(rng=random.Random(3)).inject(a_uniform, 40)
+        DefectInjector(
+            rng=random.Random(3), clustering=20.0
+        ).inject(a_clustered, 40)
+        assert len(a_clustered.faulty_rows()) <= len(a_uniform.faulty_rows())

@@ -1,0 +1,207 @@
+"""Unit tests for the fault models — each fault's defining behaviour."""
+
+import pytest
+
+from repro.memsim import MemoryArray
+from repro.memsim.faults import (
+    ColumnStuck,
+    DataRetention,
+    IdempotentCoupling,
+    InversionCoupling,
+    RowStuck,
+    StateCoupling,
+    StuckAt,
+    StuckOpen,
+    TransitionFault,
+)
+
+
+def array():
+    return MemoryArray(rows=4, bpw=4, bpc=2, spares=1)
+
+
+def write_cell(a, cell, value):
+    """Write one cell through the word interface."""
+    row = cell // a.phys_cols
+    rest = cell % a.phys_cols
+    bit, col = rest // a.bpc, rest % a.bpc
+    addr = row * a.bpc + col
+    word = a.read_word(addr)
+    word = (word | (1 << bit)) if value else (word & ~(1 << bit))
+    a.write_word(addr, word)
+
+
+def read_cell(a, cell):
+    row = cell // a.phys_cols
+    rest = cell % a.phys_cols
+    bit, col = rest // a.bpc, rest % a.bpc
+    addr = row * a.bpc + col
+    return (a.read_word(addr) >> bit) & 1
+
+
+class TestStuckAt:
+    def test_reads_fixed(self):
+        a = array()
+        cell = a.cell_index(1, 1, 0)
+        a.inject(StuckAt(cell, 1))
+        write_cell(a, cell, 0)
+        assert read_cell(a, cell) == 1
+
+    def test_sa0(self):
+        a = array()
+        cell = a.cell_index(1, 1, 0)
+        a.inject(StuckAt(cell, 0))
+        write_cell(a, cell, 1)
+        assert read_cell(a, cell) == 0
+
+
+class TestStuckOpen:
+    def test_read_returns_previous_column_value(self):
+        a = array()
+        victim = a.cell_index(1, 0, 0)
+        neighbour_same_column = a.cell_index(2, 0, 0)
+        a.inject(StuckOpen(victim))
+        write_cell(a, victim, 1)           # never lands
+        write_cell(a, neighbour_same_column, 0)
+        read_cell(a, neighbour_same_column)  # bit line now carries 0
+        assert read_cell(a, victim) == 0
+        write_cell(a, neighbour_same_column, 1)
+        read_cell(a, neighbour_same_column)
+        assert read_cell(a, victim) == 1
+
+    def test_invisible_to_single_polarity(self):
+        """Why tests need both data polarities: a stuck-open cell reads
+        like its neighbours when everything holds the same value."""
+        a = array()
+        victim = a.cell_index(1, 0, 0)
+        a.inject(StuckOpen(victim))
+        for addr in range(a.words):
+            a.write_word(addr, 0)
+        mismatches = sum(
+            a.read_word(addr) != 0 for addr in range(a.words)
+        )
+        assert mismatches == 0
+
+
+class TestTransition:
+    def test_rising_blocked(self):
+        a = array()
+        cell = a.cell_index(0, 2, 1)
+        a.inject(TransitionFault(cell, rising=True))
+        write_cell(a, cell, 0)
+        write_cell(a, cell, 1)
+        assert read_cell(a, cell) == 0
+
+    def test_falling_blocked(self):
+        a = array()
+        cell = a.cell_index(0, 2, 1)
+        a.inject(TransitionFault(cell, rising=False))
+        write_cell(a, cell, 0)  # 0 -> 0 fine
+        assert read_cell(a, cell) == 0
+        # Force a 1 in, then the falling transition must fail.
+        a.force(cell, 1)
+        write_cell(a, cell, 0)
+        assert read_cell(a, cell) == 1
+
+
+class TestCouplings:
+    def test_state_coupling_forces_victim(self):
+        a = array()
+        agg = a.cell_index(1, 0, 0)
+        vic = a.cell_index(1, 0, 1)
+        a.inject(StateCoupling(agg, vic, w=1, v=0))
+        write_cell(a, vic, 1)
+        write_cell(a, agg, 1)   # aggressor enters state w=1
+        assert read_cell(a, vic) == 0
+
+    def test_state_coupling_inactive_otherwise(self):
+        a = array()
+        agg = a.cell_index(1, 0, 0)
+        vic = a.cell_index(1, 0, 1)
+        a.inject(StateCoupling(agg, vic, w=1, v=0))
+        write_cell(a, agg, 0)
+        write_cell(a, vic, 1)
+        assert read_cell(a, vic) == 1
+
+    def test_idempotent_coupling_on_edge_only(self):
+        a = array()
+        agg = a.cell_index(2, 1, 0)
+        vic = a.cell_index(2, 1, 1)
+        a.inject(IdempotentCoupling(agg, vic, rising=True, v=1))
+        write_cell(a, agg, 0)
+        write_cell(a, vic, 0)
+        write_cell(a, agg, 1)   # rising edge fires
+        assert read_cell(a, vic) == 1
+        write_cell(a, vic, 0)
+        write_cell(a, agg, 1)   # no edge: 1 -> 1
+        assert read_cell(a, vic) == 0
+
+    def test_inversion_coupling_toggles(self):
+        a = array()
+        agg = a.cell_index(2, 0, 0)
+        vic = a.cell_index(2, 0, 1)
+        a.inject(InversionCoupling(agg, vic, rising=True))
+        write_cell(a, agg, 0)
+        write_cell(a, vic, 1)
+        write_cell(a, agg, 1)
+        assert read_cell(a, vic) == 0
+        write_cell(a, agg, 0)
+        write_cell(a, agg, 1)
+        assert read_cell(a, vic) == 1
+
+
+class TestRetention:
+    def test_leaks_only_after_wait(self):
+        a = array()
+        cell = a.cell_index(3, 3, 1)
+        a.inject(DataRetention(cell, leak_value=0))
+        write_cell(a, cell, 1)
+        assert read_cell(a, cell) == 1
+        a.apply_retention()
+        assert read_cell(a, cell) == 0
+
+    def test_leak_to_one(self):
+        a = array()
+        cell = a.cell_index(3, 3, 1)
+        a.inject(DataRetention(cell, leak_value=1))
+        write_cell(a, cell, 0)
+        a.apply_retention()
+        assert read_cell(a, cell) == 1
+
+
+class TestLineDefects:
+    def test_row_stuck_covers_row(self):
+        a = array()
+        a.inject(RowStuck(2, a.phys_cols, 1))
+        for col in range(a.bpc):
+            assert a.read_word(2 * a.bpc + col) == 0xF
+        assert a.read_word(0) == 0
+
+    def test_column_stuck_hits_every_row(self):
+        a = array()
+        a.inject(ColumnStuck(0, a.total_rows, a.phys_cols, 1))
+        for row in range(a.rows):
+            # Physical column 0 = word bit 0, column 0.
+            assert a.read_word(row * a.bpc) & 1 == 1
+
+    def test_column_stuck_swamps_row_repair(self):
+        """Every row shows the fault — exactly why row redundancy
+        cannot fix a column failure."""
+        a = array()
+        a.inject(ColumnStuck(0, a.total_rows, a.phys_cols, 1))
+        for addr in range(a.words):
+            a.write_word(addr, 0)
+        faulty_rows = {
+            addr // a.bpc
+            for addr in range(a.words)
+            if a.read_word(addr) != 0
+        }
+        assert faulty_rows == set(range(a.rows))
+
+    def test_describe_strings(self):
+        a = array()
+        assert "SA1" in StuckAt(0, 1).describe()
+        assert "RowStuck" in RowStuck(1, a.phys_cols, 0).describe()
+        assert "ColStuck" in ColumnStuck(
+            0, a.total_rows, a.phys_cols, 0
+        ).describe()

@@ -1,0 +1,108 @@
+"""Targeted tests for remaining coverage gaps across modules."""
+
+import pytest
+
+from repro.cells.base import CellBuilder
+from repro.cells.stdcell import draw_logic_block
+from repro.geometry import Point, Rect
+from repro.layout import Cell, render_svg
+from repro.tech import get_process
+
+PROCESS = get_process("cda07")
+
+
+class TestCellBuilderValidation:
+    def test_thin_wire_rejected(self):
+        b = CellBuilder("x", PROCESS)
+        with pytest.raises(ValueError, match="below minimum"):
+            b.wire_h("metal1", 0, 10, 5, width_lam=1)
+
+    def test_bad_edge_rejected(self):
+        b = CellBuilder("x", PROCESS)
+        with pytest.raises(ValueError, match="bad edge"):
+            b.edge_port("p", "metal1", "diagonal", 0, 4, 0)
+
+    def test_bad_polarity_rejected(self):
+        b = CellBuilder("x", PROCESS)
+        with pytest.raises(ValueError, match="polarity"):
+            b.mosfet("cmos", 10, 10, 4)
+
+    def test_horizontal_gate_orientation(self):
+        b = CellBuilder("x", PROCESS)
+        diff, poly = b.mosfet("nmos", 20, 20, 6, vertical_gate=False)
+        # Horizontal gate: poly wider than tall.
+        assert poly.width > poly.height
+        assert diff.height > diff.width
+
+
+class TestStdcellOptions:
+    def test_no_terminal_contacts(self):
+        b = CellBuilder("bare", PROCESS)
+        draw_logic_block(b, 4, contact_all_terminals=False)
+        cell = b.finish()
+        contacts = [r for l, r in cell.flatten() if l == "contact"]
+        # Only the gate-input contacts remain (one per gate).
+        assert len(contacts) == 4
+
+    def test_needs_a_gate(self):
+        b = CellBuilder("none", PROCESS)
+        with pytest.raises(ValueError):
+            draw_logic_block(b, 0)
+
+
+class TestRenderLimits:
+    def test_svg_truncation(self):
+        c = Cell("many")
+        for i in range(50):
+            c.add_shape("metal1", Rect(i * 10, 0, i * 10 + 5, 5))
+        svg = render_svg(c, PROCESS.layers, max_shapes=10)
+        assert "truncated" in svg
+
+
+class TestFloorplanEdges:
+    def test_bist_area_zero_without_bisr(self):
+        from repro import RamConfig
+        from repro.core.floorplan import build_floorplan
+
+        plan = build_floorplan(
+            RamConfig(words=64, bpw=4, bpc=4, strap_every=0),
+            with_bisr=False,
+        )
+        assert plan.bist_bisr_area_cu2() == 0
+
+    def test_decoder_column_has_spare_drivers(self):
+        from repro import RamConfig
+        from repro.core.floorplan import build_floorplan
+
+        plan = build_floorplan(
+            RamConfig(words=64, bpw=4, bpc=4, spares=4, strap_every=0)
+        )
+        names = [i.name for i in plan.macrocells["decoder_col"].instances()]
+        assert sum(1 for n in names if n.startswith("spare_drv")) == 4
+        # Spare rows get drivers but no address decoders.
+        assert sum(1 for n in names if n.startswith("dec_")) == 16
+
+
+class TestTlbDelayModelObject:
+    def test_frozen_and_validated(self):
+        from repro.bisr.delay import TlbDelayModel
+
+        with pytest.raises(ValueError):
+            TlbDelayModel(PROCESS, 0, 4)
+        model = TlbDelayModel(PROCESS, 8, 4)
+        assert model.total() == pytest.approx(
+            sum(model.breakdown().values())
+        )
+
+
+class TestChenSunadaTranslationModes:
+    def test_all_three_translation_kinds(self):
+        from repro.bisr.chen_sunada import ChenSunadaRam
+
+        ram = ChenSunadaRam(2, 8, spare_subblocks=1)
+        ram.record_fail(1)                      # captured word
+        for a in (8, 9, 10):                    # kill subblock 1
+            ram.record_fail(a)
+        assert ram.translate(1)[0] == "spare_word"
+        assert ram.translate(8)[0] == "spare_block"
+        assert ram.translate(3)[0] == "block"

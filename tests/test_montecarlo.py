@@ -1,0 +1,62 @@
+"""Tests for the row-level Monte-Carlo yield validator."""
+
+import numpy as np
+import pytest
+
+from repro.yieldmodel import bisr_yield
+from repro.yieldmodel.montecarlo import (
+    MonteCarloYield,
+    simulate_yield,
+    validate_against_analytic,
+)
+
+
+class TestSimulateYield:
+    def test_zero_defects_perfect(self):
+        mc = simulate_yield(64, 4, 4, 4, 0.0, trials=1000)
+        assert mc.yield_estimate == 1.0
+
+    def test_matches_analytic_at_scale(self):
+        """The Fig. 4 headline check at full 1024-row scale."""
+        rng = np.random.default_rng(3)
+        for defects in (1.0, 5.0, 10.0):
+            analytic = bisr_yield(1024, 4, 4, 4, defects)
+            mc = simulate_yield(1024, 4, 4, 4, defects,
+                                trials=20_000, rng=rng)
+            assert mc.yield_estimate == pytest.approx(
+                analytic, abs=0.04
+            ), defects
+
+    def test_spares_help(self):
+        rng = np.random.default_rng(5)
+        none = simulate_yield(256, 0, 4, 4, 3.0, trials=20_000, rng=rng)
+        four = simulate_yield(256, 4, 4, 4, 3.0, trials=20_000, rng=rng)
+        assert four.yield_estimate > 3 * none.yield_estimate
+
+    def test_growth_factor_costs_yield(self):
+        rng = np.random.default_rng(9)
+        slim = simulate_yield(256, 4, 4, 4, 4.0, growth_factor=1.0,
+                              trials=20_000, rng=rng)
+        fat = simulate_yield(256, 4, 4, 4, 4.0, growth_factor=1.5,
+                             trials=20_000, rng=rng)
+        assert fat.yield_estimate < slim.yield_estimate
+
+    def test_confidence_interval(self):
+        mc = MonteCarloYield(trials=10_000, good=9_000)
+        assert mc.yield_estimate == 0.9
+        assert 0.004 < mc.confidence_95() < 0.008
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            simulate_yield(0, 4, 4, 4, 1.0)
+        with pytest.raises(ValueError):
+            simulate_yield(64, 4, 4, 4, -1.0)
+        with pytest.raises(ValueError):
+            simulate_yield(64, 4, 4, 4, 1.0, growth_factor=0.5)
+
+    def test_validate_report_rows(self):
+        rows = validate_against_analytic(
+            128, 4, 4, 4, (0.0, 2.0), trials=5_000
+        )
+        assert len(rows) == 2
+        assert all(gap < 0.06 for _, _, _, gap in rows)

@@ -1,0 +1,290 @@
+"""Unit tests for macrocell place-and-route."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Transform
+from repro.layout import Cell, Port
+from repro.pnr import (
+    Block,
+    ChannelRouter,
+    Net,
+    abutting_ports,
+    align_ports,
+    place_decreasing_area,
+    placement_quality,
+    route_channel,
+    stretch_cell,
+)
+from repro.pnr.abutment import unconnected_ports
+from repro.pnr.router import over_the_cell_route
+from repro.tech import get_process
+
+PROCESS = get_process("cda07")
+
+
+class TestPlacer:
+    def blocks(self):
+        return [
+            Block("array", 1000, 800),
+            Block("decoder", 120, 800),
+            Block("sense", 1000, 150),
+            Block("tlb", 300, 100),
+            Block("pla", 200, 250),
+        ]
+
+    def test_no_overlaps(self):
+        placement = place_decreasing_area(self.blocks())
+        assert placement.overlaps() == []
+
+    def test_all_blocks_placed(self):
+        placement = place_decreasing_area(self.blocks())
+        assert set(placement.locations) == {b.name for b in self.blocks()}
+
+    def test_rectangularity(self):
+        """The 'as rectangular as possible' objective: for a memory-
+        shaped block set, fill within the paper's (1+epsilon) band."""
+        placement = place_decreasing_area(self.blocks())
+        quality = placement_quality(placement, self.blocks())
+        assert quality.fill_ratio >= 0.6
+        assert quality.aspect_ratio <= 3.0
+        assert quality.epsilon <= 0.7
+
+    def test_sorted_by_decreasing_area(self):
+        """The largest block must anchor the first shelf at the origin."""
+        placement = place_decreasing_area(self.blocks())
+        assert placement.locations["array"].lower_left == Point(0, 0)
+
+    def test_spacing_respected(self):
+        placement = place_decreasing_area(self.blocks(), spacing=50)
+        locs = list(placement.locations.values())
+        for i, a in enumerate(locs):
+            for b in locs[i + 1:]:
+                assert not a.expanded(25).overlaps(b.expanded(24))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            place_decreasing_area([Block("x", 1, 1), Block("x", 2, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            place_decreasing_area([])
+
+    def test_block_validation(self):
+        with pytest.raises(ValueError):
+            Block("bad", 0, 5)
+
+    def test_block_from_cell(self):
+        c = Cell("macro")
+        c.add_shape("metal1", Rect(0, 0, 70, 30))
+        b = Block.from_cell(c)
+        assert (b.width, b.height) == (70, 30)
+
+    def test_block_from_empty_cell_rejected(self):
+        with pytest.raises(ValueError):
+            Block.from_cell(Cell("empty"))
+
+
+def _cell_with_right_ports(name, ys, width=100, height=200):
+    c = Cell(name)
+    c.add_shape("metal1", Rect(0, 0, width, height))
+    for i, y in enumerate(ys):
+        c.add_port(Port(f"p{i}", "metal2", Rect(width, y, width, y + 4)))
+    return c
+
+
+def _cell_with_left_ports(name, ys, width=100, height=200):
+    c = Cell(name)
+    c.add_shape("metal1", Rect(0, 0, width, height))
+    for i, y in enumerate(ys):
+        c.add_port(Port(f"q{i}", "metal2", Rect(0, y, 0, y + 4)))
+    return c
+
+
+class TestPortAlignment:
+    def test_facing_placement(self):
+        a = _cell_with_right_ports("a", [20, 60, 100])
+        b = _cell_with_left_ports("b", [20, 60, 100])
+        result = align_ports(a, b, [("p0", "q0"), ("p1", "q1"),
+                                    ("p2", "q2")])
+        # Perfectly matching pitches: zero residual misalignment, B
+        # placed flush to A's right edge.
+        assert result.misalignment == 0
+        placed = b.bbox().transformed(result.transform)
+        assert placed.x1 == a.bbox().x2
+
+    def test_gap_respected(self):
+        a = _cell_with_right_ports("a", [20])
+        b = _cell_with_left_ports("b", [20])
+        result = align_ports(a, b, [("p0", "q0")], gap=40)
+        placed = b.bbox().transformed(result.transform)
+        assert placed.x1 == a.bbox().x2 + 40
+
+    def test_offset_pitches_report_misalignment(self):
+        a = _cell_with_right_ports("a", [20, 60, 100])
+        b = _cell_with_left_ports("b", [20, 70, 120])
+        result = align_ports(a, b, [("p0", "q0"), ("p1", "q1"),
+                                    ("p2", "q2")])
+        assert result.misalignment > 0
+
+    def test_median_alignment_beats_first_port(self):
+        # Outlier first pair; median choice keeps total misalignment low.
+        a = _cell_with_right_ports("a", [20, 60, 100])
+        b = _cell_with_left_ports("b", [50, 60, 100])
+        result = align_ports(a, b, [("p0", "q0"), ("p1", "q1"),
+                                    ("p2", "q2")])
+        assert result.misalignment == 30  # only the outlier misses
+
+    def test_same_edge_ports_get_mirrored(self):
+        a = _cell_with_right_ports("a", [20, 60])
+        b = _cell_with_right_ports("b", [20, 60])
+        result = align_ports(
+            a, b, [("p0", "p0"), ("p1", "p1")]
+        )
+        assert result.transform.is_mirrored()
+
+    def test_needs_pairs(self):
+        a = _cell_with_right_ports("a", [20])
+        b = _cell_with_left_ports("b", [20])
+        with pytest.raises(ValueError):
+            align_ports(a, b, [])
+
+    def test_interior_port_rejected(self):
+        a = _cell_with_right_ports("a", [20])
+        bad = Cell("bad")
+        bad.add_shape("metal1", Rect(0, 0, 100, 100))
+        bad.add_port(Port("q0", "metal2", Rect(50, 50, 50, 54)))
+        with pytest.raises(ValueError, match="boundary"):
+            align_ports(a, bad, [("p0", "q0")])
+
+
+class TestStretching:
+    def make_cell(self):
+        c = Cell("s")
+        c.add_shape("metal1", Rect(0, 0, 10, 100))  # full-height rail
+        c.add_shape("poly", Rect(20, 10, 30, 20))   # below the cut
+        c.add_shape("poly", Rect(20, 60, 30, 70))   # above the cut
+        c.add_port(Port("top", "metal1", Rect(0, 90, 0, 95)))
+        return c
+
+    def test_shapes_beyond_cut_move(self):
+        got = stretch_cell(self.make_cell(), [(50, 40)])
+        shapes = dict()
+        polys = sorted(r for l, r in got.flatten() if l == "poly")
+        assert polys[0] == Rect(20, 10, 30, 20)       # unmoved
+        assert polys[1] == Rect(20, 100, 30, 110)     # moved by 40
+
+    def test_spanning_shapes_grow(self):
+        got = stretch_cell(self.make_cell(), [(50, 40)])
+        rail = [r for l, r in got.flatten() if l == "metal1"][0]
+        assert rail == Rect(0, 0, 10, 140)  # stays continuous
+
+    def test_ports_move(self):
+        got = stretch_cell(self.make_cell(), [(50, 40)])
+        assert got.port("top").rect == Rect(0, 130, 0, 135)
+
+    def test_multiple_cuts_accumulate(self):
+        got = stretch_cell(self.make_cell(), [(5, 10), (50, 40)])
+        rail = [r for l, r in got.flatten() if l == "metal1"][0]
+        assert rail.height == 150
+
+    def test_x_axis(self):
+        got = stretch_cell(self.make_cell(), [(15, 100)], axis="x")
+        polys = [r for l, r in got.flatten() if l == "poly"]
+        assert all(p.x1 == 120 for p in polys)
+
+    def test_negative_stretch_rejected(self):
+        with pytest.raises(ValueError):
+            stretch_cell(self.make_cell(), [(50, -1)])
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            stretch_cell(self.make_cell(), [(50, 1)], axis="z")
+
+
+class TestChannelRouter:
+    def test_disjoint_nets_share_track(self):
+        router = ChannelRouter(PROCESS)
+        nets = [
+            Net("a", top_pins=(0,), bottom_pins=(1000,)),
+            Net("b", top_pins=(5000,), bottom_pins=(6000,)),
+        ]
+        routed = {r.net.name: r.track for r in router.assign_tracks(nets)}
+        assert routed["a"] == routed["b"] == 0
+
+    def test_overlapping_nets_get_distinct_tracks(self):
+        router = ChannelRouter(PROCESS)
+        nets = [
+            Net("a", top_pins=(0, 5000)),
+            Net("b", bottom_pins=(2000, 7000)),
+        ]
+        routed = {r.net.name: r.track for r in router.assign_tracks(nets)}
+        assert routed["a"] != routed["b"]
+
+    def test_channel_height_scales_with_congestion(self):
+        router = ChannelRouter(PROCESS)
+        thin = [Net("a", top_pins=(0, 1000))]
+        fat = [Net(f"n{i}", top_pins=(0, 1000)) for i in range(6)]
+        assert router.channel_height(fat) > router.channel_height(thin)
+
+    def test_route_channel_emits_geometry(self):
+        cell, height = route_channel(
+            PROCESS,
+            [Net("a", top_pins=(100,), bottom_pins=(2000,))],
+        )
+        layers = {l for l, _ in cell.flatten()}
+        assert "metal2" in layers and "metal3" in layers
+        assert height > 0
+
+    def test_net_needs_pins(self):
+        with pytest.raises(ValueError):
+            Net("empty")
+
+
+class TestOverTheCellRoute:
+    def test_clean_route(self):
+        macro = Cell("macro")
+        macro.add_shape("metal1", Rect(0, 0, 10000, 5000))
+        wire = over_the_cell_route(PROCESS, macro, 0, 10000, 2000)
+        assert any(l == "metal3" for l, _ in wire.flatten())
+
+    def test_conflict_detected(self):
+        macro = Cell("macro")
+        macro.add_shape("metal3", Rect(0, 1990, 10000, 2100))
+        with pytest.raises(ValueError, match="conflicts"):
+            over_the_cell_route(PROCESS, macro, 0, 10000, 2000)
+
+
+class TestAbutment:
+    def _abutting_pair(self):
+        a = _cell_with_right_ports("a", [20])
+        b = _cell_with_left_ports("b", [20])
+        top = Cell("top")
+        top.add_instance(a, Transform(), name="A")
+        top.add_instance(b, Transform(translation=Point(100, 0)), name="B")
+        return top
+
+    def test_detects_abutment(self):
+        found = abutting_ports(self._abutting_pair())
+        assert ("A", "p0", "B", "q0") in found
+
+    def test_gap_breaks_abutment(self):
+        a = _cell_with_right_ports("a", [20])
+        b = _cell_with_left_ports("b", [20])
+        top = Cell("top")
+        top.add_instance(a, Transform(), name="A")
+        top.add_instance(b, Transform(translation=Point(101, 0)), name="B")
+        assert abutting_ports(top) == []
+
+    def test_layer_mismatch_not_connected(self):
+        a = _cell_with_right_ports("a", [20])
+        b = Cell("b")
+        b.add_shape("metal1", Rect(0, 0, 100, 200))
+        b.add_port(Port("q0", "metal1", Rect(0, 20, 0, 24)))
+        top = Cell("top")
+        top.add_instance(a, Transform(), name="A")
+        top.add_instance(b, Transform(translation=Point(100, 0)), name="B")
+        assert abutting_ports(top) == []
+
+    def test_unconnected_report(self):
+        top = self._abutting_pair()
+        assert unconnected_ports(top, ["p0", "zz"]) == ["zz"]

@@ -1,0 +1,294 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bisr import Tlb, analyze_repair
+from repro.bist import AddGen, DataGen, backgrounds_for_word
+from repro.geometry import Point, Rect, Transform, total_area
+from repro.geometry.transform import ALL_ORIENTATIONS, Orientation
+from repro.pnr import Block, place_decreasing_area, placement_quality
+from repro.yieldmodel import bisr_yield, repair_probability
+
+coords = st.integers(min_value=-10_000, max_value=10_000)
+points = st.builds(Point, coords, coords)
+orientations = st.sampled_from(ALL_ORIENTATIONS)
+transforms = st.builds(Transform, orientations, points)
+
+
+def rects():
+    return st.builds(
+        lambda p, w, h: Rect(p.x, p.y, p.x + w, p.y + h),
+        points,
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=0, max_value=5000),
+    )
+
+
+class TestGeometryProperties:
+    @given(transforms, points)
+    def test_inverse_is_left_and_right_inverse(self, t, p):
+        assert t.inverse().apply(t.apply(p)) == p
+        assert t.apply(t.inverse().apply(p)) == p
+
+    @given(transforms, transforms, points)
+    def test_compose_associates_with_application(self, t1, t2, p):
+        assert t1.compose(t2).apply(p) == t1.apply(t2.apply(p))
+
+    @given(rects(), transforms)
+    def test_transform_preserves_area_and_shape(self, r, t):
+        got = r.transformed(t)
+        assert got.area == r.area
+        assert {got.width, got.height} == {r.width, r.height}
+
+    @given(rects(), rects())
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter) and b.contains_rect(inter)
+
+    @given(rects(), rects())
+    def test_union_bbox_contains_both(self, a, b):
+        u = a.union_bbox(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_spacing_symmetric(self, a, b):
+        assert a.spacing_to(b) == b.spacing_to(a)
+
+    @given(st.lists(rects(), max_size=12))
+    def test_total_area_bounds(self, rs):
+        union = total_area(rs)
+        assert union <= sum(r.area for r in rs)
+        if rs:
+            assert union >= max(r.area for r in rs)
+
+
+class TestBistProperties:
+    @given(st.integers(min_value=1, max_value=10),
+           st.booleans())
+    def test_addgen_sweep_is_permutation(self, width, up):
+        gen = AddGen(width)
+        gen.reset(up=up)
+        seq = list(gen.sequence())
+        assert sorted(seq) == list(range(2 ** width))
+
+    @given(st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+    def test_background_count_is_log2_plus_one(self, bpw):
+        assert len(backgrounds_for_word(bpw)) == \
+            int(math.log2(bpw)) + 1
+
+    @given(st.sampled_from([2, 4, 8, 16, 32]))
+    def test_backgrounds_separate_every_bit_pair(self, bpw):
+        patterns = backgrounds_for_word(bpw)
+        for i in range(bpw):
+            for j in range(i + 1, bpw):
+                assert any(
+                    ((p >> i) ^ (p >> j)) & 1 for p in patterns
+                )
+
+    @given(st.sampled_from([1, 2, 4, 8, 16]),
+           st.integers(min_value=0, max_value=2 ** 16 - 1))
+    def test_comparator_exact(self, bpw, word):
+        dg = DataGen(bpw)
+        word &= dg.mask
+        assert dg.compare(word, 0) == (word != dg.pattern(0))
+
+
+class TestTlbProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=63),
+                    max_size=20),
+           st.integers(min_value=1, max_value=16))
+    def test_tlb_never_duplicates_and_spares_increase(self, rows, spares):
+        tlb = Tlb(regular_rows=64, spares=spares)
+        for row in rows:
+            tlb.record(row)
+        keys = [e.row for e in tlb.entries]
+        assert len(keys) == len(set(keys))
+        assigned = tlb.assigned_spares()
+        assert assigned == sorted(assigned)
+        assert tlb.spares_used <= spares
+
+    @given(st.lists(st.integers(min_value=0, max_value=63),
+                    unique=True, max_size=10),
+           st.integers(min_value=1, max_value=16))
+    def test_translate_total_function(self, rows, spares):
+        tlb = Tlb(regular_rows=64, spares=spares)
+        for row in rows:
+            tlb.record(row)
+        for probe in range(64):
+            physical, diverted = tlb.translate(probe)
+            if diverted:
+                assert physical >= 64
+            else:
+                assert physical == probe
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=31), unique=True,
+                 max_size=8),
+        st.integers(min_value=1, max_value=16),
+        st.sets(st.integers(min_value=0, max_value=15)),
+    )
+    def test_analysis_consistent(self, faulty_rows, spares, bad_spares):
+        bad = {s for s in bad_spares if s < spares}
+        result = analyze_repair(faulty_rows, spares, sorted(bad))
+        assert result.spares_consumed <= spares
+        if result.repairable:
+            # Every assignment ends on a good spare.
+            assert all(s not in bad for _, s in result.assignment)
+            assert result.passes_needed >= 2
+        if not faulty_rows:
+            assert result.repairable
+
+
+class TestYieldProperties:
+    @given(
+        st.integers(min_value=1, max_value=2048),
+        st.integers(min_value=0, max_value=32),
+        st.floats(min_value=0.0, max_value=0.01,
+                  allow_nan=False),
+    )
+    def test_repair_probability_in_unit_interval(self, rows, spares, lam):
+        p = repair_probability(rows, spares, lam, 16)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        st.integers(min_value=16, max_value=512),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    )
+    def test_spares_never_hurt_badly(self, rows, defects):
+        """4 spares can cost at most their own exposure; for any defect
+        count the 4-spare yield is at least half the 0-spare yield and
+        usually far above."""
+        y0 = bisr_yield(rows, 0, 4, 4, defects)
+        y4 = bisr_yield(rows, 4, 4, 4, defects,
+                        growth_factor=1 + 4 / rows)
+        assert y4 >= 0.5 * y0
+
+    @given(st.floats(min_value=8.0, max_value=40.0, allow_nan=False))
+    def test_yield_monotone_in_spares_when_capacity_binds(self, defects):
+        """Once the expected faulty-row count exceeds the smaller spare
+        budgets, more spares means more yield (Fig. 4's right side).
+        At very low defect counts the ordering legitimately inverts —
+        the spares-must-be-fault-free penalty — which is the same
+        mechanism behind Fig. 5's reliability crossover."""
+        ys = [
+            bisr_yield(256, s, 4, 4, defects, growth_factor=1.0)
+            for s in (0, 4, 8, 16)
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(ys, ys[1:]))
+
+    def test_low_defect_inversion_exists(self):
+        """The documented exception to the ordering above."""
+        y4 = bisr_yield(256, 4, 4, 4, 1.0, growth_factor=1.0)
+        y16 = bisr_yield(256, 16, 4, 4, 1.0, growth_factor=1.0)
+        assert y16 < y4
+
+
+class TestPlacerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=2000),
+                st.integers(min_value=1, max_value=2000),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50)
+    def test_placement_valid_for_any_block_set(self, sizes):
+        blocks = [
+            Block(f"b{i}", w, h) for i, (w, h) in enumerate(sizes)
+        ]
+        placement = place_decreasing_area(blocks)
+        assert placement.overlaps() == []
+        quality = placement_quality(placement, blocks)
+        assert 0.0 < quality.fill_ratio <= 1.0
+        # Outline must contain every block.
+        outline = placement.outline()
+        for rect in placement.locations.values():
+            assert outline.contains_rect(rect)
+
+
+class TestTransparencyProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=15),
+                 min_size=32, max_size=32),
+        st.sampled_from(["IFA-9", "MATS+", "March C-", "March Y"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_transparent_bist_preserves_any_contents(self, words, name):
+        """For ANY initial memory image and any shipped march test, the
+        transparent transformation passes on a clean memory and leaves
+        the contents bit-identical."""
+        from repro.bist.march import ALL_TESTS
+        from repro.bist.transparent import TransparentBist
+        from repro.memsim import BisrRam
+
+        march = {t.name: t for t in ALL_TESTS}[name]
+        device = BisrRam(rows=8, bpw=4, bpc=4, spares=4)
+        for address, value in enumerate(words):
+            device.write(address, value)
+        result = TransparentBist(march, bpw=4).run(device)
+        assert result.passed
+        assert result.contents_preserved
+        assert [device.read(a) for a in range(32)] == words
+
+
+class TestStretchProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=1000),
+                      st.integers(min_value=0, max_value=200)),
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40)
+    def test_stretch_never_shrinks_and_preserves_other_axis(self, cuts):
+        from repro.layout import Cell
+        from repro.pnr import stretch_cell
+
+        cell = Cell("s")
+        cell.add_shape("metal1", Rect(0, 0, 50, 1000))
+        cell.add_shape("poly", Rect(10, 100, 30, 300))
+        got = stretch_cell(cell, cuts, axis="y")
+        originals = sorted(cell.flatten())
+        stretched = sorted(got.flatten())
+        for (l1, r1), (l2, r2) in zip(originals, stretched):
+            assert l1 == l2
+            assert r2.width == r1.width          # other axis untouched
+            assert r2.height >= r1.height        # never shrinks
+            assert r2.y1 >= r1.y1                # only moves upward
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_stretch_by_zero_is_identity(self, position):
+        from repro.layout import Cell
+        from repro.pnr import stretch_cell
+
+        cell = Cell("s")
+        cell.add_shape("metal1", Rect(0, 0, 50, 1000))
+        got = stretch_cell(cell, [(position, 0)])
+        assert sorted(got.flatten()) == sorted(cell.flatten())
+
+
+class TestColumnAddressingProperties:
+    @given(
+        st.sampled_from([1, 2, 4, 8]),
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40)
+    def test_word_roundtrip_through_any_organisation(self, bpw, bpc,
+                                                     rows):
+        from repro.memsim import MemoryArray
+
+        array = MemoryArray(rows=rows, bpw=bpw, bpc=bpc)
+        mask = (1 << bpw) - 1
+        for address in range(array.words):
+            array.write_word(address, (address * 2654435761) & mask)
+        for address in range(array.words):
+            assert array.read_word(address) == \
+                (address * 2654435761) & mask

@@ -1,0 +1,125 @@
+"""Unit tests for the reliability models (Fig. 5 machinery)."""
+
+import pytest
+
+from repro.reliability import (
+    crossover_age,
+    failure_pdf,
+    mttf_numeric,
+    mttf_words,
+    reliability_rows,
+    reliability_words,
+    word_fault_prob_at,
+)
+
+#: Fig. 5 configuration.  The defect-rate exponent is garbled in the
+#: available paper text; 1e-5 per kilohour per cell reproduces the
+#: stated ~70,000 h crossover (see EXPERIMENTS.md).
+ROWS, BPW, BPC = 1024, 4, 4
+LAM = 1e-5 / 1000.0
+
+
+class TestBasics:
+    def test_word_fault_prob_zero_at_t0(self):
+        assert word_fault_prob_at(0.0, LAM, BPW) == 0.0
+
+    def test_word_fault_prob_monotone(self):
+        ps = [word_fault_prob_at(t, LAM, BPW) for t in (0, 1e4, 1e5, 1e6)]
+        assert ps == sorted(ps)
+
+    def test_reliability_one_at_t0(self):
+        assert reliability_words(0.0, ROWS, 4, BPW, BPC, LAM) == 1.0
+        assert reliability_rows(0.0, ROWS, 4, BPW, BPC, LAM) == 1.0
+
+    def test_reliability_decreasing_in_time(self):
+        rs = [
+            reliability_words(t, ROWS, 4, BPW, BPC, LAM)
+            for t in (0, 1e4, 5e4, 2e5, 1e6)
+        ]
+        assert rs == sorted(rs, reverse=True)
+
+    def test_bounds(self):
+        for t in (0.0, 1e3, 1e5, 1e7):
+            r = reliability_words(t, ROWS, 8, BPW, BPC, LAM)
+            assert 0.0 <= r <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            word_fault_prob_at(-1.0, LAM, BPW)
+        with pytest.raises(ValueError):
+            reliability_words(1.0, 0, 4, BPW, BPC, LAM)
+
+
+class TestSparesTradeoff:
+    def test_young_device_prefers_fewer_spares(self):
+        """The paper's counterintuitive observation: early in life,
+        reliability *decreases* with spare count."""
+        t_young = 5e3
+        r4 = reliability_words(t_young, ROWS, 4, BPW, BPC, LAM)
+        r8 = reliability_words(t_young, ROWS, 8, BPW, BPC, LAM)
+        r16 = reliability_words(t_young, ROWS, 16, BPW, BPC, LAM)
+        assert r4 > r8 > r16
+
+    def test_old_device_prefers_more_spares(self):
+        t_old = 4e5
+        r4 = reliability_words(t_old, ROWS, 4, BPW, BPC, LAM)
+        r8 = reliability_words(t_old, ROWS, 8, BPW, BPC, LAM)
+        assert r8 > r4
+
+    def test_spares_beat_none_at_any_meaningful_age(self):
+        t = 1e5
+        r0 = reliability_words(t, ROWS, 0, BPW, BPC, LAM)
+        r4 = reliability_words(t, ROWS, 4, BPW, BPC, LAM)
+        assert r4 > r0
+
+    def test_crossover_near_70k_hours(self):
+        """Fig. 5: the 4-vs-8-spare crossover at ~8 years (70 kh)."""
+        t = crossover_age(ROWS, BPW, BPC, LAM, 4, 8, t_hint=7e4)
+        assert 4e4 <= t <= 1.2e5
+
+    def test_crossover_rows_model_same_ballpark(self):
+        t = crossover_age(ROWS, BPW, BPC, LAM, 4, 8, t_hint=7e4,
+                          model=reliability_rows)
+        assert 1e3 <= t <= 1e6
+
+    def test_no_crossover_raises(self):
+        with pytest.raises(ValueError):
+            crossover_age(ROWS, BPW, BPC, LAM, 4, 4, t_hint=7e4)
+
+
+class TestMttf:
+    def test_closed_form_matches_numeric(self):
+        rows = 64
+        closed = mttf_words(rows, 2, BPW, BPC, LAM)
+        numeric = mttf_numeric(
+            lambda t: reliability_words(t, rows, 2, BPW, BPC, LAM),
+            t_scale=1.0 / (BPW * LAM * rows * BPC),
+        )
+        assert closed == pytest.approx(numeric, rel=1e-3)
+
+    def test_more_spares_longer_mttf(self):
+        m2 = mttf_words(64, 2, BPW, BPC, LAM)
+        m4 = mttf_words(64, 4, BPW, BPC, LAM)
+        assert m4 > m2
+
+    def test_scales_inverse_with_rate(self):
+        m1 = mttf_words(64, 2, BPW, BPC, LAM)
+        m2 = mttf_words(64, 2, BPW, BPC, 2 * LAM)
+        assert m1 == pytest.approx(2 * m2, rel=1e-9)
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            mttf_words(64, 2, BPW, BPC, 0.0)
+
+
+class TestFailurePdf:
+    def test_nonnegative_and_integrates(self):
+        def r(t):
+            return reliability_words(t, 64, 2, BPW, BPC, LAM)
+
+        for t in (1e3, 1e4, 1e5):
+            assert failure_pdf(r, t) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            failure_pdf(lambda t: 1.0, -1.0)

@@ -1,0 +1,210 @@
+"""Round-trip tests: CIF export/import and SPICE deck export/import.
+
+These pin down the interchange contracts: what the tool writes, the
+tool (and the era's consumers) can read back unchanged.
+"""
+
+import pytest
+
+from repro.circuit.netlist import GND, Netlist
+from repro.circuit.spice_export import export_spice, read_spice
+from repro.geometry import Point, Rect, Transform
+from repro.geometry.transform import Orientation
+from repro.layout import Cell, write_cif
+from repro.layout.cif_reader import read_cif
+from repro.spice import Pwl, TransientEngine
+from repro.tech import get_process
+
+PROCESS = get_process("cda07")
+
+
+def _flat_shapes(cell):
+    return sorted(cell.flatten())
+
+
+class TestCifRoundTrip:
+    def _roundtrip(self, cell, tmp_path):
+        path = tmp_path / "x.cif"
+        with open(path, "w") as stream:
+            write_cif(cell, stream, PROCESS.layers)
+        return read_cif(path, PROCESS.layers)
+
+    def test_flat_cell(self, tmp_path):
+        cell = Cell("flat")
+        cell.add_shape("metal1", Rect(0, 0, 100, 35))
+        cell.add_shape("poly", Rect(10, -20, 30, 90))
+        got = self._roundtrip(cell, tmp_path)
+        assert got.name == "flat"
+        assert _flat_shapes(got) == _flat_shapes(cell)
+
+    def test_layers_preserved(self, tmp_path):
+        cell = Cell("layered")
+        cell.add_shape("metal2", Rect(0, 0, 40, 40))
+        cell.add_shape("via1", Rect(10, 10, 20, 20))
+        cell.add_shape("metal2", Rect(100, 0, 140, 40))
+        got = self._roundtrip(cell, tmp_path)
+        layers = sorted(l for l, _ in got.flatten())
+        assert layers == ["metal2", "metal2", "via1"]
+
+    def test_hierarchy_with_transforms(self, tmp_path):
+        leaf = Cell("leafy")
+        leaf.add_shape("metal1", Rect(0, 0, 10, 4))
+        top = Cell("topper")
+        top.add_instance(leaf, Transform(translation=Point(100, 50)))
+        top.add_instance(
+            leaf, Transform(Orientation.R90, Point(300, 0))
+        )
+        top.add_instance(
+            leaf, Transform(Orientation.MX, Point(0, 400))
+        )
+        got = self._roundtrip(top, tmp_path)
+        assert _flat_shapes(got) == _flat_shapes(top)
+
+    def test_all_orientations_roundtrip(self, tmp_path):
+        from repro.geometry.transform import ALL_ORIENTATIONS
+
+        leaf = Cell("mark")
+        leaf.add_shape("poly", Rect(2, 0, 10, 3))  # asymmetric marker
+        top = Cell("every")
+        for i, orient in enumerate(ALL_ORIENTATIONS):
+            top.add_instance(
+                leaf, Transform(orient, Point(100 * i, 37))
+            )
+        got = self._roundtrip(top, tmp_path)
+        assert _flat_shapes(got) == _flat_shapes(top)
+
+    def test_compiled_macro_geometry_survives(self, tmp_path):
+        from repro import RamConfig, compile_ram
+
+        ram = compile_ram(
+            RamConfig(words=16, bpw=4, bpc=4, strap_every=0)
+        )
+        path = tmp_path / "macro.cif"
+        ram.write_cif(path)
+        got = read_cif(path, PROCESS.layers)
+        original = ram.floorplan.top
+        assert got.count_shapes() == sum(
+            1 for _, r in original.flatten() if r.area > 0
+        )
+        assert got.bbox() == original.bbox()
+
+    def test_reader_rejects_undefined_call(self, tmp_path):
+        path = tmp_path / "bad.cif"
+        path.write_text("DS 1 1 1;\nC 99 T 0 0;\nDF;\nC 1;\nE\n")
+        with pytest.raises(ValueError, match="undefined"):
+            read_cif(path, PROCESS.layers)
+
+    def test_reader_requires_top_call(self, tmp_path):
+        path = tmp_path / "bad.cif"
+        path.write_text("DS 1 1 1;\nDF;\nE\n")
+        with pytest.raises(ValueError, match="top"):
+            read_cif(path, PROCESS.layers)
+
+
+class TestSpiceRoundTrip:
+    def _netlist(self):
+        net = Netlist("dut")
+        net.add_source("vdd", PROCESS.vdd)
+        net.add_source(
+            "in", Pwl([(0.0, 0.0), (1e-9, 0.0), (1.1e-9, 5.0)])
+        )
+        net.add_inverter("in", "out", PROCESS.nmos, PROCESS.pmos,
+                         2.0, 5.0)
+        net.add_resistor("out", "tap", 1000.0)
+        net.add_capacitor("tap", GND, 50e-15)
+        return net
+
+    def test_deck_structure(self, tmp_path):
+        path = export_spice(self._netlist(), tmp_path / "dut.sp",
+                            PROCESS, t_stop_s=5e-9)
+        text = path.read_text()
+        assert ".MODEL NCH NMOS" in text
+        assert ".MODEL PCH PMOS" in text
+        assert "PWL(" in text
+        assert text.rstrip().endswith(".END")
+
+    def test_roundtrip_device_counts(self, tmp_path):
+        original = self._netlist()
+        path = export_spice(original, tmp_path / "dut.sp", PROCESS)
+        got = read_spice(path, PROCESS)
+        assert len(got.mosfets) == len(original.mosfets)
+        assert len(got.resistors) == len(original.resistors)
+        assert len(got.capacitors) == len(original.capacitors)
+        assert len(got.sources) == len(original.sources)
+
+    def test_roundtrip_simulates_identically(self, tmp_path):
+        """The real contract: the re-read deck behaves the same."""
+        original = self._netlist()
+        path = export_spice(original, tmp_path / "dut.sp", PROCESS)
+        reread = read_spice(path, PROCESS)
+        r1 = TransientEngine(original).run(
+            4e-9, record=["out"], initial={"out": PROCESS.vdd}
+        )
+        r2 = TransientEngine(reread).run(
+            4e-9, record=["out"], initial={"out": PROCESS.vdd}
+        )
+        assert r1.final("out") == pytest.approx(r2.final("out"),
+                                                abs=0.05)
+
+    def test_mosfet_sizes_preserved(self, tmp_path):
+        original = self._netlist()
+        path = export_spice(original, tmp_path / "dut.sp", PROCESS)
+        got = read_spice(path, PROCESS)
+        assert sorted(m.w_um for m in got.mosfets) == \
+            sorted(m.w_um for m in original.mosfets)
+
+    def test_generated_cell_netlists_export(self, tmp_path):
+        from repro.cells import senseamp_netlist, sram6t_netlist
+
+        for build in (sram6t_netlist, senseamp_netlist):
+            net = build(PROCESS)
+            path = export_spice(net, tmp_path / f"{net.name}.sp",
+                                PROCESS)
+            got = read_spice(path, PROCESS)
+            assert len(got.mosfets) == len(net.mosfets)
+
+    def test_reader_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "bad.sp"
+        path.write_text("* deck\nM1 a b\n")
+        with pytest.raises(ValueError, match="bad.sp:2"):
+            read_spice(path, PROCESS)
+
+
+class TestCifFuzzRoundTrip:
+    def test_random_hierarchies_roundtrip(self):
+        """Fuzz: random flat-shape cells under random placements must
+        survive CIF export/import geometrically intact."""
+        import random
+
+        from repro.geometry import Point, Transform
+        from repro.geometry.transform import ALL_ORIENTATIONS
+
+        rng = random.Random(2024)
+        for trial in range(15):
+            leaf = Cell(f"leaf{trial}")
+            for _ in range(rng.randrange(1, 6)):
+                x, y = rng.randrange(-500, 500), rng.randrange(-500, 500)
+                w, h = rng.randrange(1, 200), rng.randrange(1, 200)
+                layer = rng.choice(["metal1", "metal2", "poly", "ndiff"])
+                leaf.add_shape(layer, Rect(x, y, x + w, y + h))
+            top = Cell(f"top{trial}")
+            for _ in range(rng.randrange(1, 5)):
+                top.add_instance(
+                    leaf,
+                    Transform(
+                        rng.choice(ALL_ORIENTATIONS),
+                        Point(rng.randrange(-2000, 2000),
+                              rng.randrange(-2000, 2000)),
+                    ),
+                )
+            import io
+
+            buffer = io.StringIO()
+            write_cif(top, buffer, PROCESS.layers)
+            import tempfile, pathlib
+
+            with tempfile.TemporaryDirectory() as tmp:
+                path = pathlib.Path(tmp) / "f.cif"
+                path.write_text(buffer.getvalue())
+                got = read_cif(path, PROCESS.layers)
+            assert _flat_shapes(got) == _flat_shapes(top), trial

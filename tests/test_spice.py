@@ -1,0 +1,161 @@
+"""Unit tests for the transient engine, waveforms, and measurements."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import GND, Netlist
+from repro.spice import (
+    Pwl,
+    TransientEngine,
+    crossing_time,
+    fall_time,
+    propagation_delay,
+    pulse,
+    rise_time,
+    step,
+)
+from repro.tech import get_process
+
+PROCESS = get_process("cda07")
+VDD = PROCESS.vdd
+
+
+class TestWaveforms:
+    def test_pwl_interpolation(self):
+        w = Pwl([(0.0, 0.0), (1.0, 2.0)])
+        assert w(0.5) == pytest.approx(1.0)
+
+    def test_pwl_holds_ends(self):
+        w = Pwl([(1.0, 3.0), (2.0, 5.0)])
+        assert w(0.0) == 3.0
+        assert w(10.0) == 5.0
+
+    def test_pwl_monotone_times_required(self):
+        with pytest.raises(ValueError):
+            Pwl([(0.0, 0.0), (0.0, 1.0)])
+
+    def test_step(self):
+        w = step(1e-9, 0.0, 5.0, t_rise=100e-12)
+        assert w(0.9e-9) == 0.0
+        assert w(1.2e-9) == 5.0
+
+    def test_pulse_shape(self):
+        w = pulse(1e-9, 2e-9, 0.0, 5.0, t_edge=100e-12)
+        assert w(0.5e-9) == 0.0
+        assert w(2e-9) == 5.0
+        assert w(4e-9) == 0.0
+
+    def test_pulse_width_validated(self):
+        with pytest.raises(ValueError):
+            pulse(0.0, 1e-10, 0.0, 5.0, t_edge=100e-12)
+
+
+class TestEngineRC:
+    def test_rc_discharge_time_constant(self):
+        # 1 kohm / 100 fF: V(t) = V0 exp(-t/RC), RC = 100 ps.
+        net = Netlist()
+        net.add_resistor("a", GND, 1000.0)
+        net.add_capacitor("a", GND, 100e-15)
+        engine = TransientEngine(net, cmin=1e-18)
+        result = engine.run(300e-12, record=["a"], initial={"a": 1.0})
+        t_half = crossing_time(result, "a", 0.5, rising=False)
+        assert t_half == pytest.approx(100e-12 * np.log(2), rel=0.05)
+
+    def test_source_pins_node(self):
+        net = Netlist()
+        net.add_source("s", 3.3)
+        net.add_resistor("s", "a", 1000.0)
+        net.add_capacitor("a", GND, 50e-15)
+        result = TransientEngine(net).run(5e-9, record=["a", "s"])
+        assert result.final("s") == pytest.approx(3.3)
+        assert result.final("a") == pytest.approx(3.3, rel=0.02)
+
+    def test_source_on_ground_rejected(self):
+        net = Netlist()
+        net.add_source(GND, 1.0)
+        net.add_resistor(GND, "a", 1.0)
+        with pytest.raises(ValueError):
+            TransientEngine(net)
+
+    def test_unknown_record_node(self):
+        net = Netlist()
+        net.add_resistor("a", GND, 1.0)
+        with pytest.raises(KeyError):
+            TransientEngine(net).run(1e-9, record=["zz"])
+
+    def test_bad_t_stop(self):
+        net = Netlist()
+        net.add_resistor("a", GND, 1.0)
+        with pytest.raises(ValueError):
+            TransientEngine(net).run(0.0)
+
+
+class TestEngineInverter:
+    def _inverter_net(self):
+        net = Netlist()
+        net.add_source("vdd", VDD)
+        net.add_source("in", step(0.5e-9, 0.0, VDD))
+        net.add_inverter("in", "out", PROCESS.nmos, PROCESS.pmos, 2.0, 5.0)
+        net.add_capacitor("out", GND, 20e-15)
+        return net
+
+    def test_inverter_switches(self):
+        result = TransientEngine(self._inverter_net()).run(
+            4e-9, record=["in", "out"], initial={"out": VDD}
+        )
+        assert result.final("out") < 0.1 * VDD
+
+    def test_propagation_delay_positive_and_small(self):
+        result = TransientEngine(self._inverter_net()).run(
+            4e-9, record=["in", "out"], initial={"out": VDD}
+        )
+        d = propagation_delay(result, "in", "out", VDD,
+                              input_rising=True, output_rising=False)
+        assert 1e-12 < d < 1e-9
+
+    def test_ring_behaviour_static_high_input(self):
+        # Static low input -> output charges to VDD.
+        net = Netlist()
+        net.add_source("vdd", VDD)
+        net.add_source("in", 0.0)
+        net.add_inverter("in", "out", PROCESS.nmos, PROCESS.pmos, 2.0, 5.0)
+        net.add_capacitor("out", GND, 10e-15)
+        result = TransientEngine(net).run(5e-9, record=["out"])
+        assert result.final("out") > 0.9 * VDD
+
+
+class TestMeasurements:
+    def _ramp_result(self):
+        net = Netlist()
+        net.add_source("x", Pwl([(0, 0.0), (1e-9, 5.0)]))
+        net.add_resistor("x", "y", 1e6)
+        net.add_capacitor("y", GND, 1e-18)
+        return TransientEngine(net).run(2e-9, record=["x"])
+
+    def test_crossing_time_linear(self):
+        result = self._ramp_result()
+        t = crossing_time(result, "x", 2.5, rising=True)
+        assert t == pytest.approx(0.5e-9, rel=0.02)
+
+    def test_crossing_none_when_absent(self):
+        result = self._ramp_result()
+        assert crossing_time(result, "x", 2.5, rising=False) is None
+
+    def test_rise_time_of_ramp(self):
+        result = self._ramp_result()
+        # 10%..90% of a linear 1 ns ramp = 0.8 ns.
+        assert rise_time(result, "x", 5.0) == pytest.approx(0.8e-9, rel=0.05)
+
+    def test_fall_time_error_when_no_fall(self):
+        result = self._ramp_result()
+        with pytest.raises(ValueError):
+            fall_time(result, "x", 5.0)
+
+    def test_propagation_delay_raises_on_stuck_output(self):
+        net = Netlist()
+        net.add_source("in", step(0.1e-9, 0.0, 5.0))
+        net.add_capacitor("out", GND, 1e-15)
+        net.add_resistor("out", GND, 1e3)
+        result = TransientEngine(net).run(1e-9, record=["in", "out"])
+        with pytest.raises(ValueError):
+            propagation_delay(result, "in", "out", 5.0, True, True)

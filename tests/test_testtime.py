@@ -1,0 +1,83 @@
+"""Unit tests for the test-application-time / DATAGEN hardware model."""
+
+import pytest
+
+from repro.bist import IFA_9, MATS_PLUS
+from repro.bist.testtime import backgrounds_for_scheme
+from repro.bist.testtime import datagen_hardware, retention_wait_total
+from repro.bist.testtime import test_application_time as application_time
+
+
+class TestBackgroundsForScheme:
+    def test_counts(self):
+        assert backgrounds_for_scheme(32, "single") == 1
+        assert backgrounds_for_scheme(32, "johnson") == 6
+        assert backgrounds_for_scheme(32, "walking") == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            backgrounds_for_scheme(12, "johnson")
+        with pytest.raises(ValueError):
+            backgrounds_for_scheme(8, "gray")
+
+
+class TestApplicationTime:
+    def test_operation_count(self):
+        tt = application_time(IFA_9, words=1024, bpw=4,
+                                   cycle_s=10e-9, passes=1)
+        assert tt.operations == 12 * 1024 * 3
+
+    def test_retention_dominates_for_ifa(self):
+        """At 100 ms per pause, the two Delay elements dwarf the march
+        operations for any realistic array — why the paper needs the
+        processor handshake rather than a counter."""
+        tt = application_time(IFA_9, words=4096, bpw=32,
+                                   cycle_s=10e-9)
+        assert tt.retention_time_s > 10 * tt.op_time_s
+
+    def test_mats_has_no_retention_cost(self):
+        tt = application_time(MATS_PLUS, words=1024, bpw=4,
+                                   cycle_s=10e-9)
+        assert tt.retention_time_s == 0.0
+        assert tt.total_s == tt.op_time_s
+
+    def test_scheme_scales_time(self):
+        kw = dict(words=1024, bpw=32, cycle_s=10e-9)
+        single = application_time(IFA_9, scheme="single", **kw)
+        johnson = application_time(IFA_9, scheme="johnson", **kw)
+        walking = application_time(IFA_9, scheme="walking", **kw)
+        assert single.operations < johnson.operations < \
+            walking.operations
+        assert johnson.operations == 6 * single.operations
+        assert walking.operations == 32 * single.operations
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            application_time(IFA_9, words=0, bpw=4, cycle_s=1e-8)
+        with pytest.raises(ValueError):
+            application_time(IFA_9, words=8, bpw=4, cycle_s=0)
+
+
+class TestHardwareCost:
+    def test_johnson_cheaper_than_walking(self):
+        """The paper's claim: log2(bpw)+1 backgrounds need less
+        hardware than bpw patterns."""
+        for bpw in (8, 32, 128):
+            johnson = datagen_hardware(bpw, "johnson")
+            walking = datagen_hardware(bpw, "walking")
+            assert johnson["flip_flops"] < walking["flip_flops"]
+
+    def test_gap_grows_with_word_width(self):
+        gap8 = datagen_hardware(8, "walking")["flip_flops"] - \
+            datagen_hardware(8, "johnson")["flip_flops"]
+        gap128 = datagen_hardware(128, "walking")["flip_flops"] - \
+            datagen_hardware(128, "johnson")["flip_flops"]
+        assert gap128 > 10 * gap8
+
+    def test_single_is_free(self):
+        assert datagen_hardware(32, "single")["flip_flops"] == 0
+
+    def test_retention_total(self):
+        total = retention_wait_total(IFA_9, bpw=4, passes=2)
+        # 2 delays x 3 backgrounds x 2 passes x 100 ms.
+        assert total == pytest.approx(1.2)

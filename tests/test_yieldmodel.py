@@ -1,0 +1,160 @@
+"""Unit tests for the yield models (Fig. 4 machinery)."""
+
+import math
+
+import pytest
+
+from repro.yieldmodel import (
+    bisr_yield,
+    cell_fault_prob,
+    cell_yield,
+    chip_yield,
+    chip_yield_with_bisr,
+    defects_from_yield,
+    embedded_ram_yield,
+    repair_probability,
+    row_fault_prob,
+    stapper_yield,
+    word_fault_prob,
+    yield_curve,
+)
+
+
+class TestPoisson:
+    def test_cell_yield_zero_defects(self):
+        assert cell_yield(0.0) == 1.0
+
+    def test_complement(self):
+        assert cell_fault_prob(0.3) == pytest.approx(1 - math.exp(-0.3))
+
+    def test_word_scales_with_bpw(self):
+        assert word_fault_prob(1e-4, 32) > word_fault_prob(1e-4, 4)
+
+    def test_row_equals_word_when_same_bits(self):
+        assert row_fault_prob(1e-4, 16) == word_fault_prob(1e-4, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cell_yield(-1.0)
+        with pytest.raises(ValueError):
+            word_fault_prob(0.1, 0)
+
+
+class TestStapper:
+    def test_zero_defects(self):
+        assert stapper_yield(0.0, 100.0) == 1.0
+
+    def test_decreases_with_area(self):
+        assert stapper_yield(0.01, 200.0) < stapper_yield(0.01, 100.0)
+
+    def test_clustering_helps(self):
+        # Small alpha (clustered) gives better yield at same d*A.
+        assert stapper_yield(0.02, 100.0, alpha=0.5) > \
+            stapper_yield(0.02, 100.0, alpha=10.0)
+
+    def test_large_alpha_approaches_poisson(self):
+        da = 1.5
+        assert stapper_yield(da, 1.0, alpha=1e6) == pytest.approx(
+            math.exp(-da), rel=1e-4
+        )
+
+    def test_inversion_roundtrip(self):
+        y = stapper_yield(0.01, 150.0, alpha=2.0)
+        assert defects_from_yield(y, alpha=2.0) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stapper_yield(-1, 10)
+        with pytest.raises(ValueError):
+            defects_from_yield(0.0)
+
+
+class TestRepairProbability:
+    def test_no_defects(self):
+        assert repair_probability(100, 4, 0.0, 16) == 1.0
+
+    def test_zero_spares_is_plain_yield(self):
+        lam = 1e-4
+        got = repair_probability(100, 0, lam, 16)
+        assert got == pytest.approx((1 - row_fault_prob(lam, 16)) ** 100)
+
+    def test_spares_help_under_defects(self):
+        lam = 5e-4
+        assert repair_probability(1024, 8, lam, 16) > \
+            repair_probability(1024, 0, lam, 16)
+
+    def test_spares_hurt_slightly_at_tiny_defect_rates(self):
+        """The spares-must-be-good factor: with near-zero defects more
+        spares only add exposure."""
+        lam = 1e-8
+        assert repair_probability(1024, 16, lam, 16) < \
+            repair_probability(1024, 4, lam, 16)
+
+
+class TestBisrYield:
+    def test_fig4_ordering_at_high_defects(self):
+        """Fig. 4's headline: 16 > 8 > 4 > 0 spares for many defects."""
+        ys = [
+            bisr_yield(1024, s, 4, 4, n_defects=10.0,
+                       growth_factor=1 + s / 1024)
+            for s in (0, 4, 8, 16)
+        ]
+        assert ys == sorted(ys)
+
+    def test_no_spares_matches_poisson(self):
+        assert bisr_yield(1024, 0, 4, 4, 2.0) == pytest.approx(
+            math.exp(-2.0), rel=0.01
+        )
+
+    def test_monotone_decreasing_in_defects(self):
+        ys = [bisr_yield(256, 4, 4, 4, n) for n in (0, 1, 2, 5, 10, 30)]
+        assert ys == sorted(ys, reverse=True)
+        assert ys[0] == 1.0
+
+    def test_growth_factor_costs_yield(self):
+        assert bisr_yield(256, 4, 4, 4, 5.0, growth_factor=1.2) < \
+            bisr_yield(256, 4, 4, 4, 5.0, growth_factor=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bisr_yield(256, 4, 4, 4, -1.0)
+        with pytest.raises(ValueError):
+            bisr_yield(256, 4, 4, 4, 1.0, growth_factor=0.9)
+
+    def test_yield_curve_shape(self):
+        curves = yield_curve(1024, 4, 4, (0, 4), [0.0, 5.0, 20.0])
+        assert len(curves) == 2
+        spares, series = curves[1]
+        assert spares == 4 and len(series) == 3
+
+    def test_yield_curve_growth_factor_count_checked(self):
+        with pytest.raises(ValueError):
+            yield_curve(1024, 4, 4, (0, 4), [1.0], growth_factors=[1.0])
+
+
+class TestChipYield:
+    def test_product(self):
+        assert chip_yield([0.9, 0.8]) == pytest.approx(0.72)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chip_yield([])
+        with pytest.raises(ValueError):
+            chip_yield([1.2])
+
+    def test_embedded_ram_yield(self):
+        assert embedded_ram_yield(0.49, 0.5) == pytest.approx(0.7)
+
+    def test_chip_with_bisr_improves(self):
+        before = 0.2
+        after = chip_yield_with_bisr(before, 0.25, 1.4)
+        assert after > before
+
+    def test_chip_with_bisr_capped_at_perfect_ram(self):
+        after = chip_yield_with_bisr(0.5, 0.3, 100.0)
+        rest = 0.5 / embedded_ram_yield(0.5, 0.3)
+        assert after == pytest.approx(rest)
+
+    def test_improvement_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            chip_yield_with_bisr(0.5, 0.3, 0.9)
