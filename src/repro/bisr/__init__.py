@@ -13,6 +13,13 @@
 
 from repro.bisr.tlb import Tlb, TlbEntry
 from repro.bisr.repair import RepairAnalysis, analyze_repair
+from repro.bisr.escalation import (
+    AttemptRecord,
+    DegradedResult,
+    EscalationPolicy,
+    RepairSupervisor,
+    SupervisorResult,
+)
 from repro.bisr.delay import tlb_delay_s, tlb_delay_breakdown, TlbDelayModel
 from repro.bisr.masking import (
     MaskingStrategy,
@@ -27,6 +34,11 @@ __all__ = [
     "TlbEntry",
     "RepairAnalysis",
     "analyze_repair",
+    "AttemptRecord",
+    "DegradedResult",
+    "EscalationPolicy",
+    "RepairSupervisor",
+    "SupervisorResult",
     "tlb_delay_s",
     "tlb_delay_breakdown",
     "TlbDelayModel",

@@ -34,6 +34,7 @@ from repro.bist.march import (
 )
 from repro.bist.transparent import TransparentBist, transparent_march
 from repro.bist.field_repair import FieldRepairController, MaintenanceResult
+from repro.bist.infrastructure import FaultyInfrastructure
 from repro.bist.addgen import AddGen
 from repro.bist.datagen import DataGen, backgrounds_for_word
 from repro.bist.microcode import Microprogram, MicroInstruction, assemble
@@ -63,6 +64,7 @@ __all__ = [
     "transparent_march",
     "FieldRepairController",
     "MaintenanceResult",
+    "FaultyInfrastructure",
     "AddGen",
     "DataGen",
     "backgrounds_for_word",

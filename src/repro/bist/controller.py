@@ -87,18 +87,24 @@ class BistScheduler:
         self.record_ops = record_ops
 
     def run(self, target: TestTarget, passes: int = 2,
-            stop_on_repair_fail: bool = True) -> BistResult:
+            stop_on_repair_fail: bool = True,
+            divert_during_test: bool = False) -> BistResult:
         """Run ``passes`` passes against ``target``.
 
         Odd passes test-and-record with diversion reflecting previous
         repairs; even passes verify.  With the standard ``passes=2``,
         pass 1 records into the TLB and pass 2 verifies the repair.
+
+        ``divert_during_test`` keeps diversion active in pass 1 as
+        well — the re-entrant cycle of the paper's iterated 2k-pass
+        repair (the equivalent of ``TrplaController(fresh=False)``):
+        a mapped row that still fails advances to its next spare.
         """
         if passes < 1:
             raise ValueError("need at least one pass")
         result = BistResult()
         for pass_no in range(1, passes + 1):
-            target.set_repair_mode(pass_no >= 2)
+            target.set_repair_mode(pass_no >= 2 or divert_during_test)
             verification = pass_no % 2 == 0
             failed = self._run_single_pass(
                 target, pass_no, verification, result

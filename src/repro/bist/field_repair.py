@@ -29,6 +29,7 @@ from typing import Dict, Tuple
 
 from repro.bist.march import MarchTest
 from repro.bist.transparent import TransparentBist
+from repro.core.errors import RepairExhausted
 from repro.memsim.device import BisrRam
 
 
@@ -56,8 +57,15 @@ class FieldRepairController:
         self.device = device
         self.bpw = device.array.bpw
 
-    def maintenance_cycle(self) -> MaintenanceResult:
-        """Run one transparent test + repair + verify cycle."""
+    def maintenance_cycle(self, strict: bool = False) -> MaintenanceResult:
+        """Run one transparent test + repair + verify cycle.
+
+        With ``strict``, an unsuccessful cycle that has also exhausted
+        the spare sequence raises
+        :class:`~repro.core.errors.RepairExhausted` (carrying the rows
+        still mapped-or-faulty) instead of returning — for callers that
+        treat a dead redundancy budget as a hard fault.
+        """
         device = self.device
         bpc = device.array.bpc
 
@@ -98,13 +106,21 @@ class FieldRepairController:
         # Pass 2: transparent verify with diversion active.
         verify = TransparentBist(self.march, self.bpw)
         second = verify.run(device)
-        return MaintenanceResult(
+        result = MaintenanceResult(
             faults_found=first,
             new_rows_mapped=new_rows,
             repaired=second.passed and second.contents_preserved,
             words_rescued=rescued,
             words_lost=lost,
         )
+        if strict and not result.repaired and device.tlb.overflowed:
+            raise RepairExhausted(
+                f"in-field repair exhausted all {device.tlb.spares} "
+                f"spares with faults remaining",
+                unrepaired_rows=tuple(sorted(device.tlb.mapped_rows())),
+                spares=device.tlb.spares,
+            )
+        return result
 
     def _run_with_capture(self, transparent: TransparentBist) -> int:
         """Run a transparent pass; localise and capture any failures.

@@ -24,8 +24,10 @@ from typing import List, Optional
 
 from repro import RamConfig, compile_ram
 from repro.analysis import optimize_spares, spare_tradeoff_table
-from repro.bist import ALL_TESTS, parse_march
+from repro.bist import ALL_TESTS, IFA_9, parse_march
 from repro.bist.controller import BistScheduler
+from repro.bisr import EscalationPolicy, RepairSupervisor
+from repro.core.errors import ConfigError, ReproError
 from repro.cost import table2_rows, table3_rows
 from repro.memsim import DefectInjector, coverage_campaign
 from repro.reliability import reliability_words
@@ -68,6 +70,22 @@ def _float_list(text: str) -> List[float]:
     return [float(x) for x in text.split(",") if x.strip()]
 
 
+def _confirm_spec(text: str) -> tuple:
+    """Parse an N/M confirmation spec like ``2/5``."""
+    try:
+        n_text, m_text = text.split("/")
+        n, m = int(n_text), int(m_text)
+    except ValueError:
+        raise ConfigError(
+            f"--confirm wants N/M (e.g. 2/5), got {text!r}"
+        ) from None
+    if not 1 <= n <= m:
+        raise ConfigError(
+            f"--confirm needs 1 <= N <= M, got {n}/{m}"
+        )
+    return n, m
+
+
 # ---------------------------------------------------------------------------
 # subcommands
 # ---------------------------------------------------------------------------
@@ -107,6 +125,8 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         faults = injector.inject(device.array, args.defects)
         print(f"injected {len(faults)} defects: "
               f"{[f.describe() for f in faults]}")
+    if args.retries:
+        return _supervised_selftest(args, config, device)
     controller = ram.self_test_controller(device)
     result = controller.run()
     print(f"pass 1+2: {result.op_count} ops, "
@@ -122,6 +142,35 @@ def cmd_selftest(args: argparse.Namespace) -> int:
               f"sweep mismatches: {device.check_pattern(0)}")
         return 0
     print("REPAIR UNSUCCESSFUL (too many faults or dead spares)")
+    return 1
+
+
+def _supervised_selftest(args: argparse.Namespace, config: RamConfig,
+                         device) -> int:
+    """The escalation-ladder path of ``selftest`` (--retries > 0)."""
+    threshold, reads = _confirm_spec(args.confirm)
+    policy = EscalationPolicy(
+        confirm_reads=reads,
+        confirm_threshold=threshold,
+        max_attempts=args.retries,
+    )
+    supervisor = RepairSupervisor(IFA_9, bpw=config.bpw, policy=policy)
+    outcome = supervisor.run(device)
+    print(f"supervisor: {outcome.attempts} attempt(s), "
+          f"{threshold}-of-{reads} confirmation, "
+          f"{outcome.probe_reads} probe reads, "
+          f"{outcome.backoff_cycles} backoff cycles")
+    if outcome.rejected_addresses:
+        print(f"rejected as transient (no spare consumed): addresses "
+              f"{sorted(set(outcome.rejected_addresses))}")
+    if outcome.repaired:
+        print(f"REPAIRED rows {list(outcome.confirmed_rows)} using "
+              f"{outcome.spares_used} spare(s); functional sweep "
+              f"mismatches: {device.check_pattern(0)}")
+        return 0
+    print(f"DEGRADED: {outcome.reason}")
+    if outcome.unrepaired_rows:
+        print(f"unrepaired rows: {list(outcome.unrepaired_rows)}")
     return 1
 
 
@@ -318,6 +367,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-cycles", type=int, default=4,
                    help="2-pass repair cycles before giving up")
+    p.add_argument("--retries", type=int, default=0,
+                   help="run under the RepairSupervisor with this many "
+                        "bounded escalation attempts (0 = legacy flow)")
+    p.add_argument("--confirm", default="2/5", metavar="N/M",
+                   help="N-of-M re-read confirmation before a row "
+                        "consumes a spare (with --retries; default 2/5)")
     p.set_defaults(func=cmd_selftest)
 
     p = sub.add_parser("yield", help="repairable yield vs defects")
@@ -372,6 +427,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except ReproError as error:
+        # Anticipated failures (bad configuration, exhausted spares,
+        # non-converging transients) exit with one line, no traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -13,6 +13,12 @@
 from repro.core.config import RamConfig
 from repro.core.datasheet import Datasheet
 from repro.core.compiler import BISRAMGen, CompiledRam, compile_ram
+from repro.core.errors import (
+    ConfigError,
+    RepairExhausted,
+    ReproError,
+    SpiceConvergenceError,
+)
 
 __all__ = [
     "RamConfig",
@@ -20,4 +26,8 @@ __all__ = [
     "BISRAMGen",
     "CompiledRam",
     "compile_ram",
+    "ReproError",
+    "ConfigError",
+    "RepairExhausted",
+    "SpiceConvergenceError",
 ]

@@ -22,6 +22,7 @@ from repro.bist.march import IFA_9, MarchTest
 from repro.bist.trpla import write_plane_files
 from repro.core.config import RamConfig
 from repro.core.datasheet import Datasheet, build_datasheet
+from repro.core.errors import ConfigError
 from repro.core.floorplan import Floorplan, build_floorplan
 from repro.layout.cif import write_cif
 from repro.layout.render import render_ascii, render_svg
@@ -166,11 +167,24 @@ class BISRAMGen:
         self.march = march
 
     def build(self) -> CompiledRam:
-        """Compile the configuration into layout + models + datasheet."""
-        floorplan = build_floorplan(self.config, self.march,
-                                    with_bisr=True)
-        baseline = build_floorplan(self.config, self.march,
-                                   with_bisr=False)
+        """Compile the configuration into layout + models + datasheet.
+
+        Raises :class:`~repro.core.errors.ConfigError` when the
+        configuration is structurally valid but physically unbuildable
+        (a generator rejects it), so callers see one error type for
+        every "your parameters are wrong" outcome.
+        """
+        try:
+            floorplan = build_floorplan(self.config, self.march,
+                                        with_bisr=True)
+            baseline = build_floorplan(self.config, self.march,
+                                       with_bisr=False)
+        except ConfigError:
+            raise
+        except ValueError as error:
+            raise ConfigError(
+                f"cannot build {self.config.describe()}: {error}"
+            ) from error
         cu2_to_mm2 = 1e-10
         total = floorplan.component_area_mm2()
         base = baseline.component_area_mm2()

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class RamConfig:
@@ -44,26 +46,26 @@ class RamConfig:
 
     def __post_init__(self) -> None:
         if self.words < 1:
-            raise ValueError("words must be positive")
+            raise ConfigError("words must be positive")
         for name in ("bpw", "bpc"):
             value = getattr(self, name)
             if value < 1 or value & (value - 1):
-                raise ValueError(f"{name} must be a positive power of two")
+                raise ConfigError(f"{name} must be a positive power of two")
         if self.words % self.bpc:
-            raise ValueError(
+            raise ConfigError(
                 f"words ({self.words}) must be a multiple of bpc "
                 f"({self.bpc}) so rows come out integral"
             )
         if self.spares not in (4, 8, 16):
-            raise ValueError(
+            raise ConfigError(
                 "spares must be 4, 8, or 16 (the options BISRAMGEN offers)"
             )
         if self.gate_size < 1:
-            raise ValueError("gate_size must be >= 1")
+            raise ConfigError("gate_size must be >= 1")
         if self.strap_every < 0:
-            raise ValueError("strap_every must be non-negative")
+            raise ConfigError("strap_every must be non-negative")
         if self.strap_every and self.strap_width_lambda < 12:
-            raise ValueError("strap columns need >= 12 lambda for well ties")
+            raise ConfigError("strap columns need >= 12 lambda for well ties")
 
     # -- derived geometry -----------------------------------------------------
 

@@ -1,0 +1,78 @@
+"""The structured error taxonomy of the reproduction.
+
+Every failure the tool can *anticipate* raises a subclass of
+:class:`ReproError`, so callers (the CLI, the repair supervisor, long
+Monte-Carlo campaigns) can distinguish "the user asked for something
+impossible" from "the hardware model could not converge" from a genuine
+bug — and degrade gracefully instead of dying on a traceback.
+
+The taxonomy deliberately multiple-inherits from the builtin exception
+each error used to be, so existing ``except ValueError`` /
+``except RuntimeError`` call sites keep working:
+
+* :class:`ConfigError` (also a ``ValueError``) — invalid user-supplied
+  configuration: a bad :class:`~repro.core.config.RamConfig`, a
+  degenerate :class:`~repro.memsim.injector.FaultMix`, an out-of-range
+  escalation policy.
+* :class:`RepairExhausted` — self-repair ran out of spare rows; carries
+  the rows left unrepaired so the caller can report or map them out.
+* :class:`SpiceConvergenceError` (also a ``RuntimeError``) — the
+  transient engine hit its step budget before ``t_stop``; carries how
+  far it got so callers can decide whether the partial run is usable.
+
+This module must stay import-light (stdlib only): it is imported from
+every layer, including during package initialisation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class ReproError(Exception):
+    """Base class of every anticipated failure in the reproduction."""
+
+
+class ConfigError(ReproError, ValueError):
+    """The user-supplied configuration is invalid.
+
+    Also a ``ValueError`` so call sites predating the taxonomy keep
+    catching it.
+    """
+
+
+class RepairExhausted(ReproError):
+    """Self-repair ran out of spare rows before the array was clean.
+
+    Attributes:
+        unrepaired_rows: row addresses still faulty when the spare
+            sequence ran out.
+        spares: total spare rows the device had.
+    """
+
+    def __init__(self, message: str,
+                 unrepaired_rows: Tuple[int, ...] = (),
+                 spares: int = 0) -> None:
+        super().__init__(message)
+        self.unrepaired_rows = tuple(unrepaired_rows)
+        self.spares = spares
+
+
+class SpiceConvergenceError(ReproError, RuntimeError):
+    """The transient integration did not reach ``t_stop``.
+
+    Also a ``RuntimeError`` so call sites predating the taxonomy keep
+    catching it.
+
+    Attributes:
+        t_reached: simulated time actually reached (seconds).
+        t_stop: requested end time (seconds).
+        steps: integration steps spent.
+    """
+
+    def __init__(self, message: str, t_reached: float = 0.0,
+                 t_stop: float = 0.0, steps: int = 0) -> None:
+        super().__init__(message)
+        self.t_reached = t_reached
+        self.t_stop = t_stop
+        self.steps = steps

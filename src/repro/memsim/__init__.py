@@ -30,6 +30,11 @@ from repro.memsim.faults import (
     RowStuck,
     ColumnStuck,
 )
+from repro.memsim.intermittent import (
+    IntermittentStuckAt,
+    IntermittentReadFlip,
+    WearoutStuckAt,
+)
 from repro.memsim.injector import DefectInjector, FaultMix
 from repro.memsim.device import BisrRam
 from repro.memsim.coverage import coverage_campaign, CoverageReport
@@ -52,6 +57,9 @@ __all__ = [
     "DataRetention",
     "RowStuck",
     "ColumnStuck",
+    "IntermittentStuckAt",
+    "IntermittentReadFlip",
+    "WearoutStuckAt",
     "DefectInjector",
     "FaultMix",
     "BisrRam",

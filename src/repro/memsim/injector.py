@@ -14,7 +14,13 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.errors import ConfigError
 from repro.memsim.array import MemoryArray
+from repro.memsim.intermittent import (
+    IntermittentReadFlip,
+    IntermittentStuckAt,
+    WearoutStuckAt,
+)
 from repro.memsim.faults import (
     ColumnStuck,
     DataRetention,
@@ -31,7 +37,16 @@ from repro.memsim.faults import (
 
 @dataclass(frozen=True)
 class FaultMix:
-    """Relative weights of fault types produced by a spot defect."""
+    """Relative weights of fault types produced by a spot defect.
+
+    The intermittent/wearout weights default to zero: manufacturing
+    campaigns stay solid-fault-only (and bit-for-bit reproducible
+    against earlier seeds), while in-field robustness studies opt in.
+
+    A degenerate mix (any negative weight, or all weights zero) is
+    rejected with a :class:`~repro.core.errors.ConfigError` instead of
+    silently producing a broken distribution at draw time.
+    """
 
     stuck_at: float = 0.40
     transition: float = 0.18
@@ -42,6 +57,22 @@ class FaultMix:
     data_retention: float = 0.08
     row_defect: float = 0.015
     column_defect: float = 0.005
+    intermittent: float = 0.0
+    wearout: float = 0.0
+
+    def __post_init__(self) -> None:
+        weights = self.weights()
+        negative = [name for name, w in zip(_KINDS, weights) if w < 0]
+        if negative:
+            raise ConfigError(
+                f"FaultMix weights must be non-negative; negative: "
+                f"{', '.join(negative)}"
+            )
+        if not any(weights):
+            raise ConfigError(
+                "FaultMix weights are all zero — no fault type can "
+                "ever be drawn"
+            )
 
     def weights(self) -> List[float]:
         return [
@@ -54,6 +85,8 @@ class FaultMix:
             self.data_retention,
             self.row_defect,
             self.column_defect,
+            self.intermittent,
+            self.wearout,
         ]
 
 
@@ -67,6 +100,8 @@ _KINDS = (
     "data_retention",
     "row_defect",
     "column_defect",
+    "intermittent",
+    "wearout",
 )
 
 
@@ -133,6 +168,27 @@ class DefectInjector:
             )
         if kind == "data_retention":
             return DataRetention(cell, leak_value=rng.randrange(2))
+        if kind == "intermittent":
+            # Half the draws are marginal cells (solid-ish stuck-at
+            # that activates 20-80% of the time), half are noisy read
+            # paths down to the single-upset regime.
+            if rng.randrange(2):
+                return IntermittentStuckAt(
+                    cell, rng.randrange(2),
+                    probability=0.2 + 0.6 * rng.random(),
+                    seed=rng.getrandbits(32),
+                )
+            return IntermittentReadFlip(
+                cell, probability=0.01 + 0.3 * rng.random(),
+                seed=rng.getrandbits(32),
+            )
+        if kind == "wearout":
+            return WearoutStuckAt(
+                cell, rng.randrange(2),
+                onset=rng.randrange(50, 500),
+                ramp=rng.randrange(50, 500),
+                seed=rng.getrandbits(32),
+            )
         if kind == "row_defect":
             row = cell // array.phys_cols
             return RowStuck(row, array.phys_cols, rng.randrange(2))

@@ -1,0 +1,154 @@
+"""Intermittent and wearout fault models.
+
+The deterministic IFA models in :mod:`repro.memsim.faults` activate on
+every access — fine for manufacturing defects, wrong for the
+mission-critical in-field setting that motivates BISR: a marginal cell
+activates only *sometimes*, a cosmic-ray upset corrupts one read and is
+never seen again, and a wearing-out cell starts healthy and degrades
+with use.  Treating every comparator hit as a solid fault then wastes
+the strictly-increasing spare sequence on noise; ignoring repeats lets
+a dying cell ship.  These models give the repair supervisor
+(:mod:`repro.bisr.escalation`) something honest to discriminate.
+
+Each fault owns a private seeded :class:`random.Random` stream derived
+from ``(seed, cell)``, so a campaign replays bit-for-bit under a fixed
+seed regardless of how many other faults are present or in what order
+the array consults them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.errors import ConfigError
+from repro.memsim.faults import Fault
+
+
+def _stream(seed: int, cell: int, tag: str) -> random.Random:
+    """A per-fault RNG stream independent of global call order."""
+    return random.Random(f"{tag}:{seed}:{cell}")
+
+
+def _check_probability(probability: float) -> None:
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigError(
+            f"activation probability must be in [0, 1], "
+            f"got {probability!r}"
+        )
+
+
+@dataclass
+class IntermittentStuckAt(Fault):
+    """A marginal cell: reads return ``value`` with ``probability``.
+
+    The stored bit stays intact (the write path is healthy); only the
+    sense path is marginal.  With ``probability=1`` this degenerates to
+    the read behaviour of a solid stuck-at.
+    """
+
+    cell: int
+    value: int
+    probability: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+        self._rng = _stream(self.seed, self.cell, "isa")
+        self.activations = 0
+
+    def cells(self) -> Tuple[int, ...]:
+        return (self.cell,)
+
+    def on_read(self, cell: int, stored: int, array) -> int:
+        if self._rng.random() < self.probability:
+            self.activations += 1
+            return self.value
+        return stored
+
+    def describe(self) -> str:
+        return f"iSA{self.value}@{self.cell}~p{self.probability:g}"
+
+
+@dataclass
+class IntermittentReadFlip(Fault):
+    """A noisy read path: each read inverts with ``probability``.
+
+    At low probability this is the single-transient-upset model: the
+    stored bit is fine, one read lies, and no amount of re-reading
+    reproduces it — exactly the event that must *not* consume a spare.
+    """
+
+    cell: int
+    probability: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+        self._rng = _stream(self.seed, self.cell, "irf")
+        self.activations = 0
+
+    def cells(self) -> Tuple[int, ...]:
+        return (self.cell,)
+
+    def on_read(self, cell: int, stored: int, array) -> int:
+        if self._rng.random() < self.probability:
+            self.activations += 1
+            return 1 - (1 if stored else 0)
+        return stored
+
+    def describe(self) -> str:
+        return f"iRF@{self.cell}~p{self.probability:g}"
+
+
+@dataclass
+class WearoutStuckAt(Fault):
+    """A cell that degrades with use: activation ramps up over accesses.
+
+    The activation probability is 0 for the first ``onset`` reads of
+    the cell, then ramps linearly to 1 over the next ``ramp`` reads and
+    stays there — the classic intermittent-becomes-solid wearout
+    trajectory.  Retention pauses age the cell too (``age_per_wait``
+    reads' worth each), so a device sitting idle in orbit still wears.
+    """
+
+    cell: int
+    value: int
+    onset: int = 100
+    ramp: int = 100
+    age_per_wait: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.onset < 0 or self.ramp < 1 or self.age_per_wait < 0:
+            raise ConfigError(
+                "wearout needs onset >= 0, ramp >= 1, age_per_wait >= 0"
+            )
+        self._rng = _stream(self.seed, self.cell, "wear")
+        self.age = 0
+        self.activations = 0
+
+    def cells(self) -> Tuple[int, ...]:
+        return (self.cell,)
+
+    @property
+    def activation_probability(self) -> float:
+        if self.age < self.onset:
+            return 0.0
+        return min(1.0, (self.age - self.onset) / self.ramp)
+
+    def on_read(self, cell: int, stored: int, array) -> int:
+        probability = self.activation_probability
+        self.age += 1
+        if probability and self._rng.random() < probability:
+            self.activations += 1
+            return self.value
+        return stored
+
+    def on_retention(self, array) -> None:
+        self.age += self.age_per_wait
+
+    def describe(self) -> str:
+        return (f"wSA{self.value}@{self.cell}"
+                f"~onset{self.onset}+ramp{self.ramp}")

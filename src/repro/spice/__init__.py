@@ -9,6 +9,7 @@ devices, where the adaptive explicit integration is fast and accurate
 enough for the sizing and guarantee extrapolation the paper describes.
 """
 
+from repro.core.errors import SpiceConvergenceError
 from repro.spice.engine import TransientEngine, TransientResult
 from repro.spice.waveforms import Pwl, step, pulse
 from repro.spice.analysis import (
@@ -19,6 +20,7 @@ from repro.spice.analysis import (
 )
 
 __all__ = [
+    "SpiceConvergenceError",
     "TransientEngine",
     "TransientResult",
     "Pwl",

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.circuit.mosfet import mosfet_current
 from repro.circuit.netlist import GND, Netlist
+from repro.core.errors import SpiceConvergenceError
 
 
 @dataclass
@@ -131,9 +132,13 @@ class TransientEngine:
             times.append(t)
             self._record(samples, record, voltages)
         if steps >= max_steps and t < t_stop:
-            raise RuntimeError(
+            # Typed so callers can degrade gracefully: the error says
+            # how far integration got, and it still is a RuntimeError
+            # for call sites predating the taxonomy.
+            raise SpiceConvergenceError(
                 f"transient did not reach t_stop={t_stop} within "
-                f"{max_steps} steps (reached t={t})"
+                f"{max_steps} steps (reached t={t})",
+                t_reached=t, t_stop=t_stop, steps=steps,
             )
         return TransientResult(
             time=np.array(times),

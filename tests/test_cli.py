@@ -64,6 +64,44 @@ class TestSelftest:
         assert "UNSUCCESSFUL" in out
 
 
+class TestSupervisedSelftest:
+    def test_retries_repair_path(self, capsys):
+        code, out = run(capsys, "selftest", *CFG,
+                        "--defects", "2", "--seed", "4",
+                        "--retries", "3")
+        assert code == 0
+        assert "REPAIRED" in out
+        assert "spare(s)" in out
+        assert "2-of-5 confirmation" in out
+
+    def test_custom_confirm_spec(self, capsys):
+        code, out = run(capsys, "selftest", *CFG,
+                        "--defects", "2", "--seed", "4",
+                        "--retries", "2", "--confirm", "3/7")
+        assert code == 0
+        assert "3-of-7 confirmation" in out
+
+    def test_bad_confirm_spec_is_config_error(self, capsys):
+        code = main(["selftest", *CFG, "--retries", "2",
+                     "--confirm", "bogus"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line message, no traceback
+        assert "N/M" in err
+
+    def test_inverted_confirm_spec_rejected(self, capsys):
+        code = main(["selftest", *CFG, "--retries", "2",
+                     "--confirm", "6/3"])
+        assert code == 2
+
+    def test_hopeless_damage_degrades(self, capsys):
+        code, out = run(capsys, "selftest", *CFG,
+                        "--defects", "60", "--seed", "1",
+                        "--retries", "2")
+        assert code == 1
+        assert "DEGRADED" in out
+
+
 class TestAnalyses:
     def test_yield(self, capsys):
         code, out = run(capsys, "yield", *CFG, "--defects", "0,5")

@@ -1,0 +1,137 @@
+"""The structured error taxonomy and its wiring through the layers."""
+
+import pytest
+
+from repro.core.errors import (
+    ConfigError,
+    RepairExhausted,
+    ReproError,
+    SpiceConvergenceError,
+)
+from repro.core import RamConfig
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(RepairExhausted, ReproError)
+        assert issubclass(SpiceConvergenceError, ReproError)
+
+    def test_backwards_compatible_bases(self):
+        # Pre-taxonomy call sites catch ValueError / RuntimeError.
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(SpiceConvergenceError, RuntimeError)
+
+    def test_repair_exhausted_payload(self):
+        err = RepairExhausted("out of spares",
+                              unrepaired_rows=(3, 7), spares=4)
+        assert err.unrepaired_rows == (3, 7)
+        assert err.spares == 4
+
+    def test_spice_convergence_payload(self):
+        err = SpiceConvergenceError("stuck", t_reached=1e-9,
+                                    t_stop=5e-9, steps=100)
+        assert err.t_reached == pytest.approx(1e-9)
+        assert err.t_stop == pytest.approx(5e-9)
+        assert err.steps == 100
+
+
+class TestConfigWiring:
+    def test_ram_config_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            RamConfig(words=64, bpw=8, bpc=3)
+        with pytest.raises(ConfigError):
+            RamConfig(words=64, bpw=8, bpc=4, spares=5)
+
+    def test_still_catchable_as_value_error(self):
+        with pytest.raises(ValueError):
+            RamConfig(words=0, bpw=8, bpc=4)
+
+    def test_fault_mix_validation(self):
+        from repro.memsim import FaultMix
+
+        with pytest.raises(ConfigError):
+            FaultMix(stuck_at=-0.1)
+        with pytest.raises(ConfigError):
+            FaultMix(stuck_at=0, transition=0, stuck_open=0,
+                     state_coupling=0, idempotent_coupling=0,
+                     inversion_coupling=0, data_retention=0,
+                     row_defect=0, column_defect=0)
+
+    def test_compiler_wraps_build_failures(self, monkeypatch):
+        from repro.core import BISRAMGen, compiler
+
+        def explode(*args, **kwargs):
+            raise ValueError("generator rejected the geometry")
+
+        monkeypatch.setattr(compiler, "build_floorplan", explode)
+        with pytest.raises(ConfigError, match="cannot build"):
+            BISRAMGen(RamConfig(words=64, bpw=8, bpc=4)).build()
+
+
+class TestSpiceWiring:
+    @staticmethod
+    def _slow_net():
+        from repro.circuit import GND, Netlist
+        from repro.spice import step
+        from repro.tech import get_process
+
+        process = get_process("cda07")
+        net = Netlist()
+        net.add_source("in", step(1e-12, 0.0, process.vdd))
+        net.add_mosfet("out", "in", GND, process.nmos, w_um=2.0)
+        net.add_capacitor("out", GND, 1e-12)
+        return net
+
+    def test_non_converging_transient_is_typed(self):
+        from repro.spice import TransientEngine
+
+        engine = TransientEngine(self._slow_net())
+        with pytest.raises(SpiceConvergenceError) as excinfo:
+            engine.run(t_stop=1e-6, max_steps=10)
+        err = excinfo.value
+        assert 0.0 < err.t_reached < err.t_stop
+        assert err.t_stop == pytest.approx(1e-6)
+        assert err.steps == 10
+
+    def test_still_catchable_as_runtime_error(self):
+        from repro.spice import TransientEngine
+
+        engine = TransientEngine(self._slow_net())
+        with pytest.raises(RuntimeError):
+            engine.run(t_stop=1e-6, max_steps=5)
+
+
+class TestFieldRepairWiring:
+    def test_strict_maintenance_raises_repair_exhausted(self):
+        from repro.bist import IFA_9, FieldRepairController
+        from repro.memsim import BisrRam
+        from repro.memsim.faults import RowStuck
+
+        device = BisrRam(rows=8, bpw=4, bpc=4, spares=1)
+        for row in (1, 2, 3):
+            device.array.inject(
+                RowStuck(row, device.array.phys_cols, 1)
+            )
+        controller = FieldRepairController(IFA_9, device)
+        with pytest.raises(RepairExhausted) as excinfo:
+            # One spare cannot cover three dead rows; iterate until the
+            # TLB overflows and strict mode trips.
+            for _ in range(4):
+                controller.maintenance_cycle(strict=True)
+        assert excinfo.value.spares == 1
+        assert excinfo.value.unrepaired_rows
+
+    def test_default_maintenance_never_raises(self):
+        from repro.bist import IFA_9, FieldRepairController
+        from repro.memsim import BisrRam
+        from repro.memsim.faults import RowStuck
+
+        device = BisrRam(rows=8, bpw=4, bpc=4, spares=1)
+        for row in (1, 2, 3):
+            device.array.inject(
+                RowStuck(row, device.array.phys_cols, 1)
+            )
+        controller = FieldRepairController(IFA_9, device)
+        results = [controller.maintenance_cycle() for _ in range(3)]
+        assert not any(r.repaired for r in results)

@@ -1,0 +1,170 @@
+"""The RepairSupervisor escalation ladder (acceptance scenarios)."""
+
+import random
+
+import pytest
+
+from repro.bist import IFA_9
+from repro.bist.infrastructure import FaultyInfrastructure
+from repro.bisr import (
+    DegradedResult,
+    EscalationPolicy,
+    RepairSupervisor,
+    SupervisorResult,
+)
+from repro.core.errors import ConfigError
+from repro.memsim import BisrRam, IntermittentReadFlip, IntermittentStuckAt
+from repro.memsim.faults import RowStuck
+
+
+def device():
+    return BisrRam(rows=8, bpw=8, bpc=4, spares=4)
+
+
+def supervisor(**policy_kwargs):
+    policy = EscalationPolicy(**policy_kwargs) if policy_kwargs else None
+    return RepairSupervisor(IFA_9, bpw=8, policy=policy)
+
+
+class TestIntermittentRepair:
+    """Acceptance: a p=0.5 intermittent fault is confirmed by N-of-M
+    and repaired consuming at most one spare."""
+
+    @staticmethod
+    def _run():
+        ram = device()
+        cell = ram.array.cell_index(3, 2, 1)
+        ram.array.inject(
+            IntermittentStuckAt(cell, 1, probability=0.5, seed=7)
+        )
+        return supervisor().run(ram)
+
+    def test_repaired_with_one_spare(self):
+        result = self._run()
+        assert result.repaired
+        assert not result.degraded
+        assert result.spares_used <= 1
+        assert 3 in result.confirmed_rows
+
+    def test_deterministic_under_fixed_seed(self):
+        first, second = self._run(), self._run()
+        assert first == second
+
+    def test_history_records_the_ladder(self):
+        result = self._run()
+        assert len(result.history) == result.attempts
+        assert result.history[0].attempt == 1
+
+
+class TestTransientRejection:
+    """Acceptance: a rare transient upset consumes zero spares."""
+
+    @staticmethod
+    def _run():
+        ram = device()
+        cell = ram.array.cell_index(5, 1, 2)
+        ram.array.inject(
+            IntermittentReadFlip(cell, probability=0.01, seed=14)
+        )
+        return supervisor().run(ram)
+
+    def test_no_spare_burned(self):
+        result = self._run()
+        assert result.repaired
+        assert result.spares_used == 0
+        assert result.rejected_addresses == (22,)
+        assert result.confirmed_rows == ()
+
+    def test_deterministic_under_fixed_seed(self):
+        assert self._run() == self._run()
+
+
+class TestFlakyComparator:
+    """Acceptance: a flaky comparator yields a structured
+    DegradedResult — never an unhandled exception."""
+
+    @staticmethod
+    def _run():
+        ram = device()  # perfectly healthy array
+        gate = FaultyInfrastructure(
+            ram, rng=random.Random(11), false_fail_rate=0.02
+        )
+        return supervisor().run(gate)
+
+    def test_degrades_instead_of_raising(self):
+        result = self._run()
+        assert isinstance(result, DegradedResult)
+        assert result.degraded
+        assert not result.repaired
+
+    def test_diagnosis_names_the_confirmation_ladder(self):
+        result = self._run()
+        assert "confirmation" in result.reason
+        assert result.rejected_addresses  # hits that failed N-of-M
+
+    def test_no_rows_falsely_condemned(self):
+        # The array is healthy: the post-mortem sweep must not be able
+        # to pin any row, and few-to-no spares may be burned.
+        result = self._run()
+        assert result.unrepaired_rows == () or result.spares_used < 4
+
+    def test_bounded_attempts(self):
+        result = self._run()
+        assert result.attempts <= EscalationPolicy().max_attempts
+
+
+class TestSpareExhaustion:
+    def test_more_dead_rows_than_spares_degrades(self):
+        ram = BisrRam(rows=8, bpw=8, bpc=4, spares=2)
+        for row in (1, 3, 5):
+            ram.array.inject(RowStuck(row, ram.array.phys_cols, 1))
+        result = supervisor().run(ram)
+        assert isinstance(result, DegradedResult)
+        assert "spares exhausted" in result.reason
+        assert result.unrepaired_rows  # the sweep localised leftovers
+        assert result.spares_used == 2
+
+    def test_solid_faults_within_budget_still_repair(self):
+        ram = device()
+        for row in (2, 6):
+            ram.array.inject(RowStuck(row, ram.array.phys_cols, 0))
+        result = supervisor().run(ram)
+        assert result.repaired
+        assert result.spares_used == 2
+        assert set(result.confirmed_rows) == {2, 6}
+
+
+class TestBackoff:
+    def test_backoff_grows_exponentially(self):
+        ram = BisrRam(rows=8, bpw=8, bpc=4, spares=1)
+        for row in (1, 3):
+            ram.array.inject(RowStuck(row, ram.array.phys_cols, 1))
+        result = supervisor(max_attempts=4, backoff_base=8,
+                            backoff_factor=2).run(ram)
+        waits = [r.backoff_cycles for r in result.history
+                 if r.backoff_cycles]
+        # Each recorded wait doubles the previous one.
+        assert all(b == 2 * a for a, b in zip(waits, waits[1:]))
+        assert result.backoff_cycles == sum(waits)
+
+
+class TestPolicyValidation:
+    def test_threshold_must_fit_reads(self):
+        with pytest.raises(ConfigError):
+            EscalationPolicy(confirm_reads=3, confirm_threshold=4)
+
+    def test_positive_attempts(self):
+        with pytest.raises(ConfigError):
+            EscalationPolicy(max_attempts=0)
+
+    def test_backoff_sanity(self):
+        with pytest.raises(ConfigError):
+            EscalationPolicy(backoff_factor=0)
+
+    def test_default_result_is_not_degraded(self):
+        result = SupervisorResult(
+            repaired=True, attempts=1, confirmed_rows=(),
+            rejected_addresses=(), spares_used=0, probe_reads=0,
+            backoff_cycles=0,
+        )
+        assert not result.degraded

@@ -1,0 +1,117 @@
+"""Faulty BIST/BISR infrastructure models (the tester itself lies)."""
+
+import random
+
+import pytest
+
+from repro.bist import BistScheduler, IFA_9
+from repro.bist.infrastructure import FaultyInfrastructure
+from repro.core.errors import ConfigError
+from repro.memsim import BisrRam
+from repro.memsim.faults import StuckAt
+
+
+def healthy_device():
+    return BisrRam(rows=8, bpw=8, bpc=4, spares=4)
+
+
+class TestStuckAddressBit:
+    def test_addresses_alias(self):
+        device = healthy_device()
+        gate = FaultyInfrastructure(device, stuck_address_bit=(0, 1))
+        # Writing through the gate at an even address lands on the odd
+        # alias instead.
+        gate.write(4, 0xAB)
+        assert device.read(5) == 0xAB
+        assert gate.address_aliases > 0
+
+    def test_march_sees_failures_on_healthy_array(self):
+        device = healthy_device()
+        gate = FaultyInfrastructure(device, stuck_address_bit=(0, 1))
+        result = BistScheduler(IFA_9, bpw=8).run(gate, passes=1)
+        # Half the address space is shadowed by its alias: the march
+        # must observe comparator hits even though every cell is good.
+        assert result.fail_count > 0
+
+
+class TestFlakyComparator:
+    def test_false_fail_on_healthy_device(self):
+        device = healthy_device()
+        gate = FaultyInfrastructure(
+            device, rng=random.Random(11), false_fail_rate=0.05
+        )
+        result = BistScheduler(IFA_9, bpw=8).run(gate, passes=1)
+        assert result.fail_count > 0
+        assert gate.false_fails > 0
+
+    def test_false_pass_hides_a_real_fault(self):
+        device = healthy_device()
+        cell = device.array.cell_index(3, 2, 1)
+        device.array.inject(StuckAt(cell, 1))
+        gate = FaultyInfrastructure(
+            device, rng=random.Random(11), false_pass_rate=1.0
+        )
+        result = BistScheduler(IFA_9, bpw=8).run(gate, passes=1)
+        # The comparator always reports "expected" — the solid fault
+        # escapes detection entirely.
+        assert result.fail_count == 0
+        assert gate.false_passes > 0
+
+    def test_deterministic_under_seed(self):
+        def run():
+            device = healthy_device()
+            gate = FaultyInfrastructure(
+                device, rng=random.Random(11), false_fail_rate=0.05
+            )
+            result = BistScheduler(IFA_9, bpw=8).run(gate, passes=1)
+            return (result.fail_count, gate.false_fails)
+
+        assert run() == run()
+
+
+class TestCorruptTlb:
+    def test_recorded_row_diverts_to_wrong_spare(self):
+        device = healthy_device()
+        gate = FaultyInfrastructure(device, corrupt_tlb_entry=(0, 3))
+        gate.set_repair_mode(True)
+        gate.record_fail(3 * device.array.bpc)  # row 3 -> entry 0
+        assert gate.tlb_corruptions == 1
+        entry = device.tlb.entries[0]
+        assert entry.row == 3
+        assert entry.spare == 3  # should have been spare 0
+
+    def test_wrong_spare_breaks_repair_of_faulty_spare(self):
+        device = healthy_device()
+        # Make the *diverted-to* spare row solidly bad, so the
+        # corruption (diverting into it) is observable as a failure.
+        spare_row = device.array.rows + 3
+        for column in range(device.array.bpc):
+            cell = device.array.cell_index(spare_row, 0, column)
+            device.array.inject(StuckAt(cell, 1))
+        cell = device.array.cell_index(2, 1, 0)
+        device.array.inject(StuckAt(cell, 0))
+        gate = FaultyInfrastructure(device, corrupt_tlb_entry=(0, 3))
+        result = BistScheduler(IFA_9, bpw=8).run(gate, passes=2)
+        assert not result.repaired
+
+
+class TestValidation:
+    def test_rates_validated(self):
+        device = healthy_device()
+        with pytest.raises(ConfigError):
+            FaultyInfrastructure(device, false_fail_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultyInfrastructure(device, false_pass_rate=-0.1)
+
+    def test_stuck_bit_validated(self):
+        device = healthy_device()
+        with pytest.raises(ConfigError):
+            FaultyInfrastructure(device, stuck_address_bit=(0, 2))
+
+    def test_transparent_when_no_fault_enabled(self):
+        device = healthy_device()
+        gate = FaultyInfrastructure(device)
+        result = BistScheduler(IFA_9, bpw=8).run(gate, passes=2)
+        assert result.repaired
+        assert result.fail_count == 0
+        assert gate.describe()

