@@ -19,6 +19,7 @@ from repro.bisr.escalation import (
     EscalationPolicy,
     RepairSupervisor,
     SupervisorResult,
+    supervisor_result_from_dict,
 )
 from repro.bisr.delay import tlb_delay_s, tlb_delay_breakdown, TlbDelayModel
 from repro.bisr.masking import (
@@ -39,6 +40,7 @@ __all__ = [
     "EscalationPolicy",
     "RepairSupervisor",
     "SupervisorResult",
+    "supervisor_result_from_dict",
     "tlb_delay_s",
     "tlb_delay_breakdown",
     "TlbDelayModel",

@@ -27,8 +27,8 @@ comparator).  :class:`RepairSupervisor` wraps the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from dataclasses import asdict, dataclass
+from typing import List, Mapping, Optional, Set, Tuple
 
 from repro.bist.controller import BistScheduler, TestTarget
 from repro.bist.march import MarchTest
@@ -105,6 +105,17 @@ class SupervisorResult:
     def degraded(self) -> bool:
         return False
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the checkpoint-journal format).
+
+        Includes the ``degraded`` discriminator so
+        :func:`supervisor_result_from_dict` rebuilds the right class
+        after a dict → JSON → dict round-trip.
+        """
+        data = asdict(self)
+        data["degraded"] = self.degraded
+        return data
+
 
 @dataclass
 class DegradedResult(SupervisorResult):
@@ -123,6 +134,47 @@ class DegradedResult(SupervisorResult):
     @property
     def degraded(self) -> bool:
         return True
+
+
+def supervisor_result_from_dict(data: Mapping) -> SupervisorResult:
+    """Rebuild a :meth:`SupervisorResult.to_dict` payload.
+
+    Tolerates a JSON round-trip (tuples come back as lists) and older
+    payloads missing the ``degraded`` discriminator, which are then
+    classified by the presence of degradation-only fields.
+    """
+    data = dict(data)
+    degraded = bool(data.pop("degraded",
+                             "reason" in data or "unrepaired_rows" in data))
+    history = tuple(
+        AttemptRecord(
+            attempt=record["attempt"],
+            fail_count=record["fail_count"],
+            confirmed_rows=tuple(record["confirmed_rows"]),
+            rejected_addresses=tuple(record["rejected_addresses"]),
+            spares_used=record["spares_used"],
+            repaired=record["repaired"],
+            backoff_cycles=record.get("backoff_cycles", 0),
+        )
+        for record in data.pop("history", ())
+    )
+    common = dict(
+        repaired=data["repaired"],
+        attempts=data["attempts"],
+        confirmed_rows=tuple(data["confirmed_rows"]),
+        rejected_addresses=tuple(data["rejected_addresses"]),
+        spares_used=data["spares_used"],
+        probe_reads=data["probe_reads"],
+        backoff_cycles=data["backoff_cycles"],
+        history=history,
+    )
+    if degraded:
+        return DegradedResult(
+            unrepaired_rows=tuple(data.get("unrepaired_rows", ())),
+            reason=data.get("reason", ""),
+            **common,
+        )
+    return SupervisorResult(**common)
 
 
 class _ConfirmingTarget:

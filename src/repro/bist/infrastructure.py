@@ -26,7 +26,11 @@ they live in silicon:
   ``wrong_spare``, so the diversion lands on the wrong row.
 
 All randomness comes from the injected ``rng``, so campaigns stay
-reproducible under a fixed seed.
+reproducible under a fixed seed.  The proxy (with its wrapped device,
+RNG state, and shadow memory) round-trips through :mod:`pickle` so the
+campaign runtime (:mod:`repro.runtime`) can dispatch
+infrastructure-faulted test targets to process-pool workers;
+``test_pickling.py`` enforces the round-trip.
 """
 
 from __future__ import annotations

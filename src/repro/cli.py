@@ -12,6 +12,8 @@ bisramgen reliability --words 4096 --bpw 4 --bpc 4 --years 1,5,10
 bisramgen cost     [--processor "TI SuperSPARC"]
 bisramgen coverage --march IFA-9 --samples 20
 bisramgen optimize --words 1024 --bpw 16 --bpc 4 --defects 3.0
+bisramgen campaign --driver montecarlo --trials 200000 --shards 16 \
+                   --workers 4 --checkpoint run.jsonl [--resume]
 ```
 """
 
@@ -324,6 +326,51 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Supervised parallel campaign with checkpoint/resume."""
+    from repro.runtime import CampaignRunner, RetryPolicy
+    from repro.runtime.drivers import (
+        montecarlo_campaign,
+        repair_campaign,
+        sizing_campaign,
+    )
+
+    if args.driver == "sizing":
+        widths = _float_list(args.widths)
+        if not widths:
+            raise ConfigError("--widths must name at least one width")
+        spec = sizing_campaign(process=args.process, widths=widths,
+                               seed=args.seed)
+    else:
+        config = _config_from(args)
+        if args.driver == "montecarlo":
+            spec = montecarlo_campaign(
+                rows=config.rows, spares=config.spares,
+                bpw=config.bpw, bpc=config.bpc,
+                defects=args.defects, trials=args.trials,
+                n_shards=args.shards, seed=args.seed,
+                growth_factor=1 + config.spares / config.rows,
+            )
+        else:
+            spec = repair_campaign(
+                rows=config.rows, bpw=config.bpw, bpc=config.bpc,
+                spares=config.spares, defects=args.defects,
+                trials=args.trials, n_shards=args.shards,
+                seed=args.seed,
+            )
+    runner = CampaignRunner(
+        workers=args.workers,
+        timeout_s=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries,
+                          backoff_base=args.backoff),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    result = runner.run(spec)
+    print(result.summary())
+    return 0 if not result.degraded else 1
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     config = _config_from(args)
     table = spare_tradeoff_table(config, args.defects)
@@ -413,6 +460,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--defects", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser(
+        "campaign",
+        help="supervised parallel campaign: sharded, checkpointed, "
+             "resumable",
+    )
+    p.add_argument("--driver",
+                   choices=("montecarlo", "repair", "sizing"),
+                   default="montecarlo",
+                   help="workload: Monte-Carlo yield, fault-injection "
+                        "repair, or SPICE sizing sweep")
+    # Geometry defaults so a smoke campaign needs no required flags.
+    p.add_argument("--words", type=int, default=4096)
+    p.add_argument("--bpw", type=int, default=4)
+    p.add_argument("--bpc", type=int, default=4)
+    p.add_argument("--spares", type=int, default=4, choices=(4, 8, 16))
+    p.add_argument("--process", default="cda07",
+                   choices=("cda05", "mos06", "cda07", "mos08"))
+    p.add_argument("--gate-size", type=int, default=1)
+    p.add_argument("--strap-every", type=int, default=32)
+    p.add_argument("--defects", type=float, default=5.0,
+                   help="defects for the montecarlo/repair drivers")
+    p.add_argument("--trials", type=int, default=100_000,
+                   help="total trials, split evenly over shards")
+    p.add_argument("--shards", type=int, default=8,
+                   help="independently seeded task units")
+    p.add_argument("--widths", default="0.6,0.9,1.2,1.8",
+                   help="NMOS widths (um) for the sizing driver")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-shard wall-clock budget in seconds")
+    p.add_argument("--retries", type=int, default=3,
+                   help="dispatch attempts per shard before it is "
+                        "finalised as failed")
+    p.add_argument("--backoff", type=float, default=0.05,
+                   help="base retry backoff in seconds (doubles per "
+                        "attempt)")
+    p.add_argument("--checkpoint",
+                   help="JSONL journal path; finished shards are "
+                        "appended as they complete")
+    p.add_argument("--resume", action="store_true",
+                   help="adopt finished shards from --checkpoint "
+                        "instead of starting over")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("optimize", help="choose the spare-row count")
     _add_config_arguments(p)

@@ -76,3 +76,15 @@ class SpiceConvergenceError(ReproError, RuntimeError):
         self.t_reached = t_reached
         self.t_stop = t_stop
         self.steps = steps
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the requested transient actually integrated.
+
+        Clamped to [0, 1], and 0.0 when ``t_stop`` is unknown or
+        non-positive, so campaign degradation reports can average it
+        over many failed shards without special cases.
+        """
+        if self.t_stop <= 0:
+            return 0.0
+        return max(0.0, min(1.0, self.t_reached / self.t_stop))

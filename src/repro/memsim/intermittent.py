@@ -14,6 +14,13 @@ Each fault owns a private seeded :class:`random.Random` stream derived
 from ``(seed, cell)``, so a campaign replays bit-for-bit under a fixed
 seed regardless of how many other faults are present or in what order
 the array consults them.
+
+Pickle contract: every fault here round-trips through :mod:`pickle`
+with its RNG stream *and* wear state intact — the continuation of a
+pickled fault draws exactly what the original would have drawn.  The
+campaign runtime (:mod:`repro.runtime`) depends on this to ship
+fault-injected devices to process-pool workers; ``test_pickling.py``
+enforces it.
 """
 
 from __future__ import annotations

@@ -1,0 +1,34 @@
+"""Crash-safe parallel campaign runtime.
+
+* :mod:`~repro.runtime.runner` — the supervised runner:
+  seed-sharded task units on a process pool, per-shard timeouts,
+  bounded retry with exponential backoff, worker-crash quarantine,
+  and graceful degradation into a :class:`CampaignResult`,
+* :mod:`~repro.runtime.journal` — the append-only JSONL checkpoint
+  journal behind ``--checkpoint`` / ``--resume``,
+* :mod:`~repro.runtime.drivers` — the sharded workloads: Monte-Carlo
+  yield, supervised fault-injection repair, SPICE sizing sweeps.
+"""
+
+from repro.runtime.journal import CheckpointJournal, fingerprint_digest
+from repro.runtime.runner import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    RetryPolicy,
+    ShardOutcome,
+    ShardSpec,
+    classify_error,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CheckpointJournal",
+    "RetryPolicy",
+    "ShardOutcome",
+    "ShardSpec",
+    "classify_error",
+    "fingerprint_digest",
+]

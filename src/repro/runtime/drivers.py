@@ -1,0 +1,241 @@
+"""Campaign drivers: the repo's long statistical workloads, sharded.
+
+Each driver is a pair of module-level functions — a shard task
+(executed in worker processes, so picklable by name and fed only
+JSON-serializable ``params`` plus a :class:`~repro.runtime.runner.ShardSpec`)
+and a reducer (executed once on the main process over the *ordered*
+shard results) — plus a ``*_campaign`` factory building the
+:class:`~repro.runtime.runner.CampaignSpec`.
+
+Three workloads are wired through the runtime:
+
+* **Monte-Carlo yield** (:func:`montecarlo_campaign`) — Fig. 4 scale
+  row-level yield simulation, trials split evenly over shards.
+* **Fault-injection repair** (:func:`repair_campaign`) — inject
+  defects, run the supervised BIST/BISR escalation ladder, count
+  repaired / degraded devices.
+* **SPICE sizing sweep** (:func:`sizing_campaign`) — one
+  :func:`~repro.circuit.sizing.balance_inverter` run per NMOS width;
+  the workload whose shards can genuinely raise
+  :class:`~repro.core.errors.SpiceConvergenceError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.errors import ConfigError
+from repro.runtime.runner import CampaignSpec, ShardSpec
+
+
+def _validate_workload(defects: float, trials: int) -> None:
+    """Reject bad parameters at spec-build time, on the main process.
+
+    Anything that would fail identically in every shard must surface
+    as a :class:`ConfigError` (CLI exit code 2) before a single worker
+    is spawned, not as ``n_shards`` 'unexpected' losses afterwards.
+    """
+    if defects < 0:
+        raise ConfigError(f"defect count must be >= 0, got {defects!r}")
+    if trials < 1:
+        raise ConfigError(f"trials must be >= 1, got {trials!r}")
+
+
+def shard_trials(total: int, n_shards: int, index: int) -> int:
+    """Trials assigned to shard ``index`` out of ``total``.
+
+    Deterministic in (total, n_shards, index) only — never in worker
+    count or completion order — and exact: the shard counts sum to
+    ``total``, with the remainder spread over the lowest indices.
+    """
+    base, remainder = divmod(total, n_shards)
+    return base + (1 if index < remainder else 0)
+
+
+# ---------------------------------------------------------------------------
+# Monte-Carlo yield (repro.yieldmodel.montecarlo)
+# ---------------------------------------------------------------------------
+
+
+def montecarlo_shard(params: dict, shard: ShardSpec) -> dict:
+    from repro.yieldmodel.montecarlo import simulate_yield
+
+    trials = shard_trials(params["trials"], shard.n_shards, shard.index)
+    if trials == 0:
+        return {"trials": 0, "good": 0}
+    mc = simulate_yield(
+        params["rows"], params["spares"], params["bpw"], params["bpc"],
+        params["defects"], params.get("growth_factor", 1.0),
+        trials=trials, rng=shard.rng(),
+    )
+    return {"trials": mc.trials, "good": mc.good}
+
+
+def montecarlo_reduce(results: Sequence[Optional[dict]]) -> dict:
+    from repro.yieldmodel.montecarlo import MonteCarloYield
+
+    parts = [MonteCarloYield(trials=r["trials"], good=r["good"])
+             for r in results if r is not None]
+    merged = MonteCarloYield.merged(parts)
+    aggregates = {"trials": merged.trials, "good": merged.good}
+    if merged.trials:
+        low, high = merged.wilson_interval()
+        aggregates.update({
+            "yield": merged.yield_estimate,
+            "ci95": merged.confidence_95(),
+            "wilson_low": low,
+            "wilson_high": high,
+        })
+    return aggregates
+
+
+def montecarlo_campaign(
+    rows: int, spares: int, bpw: int, bpc: int, defects: float,
+    trials: int = 100_000, n_shards: int = 8, seed: int = 0,
+    growth_factor: float = 1.0,
+) -> CampaignSpec:
+    """Fig. 4 row-level yield simulation as a resumable campaign."""
+    _validate_workload(defects, trials)
+    return CampaignSpec(
+        name="montecarlo-yield",
+        task=montecarlo_shard,
+        n_shards=n_shards,
+        seed=seed,
+        params={
+            "rows": rows, "spares": spares, "bpw": bpw, "bpc": bpc,
+            "defects": defects, "growth_factor": growth_factor,
+            "trials": trials,
+        },
+        reduce=montecarlo_reduce,
+    )
+
+
+# ---------------------------------------------------------------------------
+# fault-injection repair (repro.memsim + repro.bisr)
+# ---------------------------------------------------------------------------
+
+
+def repair_shard(params: dict, shard: ShardSpec) -> dict:
+    from repro.bist import IFA_9
+    from repro.bisr import EscalationPolicy, RepairSupervisor
+    from repro.memsim import BisrRam, DefectInjector, FaultMix
+
+    rng = shard.py_rng()
+    mix = FaultMix(column_defect=0.0,
+                   intermittent=params.get("intermittent", 0.0))
+    policy = EscalationPolicy(
+        max_attempts=params.get("escalation_attempts", 2))
+    supervisor = RepairSupervisor(IFA_9, bpw=params["bpw"], policy=policy)
+    trials = shard_trials(params["trials"], shard.n_shards, shard.index)
+
+    repaired = degraded = spares_used = unrepaired_rows = 0
+    for _ in range(trials):
+        device = BisrRam(rows=params["rows"], bpw=params["bpw"],
+                         bpc=params["bpc"], spares=params["spares"])
+        DefectInjector(rng=rng, mix=mix).inject(
+            device.array, int(params["defects"]))
+        outcome = supervisor.run(device)
+        repaired += outcome.repaired
+        degraded += outcome.degraded
+        spares_used += outcome.spares_used
+        if outcome.degraded:
+            unrepaired_rows += len(outcome.unrepaired_rows)
+    return {
+        "trials": trials, "repaired": repaired, "degraded": degraded,
+        "spares_used": spares_used, "unrepaired_rows": unrepaired_rows,
+    }
+
+
+def repair_reduce(results: Sequence[Optional[dict]]) -> dict:
+    done = [r for r in results if r is not None]
+    aggregates = {
+        key: sum(r[key] for r in done)
+        for key in ("trials", "repaired", "degraded", "spares_used",
+                    "unrepaired_rows")
+    }
+    if aggregates["trials"]:
+        aggregates["repaired_fraction"] = (
+            aggregates["repaired"] / aggregates["trials"])
+    return aggregates
+
+
+def repair_campaign(
+    rows: int, bpw: int, bpc: int, spares: int, defects: float,
+    trials: int = 64, n_shards: int = 8, seed: int = 0,
+    intermittent: float = 0.0, escalation_attempts: int = 2,
+) -> CampaignSpec:
+    """Supervised self-repair probability study as a campaign."""
+    _validate_workload(defects, trials)
+    return CampaignSpec(
+        name="repair-probability",
+        task=repair_shard,
+        n_shards=n_shards,
+        seed=seed,
+        params={
+            "rows": rows, "bpw": bpw, "bpc": bpc, "spares": spares,
+            "defects": defects, "trials": trials,
+            "intermittent": intermittent,
+            "escalation_attempts": escalation_attempts,
+        },
+        reduce=repair_reduce,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SPICE sizing sweep (repro.circuit.sizing over repro.spice.engine)
+# ---------------------------------------------------------------------------
+
+
+def sizing_shard(params: dict, shard: ShardSpec) -> dict:
+    from repro.circuit.sizing import balance_inverter
+    from repro.tech import get_process
+
+    widths = params["widths"]
+    wn_um = widths[shard.index % len(widths)]
+    sizing = balance_inverter(
+        get_process(params["process"]), wn_um,
+        load_ff=params.get("load_ff", 20.0),
+        tolerance=params.get("tolerance", 0.05),
+        max_iterations=params.get("max_iterations", 12),
+    )
+    return {
+        "wn_um": sizing.wn_um, "wp_um": sizing.wp_um,
+        "ratio": sizing.ratio, "rise_s": sizing.rise_s,
+        "fall_s": sizing.fall_s, "imbalance": sizing.imbalance,
+    }
+
+
+def sizing_reduce(results: Sequence[Optional[dict]]) -> dict:
+    done = [r for r in results if r is not None]
+    aggregates = {"points": len(done)}
+    if done:
+        ratios = [r["ratio"] for r in done]
+        imbalances = [r["imbalance"] for r in done]
+        aggregates.update({
+            "ratio_min": min(ratios),
+            "ratio_max": max(ratios),
+            "imbalance_mean": sum(imbalances) / len(imbalances),
+            "imbalance_worst": max(imbalances),
+        })
+    return aggregates
+
+
+def sizing_campaign(
+    process: str = "cda07",
+    widths: Sequence[float] = (0.6, 0.9, 1.2, 1.8),
+    seed: int = 0, load_ff: float = 20.0, tolerance: float = 0.05,
+    max_iterations: int = 12,
+) -> CampaignSpec:
+    """Rise/fall balancing sweep, one shard per NMOS width."""
+    return CampaignSpec(
+        name="sizing-sweep",
+        task=sizing_shard,
+        n_shards=len(tuple(widths)),
+        seed=seed,
+        params={
+            "process": process, "widths": list(widths),
+            "load_ff": load_ff, "tolerance": tolerance,
+            "max_iterations": max_iterations,
+        },
+        reduce=sizing_reduce,
+    )

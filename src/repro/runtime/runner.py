@@ -1,0 +1,600 @@
+"""Supervised, crash-safe parallel campaign execution.
+
+The statistical campaigns behind the paper's evaluation (Fig. 4 yield
+curves, the repair-probability studies, SPICE sizing sweeps) are long
+batch jobs, and before this module every one of them ran single-process
+and in-memory: one :class:`~repro.core.errors.SpiceConvergenceError`,
+one hung worker, or one Ctrl-C lost the whole run.  The runtime fixes
+that with the same posture :mod:`repro.bisr.escalation` takes toward
+faulty cells — anticipate the failure, bound the retry, degrade into a
+structured result instead of dying:
+
+* **Deterministic seed-sharding.**  A campaign is split into
+  independently seeded shards via ``np.random.SeedSequence.spawn``;
+  shard *i* always receives the child sequence with
+  ``spawn_key == (i,)``, so aggregates are bit-identical across
+  ``workers=1``, ``workers=N``, and a kill-then-resume run.
+* **Supervised workers.**  Shards execute on a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with per-shard
+  wall-clock timeouts.  A shard that raises is retried with exponential
+  backoff (the policy shape of
+  :class:`~repro.bisr.escalation.EscalationPolicy`); a shard that
+  *kills its worker* breaks the pool, so the pool is rebuilt, the
+  suspects are re-flown one at a time to separate the guilty shard from
+  innocent bystanders, and a shard that crashes a worker more than
+  ``crash_retries`` times is quarantined — it can never re-kill the
+  pool.
+* **Journaled checkpoints.**  Finalised shards are appended to a
+  :class:`~repro.runtime.journal.CheckpointJournal`; an interrupted
+  campaign resumes by adopting journaled outcomes and running only the
+  rest.
+* **Graceful degradation.**  The runner never raises for anticipated
+  shard failures: it returns a :class:`CampaignResult` carrying partial
+  aggregates, per-taxonomy error counts (the
+  :mod:`repro.core.errors` taxonomy plus runner-side ``timeout`` and
+  ``crash``), and a one-line diagnosis — the campaign-level mirror of
+  :class:`~repro.bisr.escalation.DegradedResult`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import time
+from collections import Counter, deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import (
+    ConfigError,
+    RepairExhausted,
+    ReproError,
+    SpiceConvergenceError,
+)
+from repro.runtime.journal import CheckpointJournal, fingerprint_digest
+
+# ---------------------------------------------------------------------------
+# error taxonomy
+# ---------------------------------------------------------------------------
+
+_TAXONOMY = (
+    (ConfigError, "config"),
+    (SpiceConvergenceError, "convergence"),
+    (RepairExhausted, "repair_exhausted"),
+    (ReproError, "repro"),
+    (TimeoutError, "timeout"),
+)
+
+
+def classify_error(error: BaseException) -> str:
+    """Map an exception onto the campaign error taxonomy."""
+    for errtype, name in _TAXONOMY:
+        if isinstance(error, errtype):
+            return name
+    return "unexpected"
+
+
+# ---------------------------------------------------------------------------
+# specs and policies
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff, per shard.
+
+    The same policy shape as
+    :class:`~repro.bisr.escalation.EscalationPolicy`, applied one level
+    up: attempts instead of test/repair cycles, seconds instead of
+    simulated maintenance cycles.
+
+    Attributes:
+        max_attempts: dispatches per shard before it is finalised as
+            failed (``config`` errors never retry — they are
+            deterministic misuse, not weather).
+        backoff_base: seconds waited before the second attempt.
+        backoff_factor: multiplier applied to the wait per attempt.
+        crash_retries: times a shard may take a worker down with it
+            before being quarantined.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    crash_retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ConfigError(
+                "backoff_base must be >= 0 and backoff_factor >= 1"
+            )
+        if self.crash_retries < 0:
+            raise ConfigError("crash_retries must be >= 0")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt number ``attempt``."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """What one task unit receives: its identity and its RNG lineage.
+
+    ``seed_seq`` is the ``SeedSequence`` child with
+    ``spawn_key == (index,)`` — the sole randomness a shard may use, so
+    results do not depend on worker count or completion order.  Retries
+    of a shard receive the same stream (``attempt`` tells the task
+    which try this is, should it want to vary strategy, not seeds).
+    """
+
+    index: int
+    n_shards: int
+    seed_seq: np.random.SeedSequence
+    attempt: int = 1
+
+    def rng(self) -> np.random.Generator:
+        """The shard's numpy generator."""
+        return np.random.default_rng(self.seed_seq)
+
+    def py_rng(self) -> random.Random:
+        """A stdlib ``random.Random`` on the same deterministic lineage
+        (for the :mod:`repro.memsim` fault machinery)."""
+        state = self.seed_seq.generate_state(4)
+        return random.Random(int.from_bytes(state.tobytes(), "little"))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A campaign: a picklable task fanned over ``n_shards`` seeds.
+
+    Attributes:
+        name: campaign identity (goes into the journal fingerprint).
+        task: module-level callable ``task(params, shard) -> dict``
+            returning a JSON-serializable result; must be picklable by
+            name for process-pool dispatch.
+        n_shards: task units the campaign is split into.
+        seed: root entropy for ``SeedSequence.spawn``.
+        params: JSON-serializable mapping handed to every shard.
+        reduce: ``reduce(results) -> dict`` aggregating the *ordered*
+            per-shard results (``None`` where a shard was lost); called
+            once, on the main process, independent of completion order.
+    """
+
+    name: str
+    task: Callable
+    n_shards: int
+    seed: int
+    params: Mapping = field(default_factory=dict)
+    reduce: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("campaign name must be non-empty")
+        if self.n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        if not callable(self.task):
+            raise ConfigError("task must be callable")
+        if "<locals>" in getattr(self.task, "__qualname__", ""):
+            raise ConfigError(
+                "task must be a module-level callable (process-pool "
+                "dispatch pickles it by name)"
+            )
+
+    def fingerprint(self) -> dict:
+        """Identity of this campaign for the checkpoint journal."""
+        return {
+            "campaign": self.name,
+            "n_shards": self.n_shards,
+            "seed": self.seed,
+            "task": f"{self.task.__module__}.{self.task.__qualname__}",
+            "params": dict(self.params),
+        }
+
+
+# ---------------------------------------------------------------------------
+# outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """Final state of one shard.
+
+    ``status`` is ``ok`` (result present), ``failed`` (retries
+    exhausted; taxonomy/message say why), or ``quarantined`` (the shard
+    kept killing workers and was banned from the pool).
+    """
+
+    index: int
+    status: str
+    attempts: int = 1
+    taxonomy: Optional[str] = None
+    message: Optional[str] = None
+    progress: Optional[float] = None
+    result: Optional[dict] = None
+    from_journal: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def journal_payload(self) -> dict:
+        data = asdict(self)
+        data.pop("from_journal")
+        return data
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of a supervised campaign — possibly degraded, never lost.
+
+    The campaign-level mirror of
+    :class:`~repro.bisr.escalation.DegradedResult`: partial aggregates
+    over the shards that completed, an error-taxonomy census of the
+    ones that did not, and a one-line ``reason`` when degraded.
+    """
+
+    name: str
+    n_shards: int
+    completed: int
+    failed: int
+    quarantined: int
+    resumed: int
+    aggregates: dict
+    error_counts: Dict[str, int]
+    reason: str
+    shards: Tuple[ShardOutcome, ...]
+
+    @property
+    def degraded(self) -> bool:
+        return self.completed < self.n_shards
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of shards whose results made it into aggregates."""
+        return self.completed / self.n_shards
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["degraded"] = self.degraded
+        data["coverage"] = self.coverage
+        return data
+
+    def summary(self) -> str:
+        import json
+
+        head = (f"campaign {self.name}: {self.completed}/{self.n_shards} "
+                f"shard(s) completed")
+        if self.failed:
+            head += f", {self.failed} failed"
+        if self.quarantined:
+            head += f", {self.quarantined} quarantined"
+        if self.resumed:
+            head += f", {self.resumed} resumed from checkpoint"
+        lines = [head,
+                 "aggregates: " + json.dumps(self.aggregates,
+                                             sort_keys=True)]
+        if self.error_counts:
+            lines.append("errors: " + json.dumps(self.error_counts,
+                                                 sort_keys=True))
+        if self.reason:
+            lines.append(f"DEGRADED: {self.reason}")
+        return "\n".join(lines)
+
+
+def _diagnose(outcomes: Tuple[ShardOutcome, ...], n_shards: int) -> str:
+    """One line saying what was lost and to what, mirroring
+    :meth:`RepairSupervisor._diagnose`."""
+    lost = [o for o in outcomes if not o.ok]
+    if not lost:
+        return ""
+    counts = Counter(o.taxonomy or "unexpected" for o in lost)
+    parts = []
+    for taxonomy in sorted(counts):
+        part = f"{counts[taxonomy]} {taxonomy}"
+        if taxonomy == "convergence":
+            progresses = [o.progress for o in lost
+                          if o.taxonomy == "convergence"
+                          and o.progress is not None]
+            if progresses:
+                mean = sum(progresses) / len(progresses)
+                part += f" (mean progress {100 * mean:.0f}%)"
+        parts.append(part)
+    return (f"{len(lost)}/{n_shards} shard(s) lost: "
+            + ", ".join(parts))
+
+
+# ---------------------------------------------------------------------------
+# the worker entry point (top level: pickled by name)
+# ---------------------------------------------------------------------------
+
+
+def _execute_shard(task: Callable, params: dict, shard: ShardSpec) -> dict:
+    """Run one shard in a worker; anticipated failures return, never
+    raise, so typed error details survive the pickle boundary."""
+    try:
+        result = task(params, shard)
+        return {"status": "ok", "result": result}
+    except Exception as error:
+        payload = {
+            "status": "failed",
+            "taxonomy": classify_error(error),
+            "message": f"{type(error).__name__}: {error}",
+        }
+        progress = getattr(error, "progress", None)
+        if isinstance(progress, float):
+            payload["progress"] = progress
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+class CampaignRunner:
+    """Executes a :class:`CampaignSpec` under supervision.
+
+    Args:
+        workers: process-pool size (>= 1).
+        timeout_s: per-shard wall-clock budget, or None for unbounded.
+            Enforcing a timeout on a hung worker requires killing the
+            pool, so innocent in-flight shards are requeued (their
+            results are deterministic; only wall-clock is lost).
+        retry: bounded-retry/backoff/quarantine policy.
+        checkpoint: path of the JSONL journal, or None to run
+            journal-free.
+        resume: adopt finalised shards from an existing journal instead
+            of starting over (requires a matching fingerprint).
+        poll_s: supervisor wake-up interval in seconds.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        poll_s: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigError("timeout_s must be positive (or None)")
+        if poll_s <= 0:
+            raise ConfigError("poll_s must be positive")
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.retry = retry or RetryPolicy()
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.poll_s = poll_s
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, spec: CampaignSpec) -> CampaignResult:
+        """Run (or resume) the campaign; never raises for shard
+        failures, only for configuration errors."""
+        children = np.random.SeedSequence(spec.seed).spawn(spec.n_shards)
+        outcomes: Dict[int, ShardOutcome] = {}
+        journal = None
+        if self.checkpoint is not None:
+            journal = CheckpointJournal(self.checkpoint)
+            prior = journal.open(spec.fingerprint(), resume=self.resume)
+            for index, payload in prior.items():
+                if 0 <= index < spec.n_shards:
+                    outcomes[index] = ShardOutcome(from_journal=True,
+                                                   **payload)
+        resumed = len(outcomes)
+        todo = [i for i in range(spec.n_shards) if i not in outcomes]
+        try:
+            if todo:
+                self._supervise(spec, children, todo, outcomes, journal)
+        finally:
+            if journal is not None:
+                journal.close()
+
+        ordered = tuple(outcomes[i] for i in range(spec.n_shards))
+        results = [o.result if o.ok else None for o in ordered]
+        aggregates = spec.reduce(results) if spec.reduce else {}
+        completed = sum(o.ok for o in ordered)
+        quarantined = sum(o.status == "quarantined" for o in ordered)
+        error_counts = dict(Counter(o.taxonomy or "unexpected"
+                                    for o in ordered if not o.ok))
+        return CampaignResult(
+            name=spec.name,
+            n_shards=spec.n_shards,
+            completed=completed,
+            failed=spec.n_shards - completed - quarantined,
+            quarantined=quarantined,
+            resumed=resumed,
+            aggregates=aggregates,
+            error_counts=error_counts,
+            reason=_diagnose(ordered, spec.n_shards),
+            shards=ordered,
+        )
+
+    # -- the supervision loop -----------------------------------------------
+
+    def _supervise(self, spec, children, todo, outcomes, journal) -> None:
+        attempts = {i: 0 for i in todo}
+        crashes: Counter = Counter()
+        pending = deque(todo)
+        delayed: List[Tuple[float, int]] = []  # (eligible_time, index)
+        solo = deque()  # crash suspects, re-flown one at a time
+        in_flight: Dict[Future, int] = {}
+        deadlines: Dict[Future, float] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+
+        def finalize(outcome: ShardOutcome) -> None:
+            outcomes[outcome.index] = outcome
+            if journal is not None:
+                journal.record(outcome.journal_payload())
+
+        def fail_or_retry(index: int, taxonomy: str, message: str,
+                          progress: Optional[float] = None) -> None:
+            if (taxonomy != "config"
+                    and attempts[index] < self.retry.max_attempts):
+                eta = time.monotonic() \
+                    + self.retry.backoff_s(attempts[index])
+                heapq.heappush(delayed, (eta, index))
+            else:
+                finalize(ShardOutcome(
+                    index=index, status="failed",
+                    attempts=attempts[index], taxonomy=taxonomy,
+                    message=message, progress=progress,
+                ))
+
+        def handle_crash(suspects: List[int]) -> None:
+            # Guilt is ambiguous when several shards were in flight, so
+            # every suspect is re-flown alone; only a shard that crashes
+            # a worker while flying solo (or repeatedly) is quarantined.
+            for index in suspects:
+                crashes[index] += 1
+                if crashes[index] > self.retry.crash_retries:
+                    finalize(ShardOutcome(
+                        index=index, status="quarantined",
+                        attempts=attempts[index], taxonomy="crash",
+                        message=(f"worker died {crashes[index]} time(s) "
+                                 f"running this shard"),
+                    ))
+                else:
+                    solo.append(index)
+
+        def discard_pool() -> None:
+            nonlocal pool
+            if pool is None:
+                return
+            # shutdown() alone leaves hung/killed workers running; the
+            # private-but-stable _processes map is the only way to
+            # reclaim them without abandoning ProcessPoolExecutor.
+            for process in list(getattr(pool, "_processes", {})
+                                .values() or []):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+
+        def submit(index: int) -> None:
+            nonlocal pool
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=self.workers)
+            attempts[index] += 1
+            shard = ShardSpec(index=index, n_shards=spec.n_shards,
+                              seed_seq=children[index],
+                              attempt=attempts[index])
+            try:
+                future = pool.submit(_execute_shard, spec.task,
+                                     dict(spec.params), shard)
+            except BrokenExecutor:
+                suspects = [index] + list(in_flight.values())
+                in_flight.clear()
+                deadlines.clear()
+                discard_pool()
+                handle_crash(suspects)
+                return
+            in_flight[future] = index
+            if self.timeout_s is not None:
+                deadlines[future] = time.monotonic() + self.timeout_s
+
+        while pending or delayed or solo or in_flight:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, index = heapq.heappop(delayed)
+                pending.append(index)
+
+            # Fill execution slots.  Crash suspects fly strictly alone
+            # so the next pool death identifies its killer.
+            if solo and not in_flight:
+                submit(solo.popleft())
+            elif not solo:
+                while (pending and not solo
+                       and len(in_flight) < self.workers):
+                    submit(pending.popleft())
+
+            if not in_flight:
+                if delayed:
+                    time.sleep(max(0.0, min(
+                        delayed[0][0] - time.monotonic(), self.poll_s)))
+                continue
+
+            done, _ = wait(list(in_flight), timeout=self.poll_s,
+                           return_when=FIRST_COMPLETED)
+            broken = False
+            suspects: List[int] = []
+            for future in done:
+                index = in_flight.pop(future)
+                deadlines.pop(future, None)
+                try:
+                    payload = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    suspects.append(index)
+                    continue
+                except Exception as error:
+                    # Runner-side failure (e.g. an unpicklable result):
+                    # goes through the same retry ladder.
+                    fail_or_retry(index, classify_error(error),
+                                  f"{type(error).__name__}: {error}")
+                    continue
+                if payload["status"] == "ok":
+                    finalize(ShardOutcome(
+                        index=index, status="ok",
+                        attempts=attempts[index],
+                        result=payload["result"],
+                    ))
+                else:
+                    fail_or_retry(index, payload["taxonomy"],
+                                  payload["message"],
+                                  payload.get("progress"))
+
+            if broken:
+                # The pool died under us: every other in-flight shard
+                # is doomed (and a suspect) too.
+                suspects.extend(in_flight.values())
+                in_flight.clear()
+                deadlines.clear()
+                discard_pool()
+                handle_crash(suspects)
+                continue
+
+            if self.timeout_s is not None and deadlines:
+                now = time.monotonic()
+                overdue = [f for f, eta in deadlines.items()
+                           if eta <= now and not f.done()]
+                if overdue:
+                    # The only way to stop a hung worker is to kill the
+                    # pool; innocents are requeued at the front (their
+                    # results are deterministic, only time is lost).
+                    overdue_set = set(overdue)
+                    innocents = [i for f, i in in_flight.items()
+                                 if f not in overdue_set]
+                    for future in overdue:
+                        index = in_flight.pop(future)
+                        fail_or_retry(
+                            index, "timeout",
+                            f"shard exceeded the {self.timeout_s:g}s "
+                            f"wall-clock budget",
+                        )
+                    in_flight.clear()
+                    deadlines.clear()
+                    discard_pool()
+                    for index in reversed(innocents):
+                        pending.appendleft(index)
+
+        if pool is not None:
+            pool.shutdown(wait=True)

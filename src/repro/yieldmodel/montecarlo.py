@@ -13,27 +13,71 @@ real array geometry in milliseconds.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 
 @dataclass(frozen=True)
 class MonteCarloYield:
-    """Result of one Monte-Carlo yield estimate."""
+    """Result of one Monte-Carlo yield estimate.
+
+    ``trials == 0`` is a legal *container* state (an empty shard, or a
+    campaign whose every shard was lost) but has no estimate: the
+    estimate and both intervals raise ``ValueError`` rather than
+    dividing by zero.  Use :meth:`merged` to combine per-shard results.
+    """
 
     trials: int
     good: int
 
     @property
     def yield_estimate(self) -> float:
+        if self.trials < 1:
+            raise ValueError(
+                "yield estimate undefined with zero trials"
+            )
         return self.good / self.trials
 
     def confidence_95(self) -> float:
-        """Half-width of the 95% normal-approximation interval."""
+        """Half-width of the 95% normal-approximation interval.
+
+        The normal approximation collapses to exactly 0.0 at
+        p ∈ {0, 1} — observing no failures is not proof of none — and
+        is anti-conservative for small-trial shards generally; use
+        :meth:`wilson_interval` there.
+        """
         p = self.yield_estimate
         return 1.96 * (p * (1 - p) / self.trials) ** 0.5
+
+    def wilson_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """The Wilson score interval ``(low, high)``.
+
+        Stays informative where the normal interval degenerates: at
+        p = 1 with n trials the upper bound is 1 but the lower bound is
+        n/(n + z²) < 1, the correct small-sample scepticism.
+        """
+        if self.trials < 1:
+            raise ValueError(
+                "confidence interval undefined with zero trials"
+            )
+        n = self.trials
+        p = self.good / n
+        denominator = 1.0 + z * z / n
+        centre = (p + z * z / (2 * n)) / denominator
+        half = (z / denominator) * math.sqrt(
+            p * (1 - p) / n + z * z / (4 * n * n)
+        )
+        return (max(0.0, centre - half), min(1.0, centre + half))
+
+    @classmethod
+    def merged(cls, parts: Iterable["MonteCarloYield"]) -> "MonteCarloYield":
+        """Pool per-shard results; exact because trials are disjoint."""
+        parts = list(parts)
+        return cls(trials=sum(p.trials for p in parts),
+                   good=sum(p.good for p in parts))
 
 
 def simulate_yield(

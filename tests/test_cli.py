@@ -169,3 +169,43 @@ class TestVerify:
         assert code == 0
         assert "SIGNOFF CLEAN" in out
         assert out.count("[PASS]") == 4
+
+
+class TestCampaign:
+    def test_montecarlo_campaign(self, capsys):
+        code, out = run(
+            capsys, "campaign", "--driver", "montecarlo",
+            "--words", "256", "--bpw", "4", "--bpc", "4",
+            "--spares", "4", "--defects", "3", "--trials", "4000",
+            "--shards", "4", "--workers", "2", "--seed", "7",
+        )
+        assert code == 0
+        assert "4/4 shard(s) completed" in out
+        assert "aggregates:" in out
+        assert "wilson_low" in out
+
+    def test_checkpoint_and_resume(self, capsys, tmp_path):
+        checkpoint = tmp_path / "mc.jsonl"
+        argv = [
+            "campaign", "--driver", "montecarlo",
+            "--words", "256", "--bpw", "4", "--bpc", "4",
+            "--spares", "4", "--defects", "3", "--trials", "2000",
+            "--shards", "4", "--seed", "7",
+            "--checkpoint", str(checkpoint),
+        ]
+        code, first = run(capsys, *argv)
+        assert code == 0
+        code, second = run(capsys, *argv, "--resume")
+        assert code == 0
+        assert "4 resumed from checkpoint" in second
+        agg = [l for l in first.splitlines() if "aggregates:" in l]
+        assert agg == [l for l in second.splitlines()
+                       if "aggregates:" in l]
+
+    def test_sizing_campaign(self, capsys):
+        code, out = run(
+            capsys, "campaign", "--driver", "sizing",
+            "--widths", "0.9", "--shards", "1",
+        )
+        assert code == 0
+        assert "ratio_min" in out

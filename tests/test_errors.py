@@ -135,3 +135,23 @@ class TestFieldRepairWiring:
         controller = FieldRepairController(IFA_9, device)
         results = [controller.maintenance_cycle() for _ in range(3)]
         assert not any(r.repaired for r in results)
+
+
+class TestConvergenceProgress:
+    """Satellite: SpiceConvergenceError.progress feeds campaign
+    degradation reports."""
+
+    def test_halfway(self):
+        err = SpiceConvergenceError(
+            "stalled", t_reached=2e-9, t_stop=4e-9, steps=100)
+        assert err.progress == pytest.approx(0.5)
+
+    def test_zero_t_stop_is_zero_not_nan(self):
+        err = SpiceConvergenceError(
+            "stalled", t_reached=1e-9, t_stop=0.0, steps=1)
+        assert err.progress == 0.0
+
+    def test_overshoot_clamps_to_one(self):
+        err = SpiceConvergenceError(
+            "stalled", t_reached=5e-9, t_stop=4e-9, steps=1)
+        assert err.progress == 1.0

@@ -168,3 +168,50 @@ class TestPolicyValidation:
             backoff_cycles=0,
         )
         assert not result.degraded
+
+
+class TestResultSerialisation:
+    """Satellite: supervisor results survive dict -> JSON -> dict."""
+
+    def _degraded(self):
+        ram = device()
+        for row in range(6):
+            ram.array.inject(RowStuck(row, ram.array.phys_cols, 1))
+        result = supervisor(max_attempts=2).run(ram)
+        assert isinstance(result, DegradedResult)
+        return result
+
+    def test_degraded_round_trip(self):
+        import json
+
+        from repro.bisr import supervisor_result_from_dict
+
+        original = self._degraded()
+        wire = json.loads(json.dumps(original.to_dict()))
+        assert wire["degraded"] is True
+        rebuilt = supervisor_result_from_dict(wire)
+        assert isinstance(rebuilt, DegradedResult)
+        assert rebuilt.unrepaired_rows == original.unrepaired_rows
+        assert rebuilt.unrepaired_rows  # localisation survived the wire
+        assert rebuilt.reason == original.reason
+        assert rebuilt.attempts == original.attempts
+        assert len(rebuilt.history) == len(original.history)
+        assert rebuilt.history[0].spares_used == \
+            original.history[0].spares_used
+        assert rebuilt.spares_used == original.spares_used
+
+    def test_repaired_round_trip_keeps_type(self):
+        import json
+
+        from repro.bisr import supervisor_result_from_dict
+
+        ram = device()
+        ram.array.inject(RowStuck(1, ram.array.phys_cols, 1))
+        original = supervisor().run(ram)
+        assert isinstance(original, SupervisorResult)
+        assert not original.degraded
+        wire = json.loads(json.dumps(original.to_dict()))
+        rebuilt = supervisor_result_from_dict(wire)
+        assert type(rebuilt) is SupervisorResult
+        assert rebuilt.confirmed_rows == original.confirmed_rows
+        assert rebuilt.spares_used == original.spares_used

@@ -60,3 +60,49 @@ class TestSimulateYield:
         )
         assert len(rows) == 2
         assert all(gap < 0.06 for _, _, _, gap in rows)
+
+
+class TestDegenerateEstimates:
+    """Satellite: confidence_95 degenerate cases and Wilson bounds."""
+
+    def test_zero_trials_raise(self):
+        empty = MonteCarloYield(trials=0, good=0)
+        with pytest.raises(ValueError):
+            empty.yield_estimate
+        with pytest.raises(ValueError):
+            empty.confidence_95()
+        with pytest.raises(ValueError):
+            empty.wilson_interval()
+
+    def test_normal_interval_collapses_at_extremes(self):
+        """p in {0, 1} drives the normal half-width to exactly 0."""
+        assert MonteCarloYield(10, 10).confidence_95() == 0.0
+        assert MonteCarloYield(10, 0).confidence_95() == 0.0
+
+    def test_wilson_interval_stays_open_at_extremes(self):
+        z = 1.96
+        low, high = MonteCarloYield(10, 10).wilson_interval()
+        assert high == 1.0
+        assert low == pytest.approx(10 / (10 + z * z))
+        low0, high0 = MonteCarloYield(10, 0).wilson_interval()
+        assert low0 == 0.0
+        assert 0.0 < high0 < 0.5
+
+    def test_wilson_brackets_midrange_estimate(self):
+        mc = MonteCarloYield(trials=10_000, good=9_000)
+        low, high = mc.wilson_interval()
+        assert low < mc.yield_estimate < high
+        # close to the normal interval away from the extremes
+        assert high - low == pytest.approx(
+            2 * mc.confidence_95(), rel=0.05)
+
+    def test_merged_pools_counts(self):
+        parts = [MonteCarloYield(100, 90), MonteCarloYield(50, 40)]
+        merged = MonteCarloYield.merged(parts)
+        assert merged.trials == 150 and merged.good == 130
+
+    def test_merged_nothing_is_a_legal_empty_container(self):
+        empty = MonteCarloYield.merged([])
+        assert empty.trials == 0
+        with pytest.raises(ValueError):
+            empty.yield_estimate

@@ -1,0 +1,116 @@
+"""Pickle round-trips required for process-pool dispatch.
+
+The campaign runtime ships fault objects, fault-injected devices, and
+infrastructure proxies to worker processes.  The contract is stronger
+than "it unpickles": the continuation of a pickled object must draw
+*exactly* what the original would have drawn — RNG streams, wear state,
+shadow memories and all — or parallel campaigns silently diverge from
+their serial twins.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.bist import IFA_9
+from repro.bist.controller import BistScheduler
+from repro.bist.infrastructure import FaultyInfrastructure
+from repro.memsim import (
+    BisrRam,
+    DefectInjector,
+    FaultMix,
+    IntermittentReadFlip,
+    IntermittentStuckAt,
+    WearoutStuckAt,
+)
+
+
+def continued_draws(fault, cell, stored, n=50):
+    return [fault.on_read(cell, stored, None) for _ in range(n)]
+
+
+class TestIntermittentFaultPickling:
+    def test_intermittent_stuck_at_stream_survives(self):
+        fault = IntermittentStuckAt(7, 1, probability=0.5, seed=3)
+        for _ in range(13):  # advance the stream mid-campaign
+            fault.on_read(7, 0, None)
+        clone = pickle.loads(pickle.dumps(fault))
+        assert clone.activations == fault.activations
+        assert continued_draws(clone, 7, 0) == continued_draws(fault, 7, 0)
+
+    def test_intermittent_read_flip_stream_survives(self):
+        fault = IntermittentReadFlip(2, probability=0.3, seed=11)
+        for _ in range(5):
+            fault.on_read(2, 1, None)
+        clone = pickle.loads(pickle.dumps(fault))
+        assert continued_draws(clone, 2, 1) == continued_draws(fault, 2, 1)
+
+    def test_wearout_age_and_stream_survive(self):
+        fault = WearoutStuckAt(5, 1, onset=3, ramp=4, seed=1)
+        for _ in range(6):  # past onset, on the ramp
+            fault.on_read(5, 0, None)
+        clone = pickle.loads(pickle.dumps(fault))
+        assert clone.age == fault.age
+        assert clone.activation_probability == \
+            pytest.approx(fault.activation_probability)
+        assert continued_draws(clone, 5, 0) == continued_draws(fault, 5, 0)
+
+    def test_describe_survives(self):
+        fault = IntermittentStuckAt(7, 1, probability=0.25, seed=3)
+        assert pickle.loads(pickle.dumps(fault)).describe() == \
+            fault.describe()
+
+
+class TestDevicePickling:
+    def test_fault_injected_device_behaves_identically(self):
+        """A whole BisrRam with a mixed fault population round-trips:
+        subsequent reads are bit-identical on both copies."""
+        device = BisrRam(rows=8, bpw=4, bpc=2, spares=4)
+        mix = FaultMix(intermittent=0.4, wearout=0.2)
+        DefectInjector(rng=random.Random(3), mix=mix).inject(
+            device.array, 6)
+        for address in range(device.word_count):
+            device.write(address, address % 16)
+        clone = pickle.loads(pickle.dumps(device))
+        original = [device.read(a) for a in range(device.word_count)] * 2
+        copied = [clone.read(a) for a in range(clone.word_count)] * 2
+        assert original == copied
+
+    def test_pickled_device_is_still_repairable(self):
+        device = BisrRam(rows=8, bpw=4, bpc=2, spares=4)
+        DefectInjector(rng=random.Random(1)).inject(device.array, 2)
+        clone = pickle.loads(pickle.dumps(device))
+        result = BistScheduler(IFA_9, bpw=4).run(clone)
+        assert result.repaired
+
+
+class TestInfrastructurePickling:
+    def test_proxy_rng_and_shadow_survive(self):
+        device = BisrRam(rows=4, bpw=4, bpc=2, spares=4)
+        proxy = FaultyInfrastructure(
+            device, rng=random.Random(5), false_fail_rate=0.2)
+        for address in range(proxy.word_count):
+            proxy.write(address, 5)
+        for _ in range(10):
+            proxy.read(0)
+        clone = pickle.loads(pickle.dumps(proxy))
+        assert clone.false_fails == proxy.false_fails
+        assert clone._shadow == proxy._shadow
+        assert [clone.read(0) for _ in range(40)] == \
+            [proxy.read(0) for _ in range(40)]
+
+
+class TestShardSpecPickling:
+    def test_shard_spec_round_trips_with_seed_lineage(self):
+        import numpy as np
+
+        from repro.runtime import ShardSpec
+
+        child = np.random.SeedSequence(7).spawn(3)[1]
+        shard = ShardSpec(index=1, n_shards=3, seed_seq=child, attempt=2)
+        clone = pickle.loads(pickle.dumps(shard))
+        assert clone.index == 1 and clone.attempt == 2
+        assert clone.rng().integers(0, 1 << 30) == \
+            shard.rng().integers(0, 1 << 30)
+        assert clone.py_rng().random() == shard.py_rng().random()

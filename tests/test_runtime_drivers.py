@@ -1,0 +1,121 @@
+"""The three campaign drivers wired through the runtime."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import CampaignRunner
+from repro.runtime.drivers import (
+    montecarlo_campaign,
+    repair_campaign,
+    shard_trials,
+    sizing_campaign,
+)
+from repro.yieldmodel import bisr_yield
+
+
+class TestShardTrials:
+    def test_exact_partition(self):
+        for total, shards in ((100, 8), (7, 3), (5, 5), (3, 8)):
+            counts = [shard_trials(total, shards, i)
+                      for i in range(shards)]
+            assert sum(counts) == total
+            assert max(counts) - min(counts) <= 1
+
+
+class TestMonteCarloDriver:
+    def test_matches_analytic(self):
+        spec = montecarlo_campaign(256, 4, 4, 4, defects=3.0,
+                                   trials=40_000, n_shards=8, seed=11)
+        result = CampaignRunner(workers=2).run(spec)
+        assert result.completed == 8
+        assert result.aggregates["trials"] == 40_000
+        analytic = bisr_yield(256, 4, 4, 4, 3.0)
+        assert result.aggregates["yield"] == pytest.approx(
+            analytic, abs=0.03)
+        # the Wilson bounds bracket the point estimate
+        assert result.aggregates["wilson_low"] \
+            < result.aggregates["yield"] \
+            < result.aggregates["wilson_high"]
+
+    def test_worker_count_invariance(self):
+        spec = montecarlo_campaign(128, 4, 4, 4, defects=2.0,
+                                   trials=10_000, n_shards=5, seed=4)
+        one = CampaignRunner(workers=1).run(spec)
+        three = CampaignRunner(workers=3).run(spec)
+        assert one.aggregates == three.aggregates
+
+    def test_more_shards_than_trials(self):
+        spec = montecarlo_campaign(64, 4, 4, 4, defects=1.0,
+                                   trials=3, n_shards=8, seed=0)
+        result = CampaignRunner(workers=2).run(spec)
+        assert result.completed == 8
+        assert result.aggregates["trials"] == 3
+
+
+class TestRepairDriver:
+    def test_low_defect_counts_mostly_repair(self):
+        spec = repair_campaign(16, 4, 4, 4, defects=1, trials=16,
+                               n_shards=4, seed=23)
+        result = CampaignRunner(workers=2).run(spec)
+        assert result.completed == 4
+        assert result.aggregates["trials"] == 16
+        assert result.aggregates["repaired_fraction"] >= 0.85
+
+    def test_overload_degrades_not_raises(self):
+        spec = repair_campaign(16, 4, 4, 4, defects=24, trials=8,
+                               n_shards=4, seed=5)
+        result = CampaignRunner(workers=2).run(spec)
+        # the devices degrade; the campaign itself completes cleanly
+        assert result.completed == 4
+        assert result.aggregates["degraded"] > 0
+        assert result.aggregates["repaired_fraction"] < 1.0
+
+
+class TestSizingDriver:
+    def test_sweep_balances_every_width(self):
+        spec = sizing_campaign(widths=(0.6, 1.2), tolerance=0.05)
+        result = CampaignRunner(workers=2).run(spec)
+        assert result.completed == 2
+        assert result.aggregates["points"] == 2
+        assert result.aggregates["imbalance_worst"] <= 0.05
+        # balanced P/N ratio lands above the mobility ratio
+        assert 1.5 < result.aggregates["ratio_min"] <= \
+            result.aggregates["ratio_max"] < 4.0
+
+    def test_checkpointed_sweep_resumes(self, tmp_path):
+        checkpoint = tmp_path / "sizing.jsonl"
+        spec = sizing_campaign(widths=(0.9,), max_iterations=4)
+        full = CampaignRunner(checkpoint=str(checkpoint)).run(spec)
+        resumed = CampaignRunner(checkpoint=str(checkpoint),
+                                 resume=True).run(spec)
+        assert resumed.resumed == 1
+        assert resumed.aggregates == full.aggregates
+
+
+class TestSeedSharding:
+    def test_shard_results_are_independent_streams(self):
+        """Two shards of the same campaign never share a generator."""
+        spec = montecarlo_campaign(128, 4, 4, 4, defects=4.0,
+                                   trials=8_000, n_shards=4, seed=9)
+        result = CampaignRunner(workers=1).run(spec)
+        goods = [s.result["good"] for s in result.shards]
+        assert len(set(goods)) > 1  # astronomically unlikely otherwise
+
+    def test_spawn_children_match_numpy_convention(self):
+        parent = np.random.SeedSequence(9)
+        children = parent.spawn(4)
+        assert children[2].spawn_key == (2,)
+
+
+class TestWorkloadValidation:
+    def test_bad_parameters_fail_before_any_worker(self):
+        """Deterministically-wrong parameters are a ConfigError at
+        spec-build time (CLI exit 2), not n_shards lost shards."""
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            montecarlo_campaign(64, 4, 4, 4, defects=-1.0)
+        with pytest.raises(ConfigError):
+            montecarlo_campaign(64, 4, 4, 4, defects=1.0, trials=0)
+        with pytest.raises(ConfigError):
+            repair_campaign(16, 4, 4, 4, defects=-2, trials=8)
