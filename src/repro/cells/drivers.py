@@ -39,7 +39,9 @@ def wordline_driver_cell(process: Process, gate_size: int = 1) -> Cell:
     b.rect("ndiff", 8, y_n - dev_w / 2, 56, y_n + dev_w / 2)
     y_p = 39
     b.rect("pdiff", 8, y_p - dev_w / 2, 56, y_p + dev_w / 2)
-    b.rect("nwell", 3, y_p - dev_w / 2 - 5, 61, y_p + dev_w / 2 + 5)
+    # Well reaches the left cell edge so it merges with the abutting
+    # row decoder's well instead of leaving a sub-minimum gap.
+    b.rect("nwell", 0, y_p - dev_w / 2 - 5, 61, y_p + dev_w / 2 + 5)
     for x_gate in (23, 41):
         b.wire_v("poly", y_n - dev_w / 2 - 2, y_p + dev_w / 2 + 2, x_gate)
     for y in (y_n, y_p):

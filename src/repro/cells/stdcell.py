@@ -79,10 +79,13 @@ def draw_logic_block(
     x1 = gate_xs[0] - 6
     x2 = gate_xs[-1] + 6
 
-    # Diffusion strips and well.
+    # Diffusion strips and well.  The well runs the full cell width so
+    # that abutted blocks in a row share one continuous well — an inset
+    # well leaves a sub-minimum gap between neighbours (caught by the
+    # hierarchical signoff sweep).
     b.rect("ndiff", x1, y_nmos - 3, x2, y_nmos + 3)
     b.rect("pdiff", x1, y_pmos - 3, x2, y_pmos + 3)
-    b.rect("nwell", x1 - 5, y_pmos - 8, x2 + 5, y_pmos + 8)
+    b.rect("nwell", 0, y_pmos - 8, w, y_pmos + 8)
 
     # Poly gates crossing both strips, with an input contact mid-cell.
     for x in gate_xs:

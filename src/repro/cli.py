@@ -14,6 +14,7 @@ bisramgen coverage --march IFA-9 --samples 20
 bisramgen optimize --words 1024 --bpw 16 --bpc 4 --defects 3.0
 bisramgen campaign --driver montecarlo --trials 200000 --shards 16 \
                    --workers 4 --checkpoint run.jsonl [--resume]
+bisramgen verify   --words 256 --bpw 8 --bpc 4 [--cif m.cif] [--json]
 ```
 """
 
@@ -27,9 +28,8 @@ from typing import List, Optional
 from repro import RamConfig, compile_ram
 from repro.analysis import optimize_spares, spare_tradeoff_table
 from repro.bist import ALL_TESTS, IFA_9, parse_march
-from repro.bist.controller import BistScheduler
 from repro.bisr import EscalationPolicy, RepairSupervisor
-from repro.core.errors import ConfigError, ReproError
+from repro.core.errors import ConfigError, ReproError, SignoffError
 from repro.cost import table2_rows, table3_rows
 from repro.memsim import DefectInjector, coverage_campaign
 from repro.reliability import reliability_words
@@ -95,7 +95,10 @@ def _confirm_spec(text: str) -> tuple:
 
 def cmd_compile(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    ram = compile_ram(config)
+    ram = compile_ram(config, signoff=args.policy)
+    if ram.signoff is not None:
+        print(ram.signoff.summary())
+        print()
     print(ram.datasheet.summary())
     ar = ram.area_report
     print(f"\narea: {ar.total_mm2:.3f} mm^2 "
@@ -247,57 +250,50 @@ def cmd_coverage(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    """Signoff: DRC, net continuity, and controller equivalence for one
-    configuration — the checks a user runs before trusting a macro."""
-    from repro.bist import IFA_9
-    from repro.bist.controller import TrplaController
-    from repro.layout import DrcChecker
-    from repro.memsim import BisrRam
-    from repro.pnr.connectivity import net_spans_instances, net_statistics
+    """Full signoff sweep: hierarchical DRC, LVS-lite connectivity, and
+    control-logic validation, with one exit code per failure class
+    (0 clean, 2 configuration, 3 DRC, 4 LVS, 5 control)."""
+    import json as json_module
+
     from repro.tech import get_process
+    from repro.verify import drc_report, run_signoff
 
     config = _config_from(args)
-    ram = compile_ram(config)
     process = get_process(config.process)
-    failures = 0
 
-    violations = DrcChecker(process).check(
-        ram.floorplan.macrocells["array"], max_violations=10
-    )
-    print(f"[{'PASS' if not violations else 'FAIL'}] DRC on the array "
-          f"macro ({len(violations)} violations)")
-    failures += bool(violations)
-    for v in violations[:5]:
-        print(f"       {v}")
+    if args.cif:
+        # Geometry read back from disk: CIF carries no ports, so only
+        # the DRC stages are meaningful.
+        from repro.layout.cif import read_cif
 
-    continuous = net_spans_instances(
-        ram.floorplan.top, ["array", "precharge_row", "mux_row"], "bl"
-    )
-    stats = net_statistics(ram.floorplan.top)
-    print(f"[{'PASS' if continuous else 'FAIL'}] bit-line net "
-          f"continuity ({stats['nets']} nets, "
-          f"{stats['abutments']} abutments)")
-    failures += not continuous
+        with open(args.cif) as handle:
+            cell = read_cif(handle, process.layers)
+        report = drc_report(cell, process, label=args.cif,
+                            max_findings=args.max_findings)
+    else:
+        trpla = None
+        if args.control_dir:
+            # Verify the plane-file artifact, not the in-memory
+            # assembly: a corrupted microword on disk must be caught.
+            from pathlib import Path
 
-    d1 = BisrRam(rows=min(config.rows, 8), bpw=config.bpw,
-                 bpc=config.bpc, spares=config.spares)
-    d2 = BisrRam(rows=min(config.rows, 8), bpw=config.bpw,
-                 bpc=config.bpc, spares=config.spares)
-    r1 = BistScheduler(IFA_9, bpw=config.bpw, record_ops=True).run(d1)
-    r2 = TrplaController(IFA_9, bpw=config.bpw, target=d2,
-                         record_ops=True).run()
-    equal = r1.ops == r2.ops
-    print(f"[{'PASS' if equal else 'FAIL'}] TRPLA controller matches "
-          f"the reference scheduler ({r2.op_count} ops)")
-    failures += not equal
+            from repro.bist.trpla import Trpla, read_plane_files
 
-    clean = ram.self_test_controller().run().repaired
-    print(f"[{'PASS' if clean else 'FAIL'}] defect-free self-test")
-    failures += not clean
+            directory = Path(args.control_dir)
+            and_plane, or_plane = read_plane_files(
+                directory / "trpla_and.plane",
+                directory / "trpla_or.plane",
+            )
+            trpla = Trpla(and_plane, or_plane)
+        ram = compile_ram(config)
+        report = run_signoff(ram, trpla=trpla,
+                             max_findings=args.max_findings)
 
-    print("verdict:", "SIGNOFF CLEAN" if failures == 0
-          else f"{failures} check(s) failed")
-    return 0 if failures == 0 else 1
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return report.exit_code
 
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
@@ -332,6 +328,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.runtime.drivers import (
         montecarlo_campaign,
         repair_campaign,
+        signoff_campaign,
         sizing_campaign,
     )
 
@@ -341,6 +338,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             raise ConfigError("--widths must name at least one width")
         spec = sizing_campaign(process=args.process, widths=widths,
                                seed=args.seed)
+    elif args.driver == "signoff":
+        config = _config_from(args)
+        spec = signoff_campaign(
+            words=config.words, bpw=config.bpw, bpc=config.bpc,
+            spares=config.spares,
+            processes=[p.strip() for p in args.processes.split(",")
+                       if p.strip()],
+            seed=args.seed, gate_size=config.gate_size,
+            strap_every=config.strap_every,
+        )
     else:
         config = _config_from(args)
         if args.driver == "montecarlo":
@@ -399,6 +406,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compile", help="compile a BISR-RAM macro")
     _add_config_arguments(p)
+    p.add_argument("--policy", choices=("strict", "degrade"), default=None,
+                   help="signoff stage gate: strict fails the build on "
+                        "any finding, degrade attaches the report and "
+                        "continues (default: skip signoff)")
     p.add_argument("--ascii", action="store_true",
                    help="print the layout sketch")
     p.add_argument("--svg", help="write an SVG layout plot")
@@ -448,9 +459,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_coverage)
 
     p = sub.add_parser("verify",
-                       help="signoff checks: DRC, net continuity, "
-                            "controller equivalence, clean self-test")
+                       help="signoff sweep: hierarchical DRC, LVS-lite "
+                            "connectivity, control validation; exit "
+                            "codes 0=clean 2=config 3=DRC 4=LVS "
+                            "5=control")
     _add_config_arguments(p)
+    p.add_argument("--cif", metavar="FILE",
+                   help="verify this CIF file's geometry instead of "
+                        "recompiling (DRC stages only: CIF has no "
+                        "port annotations)")
+    p.add_argument("--control-dir", metavar="DIR",
+                   help="read the TRPLA plane files from here and "
+                        "verify the on-disk personality")
+    p.add_argument("--json", action="store_true",
+                   help="print the structured report as JSON")
+    p.add_argument("--max-findings", type=int, default=200,
+                   help="per-checker finding budget")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("diagnose",
@@ -467,10 +491,11 @@ def build_parser() -> argparse.ArgumentParser:
              "resumable",
     )
     p.add_argument("--driver",
-                   choices=("montecarlo", "repair", "sizing"),
+                   choices=("montecarlo", "repair", "sizing", "signoff"),
                    default="montecarlo",
                    help="workload: Monte-Carlo yield, fault-injection "
-                        "repair, or SPICE sizing sweep")
+                        "repair, SPICE sizing sweep, or cross-node "
+                        "signoff")
     # Geometry defaults so a smoke campaign needs no required flags.
     p.add_argument("--words", type=int, default=4096)
     p.add_argument("--bpw", type=int, default=4)
@@ -488,6 +513,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="independently seeded task units")
     p.add_argument("--widths", default="0.6,0.9,1.2,1.8",
                    help="NMOS widths (um) for the sizing driver")
+    p.add_argument("--processes", default="cda05,mos06,cda07,mos08",
+                   help="tech nodes for the signoff driver")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size")
     p.add_argument("--timeout", type=float, default=None,
@@ -520,6 +547,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except SignoffError as error:
+        # A strict stage gate tripped: exit with the failing class's
+        # own code (3=DRC, 4=LVS, 5=control), same codes as `verify`.
+        from repro.verify.report import EXIT_CODES
+
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_CODES.get(error.failure_class, 1)
     except ReproError as error:
         # Anticipated failures (bad configuration, exhausted spares,
         # non-converging transients) exit with one line, no traceback.

@@ -15,19 +15,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.bist.controller import TrplaController
 from repro.bist.march import IFA_9, MarchTest
 from repro.bist.trpla import write_plane_files
 from repro.core.config import RamConfig
 from repro.core.datasheet import Datasheet, build_datasheet
-from repro.core.errors import ConfigError
+from repro.core.errors import ConfigError, SignoffError
 from repro.core.floorplan import Floorplan, build_floorplan
 from repro.layout.cif import write_cif
 from repro.layout.render import render_ascii, render_svg
 from repro.memsim.device import BisrRam
 from repro.tech.process import get_process
+
+if TYPE_CHECKING:
+    from repro.verify.report import SignoffReport
+
+#: Valid values of the ``signoff`` policy knob.
+SIGNOFF_POLICIES = (None, "strict", "degrade")
 
 
 @dataclass
@@ -74,6 +80,10 @@ class CompiledRam:
     floorplan: Floorplan
     datasheet: Datasheet
     area_report: AreaReport
+    #: Attached when the build ran with a signoff policy; under
+    #: ``degrade`` this is where a dirty report lands instead of an
+    #: exception.
+    signoff: Optional["SignoffReport"] = None
 
     def simulation_model(self) -> BisrRam:
         """A fresh behavioural device for this configuration."""
@@ -166,14 +176,29 @@ class BISRAMGen:
         self.config = config
         self.march = march
 
-    def build(self) -> CompiledRam:
+    def build(self, signoff: Optional[str] = None) -> CompiledRam:
         """Compile the configuration into layout + models + datasheet.
 
         Raises :class:`~repro.core.errors.ConfigError` when the
         configuration is structurally valid but physically unbuildable
         (a generator rejects it), so callers see one error type for
         every "your parameters are wrong" outcome.
+
+        Args:
+            signoff: stage-gate policy.  ``None`` skips verification
+                (the fast path for area/yield sweeps that never export
+                layout).  ``"strict"`` runs the full signoff sweep and
+                raises :class:`~repro.core.errors.SignoffError` —
+                carrying the structured report — on any finding.
+                ``"degrade"`` runs the same sweep but always returns,
+                attaching the report as ``CompiledRam.signoff`` for the
+                caller to inspect.
         """
+        if signoff not in SIGNOFF_POLICIES:
+            raise ConfigError(
+                f"unknown signoff policy {signoff!r}; "
+                f"expected one of {SIGNOFF_POLICIES}"
+            )
         try:
             floorplan = build_floorplan(self.config, self.march,
                                         with_bisr=True)
@@ -198,15 +223,32 @@ class BISRAMGen:
             bbox_mm2=floorplan.area_mm2(),
         )
         datasheet = build_datasheet(self.config, total)
-        return CompiledRam(
+        compiled = CompiledRam(
             config=self.config,
             floorplan=floorplan,
             datasheet=datasheet,
             area_report=report,
         )
+        if signoff is not None:
+            # Imported here: the verify subsystem sits above the
+            # compiler in the layering and pulls networkx.
+            from repro.verify.signoff import run_signoff
+
+            compiled.signoff = run_signoff(compiled, march=self.march)
+            if not compiled.signoff.clean and signoff == "strict":
+                failed = [f"{r.checker}/{r.stage}"
+                          for r in compiled.signoff.results if not r.passed]
+                raise SignoffError(
+                    f"signoff failed for {self.config.describe()}: "
+                    f"{', '.join(failed)} "
+                    f"({len(compiled.signoff.findings())} finding(s))",
+                    report=compiled.signoff.to_dict(),
+                    failure_class=compiled.signoff.failure_class or "",
+                )
+        return compiled
 
 
-def compile_ram(config: RamConfig, march: MarchTest = IFA_9
-                ) -> CompiledRam:
+def compile_ram(config: RamConfig, march: MarchTest = IFA_9,
+                signoff: Optional[str] = None) -> CompiledRam:
     """One-call compilation (the examples' entry point)."""
-    return BISRAMGen(config, march).build()
+    return BISRAMGen(config, march).build(signoff=signoff)

@@ -19,6 +19,9 @@ each error used to be, so existing ``except ValueError`` /
 * :class:`SpiceConvergenceError` (also a ``RuntimeError``) — the
   transient engine hit its step budget before ``t_stop``; carries how
   far it got so callers can decide whether the partial run is usable.
+* :class:`SignoffError` — a compiled macro failed signoff verification
+  in ``strict`` mode; carries the JSON-serializable report dict so the
+  CLI and campaign journal can render or persist the findings.
 
 This module must stay import-light (stdlib only): it is imported from
 every layer, including during package initialisation.
@@ -26,7 +29,7 @@ every layer, including during package initialisation.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 
 class ReproError(Exception):
@@ -88,3 +91,22 @@ class SpiceConvergenceError(ReproError, RuntimeError):
         if self.t_stop <= 0:
             return 0.0
         return max(0.0, min(1.0, self.t_reached / self.t_stop))
+
+
+class SignoffError(ReproError):
+    """A compiled macro failed signoff verification in ``strict`` mode.
+
+    Attributes:
+        report: the :class:`~repro.verify.report.SignoffReport` as a
+            plain JSON-serializable dict (this module must stay
+            import-light, so the typed report is not stored directly;
+            rebuild it with ``SignoffReport.from_dict`` if needed).
+        failure_class: the highest-priority failing checker family,
+            one of ``"drc"``, ``"lvs"``, ``"control"``.
+    """
+
+    def __init__(self, message: str, report: Optional[dict] = None,
+                 failure_class: str = "") -> None:
+        super().__init__(message)
+        self.report = report if report is not None else {}
+        self.failure_class = failure_class

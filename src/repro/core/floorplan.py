@@ -156,10 +156,13 @@ def build_floorplan(config: RamConfig, march: MarchTest = IFA_9,
         blocks = [
             Block.from_cell(macrocells[n]) for n in strip_names
         ]
+        # Block spacing must clear the largest same-layer spacing rule
+        # (the n-well), or abutting macros' wells violate at top level.
+        strip_gap = max(4 * lam, process.rules.min_space("nwell"))
         placement = place_decreasing_area(
             blocks,
             target_width=x_data + macrocells["array"].width,
-            spacing=4 * lam,
+            spacing=strip_gap,
         )
         for name in strip_names:
             rect = placement.locations[name]
@@ -288,9 +291,17 @@ def _build_sense_row(config: RamConfig, process: Process) -> Cell:
     writer = write_driver_cell(process, config.gate_size)
     strap_w = config.strap_width_lambda * lam
     row = Cell("sense_row")
-    subarray_width = config.bpc * CELL_W * lam
-    x = 0
     for i in range(config.bpw):
+        # Each subarray starts where its first bit column sits in the
+        # array strip: straps are inserted *before* every column that is
+        # a nonzero multiple of strap_every, so a boundary strap shifts
+        # the subarray too.  (The bit-cell strip and the mux row use the
+        # same accounting; a mismatch here misaligns the sense amps by a
+        # strap width at every strapped subarray boundary.)
+        first_col = i * config.bpc
+        x = first_col * CELL_W * lam
+        if config.strap_every:
+            x += (first_col // config.strap_every) * strap_w
         row.add_instance(
             sense, Transform(translation=Point(x, 0)), name=f"sa_{i}"
         )
@@ -299,13 +310,6 @@ def _build_sense_row(config: RamConfig, process: Process) -> Cell:
             Transform(translation=Point(x + sense.width + 8 * lam, 0)),
             name=f"wd_{i}",
         )
-        x += subarray_width
-        # Straps fall inside subarrays at bpc boundaries.
-        if config.strap_every:
-            straps_passed = ((i + 1) * config.bpc - 1) // config.strap_every
-            straps_before = (i * config.bpc - 1) // config.strap_every \
-                if i else 0
-            x += (straps_passed - straps_before) * strap_w
     return row
 
 

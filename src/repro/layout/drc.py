@@ -42,6 +42,28 @@ class DrcViolation:
             f"({self.where.x1},{self.where.y1})-({self.where.x2},{self.where.y2})"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form, journalable by ``CheckpointJournal``."""
+        return {
+            "rule": self.rule,
+            "layer": self.layer,
+            "measured": self.measured,
+            "required": self.required,
+            "where": [self.where.x1, self.where.y1,
+                      self.where.x2, self.where.y2],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DrcViolation":
+        x1, y1, x2, y2 = data["where"]
+        return cls(
+            rule=data["rule"],
+            layer=data["layer"],
+            measured=int(data["measured"]),
+            required=int(data["required"]),
+            where=Rect(int(x1), int(y1), int(x2), int(y2)),
+        )
+
 
 class _DisjointSet:
     """Union-find over shape indices, for merging touching rectangles."""
@@ -61,11 +83,29 @@ class _DisjointSet:
             self.parent[rj] = ri
 
 
-def _connected_groups(rects: Sequence[Rect]) -> List[List[Rect]]:
+def _merged(a: Rect, b: Rect, corner_touch: bool) -> bool:
+    """Whether two rectangles belong to one electrical/DRC group.
+
+    With ``corner_touch`` the deck says a pure corner contact conducts,
+    so any boundary intersection merges.  Without it, only an interior
+    overlap or a shared edge segment of nonzero length does — two
+    shapes meeting at a single point stay separate groups (and are then
+    subject to the spacing rule between groups).
+    """
+    if corner_touch:
+        return a.intersects(b)
+    return a.overlaps(b) or a.abuts(b)
+
+
+def _connected_groups(
+    rects: Sequence[Rect], corner_touch: bool = True
+) -> List[List[Rect]]:
     """Partition rectangles into groups that touch or overlap.
 
     Sweep over x-sorted rectangles; only pairs whose x-ranges intersect
     are candidates, keeping the common tiled-array case near linear.
+    The merge criterion follows the deck's ``touch.corner`` rule via
+    ``corner_touch`` (see :func:`_merged`).
     """
     n = len(rects)
     ds = _DisjointSet(n)
@@ -75,13 +115,35 @@ def _connected_groups(rects: Sequence[Rect]) -> List[List[Rect]]:
         r = rects[idx]
         active = [a for a in active if rects[a].x2 >= r.x1]
         for a in active:
-            if rects[a].intersects(r):
+            if _merged(rects[a], r, corner_touch):
                 ds.union(a, idx)
         active.append(idx)
     groups: Dict[int, List[Rect]] = defaultdict(list)
     for i in range(n):
         groups[ds.find(i)].append(rects[i])
     return list(groups.values())
+
+
+def _close_box_pairs(boxes: Sequence[Rect], required: int):
+    """Yield index pairs of boxes closer than ``required``.
+
+    X-sweep with an active list, the same pruning idea as
+    :func:`_connected_groups`: only pairs whose x-ranges come within
+    ``required`` are candidates, so the all-pairs quadratic loop over
+    group bounding boxes (the flat checker's hot spot on PLA-sized
+    cells) collapses to near-linear on realistic layouts.
+    """
+    order = sorted(range(len(boxes)), key=lambda i: boxes[i].x1)
+    active: List[int] = []
+    for idx in order:
+        b = boxes[idx]
+        active = [a for a in active if boxes[a].x2 + required > b.x1]
+        for a in active:
+            other = boxes[a]
+            if other.y1 - required < b.y2 and b.y1 - required < other.y2 \
+                    and other.spacing_to(b) < required:
+                yield (a, idx) if a < idx else (idx, a)
+        active.append(idx)
 
 
 class DrcChecker:
@@ -103,12 +165,28 @@ class DrcChecker:
         by_layer: Dict[str, List[Rect]] = defaultdict(list)
         for layer, rect in cell.flatten():
             by_layer[layer].append(rect)
+        return self.check_layers(by_layer, max_violations)
 
+    def check_layers(
+        self,
+        by_layer: Dict[str, List[Rect]],
+        max_violations: int = 1000,
+        widths: bool = True,
+    ) -> List[DrcViolation]:
+        """Run the rule classes on pre-flattened per-layer geometry.
+
+        The entry point the hierarchical signoff sweep uses for its
+        boundary-band interaction windows, where geometry is clipped
+        out of several cells and no single ``Cell`` exists.  Width
+        checks can be disabled (``widths=False``) for windows whose
+        shapes are clipped — a clipped shape is legitimately narrow.
+        """
         violations: List[DrcViolation] = []
         for layer, rects in sorted(by_layer.items()):
-            violations.extend(self._check_width(layer, rects))
-            if len(violations) >= max_violations:
-                return violations[:max_violations]
+            if widths:
+                violations.extend(self._check_width(layer, rects))
+                if len(violations) >= max_violations:
+                    return violations[:max_violations]
             violations.extend(self._check_spacing(layer, rects))
             if len(violations) >= max_violations:
                 return violations[:max_violations]
@@ -141,7 +219,8 @@ class DrcChecker:
         if required is None or len(rects) < 2:
             return []
         solid = [r for r in rects if r.area > 0]
-        groups = _connected_groups(solid)
+        corner_touch = self.process.rules.corner_touch_connects()
+        groups = _connected_groups(solid, corner_touch)
         if len(groups) < 2:
             return []
         # Compare group bounding boxes first (cheap reject), then the
@@ -153,18 +232,20 @@ class DrcChecker:
                 box = box.union_bbox(r)
             boxes.append(box)
         out = []
-        for i in range(len(groups)):
-            for j in range(i + 1, len(groups)):
-                if boxes[i].spacing_to(boxes[j]) >= required:
-                    continue
-                gap = min(
-                    a.spacing_to(b) for a in groups[i] for b in groups[j]
+        for i, j in _close_box_pairs(boxes, required):
+            gap, pair = min(
+                ((a.spacing_to(b), (a, b))
+                 for a in groups[i] for b in groups[j]),
+                key=lambda item: item[0],
+            )
+            # A zero gap between *different* groups only happens when
+            # the deck says corner contact does not conduct (otherwise
+            # the shapes would have merged), and is then a violation.
+            if gap < required and (gap > 0 or not corner_touch):
+                where = pair[0].union_bbox(pair[1])
+                out.append(
+                    DrcViolation("min-space", layer, gap, required, where)
                 )
-                if 0 < gap < required:
-                    where = boxes[i].union_bbox(boxes[j])
-                    out.append(
-                        DrcViolation("min-space", layer, gap, required, where)
-                    )
         return out
 
     def _check_enclosures(

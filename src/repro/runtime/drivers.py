@@ -7,7 +7,7 @@ and a reducer (executed once on the main process over the *ordered*
 shard results) — plus a ``*_campaign`` factory building the
 :class:`~repro.runtime.runner.CampaignSpec`.
 
-Three workloads are wired through the runtime:
+Four workloads are wired through the runtime:
 
 * **Monte-Carlo yield** (:func:`montecarlo_campaign`) — Fig. 4 scale
   row-level yield simulation, trials split evenly over shards.
@@ -18,6 +18,10 @@ Three workloads are wired through the runtime:
   :func:`~repro.circuit.sizing.balance_inverter` run per NMOS width;
   the workload whose shards can genuinely raise
   :class:`~repro.core.errors.SpiceConvergenceError`.
+* **Signoff sweep** (:func:`signoff_campaign`) — compile one geometry
+  on every tech node with signoff in ``degrade`` mode, one shard per
+  node; each shard's journaled result carries the full structured
+  :class:`~repro.verify.report.SignoffReport` dict.
 """
 
 from __future__ import annotations
@@ -238,4 +242,67 @@ def sizing_campaign(
             "max_iterations": max_iterations,
         },
         reduce=sizing_reduce,
+    )
+
+
+# ---------------------------------------------------------------------------
+# cross-node signoff sweep (repro.verify over repro.core.compiler)
+# ---------------------------------------------------------------------------
+
+
+def signoff_shard(params: dict, shard: ShardSpec) -> dict:
+    from repro.core.compiler import compile_ram
+    from repro.core.config import RamConfig
+
+    processes = params["processes"]
+    node = processes[shard.index % len(processes)]
+    config = RamConfig(
+        words=params["words"], bpw=params["bpw"], bpc=params["bpc"],
+        spares=params["spares"], process=node,
+        gate_size=params.get("gate_size", 1),
+        strap_every=params.get("strap_every", 32),
+    )
+    compiled = compile_ram(config, signoff="degrade")
+    report = compiled.signoff
+    return {
+        "process": node,
+        "clean": report.clean,
+        "failure_class": report.failure_class,
+        "findings": len(report.findings()),
+        "report": report.to_dict(),
+    }
+
+
+def signoff_reduce(results: Sequence[Optional[dict]]) -> dict:
+    done = [r for r in results if r is not None]
+    dirty = [r for r in done if not r["clean"]]
+    aggregates = {
+        "nodes": len(done),
+        "clean_nodes": len(done) - len(dirty),
+        "findings": sum(r["findings"] for r in done),
+        "dirty": {r["process"]: r["failure_class"] for r in dirty},
+    }
+    return aggregates
+
+
+def signoff_campaign(
+    words: int, bpw: int, bpc: int, spares: int,
+    processes: Sequence[str] = ("cda05", "mos06", "cda07", "mos08"),
+    seed: int = 0, gate_size: int = 1, strap_every: int = 32,
+) -> CampaignSpec:
+    """Full signoff of one geometry across tech nodes, one shard each."""
+    processes = list(processes)
+    if not processes:
+        raise ConfigError("signoff campaign needs at least one process")
+    return CampaignSpec(
+        name="signoff-sweep",
+        task=signoff_shard,
+        n_shards=len(processes),
+        seed=seed,
+        params={
+            "words": words, "bpw": bpw, "bpc": bpc, "spares": spares,
+            "processes": processes, "gate_size": gate_size,
+            "strap_every": strap_every,
+        },
+        reduce=signoff_reduce,
     )

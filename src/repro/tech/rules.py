@@ -63,7 +63,13 @@ _DEFAULT_LAMBDA_RULES: Dict[str, int] = {
     "enclose.metal3_via2": 2,
     "enclose.well_diff": 5,        # well around same-type diffusion
     "space.well_edge_diff": 5,     # well edge to opposite diffusion
+    # connectivity semantics (boolean flags, NOT scaled by lambda)
+    "touch.corner": 1,             # shapes meeting only at a corner conduct
 }
+
+#: Rule-name prefixes whose values are flags/counts, not geometry —
+#: :meth:`DesignRules.scalable` leaves them unscaled.
+_UNSCALED_PREFIXES = ("touch.",)
 
 
 @dataclass(frozen=True)
@@ -100,7 +106,11 @@ class DesignRules:
             if unknown:
                 raise KeyError(f"unknown design rules: {sorted(unknown)}")
             table.update(overrides)
-        resolved = {name: value * lambda_cu for name, value in table.items()}
+        resolved = {
+            name: (value if name.startswith(_UNSCALED_PREFIXES)
+                   else value * lambda_cu)
+            for name, value in table.items()
+        }
         return cls(lambda_cu=lambda_cu, rules=resolved)
 
     def __getitem__(self, name: str) -> int:
@@ -126,6 +136,29 @@ class DesignRules:
     def pitch(self, layer: str) -> int:
         """Width + spacing: the track pitch used by the router."""
         return self.min_width(layer) + self.min_space(layer)
+
+    def corner_touch_connects(self) -> bool:
+        """Whether shapes meeting only at a corner count as connected.
+
+        Governs both DRC group merging (connected shapes are exempt
+        from same-layer spacing) and connectivity extraction.  Decks
+        predating the ``touch.corner`` rule behave as if it were set.
+        """
+        return bool(self.rules.get("touch.corner", 1))
+
+    def digest(self) -> str:
+        """Stable content hash of the resolved deck.
+
+        Keys the hierarchical-DRC leaf cache: two processes with
+        identical resolved rule tables may share cached verdicts, and
+        any override invalidates them.
+        """
+        import hashlib
+
+        payload = ";".join(
+            f"{name}={self.rules[name]}" for name in sorted(self.rules))
+        payload = f"lambda={self.lambda_cu};{payload}"
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
 
     def feature_um(self) -> float:
         """The drawn feature size (2 lambda) in microns."""

@@ -1,0 +1,475 @@
+"""Hierarchical DRC sweep with a content-hash leaf cache.
+
+Flat DRC on an assembled macro re-verifies every one of the thousands
+of identical bit-cell placements — tens of seconds for a small array,
+unusable as a per-build stage gate.  This sweep exploits the compiler's
+own structure instead:
+
+* every *unique* cell (keyed by a content hash over its geometry and
+  its children's hashes — not its name) is flat-checked exactly once,
+  and the verdict is cached against the hash + rule-deck digest, so a
+  second build on the same node re-checks nothing;
+* every *composite* cell is then checked only where hierarchy can
+  create new violations: interaction zones around each close instance
+  pair's halo overlap and around each parent-drawn routing shape —
+  the abutment seams where stretching, tiling, and routing interact.
+  Identical instance pairs (same content hashes, orientations, and
+  relative offset) are checked once, and shape pairs wholly inside one
+  already-verified child are never re-examined.
+
+The zone checks run the same rule classes as the flat checker
+(:class:`~repro.layout.drc.DrcChecker`), restricted to pairs the flat
+checks cannot own — two shapes from different instances, an instance
+shape against parent-level routing, or two parent-drawn shapes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry import Rect
+from repro.layout.cell import Cell
+from repro.layout.drc import (
+    DrcChecker,
+    DrcViolation,
+    _DisjointSet,
+    _close_box_pairs,
+    _merged,
+)
+from repro.tech.process import Process
+
+
+def cell_hash(cell: Cell, memo: Optional[dict] = None) -> str:
+    """Content hash of a cell's full geometry hierarchy.
+
+    Two cells with identical shapes and identically-placed identical
+    children hash equal regardless of their names, so cache verdicts
+    transfer between builds and between configurations sharing leaf
+    generators.  Ports and zero-area shapes are excluded: both are
+    markers with no DRC significance (and neither survives a CIF
+    round-trip).
+    """
+    memo = memo if memo is not None else {}
+    key = id(cell)
+    if key in memo:
+        return memo[key]
+    digest = hashlib.sha256()
+    for layer, rect in sorted(cell.shapes()):
+        if rect.area == 0:
+            continue
+        digest.update(
+            f"s:{layer}:{rect.x1}:{rect.y1}:{rect.x2}:{rect.y2};".encode())
+    children = []
+    for inst in cell.instances():
+        t = inst.transform
+        children.append(
+            f"i:{cell_hash(inst.cell, memo)}:{t.orientation.value}"
+            f":{t.translation.x}:{t.translation.y};")
+    for entry in sorted(children):
+        digest.update(entry.encode())
+    value = digest.hexdigest()[:24]
+    memo[key] = value
+    return value
+
+
+class DrcCache:
+    """Verdict cache keyed on (rule-deck digest, cell content hash).
+
+    Stores violation tuples for both flat leaf checks and composite
+    band checks, so an unchanged cell is never re-verified — across
+    stages of one signoff, across builds, and (via the module-level
+    :data:`default_cache`) across compilations in one process.
+    """
+
+    def __init__(self) -> None:
+        self._verdicts: Dict[str, Tuple[DrcViolation, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: str) -> Optional[Tuple[DrcViolation, ...]]:
+        found = self._verdicts.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def store(self, key: str, violations: Sequence[DrcViolation]) -> None:
+        self._verdicts[key] = tuple(violations)
+
+    def clear(self) -> None:
+        self._verdicts.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+#: Shared process-wide cache: repeated builds (campaign shards, test
+#: suites, the bench) pay for each unique cell once.
+default_cache = DrcCache()
+
+
+@dataclass
+class HierDrcResult:
+    """Outcome of one hierarchical sweep."""
+
+    leaf_violations: Dict[str, List[DrcViolation]] = field(
+        default_factory=dict)
+    assembly_violations: Dict[str, List[DrcViolation]] = field(
+        default_factory=dict)
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.leaf_violations and not self.assembly_violations
+
+
+def _halo_cu(process: Process) -> int:
+    """Interaction radius: the largest spacing/overhang rule of the deck.
+
+    No same-layer spacing or transistor-geometry rule reaches farther
+    than this, so shapes deeper inside a verified child cannot violate
+    against anything outside it.
+    """
+    values = [v for k, v in process.rules.rules.items()
+              if k.startswith(("space.", "overhang.", "enclose."))]
+    return max(values) if values else 0
+
+
+def _shapes_in_region(cell: Cell, transform, region: Rect,
+                      out: List[Tuple[str, Rect]]) -> None:
+    """Collect ``cell``'s flattened shapes intersecting ``region``.
+
+    The descent is pruned on bounding boxes, so the cost scales with
+    the shapes near the region, not with the cell's total area.
+    """
+    box = cell.bbox()
+    if box is None:
+        return
+    placed_box = box if transform is None else box.transformed(transform)
+    if not placed_box.intersects(region):
+        return
+    for layer, rect in cell.shapes():
+        if rect.area == 0:
+            continue
+        placed = rect if transform is None else rect.transformed(transform)
+        if placed.intersects(region):
+            out.append((layer, placed))
+    for inst in cell.instances():
+        eff = (inst.transform if transform is None
+               else transform.compose(inst.transform))
+        _shapes_in_region(inst.cell, eff, region, out)
+
+
+def _cross_spacing(checker: DrcChecker, layer: str,
+                   items: Sequence[Tuple[Rect, int]],
+                   ) -> List[DrcViolation]:
+    """Spacing between shapes of *different* sources only.
+
+    Groups all shapes with the deck's connectivity semantics (an
+    abutting pair from two instances is one intentional wire, not a
+    violation), then flags close group pairs whose nearest shapes come
+    from different sources.  Same-source violations were already caught
+    by that source's own flat check.
+    """
+    required = checker.process.rules.rules.get(f"space.{layer}")
+    if required is None or len(items) < 2:
+        return []
+    corner_touch = checker.process.rules.corner_touch_connects()
+    rects = [r for r, _ in items]
+    sources = [s for _, s in items]
+    n = len(rects)
+    ds = _DisjointSet(n)
+    order = sorted(range(n), key=lambda i: rects[i].x1)
+    active: List[int] = []
+    for idx in order:
+        r = rects[idx]
+        active = [a for a in active if rects[a].x2 >= r.x1]
+        for a in active:
+            if _merged(rects[a], r, corner_touch):
+                ds.union(a, idx)
+        active.append(idx)
+    groups: Dict[int, List[int]] = {}
+    for i in range(n):
+        groups.setdefault(ds.find(i), []).append(i)
+    members = list(groups.values())
+    if len(members) < 2:
+        return []
+    boxes = []
+    for g in members:
+        box = rects[g[0]]
+        for i in g[1:]:
+            box = box.union_bbox(rects[i])
+        boxes.append(box)
+    out: List[DrcViolation] = []
+    for i, j in _close_box_pairs(boxes, required):
+        # Any violating pair has each shape within the rule distance of
+        # the *other group's* bbox, so prune both sides to their
+        # boundary shapes before the cross product.
+        cand_a = [a for a in members[i]
+                  if rects[a].spacing_to(boxes[j]) < required]
+        cand_b = [b for b in members[j]
+                  if rects[b].spacing_to(boxes[i]) < required]
+        if not cand_a or not cand_b:
+            continue
+        gap, pair = min(
+            ((rects[a].spacing_to(rects[b]), (a, b))
+             for a in cand_a for b in cand_b),
+            key=lambda item: item[0],
+        )
+        if gap >= required or (gap == 0 and corner_touch):
+            continue
+        a, b = pair
+        if sources[a] == sources[b] and sources[a] != 0:
+            continue  # intra-instance: the child's own check owns it
+        # Source 0 (parent-drawn routing) has no flat check of its
+        # own, so own-vs-own pairs are flagged here too.
+        where = rects[a].union_bbox(rects[b])
+        out.append(
+            DrcViolation("min-space", layer, gap, required, where))
+    return out
+
+
+def _cross_gates(checker: DrcChecker,
+                 polys: Sequence[Tuple[Rect, int]],
+                 diffs: Sequence[Tuple[Rect, int]],
+                 ) -> List[DrcViolation]:
+    """Gate-endcap check for poly/diffusion pairs from different sources."""
+    endcap = checker.process.rules.rules.get("overhang.gate_poly")
+    if endcap is None or not polys or not diffs:
+        return []
+    from bisect import bisect_right
+
+    by_x1 = sorted(polys, key=lambda item: item[0].x1)
+    x1s = [item[0].x1 for item in by_x1]
+    out: List[DrcViolation] = []
+    for diff, src_d in diffs:
+        for poly, src_p in by_x1[:bisect_right(x1s, diff.x2)]:
+            if src_p == src_d or poly.x2 < diff.x1:
+                continue
+            if not poly.overlaps(diff):
+                continue
+            channel = poly.intersection(diff)
+            if channel is None or channel.area == 0:
+                continue
+            crosses_x = poly.x1 <= diff.x1 and poly.x2 >= diff.x2
+            crosses_y = poly.y1 <= diff.y1 and poly.y2 >= diff.y2
+            if crosses_x:
+                margin = min(diff.x1 - poly.x1, poly.x2 - diff.x2)
+            elif crosses_y:
+                margin = min(diff.y1 - poly.y1, poly.y2 - diff.y2)
+            else:
+                margin = -1
+            if margin < endcap:
+                out.append(DrcViolation(
+                    "gate-endcap", "poly", max(margin, 0), endcap, channel))
+    return out
+
+
+def _composite_check(cell: Cell, checker: DrcChecker, halo: int,
+                     hash_memo: dict,
+                     max_violations: int) -> List[DrcViolation]:
+    """Check one composite cell's assembly seams via interaction zones.
+
+    Sources: 0 = the cell's own drawn shapes (routing, straps), 1..n =
+    its instances.  Instead of sweeping every child's boundary band at
+    once (quadratic on a stack of identical rows), the check builds
+    small *zones* where hierarchy can create new violations — the
+    halo-overlap window of each close instance pair, and a band around
+    each parent-drawn shape — and examines cross-source pairs inside
+    them.  Identical pairs (same child content hashes, orientations,
+    and relative offset) are checked once, so a 256-row array pays for
+    one row seam, not 255.
+    """
+    own: List[Tuple[str, Rect]] = [
+        (layer, rect) for layer, rect in cell.shapes() if rect.area > 0]
+    violations: List[DrcViolation] = []
+
+    # Parent-level drawn geometry gets the full width check; instance
+    # shapes already passed their own cell's check.
+    own_by_layer: Dict[str, List[Rect]] = {}
+    for layer, rect in own:
+        own_by_layer.setdefault(layer, []).append(rect)
+    for layer, rects in sorted(own_by_layer.items()):
+        violations.extend(checker._check_width(layer, rects))
+        if len(violations) >= max_violations:
+            return violations[:max_violations]
+
+    insts = list(cell.instances())
+    boxes = [inst.bbox() for inst in insts]
+
+    def zone_items(region: Rect) -> Dict[str, List[Tuple[Rect, int]]]:
+        by_layer: Dict[str, List[Tuple[Rect, int]]] = {}
+        for layer, rect in own:
+            if rect.intersects(region):
+                by_layer.setdefault(layer, []).append((rect, 0))
+        for k, inst in enumerate(insts):
+            if boxes[k] is None or not boxes[k].intersects(region):
+                continue
+            collected: List[Tuple[str, Rect]] = []
+            _shapes_in_region(inst.cell, inst.transform, region, collected)
+            for layer, rect in collected:
+                by_layer.setdefault(layer, []).append((rect, k + 1))
+        return by_layer
+
+    def check_zone(region: Rect) -> List[DrcViolation]:
+        found: List[DrcViolation] = []
+        by_layer = zone_items(region)
+        for layer, items in sorted(by_layer.items()):
+            n_own = sum(1 for _, src in items if src == 0)
+            if len({src for _, src in items}) < 2 and n_own < 2:
+                continue
+            found.extend(_cross_spacing(checker, layer, items))
+        for diff_layer in ("ndiff", "pdiff"):
+            found.extend(_cross_gates(
+                checker,
+                by_layer.get("poly", ()),
+                by_layer.get(diff_layer, ()),
+            ))
+        return found
+
+    # Instance-pair zones, deduped by relative placement: sweep over
+    # halo-expanded bboxes to find interacting pairs.
+    expanded = [b.expanded(halo) if b is not None else None for b in boxes]
+    seen: set = set()
+    order = sorted(
+        (k for k in range(len(insts)) if boxes[k] is not None),
+        key=lambda k: expanded[k].x1)
+    active: List[int] = []
+    for k in order:
+        e = expanded[k]
+        active = [a for a in active if expanded[a].x2 >= e.x1]
+        for a in active:
+            if not expanded[a].intersects(boxes[k]):
+                continue
+            ta, tk = insts[a].transform, insts[k].transform
+            key_a = (cell_hash(insts[a].cell, hash_memo),
+                     ta.orientation.value)
+            key_k = (cell_hash(insts[k].cell, hash_memo),
+                     tk.orientation.value)
+            dx = tk.translation.x - ta.translation.x
+            dy = tk.translation.y - ta.translation.y
+            if (key_k, key_a) < (key_a, key_k):
+                sig = (key_k, key_a, -dx, -dy)
+            else:
+                sig = (key_a, key_k, dx, dy)
+            if sig in seen:
+                continue
+            seen.add(sig)
+            window = expanded[a].intersection(expanded[k])
+            if window is None:
+                continue
+            violations.extend(check_zone(window.expanded(2 * halo)))
+            if len(violations) >= max_violations:
+                return _dedup(violations)[:max_violations]
+        active.append(k)
+
+    # One zone per parent-drawn shape: catches routing-vs-instance and
+    # routing-vs-routing interactions wherever the parent drew.
+    for _, rect in own:
+        violations.extend(check_zone(rect.expanded(2 * halo)))
+        if len(violations) >= max_violations:
+            return _dedup(violations)[:max_violations]
+
+    # Parent-level cuts may rely on instance metal for enclosure, so
+    # they are checked against everything near them.
+    own_cuts = [(layer, rect) for layer, rect in own
+                if layer in DrcChecker._CUT_ENCLOSURES]
+    if own_cuts:
+        enclosure_view: Dict[str, List[Rect]] = {}
+        for _, cut in own_cuts:
+            for layer, items in zone_items(cut.expanded(halo)).items():
+                enclosure_view.setdefault(layer, []).extend(
+                    r for r, _ in items)
+        for cut_layer in DrcChecker._CUT_ENCLOSURES:
+            if cut_layer in enclosure_view:
+                enclosure_view[cut_layer] = own_by_layer.get(cut_layer, [])
+        violations.extend(checker._check_enclosures(enclosure_view))
+
+    return _dedup(violations)[:max_violations]
+
+
+def _dedup(violations: Sequence[DrcViolation]) -> List[DrcViolation]:
+    """Drop duplicates produced by overlapping zones, keeping order."""
+    seen: set = set()
+    out: List[DrcViolation] = []
+    for v in violations:
+        key = (v.rule, v.layer, v.measured, v.required,
+               v.where.x1, v.where.y1, v.where.x2, v.where.y2)
+        if key not in seen:
+            seen.add(key)
+            out.append(v)
+    return out
+
+
+def hierarchical_drc(
+    cell: Cell,
+    process: Process,
+    cache: Optional[DrcCache] = None,
+    max_violations: int = 200,
+) -> HierDrcResult:
+    """Run the hierarchical sweep over ``cell`` and everything below it.
+
+    Returns per-cell violation lists split into *leaf* (a generator
+    produced dirty geometry) and *assembly* (composition created a
+    violation across a seam), plus cache/coverage statistics.
+    """
+    cache = cache if cache is not None else default_cache
+    checker = DrcChecker(process)
+    deck = process.rules.digest()
+    halo = _halo_cu(process)
+    hash_memo: dict = {}
+    result = HierDrcResult()
+    hits0, misses0 = cache.hits, cache.misses
+    t0 = time.perf_counter()
+
+    # Unique cells by content hash; keep the first-seen name for blame.
+    unique: Dict[str, Cell] = {}
+    for name, sub in cell.subcells().items():
+        unique.setdefault(cell_hash(sub, hash_memo), sub)
+
+    leaf_checks = composite_checks = 0
+    budget = max_violations
+    for content, sub in sorted(unique.items(),
+                               key=lambda item: item[1].name):
+        if budget <= 0:
+            break
+        is_leaf = not sub.instances()
+        key = f"{deck}:{'leaf' if is_leaf else 'comp'}:{content}"
+        verdict = cache.lookup(key)
+        if verdict is None:
+            if is_leaf:
+                leaf_checks += 1
+                verdict = tuple(checker.check(sub, budget))
+            else:
+                composite_checks += 1
+                verdict = tuple(_composite_check(
+                    sub, checker, halo, hash_memo, budget))
+            cache.store(key, verdict)
+        if verdict:
+            bucket = (result.leaf_violations if is_leaf
+                      else result.assembly_violations)
+            bucket[sub.name] = list(verdict[:budget])
+            budget -= len(bucket[sub.name])
+
+    hits = cache.hits - hits0
+    misses = cache.misses - misses0
+    result.stats = {
+        "halo_cu": halo,
+        "unique_cells": len(unique),
+        "leaf_checks": leaf_checks,
+        "composite_checks": composite_checks,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": round(hits / (hits + misses), 4)
+        if hits + misses else 0.0,
+        "elapsed_s": round(time.perf_counter() - t0, 6),
+    }
+    return result

@@ -1,0 +1,215 @@
+"""Structured signoff findings and reports.
+
+Everything the signoff checkers produce is built from three layers:
+
+* :class:`SignoffFinding` — one defect, attributed to a checker
+  (``drc``/``lvs``/``control``), a compiler stage
+  (``leaf-cells``/``assembly``/``control``), and a subject (the
+  offending cell, net, or state).
+* :class:`CheckResult` — one checker's verdict for one stage, with its
+  findings, free-form stats (cache hit rates, shape counts), and wall
+  time.
+* :class:`SignoffReport` — the full sweep.  ``clean`` gates the
+  compiler; ``failure_class`` picks the CLI exit code.
+
+Every layer round-trips through plain dicts (``to_dict``/``from_dict``)
+so reports can be journaled by
+:class:`~repro.runtime.journal.CheckpointJournal`, attached to a
+:class:`~repro.core.errors.SignoffError`, and rendered by the CLI
+without importing layout machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Checker families in blame-priority order: a report failing several
+#: classes is attributed to the earliest one (geometry errors usually
+#: cause the connectivity errors downstream of them).
+FAILURE_CLASSES: Tuple[str, ...] = ("drc", "lvs", "control")
+
+#: CLI exit code per failing checker family (0 = clean, 2 = ConfigError).
+EXIT_CODES: Dict[str, int] = {"drc": 3, "lvs": 4, "control": 5}
+
+
+@dataclass(frozen=True)
+class SignoffFinding:
+    """One signoff defect, fully attributed.
+
+    Attributes:
+        checker: the family that found it (``drc``/``lvs``/``control``).
+        stage: the compiler stage it belongs to
+            (``leaf-cells``/``assembly``/``control``).
+        kind: the specific defect class, e.g. ``drc-violation``,
+            ``open``, ``short``, ``floating-port``, ``dead-state``,
+            ``microword-mismatch``.
+        subject: the offending cell, net, port, or state name.
+        message: one human-readable line.
+        data: JSON-serializable details (e.g. a
+            :meth:`~repro.layout.drc.DrcViolation.to_dict` payload).
+    """
+
+    checker: str
+    stage: str
+    kind: str
+    subject: str
+    message: str
+    data: Mapping[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.checker}/{self.stage}] {self.kind} {self.subject}: " \
+               f"{self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "checker": self.checker,
+            "stage": self.stage,
+            "kind": self.kind,
+            "subject": self.subject,
+            "message": self.message,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SignoffFinding":
+        return cls(
+            checker=data["checker"],
+            stage=data["stage"],
+            kind=data["kind"],
+            subject=data["subject"],
+            message=data["message"],
+            data=dict(data.get("data", {})),
+        )
+
+
+@dataclass
+class CheckResult:
+    """One checker's verdict for one compiler stage."""
+
+    checker: str
+    stage: str
+    status: str  # "pass" | "fail" | "skip"
+    findings: List[SignoffFinding] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return self.status != "fail"
+
+    def to_dict(self) -> dict:
+        return {
+            "checker": self.checker,
+            "stage": self.stage,
+            "status": self.status,
+            "findings": [f.to_dict() for f in self.findings],
+            "stats": dict(self.stats),
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckResult":
+        return cls(
+            checker=data["checker"],
+            stage=data["stage"],
+            status=data["status"],
+            findings=[SignoffFinding.from_dict(f)
+                      for f in data.get("findings", [])],
+            stats=dict(data.get("stats", {})),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+
+@dataclass
+class SignoffReport:
+    """The complete signoff sweep for one compiled configuration."""
+
+    config_label: str
+    process: str
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every checker that ran passed."""
+        return all(r.passed for r in self.results)
+
+    def findings(self) -> List[SignoffFinding]:
+        return [f for r in self.results for f in r.findings]
+
+    @property
+    def failure_class(self) -> Optional[str]:
+        """The highest-priority failing checker family, or None.
+
+        Priority follows :data:`FAILURE_CLASSES`: a layout that fails
+        DRC very likely fails LVS too, and the geometry defect is the
+        one to chase first.
+        """
+        failing = {r.checker for r in self.results if not r.passed}
+        for family in FAILURE_CLASSES:
+            if family in failing:
+                return family
+        return None
+
+    @property
+    def exit_code(self) -> int:
+        """CLI exit code: 0 clean, else the failing family's code."""
+        family = self.failure_class
+        return 0 if family is None else EXIT_CODES[family]
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config_label,
+            "process": self.process,
+            "clean": self.clean,
+            "failure_class": self.failure_class,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SignoffReport":
+        return cls(
+            config_label=data["config"],
+            process=data["process"],
+            results=[CheckResult.from_dict(r)
+                     for r in data.get("results", [])],
+        )
+
+    def summary(self, max_findings: int = 20) -> str:
+        """A terminal-friendly rendering of the report."""
+        lines = [f"signoff {self.config_label} [{self.process}]: "
+                 f"{'CLEAN' if self.clean else 'FAIL'}"]
+        for r in self.results:
+            stat_bits = ", ".join(
+                f"{k}={v}" for k, v in sorted(r.stats.items())
+                if isinstance(v, (int, float, str)))
+            lines.append(
+                f"  {r.checker:8s} {r.stage:10s} {r.status.upper():4s} "
+                f"{len(r.findings):3d} finding(s) "
+                f"({r.elapsed_s * 1e3:.0f} ms{'; ' + stat_bits if stat_bits else ''})"
+            )
+        shown = self.findings()[:max_findings]
+        for f in shown:
+            lines.append(f"    {f}")
+        hidden = len(self.findings()) - len(shown)
+        if hidden > 0:
+            lines.append(f"    ... and {hidden} more")
+        return "\n".join(lines)
+
+
+def drc_findings(stage: str, cell_name: str, violations: Sequence,
+                 ) -> List[SignoffFinding]:
+    """Wrap :class:`~repro.layout.drc.DrcViolation`s as signoff findings."""
+    out = []
+    for v in violations:
+        payload = v.to_dict()
+        payload["cell"] = cell_name
+        out.append(SignoffFinding(
+            checker="drc",
+            stage=stage,
+            kind="drc-violation",
+            subject=f"{cell_name}/{v.layer}",
+            message=str(v),
+            data=payload,
+        ))
+    return out

@@ -167,8 +167,38 @@ class TestVerify:
     def test_signoff_clean(self, capsys):
         code, out = run(capsys, "verify", *CFG)
         assert code == 0
-        assert "SIGNOFF CLEAN" in out
-        assert out.count("[PASS]") == 4
+        assert "CLEAN" in out
+        assert out.count("PASS") == 4
+
+    def test_signoff_json(self, capsys):
+        import json
+
+        code, out = run(capsys, "verify", *CFG, "--json")
+        assert code == 0
+        report = json.loads(out)
+        assert report["clean"] is True
+        assert {r["checker"] for r in report["results"]} == {
+            "drc", "lvs", "control"}
+
+    def test_cif_clean_and_corrupt(self, capsys, tmp_path):
+        cif = tmp_path / "m.cif"
+        code, _ = run(capsys, "compile", *CFG, "--cif", str(cif))
+        assert code == 0
+        code, out = run(capsys, "verify", *CFG, "--cif", str(cif))
+        assert code == 0
+        assert "CLEAN" in out
+
+        # Stretch one box: the readback must fail DRC with exit 3.
+        lines = cif.read_text().splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("B "):
+                _, w, h, cx, cy = line.rstrip(";").split()
+                lines[i] = f"B {int(w) * 6} {h} {cx} {cy};"
+                break
+        cif.write_text("\n".join(lines))
+        code, out = run(capsys, "verify", *CFG, "--cif", str(cif))
+        assert code == 3
+        assert "FAIL" in out
 
 
 class TestCampaign:
@@ -209,3 +239,13 @@ class TestCampaign:
         )
         assert code == 0
         assert "ratio_min" in out
+
+    def test_signoff_campaign(self, capsys):
+        code, out = run(
+            capsys, "campaign", "--driver", "signoff",
+            "--words", "32", "--bpw", "4", "--bpc", "2",
+            "--spares", "4", "--processes", "cda07",
+        )
+        assert code == 0
+        assert "1/1 shard(s) completed" in out
+        assert '"clean_nodes": 1' in out

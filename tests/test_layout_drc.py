@@ -176,3 +176,91 @@ class TestGateGeometry:
             Rect(0, 2 * LAM, 30 * LAM, 8 * LAM),
         )
         assert violations == []
+
+
+class TestCornerTouch:
+    """The deck's ``touch.corner`` rule: do corner-only contacts conduct?"""
+
+    def _corner_pair(self):
+        c = Cell("diag")
+        c.add_shape("metal1", Rect(0, 0, 3 * LAM, 3 * LAM))
+        c.add_shape("metal1", Rect(3 * LAM, 3 * LAM, 6 * LAM, 6 * LAM))
+        return c
+
+    def _process_with(self, corner_touch):
+        from dataclasses import replace
+
+        from repro.tech.rules import DesignRules
+
+        rules = dict(PROCESS.rules.rules)
+        rules["touch.corner"] = corner_touch
+        return replace(
+            PROCESS, rules=DesignRules(PROCESS.lambda_cu, rules))
+
+    def test_corner_contact_conducts_by_default(self):
+        assert PROCESS.rules.corner_touch_connects()
+        assert checker().check(self._corner_pair()) == []
+
+    def test_corner_contact_flagged_when_deck_forbids(self):
+        strict = DrcChecker(self._process_with(0))
+        violations = strict.check(self._corner_pair())
+        assert [v.rule for v in violations] == ["min-space"]
+        assert violations[0].measured == 0
+
+    def test_rule_is_not_lambda_scaled(self):
+        from repro.tech.rules import DesignRules
+
+        for lam in (25, 30, 35, 40):
+            assert DesignRules.scalable(lam).rules["touch.corner"] == 1
+
+    def test_diagonal_spacing_uses_larger_gap(self):
+        # Corner-to-corner spacing: 1 lambda diagonal separation is
+        # measured as max(dx, dy), so a 1x2-lambda offset reads 2.
+        c = Cell("diag_gap")
+        c.add_shape("metal1", Rect(0, 0, 3 * LAM, 3 * LAM))
+        c.add_shape("metal1",
+                    Rect(4 * LAM, 5 * LAM, 7 * LAM, 8 * LAM))
+        violations = checker().check(c)
+        assert [v.rule for v in violations] == ["min-space"]
+        assert violations[0].measured == 2 * LAM
+
+
+class TestKnownDirtyFixture:
+    """Regression: a fixture with every violation class, checked exactly."""
+
+    def _dirty_cell(self):
+        c = Cell("known_dirty")
+        # min-width: metal1 one cu too narrow.
+        c.add_shape("metal1", Rect(0, 0, 3 * LAM - 1, 20 * LAM))
+        # min-space: metal2 pair 2 lambda apart (rule is 4).
+        c.add_shape("metal2", Rect(0, 30 * LAM, 3 * LAM, 33 * LAM))
+        c.add_shape("metal2", Rect(5 * LAM, 30 * LAM, 8 * LAM, 33 * LAM))
+        # enclosure: a bare contact cut with no metal1 around it.
+        c.add_shape("contact", Rect(50 * LAM, 0, 52 * LAM, 2 * LAM))
+        # gate-endcap: poly stops flush with the diffusion edge.
+        c.add_shape("ndiff", Rect(30 * LAM, 30 * LAM, 40 * LAM, 34 * LAM))
+        c.add_shape("poly", Rect(33 * LAM, 30 * LAM, 35 * LAM, 40 * LAM))
+        return c
+
+    def test_exact_violation_list(self):
+        violations = checker().check(self._dirty_cell())
+        got = sorted(
+            (v.rule, v.layer, v.measured, v.required) for v in violations)
+        rules = PROCESS.rules.rules
+        expected = sorted([
+            ("min-width", "metal1", 3 * LAM - 1, rules["width.metal1"]),
+            ("min-space", "metal2", 2 * LAM, rules["space.metal2"]),
+            ("enclosure-metal1", "contact", -1,
+             rules["enclose.metal1_contact"]),
+            ("gate-endcap", "poly", 0, rules["overhang.gate_poly"]),
+        ])
+        assert got == expected
+
+    def test_round_trips_through_json(self):
+        import json
+
+        from repro.layout.drc import DrcViolation
+
+        for v in checker().check(self._dirty_cell()):
+            assert DrcViolation.from_dict(
+                json.loads(json.dumps(v.to_dict()))) == v
