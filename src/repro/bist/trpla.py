@@ -98,11 +98,21 @@ class Trpla:
         )
 
 
+def render_plane_text(plane) -> str:
+    """One plane as control-code text, one 0/1 row per product term.
+
+    The single source of the on-disk format: :func:`write_plane_files`
+    and the artifact store both persist exactly this string, so cached
+    and freshly generated plane files are byte-identical.
+    """
+    lines = ["".join(str(int(bool(b))) for b in row) for row in plane]
+    return "\n".join(lines) + "\n"
+
+
 def write_plane_files(and_path, or_path, and_plane, or_plane) -> None:
     """Write the two control-code files, one 0/1 row per product term."""
     for path, plane in ((and_path, and_plane), (or_path, or_plane)):
-        lines = ["".join(str(int(bool(b))) for b in row) for row in plane]
-        Path(path).write_text("\n".join(lines) + "\n")
+        Path(path).write_text(render_plane_text(plane))
 
 
 def read_plane_files(and_path, or_path) -> Tuple[list, list]:

@@ -5,7 +5,9 @@ invoked, BISRAMGEN allows the user to input the values of the circuit
 parameters").  This CLI exposes the same workflow non-interactively:
 
 ```
-bisramgen compile  --words 2048 --bpw 32 --bpc 8 [--cif m.cif] ...
+bisramgen compile  --words 2048 --bpw 32 --bpc 8 [--cif m.cif] \
+                   [--cache-dir .bisram-cache] [--no-cache] ...
+bisramgen serve    --port 8080 --workers 4 --cache-dir .bisram-cache
 bisramgen selftest --words 256 --bpw 8 --bpc 4 --defects 3 --seed 1
 bisramgen yield    --words 4096 --bpw 4 --bpc 4 --defects 0,5,10,20
 bisramgen reliability --words 4096 --bpw 4 --bpc 4 --years 1,5,10
@@ -95,7 +97,21 @@ def _confirm_spec(text: str) -> tuple:
 
 def cmd_compile(args: argparse.Namespace) -> int:
     config = _config_from(args)
+    use_cache = args.cache_dir is not None and not args.no_cache
+    if use_cache and not (args.ascii or args.svg):
+        # The service path: artifacts come as stored bytes, and a hit
+        # never touches the compiler at all.  --ascii/--svg need the
+        # live compiled object, so they take the direct path below.
+        return _compile_via_store(args, config)
     ram = compile_ram(config, signoff=args.policy)
+    if use_cache:
+        # Direct build (render flags) but keep the store warm so the
+        # next cached invocation of this geometry hits.
+        from repro.service import ArtifactStore, bundle_key, render_bundle
+
+        store = ArtifactStore(args.cache_dir)
+        store.put(bundle_key(config, IFA_9, args.policy),
+                  render_bundle(ram))
     if ram.signoff is not None:
         print(ram.signoff.summary())
         print()
@@ -118,6 +134,80 @@ def cmd_compile(args: argparse.Namespace) -> int:
     if args.control_dir:
         paths = ram.write_control_code(args.control_dir)
         print(f"wrote {paths['and']} and {paths['or']}")
+    return 0
+
+
+def _compile_via_store(args: argparse.Namespace,
+                       config: RamConfig) -> int:
+    """``compile --cache-dir``: serve/publish through the artifact
+    store; cached and fresh runs write byte-identical artifacts."""
+    import json
+    from pathlib import Path
+
+    from repro.service import ArtifactStore, compile_cached
+    from repro.verify.report import SignoffReport
+
+    store = ArtifactStore(args.cache_dir)
+    bundle, hit, key = compile_cached(config, IFA_9,
+                                      signoff=args.policy, store=store)
+    print(f"cache {'HIT' if hit else 'MISS'} {key[:16]} "
+          f"({args.cache_dir})")
+    if args.policy and "signoff.json" in bundle:
+        report = SignoffReport.from_dict(
+            json.loads(bundle["signoff.json"].decode("utf-8")))
+        print(report.summary())
+        print()
+    print(bundle["datasheet.txt"].decode("utf-8"), end="")
+    area = json.loads(bundle["area.json"].decode("utf-8"))
+    print(f"\narea: {area['total_mm2']:.3f} mm^2 "
+          f"(plain {area['baseline_mm2']:.3f}, overhead "
+          f"{area['overhead_percent']:.2f}%, BIST/BISR alone "
+          f"{area['bist_bisr_only_percent']:.2f}%)")
+    if args.cif:
+        Path(args.cif).write_bytes(bundle["macro.cif"])
+        print(f"wrote {args.cif}")
+    if args.control_dir:
+        directory = Path(args.control_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = {}
+        for plane in ("and", "or"):
+            paths[plane] = directory / f"trpla_{plane}.plane"
+            paths[plane].write_bytes(bundle[f"trpla_{plane}.plane"])
+        print(f"wrote {paths['and']} and {paths['or']}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the concurrent macro server (``repro serve``)."""
+    from repro.service import ArtifactStore, MacroServer
+    from repro.service.http import make_http_server
+
+    store = None
+    if args.cache_dir:
+        budget = (int(args.cache_budget_mb * 1_000_000)
+                  if args.cache_budget_mb else None)
+        store = ArtifactStore(args.cache_dir, byte_budget=budget)
+    server = MacroServer(store=store, workers=args.workers,
+                         queue_limit=args.queue_limit)
+    httpd = make_http_server(server, host=args.host, port=args.port,
+                             verbose=args.verbose,
+                             max_requests=args.max_requests)
+    host, port = httpd.server_address[:2]
+    print(f"macro server on http://{host}:{port} "
+          f"(workers={args.workers} queue={args.queue_limit} "
+          f"cache={args.cache_dir or 'off'})", flush=True)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+        server.shutdown(drain=True)
+    stats = server.stats()
+    print(f"served {stats['requests']} request(s): "
+          f"{stats['builds']} built, {stats['store_hits']} from "
+          f"store, {stats['coalesced']} coalesced, "
+          f"{stats['rejected']} rejected")
     return 0
 
 
@@ -347,6 +437,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                        if p.strip()],
             seed=args.seed, gate_size=config.gate_size,
             strap_every=config.strap_every,
+            cache_dir=args.cache_dir,
         )
     else:
         config = _config_from(args)
@@ -416,7 +507,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cif", help="write the CIF layout")
     p.add_argument("--control-dir",
                    help="write the TRPLA plane files here")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed artifact store: serve this "
+                        "configuration from cache when present, "
+                        "publish it on a miss")
+    p.add_argument("--no-cache", action="store_true",
+                   help="build from scratch even with --cache-dir")
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the concurrent macro server (HTTP compile-as-a-"
+             "service with single-flight dedup and backpressure)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="build threads")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="max queued-or-running requests before 503 "
+                        "backpressure")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="back the server with this artifact store")
+    p.add_argument("--cache-budget-mb", type=float, default=None,
+                   help="LRU-evict the store beyond this many MB")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="exit after serving this many compile "
+                        "requests (CI smoke runs)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("selftest",
                        help="inject defects and run BIST/BISR")
@@ -531,6 +652,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="adopt finished shards from --checkpoint "
                         "instead of starting over")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="artifact store for the signoff driver: "
+                        "shards fetch compiled macros through it")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_campaign)
 

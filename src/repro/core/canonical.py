@@ -1,0 +1,54 @@
+"""Canonical JSON serialisation and stable content digests.
+
+Every identity in the repo that outlives a process — the artifact
+store's bundle keys, the compiler's stage-cache keys, the campaign
+journal's fingerprint header — reduces to the same recipe: serialise
+to *canonical* JSON (sorted keys, no whitespace) and hash with
+SHA-256.  Centralising the recipe here guarantees that two subsystems
+never disagree about what "the same configuration" means, and that a
+digest written to disk today still matches tomorrow's process.
+
+This module must stay import-light (stdlib only): it is imported from
+:mod:`repro.core.config`, which everything else imports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from repro.core.errors import ConfigError
+
+
+def canonical_json(obj) -> str:
+    """Serialise ``obj`` to canonical JSON: sorted keys, no whitespace.
+
+    The output is byte-stable across processes and Python versions for
+    any JSON-serializable input, so it is safe to hash and persist.
+
+    Raises:
+        ConfigError: when ``obj`` contains something JSON cannot
+            express (the caller passed a non-serialisable identity).
+    """
+    try:
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as error:
+        raise ConfigError(
+            f"identity is not JSON-serializable: {error}"
+        ) from None
+
+
+def stable_digest(obj, chars: Optional[int] = None) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical JSON form.
+
+    Args:
+        obj: any JSON-serializable value.
+        chars: truncate the 64-character hex digest to this many
+            characters (None keeps it whole).  Truncation is for
+            human-facing labels and legacy formats; full digests are
+            what keyed storage should use.
+    """
+    digest = hashlib.sha256(
+        canonical_json(obj).encode("utf-8")).hexdigest()
+    return digest[:chars] if chars else digest

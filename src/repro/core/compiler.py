@@ -13,17 +13,20 @@ One call compiles a :class:`~repro.core.config.RamConfig` into:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import io
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.bist.controller import TrplaController
 from repro.bist.march import IFA_9, MarchTest
-from repro.bist.trpla import write_plane_files
+from repro.bist.trpla import render_plane_text
+from repro.core.canonical import stable_digest
 from repro.core.config import RamConfig
 from repro.core.datasheet import Datasheet, build_datasheet
 from repro.core.errors import ConfigError, SignoffError
 from repro.core.floorplan import Floorplan, build_floorplan
+from repro.core.stages import StageCache, StageRunner, StageTiming
 from repro.layout.cif import write_cif
 from repro.layout.render import render_ascii, render_svg
 from repro.memsim.device import BisrRam
@@ -34,6 +37,16 @@ if TYPE_CHECKING:
 
 #: Valid values of the ``signoff`` policy knob.
 SIGNOFF_POLICIES = (None, "strict", "degrade")
+
+
+def march_digest(march: MarchTest) -> str:
+    """Content identity of a march test: its name *and* its notation.
+
+    Two user-parsed marches that happen to share a name but differ in
+    operations must not share stage-cache or artifact-store entries.
+    """
+    return stable_digest(
+        {"name": march.name, "notation": str(march)}, 16)
 
 
 @dataclass
@@ -84,6 +97,13 @@ class CompiledRam:
     #: ``degrade`` this is where a dirty report lands instead of an
     #: exception.
     signoff: Optional["SignoffReport"] = None
+    #: The rendered TRPLA plane-file texts (AND, OR) the control-planes
+    #: stage produced; ``write_control_code`` dumps exactly these bytes
+    #: so cached and uncached builds emit identical artifacts.
+    plane_texts: Optional[Tuple[str, str]] = None
+    #: Per-stage cache verdicts and wall time for this build, in
+    #: pipeline order (empty for hand-constructed instances).
+    stages: List[StageTiming] = field(default_factory=list)
 
     def simulation_model(self) -> BisrRam:
         """A fresh behavioural device for this configuration."""
@@ -104,21 +124,38 @@ class CompiledRam:
             fresh=fresh,
         )
 
+    def control_plane_texts(self) -> Tuple[str, str]:
+        """The (AND, OR) plane-file texts, rendering on demand when the
+        control-planes stage did not run (hand-built instances)."""
+        if self.plane_texts is not None:
+            return self.plane_texts
+        pla = self.floorplan.assembled_pla
+        return (render_plane_text(pla.and_plane),
+                render_plane_text(pla.or_plane))
+
     def write_control_code(self, directory) -> Dict[str, Path]:
         """Emit the two TRPLA plane files the tool reads at runtime."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         and_path = directory / "trpla_and.plane"
         or_path = directory / "trpla_or.plane"
-        pla = self.floorplan.assembled_pla
-        write_plane_files(and_path, or_path, pla.and_plane, pla.or_plane)
+        and_text, or_text = self.control_plane_texts()
+        and_path.write_text(and_text)
+        or_path.write_text(or_text)
         return {"and": and_path, "or": or_path}
+
+    def cif_text(self) -> str:
+        """The full CIF export as a string (what :meth:`write_cif`
+        writes and the artifact store persists)."""
+        process = get_process(self.config.process)
+        buffer = io.StringIO()
+        write_cif(self.floorplan.top, buffer, process.layers)
+        return buffer.getvalue()
 
     def write_cif(self, path) -> None:
         """Export the full layout hierarchy as CIF."""
-        process = get_process(self.config.process)
         with open(path, "w") as stream:
-            write_cif(self.floorplan.top, stream, process.layers)
+            stream.write(self.cif_text())
 
     def render_svg(self, flatten_depth: int = 2, width_px: int = 900
                    ) -> str:
@@ -133,9 +170,15 @@ class CompiledRam:
         """A terminal floorplan sketch."""
         return render_ascii(self.floorplan.top, columns, rows)
 
-    def flow_report(self) -> str:
+    def flow_report(self, stage_line: bool = True) -> str:
         """The Fig. 1 pipeline, summarised for this compilation run:
-        what each phase produced, from leaf cells to guarantees."""
+        what each phase produced, from leaf cells to guarantees.
+
+        ``stage_line=False`` omits the per-build cache-verdict/timing
+        line — the form the artifact store persists, since those
+        verdicts describe one build, not the macro (and would break
+        byte-identity between cached and fresh runs).
+        """
         config = self.config
         plan = self.floorplan
         pla = plan.assembled_pla
@@ -166,6 +209,14 @@ class CompiledRam:
             f"({'masked' if ds.tlb_masked else 'NOT masked'}), "
             f"self-test {ds.selftest_total_s:.1f} s",
         ]
+        if stage_line and self.stages:
+            lines.append(
+                "7. stage cache            : "
+                + " | ".join(
+                    f"{t.name} {'HIT' if t.hit else 'MISS'} "
+                    f"{t.elapsed_s:.3f}s"
+                    for t in self.stages)
+            )
         return "\n".join(lines)
 
 
@@ -176,8 +227,34 @@ class BISRAMGen:
         self.config = config
         self.march = march
 
-    def build(self, signoff: Optional[str] = None) -> CompiledRam:
+    def stage_key(self) -> str:
+        """Content key every stage of this build derives from:
+        configuration digest + march identity + rule-deck digest."""
+        deck = get_process(self.config.process).rules.digest()
+        return (f"{self.config.digest(32)}:{march_digest(self.march)}"
+                f":{deck}")
+
+    def _checked_floorplan(self, with_bisr: bool) -> Floorplan:
+        """One floorplan build with the generator-rejection wrap."""
+        try:
+            return build_floorplan(self.config, self.march,
+                                   with_bisr=with_bisr)
+        except ConfigError:
+            raise
+        except ValueError as error:
+            raise ConfigError(
+                f"cannot build {self.config.describe()}: {error}"
+            ) from error
+
+    def build(self, signoff: Optional[str] = None,
+              stage_cache: Optional[StageCache] = None) -> CompiledRam:
         """Compile the configuration into layout + models + datasheet.
+
+        The build is a pipeline of explicitly keyed stages —
+        floorplan -> layout -> control-planes -> datasheet -> signoff —
+        each memoizable against ``stage_cache``, so a rebuild of an
+        unchanged configuration reuses every stage and a build that
+        only changes the signoff policy reuses the cached layout.
 
         Raises :class:`~repro.core.errors.ConfigError` when the
         configuration is structurally valid but physically unbuildable
@@ -193,51 +270,73 @@ class BISRAMGen:
                 ``"degrade"`` runs the same sweep but always returns,
                 attaching the report as ``CompiledRam.signoff`` for the
                 caller to inspect.
+            stage_cache: optional shared :class:`StageCache`.  Cached
+                products are live objects, not copies — callers that
+                mutate a compiled macro's geometry must not share a
+                cache (see :mod:`repro.core.stages`).
         """
         if signoff not in SIGNOFF_POLICIES:
             raise ConfigError(
                 f"unknown signoff policy {signoff!r}; "
                 f"expected one of {SIGNOFF_POLICIES}"
             )
-        try:
-            floorplan = build_floorplan(self.config, self.march,
-                                        with_bisr=True)
-            baseline = build_floorplan(self.config, self.march,
-                                       with_bisr=False)
-        except ConfigError:
-            raise
-        except ValueError as error:
-            raise ConfigError(
-                f"cannot build {self.config.describe()}: {error}"
-            ) from error
-        cu2_to_mm2 = 1e-10
-        total = floorplan.component_area_mm2()
-        base = baseline.component_area_mm2()
-        report = AreaReport(
-            total_mm2=total,
-            baseline_mm2=base,
-            array_mm2=floorplan.area_mm2("array"),
-            bist_bisr_mm2=floorplan.bist_bisr_area_cu2() * cu2_to_mm2,
-            spare_rows_mm2=floorplan.spare_rows_area_cu2(self.config)
-            * cu2_to_mm2,
-            bbox_mm2=floorplan.area_mm2(),
-        )
-        datasheet = build_datasheet(self.config, total)
+        runner = StageRunner(stage_cache)
+        base_key = self.stage_key()
+
+        floorplan = runner.run(
+            "floorplan", base_key,
+            lambda: self._checked_floorplan(with_bisr=True))
+
+        def layout_stage() -> AreaReport:
+            baseline = self._checked_floorplan(with_bisr=False)
+            cu2_to_mm2 = 1e-10
+            return AreaReport(
+                total_mm2=floorplan.component_area_mm2(),
+                baseline_mm2=baseline.component_area_mm2(),
+                array_mm2=floorplan.area_mm2("array"),
+                bist_bisr_mm2=floorplan.bist_bisr_area_cu2()
+                * cu2_to_mm2,
+                spare_rows_mm2=floorplan.spare_rows_area_cu2(self.config)
+                * cu2_to_mm2,
+                bbox_mm2=floorplan.area_mm2(),
+            )
+
+        report = runner.run("layout", base_key, layout_stage)
+
+        def planes_stage() -> Tuple[str, str]:
+            pla = floorplan.assembled_pla
+            return (render_plane_text(pla.and_plane),
+                    render_plane_text(pla.or_plane))
+
+        plane_texts = runner.run("control-planes", base_key, planes_stage)
+        datasheet = runner.run(
+            "datasheet", base_key,
+            lambda: build_datasheet(self.config, report.total_mm2))
+
         compiled = CompiledRam(
             config=self.config,
             floorplan=floorplan,
             datasheet=datasheet,
             area_report=report,
+            plane_texts=plane_texts,
         )
         if signoff is not None:
-            # Imported here: the verify subsystem sits above the
-            # compiler in the layering and pulls networkx.
-            from repro.verify.signoff import run_signoff
+            def signoff_stage():
+                # Imported here: the verify subsystem sits above the
+                # compiler in the layering and pulls networkx.
+                from repro.verify.signoff import run_signoff
 
-            compiled.signoff = run_signoff(compiled, march=self.march)
+                return run_signoff(compiled, march=self.march)
+
+            # The report does not depend on the policy (strict vs
+            # degrade only changes what the caller sees), so both
+            # policies share one cached sweep.
+            compiled.signoff = runner.run(
+                "signoff", base_key, signoff_stage)
             if not compiled.signoff.clean and signoff == "strict":
                 failed = [f"{r.checker}/{r.stage}"
                           for r in compiled.signoff.results if not r.passed]
+                compiled.stages = runner.timings
                 raise SignoffError(
                     f"signoff failed for {self.config.describe()}: "
                     f"{', '.join(failed)} "
@@ -245,10 +344,13 @@ class BISRAMGen:
                     report=compiled.signoff.to_dict(),
                     failure_class=compiled.signoff.failure_class or "",
                 )
+        compiled.stages = runner.timings
         return compiled
 
 
 def compile_ram(config: RamConfig, march: MarchTest = IFA_9,
-                signoff: Optional[str] = None) -> CompiledRam:
+                signoff: Optional[str] = None,
+                stage_cache: Optional[StageCache] = None) -> CompiledRam:
     """One-call compilation (the examples' entry point)."""
-    return BISRAMGen(config, march).build(signoff=signoff)
+    return BISRAMGen(config, march).build(signoff=signoff,
+                                          stage_cache=stage_cache)

@@ -8,8 +8,10 @@ must be a power of 2."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Mapping, Optional
 
+from repro.core.canonical import stable_digest
 from repro.core.errors import ConfigError
 
 
@@ -114,6 +116,45 @@ class RamConfig:
         if not self.strap_every:
             return 0
         return max(0, (self.columns - 1) // self.strap_every)
+
+    # -- canonical identity ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form: every field, JSON-serializable.
+
+        The inverse of :meth:`from_dict`; the payload :meth:`digest`
+        hashes.  Field order follows the dataclass declaration, but the
+        digest sorts keys, so the order here is cosmetic.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RamConfig":
+        """Rebuild a validated configuration from :meth:`to_dict` output.
+
+        Raises:
+            ConfigError: on unknown keys, missing required keys, or any
+                value the constructor's own validation rejects.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown RamConfig field(s): {sorted(unknown)}"
+            )
+        try:
+            return cls(**dict(data))
+        except TypeError as error:
+            raise ConfigError(f"incomplete RamConfig: {error}") from None
+
+    def digest(self, chars: Optional[int] = None) -> str:
+        """Stable content digest: sorted-key canonical JSON -> SHA-256.
+
+        Two equal configurations digest equal in any process on any
+        platform, so this is the identity the artifact store, the
+        compiler's stage cache, and campaign fingerprints key on.
+        """
+        return stable_digest(self.to_dict(), chars)
 
     def describe(self) -> str:
         kb = self.bits / 1024

@@ -93,6 +93,23 @@ class SpiceConvergenceError(ReproError, RuntimeError):
         return max(0.0, min(1.0, self.t_reached / self.t_stop))
 
 
+class ServiceUnavailable(ReproError):
+    """The macro server refused a request it could not queue.
+
+    Raised on submit when the bounded request queue is full
+    (backpressure) or the server is draining for shutdown.  Clients
+    should back off and retry; the CLI maps it — like every
+    :class:`ReproError` — onto exit code 2.
+
+    Attributes:
+        reason: ``"saturated"`` or ``"draining"``.
+    """
+
+    def __init__(self, message: str, reason: str = "saturated") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class SignoffError(ReproError):
     """A compiled macro failed signoff verification in ``strict`` mode.
 

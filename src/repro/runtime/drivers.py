@@ -251,8 +251,10 @@ def sizing_campaign(
 
 
 def signoff_shard(params: dict, shard: ShardSpec) -> dict:
-    from repro.core.compiler import compile_ram
+    import json
+
     from repro.core.config import RamConfig
+    from repro.verify.report import SignoffReport
 
     processes = params["processes"]
     node = processes[shard.index % len(processes)]
@@ -262,13 +264,28 @@ def signoff_shard(params: dict, shard: ShardSpec) -> dict:
         gate_size=params.get("gate_size", 1),
         strap_every=params.get("strap_every", 32),
     )
-    compiled = compile_ram(config, signoff="degrade")
-    report = compiled.signoff
+    cache_hit = False
+    if params.get("cache_dir"):
+        # Fetch through the artifact store: worker processes across
+        # shards (and across resumed campaign runs) share compiled
+        # macros instead of rebuilding identical geometry per node.
+        from repro.service import ArtifactStore, compile_cached
+
+        store = ArtifactStore(params["cache_dir"])
+        bundle, cache_hit, _ = compile_cached(
+            config, signoff="degrade", store=store)
+        report = SignoffReport.from_dict(
+            json.loads(bundle["signoff.json"].decode("utf-8")))
+    else:
+        from repro.core.compiler import compile_ram
+
+        report = compile_ram(config, signoff="degrade").signoff
     return {
         "process": node,
         "clean": report.clean,
         "failure_class": report.failure_class,
         "findings": len(report.findings()),
+        "cache_hit": cache_hit,
         "report": report.to_dict(),
     }
 
@@ -280,6 +297,7 @@ def signoff_reduce(results: Sequence[Optional[dict]]) -> dict:
         "nodes": len(done),
         "clean_nodes": len(done) - len(dirty),
         "findings": sum(r["findings"] for r in done),
+        "cache_hits": sum(1 for r in done if r.get("cache_hit")),
         "dirty": {r["process"]: r["failure_class"] for r in dirty},
     }
     return aggregates
@@ -289,8 +307,14 @@ def signoff_campaign(
     words: int, bpw: int, bpc: int, spares: int,
     processes: Sequence[str] = ("cda05", "mos06", "cda07", "mos08"),
     seed: int = 0, gate_size: int = 1, strap_every: int = 32,
+    cache_dir: Optional[str] = None,
 ) -> CampaignSpec:
-    """Full signoff of one geometry across tech nodes, one shard each."""
+    """Full signoff of one geometry across tech nodes, one shard each.
+
+    With ``cache_dir``, shards compile through the content-addressed
+    artifact store — a resumed or repeated campaign serves untouched
+    nodes from cache instead of recompiling them.
+    """
     processes = list(processes)
     if not processes:
         raise ConfigError("signoff campaign needs at least one process")
@@ -303,6 +327,7 @@ def signoff_campaign(
             "words": words, "bpw": bpw, "bpc": bpc, "spares": spares,
             "processes": processes, "gate_size": gate_size,
             "strap_every": strap_every,
+            "cache_dir": str(cache_dir) if cache_dir else None,
         },
         reduce=signoff_reduce,
     )

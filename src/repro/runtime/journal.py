@@ -26,27 +26,26 @@ uninterrupted one by construction.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Dict, Mapping, Optional
 
+from repro.core.canonical import stable_digest
 from repro.core.errors import ConfigError
 
 JOURNAL_VERSION = 1
 
 
 def fingerprint_digest(fingerprint: Mapping) -> str:
-    """Stable short digest of a campaign fingerprint mapping."""
-    try:
-        canonical = json.dumps(fingerprint, sort_keys=True,
-                               separators=(",", ":"))
-    except TypeError as error:
-        raise ConfigError(
-            f"campaign fingerprint is not JSON-serializable: {error}"
-        ) from None
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+    """Stable short digest of a campaign fingerprint mapping.
+
+    The same canonical-JSON -> SHA-256 recipe as
+    :meth:`~repro.core.config.RamConfig.digest` and the artifact
+    store's bundle keys (:func:`repro.core.canonical.stable_digest`),
+    truncated to the journal header's historical 16 characters.
+    """
+    return stable_digest(dict(fingerprint), 16)
 
 
 class CheckpointJournal:

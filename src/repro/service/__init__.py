@@ -1,0 +1,57 @@
+"""Compile-as-a-service: store, bundles, and the macro server.
+
+* :mod:`~repro.service.store` — content-addressed on-disk artifact
+  store with atomic publish, integrity-checked reads, and LRU
+  eviction under a byte budget,
+* :mod:`~repro.service.bundle` — bundle keys (the canonical digest
+  over config + march + rule deck + signoff policy) and the shared
+  cached-compile path,
+* :mod:`~repro.service.server` — the concurrent macro server:
+  thread-pool builds, single-flight dedup, bounded-queue
+  backpressure, latency metrics, graceful drain,
+* :mod:`~repro.service.http` — the stdlib HTTP front-end behind
+  ``repro serve`` and the matching :class:`ServiceClient`.
+"""
+
+from repro.service.bundle import (
+    CORE_ARTIFACTS,
+    build_bundle,
+    bundle_key,
+    compile_cached,
+    render_bundle,
+)
+from repro.service.server import (
+    CompileResponse,
+    MacroServer,
+    latency_summary,
+    percentile,
+)
+from repro.service.store import ArtifactStore, StoreStats
+
+__all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "bundle_key",
+    "build_bundle",
+    "render_bundle",
+    "compile_cached",
+    "CORE_ARTIFACTS",
+    "MacroServer",
+    "CompileResponse",
+    "latency_summary",
+    "percentile",
+    "ServiceClient",
+    "make_http_server",
+    "serve_forever_in_thread",
+]
+
+
+def __getattr__(name):
+    # http pulls in the march registry + HTTP stack; import lazily so
+    # `from repro.service import ArtifactStore` stays light.
+    if name in ("ServiceClient", "make_http_server",
+                "serve_forever_in_thread"):
+        from repro.service import http as _http
+        return getattr(_http, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

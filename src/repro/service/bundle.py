@@ -1,0 +1,148 @@
+"""Bundle building: a compiled macro as named, storable artifacts.
+
+The unit the service layer traffics in is the *bundle* — a mapping of
+artifact name to bytes covering everything a client needs from one
+compilation:
+
+====================  ====================================================
+``macro.cif``         full CIF layout export
+``trpla_and.plane``   TRPLA AND-plane control code
+``trpla_or.plane``    TRPLA OR-plane control code
+``datasheet.json``    structured timing/area/power guarantees
+``datasheet.txt``     the human-readable datasheet summary
+``area.json``         Table I area accounting (+ derived overheads)
+``flow.txt``          the Fig. 1 flow report for this build
+``signoff.json``      structured signoff report (only when a policy ran)
+====================  ====================================================
+
+:func:`bundle_key` is the content address: a canonical digest over the
+configuration, the march test, the process rule-deck digest, and the
+signoff policy — exactly the inputs that determine the bytes above.
+:func:`compile_cached` is the one code path the CLI, the macro server,
+and the campaign drivers all share: consult the store, build on miss,
+publish, return.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.bist.march import IFA_9, MarchTest
+from repro.core.canonical import stable_digest
+from repro.core.compiler import BISRAMGen, CompiledRam, march_digest
+from repro.core.config import RamConfig
+from repro.core.stages import StageCache
+from repro.service.store import ArtifactStore
+from repro.tech.process import get_process
+
+BUNDLE_VERSION = 1
+
+#: Artifact names every successful bundle carries.
+CORE_ARTIFACTS = (
+    "macro.cif", "trpla_and.plane", "trpla_or.plane",
+    "datasheet.json", "datasheet.txt", "area.json", "flow.txt",
+)
+
+
+def bundle_key(config: RamConfig, march: MarchTest = IFA_9,
+               signoff: Optional[str] = None) -> str:
+    """Content address of one compilation's artifact bundle.
+
+    Folds in everything that determines the output bytes: the full
+    canonical configuration, the march test's name *and* notation, the
+    process rule-deck digest (so editing a rule invalidates cached
+    layouts built under the old deck), the signoff policy, and a
+    format version (bump it when artifact rendering changes).
+    """
+    return stable_digest({
+        "bundle_version": BUNDLE_VERSION,
+        "config": config.to_dict(),
+        "march": march_digest(march),
+        "rule_deck": get_process(config.process).rules.digest(),
+        "signoff": signoff or "",
+    })
+
+
+def _datasheet_dict(compiled: CompiledRam) -> dict:
+    data = dataclasses.asdict(compiled.datasheet)
+    data["config"] = compiled.config.to_dict()
+    return data
+
+
+def _area_dict(compiled: CompiledRam) -> dict:
+    report = compiled.area_report
+    data = dataclasses.asdict(report)
+    data["overhead_percent"] = report.overhead_percent
+    data["bist_bisr_only_percent"] = report.bist_bisr_only_percent
+    return data
+
+
+def render_bundle(compiled: CompiledRam) -> Dict[str, bytes]:
+    """Serialise one compiled macro into its artifact bundle."""
+    and_text, or_text = compiled.control_plane_texts()
+    artifacts = {
+        "macro.cif": compiled.cif_text().encode("utf-8"),
+        "trpla_and.plane": and_text.encode("utf-8"),
+        "trpla_or.plane": or_text.encode("utf-8"),
+        "datasheet.json": _json_bytes(_datasheet_dict(compiled)),
+        "datasheet.txt":
+            (compiled.datasheet.summary() + "\n").encode("utf-8"),
+        "area.json": _json_bytes(_area_dict(compiled)),
+        "flow.txt": (compiled.flow_report(stage_line=False) + "\n"
+                     ).encode("utf-8"),
+    }
+    if compiled.signoff is not None:
+        artifacts["signoff.json"] = _json_bytes(
+            compiled.signoff.to_dict())
+    return artifacts
+
+
+def _json_bytes(obj) -> bytes:
+    return (json.dumps(obj, sort_keys=True, indent=1) + "\n"
+            ).encode("utf-8")
+
+
+def build_bundle(config: RamConfig, march: MarchTest = IFA_9,
+                 signoff: Optional[str] = None,
+                 stage_cache: Optional[StageCache] = None,
+                 ) -> Dict[str, bytes]:
+    """Compile from scratch (modulo stage cache) and render artifacts.
+
+    A ``strict`` signoff failure propagates as
+    :class:`~repro.core.errors.SignoffError` — failed builds are never
+    bundled, so the store only ever serves macros that built clean (or
+    whose dirty report the caller explicitly asked to keep via
+    ``degrade``).
+    """
+    compiled = BISRAMGen(config, march).build(
+        signoff=signoff, stage_cache=stage_cache)
+    return render_bundle(compiled)
+
+
+def compile_cached(
+    config: RamConfig,
+    march: MarchTest = IFA_9,
+    signoff: Optional[str] = None,
+    store: Optional[ArtifactStore] = None,
+    stage_cache: Optional[StageCache] = None,
+    use_cache: bool = True,
+) -> Tuple[Dict[str, bytes], bool, str]:
+    """The shared cached-compile path: ``(bundle, store_hit, key)``.
+
+    With a store, a hit serves the integrity-checked bytes straight
+    from disk; a miss builds (reusing ``stage_cache`` stages when
+    given), publishes, and returns the fresh bundle.  Without a store
+    (or with ``use_cache=False``) it simply builds.
+    """
+    key = bundle_key(config, march, signoff)
+    if store is not None and use_cache:
+        cached = store.get(key)
+        if cached is not None:
+            return cached, True, key
+    bundle = build_bundle(config, march, signoff=signoff,
+                          stage_cache=stage_cache)
+    if store is not None and use_cache:
+        store.put(key, bundle)
+    return bundle, False, key

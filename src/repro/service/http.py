@@ -1,0 +1,269 @@
+"""HTTP transport for the macro server, plus the client helper.
+
+The wire format is deliberately small and stdlib-only:
+
+* ``POST /compile`` — body ``{"config": {...}, "march": "IFA-9",
+  "signoff": null, "include": ["macro.cif", ...]}``.  Responds with
+  the bundle manifest (per-artifact sha256 + size), the parsed
+  datasheet/area payloads, and — for names listed in ``include`` —
+  the artifact bytes, base64-encoded.
+* ``GET /stats`` — the server's JSON metrics (latency percentiles,
+  hit/build/coalesce/reject counts, store + stage-cache stats).
+* ``GET /healthz`` — liveness + drain state.
+
+Status codes: 400 for a bad request (unknown config field, bad march
+notation — anything :class:`~repro.core.errors.ConfigError`), 422 for
+a build that failed strict signoff, 503 when backpressure or draining
+rejects the request (clients should retry with backoff), 500 for the
+unexpected.
+
+:class:`ServiceClient` is the matching stdlib client the campaign
+runtime and the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import threading
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.bist.march import MarchTest, parse_march
+from repro.bist import ALL_TESTS
+from repro.core.config import RamConfig
+from repro.core.errors import (
+    ConfigError,
+    ReproError,
+    ServiceUnavailable,
+    SignoffError,
+)
+from repro.service.server import CompileResponse, MacroServer
+
+_MARCHES = {t.name: t for t in ALL_TESTS}
+
+
+def resolve_march(name: str) -> MarchTest:
+    """A known march by name, or user notation parsed on the spot."""
+    if name in _MARCHES:
+        return _MARCHES[name]
+    return parse_march("custom", name)
+
+
+def compile_payload(response: CompileResponse,
+                    include: Tuple[str, ...] = ()) -> dict:
+    """The JSON body for one successful compile."""
+    payload = {
+        "key": response.key,
+        "cached": response.cached,
+        "elapsed_s": round(response.elapsed_s, 6),
+        "artifacts": response.manifest(),
+        "datasheet": json.loads(
+            response.artifacts["datasheet.json"].decode("utf-8")),
+        "area": json.loads(
+            response.artifacts["area.json"].decode("utf-8")),
+    }
+    if "signoff.json" in response.artifacts:
+        payload["signoff"] = json.loads(
+            response.artifacts["signoff.json"].decode("utf-8"))
+    content = {}
+    for name in include:
+        if name in response.artifacts:
+            content[name] = base64.b64encode(
+                response.artifacts[name]).decode("ascii")
+    if content:
+        payload["content"] = content
+    return payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP glue over the owning :class:`MacroServer`."""
+
+    server_version = "bisramgen-macroserver/1.0"
+
+    # Set by make_http_server on the ThreadingHTTPServer instance.
+    @property
+    def macro_server(self) -> MacroServer:
+        return self.server.macro_server  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/stats":
+            self._reply(200, self.macro_server.stats())
+        elif self.path == "/healthz":
+            self._reply(200, {
+                "status": "draining" if self.macro_server.draining
+                else "ok",
+            })
+        else:
+            self._reply(404, {"error": f"no such endpoint {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path != "/compile":
+            self._reply(404, {"error": f"no such endpoint {self.path}"})
+            return
+        try:
+            self._handle_compile()
+        finally:
+            self._count_request()
+
+    def _count_request(self) -> None:
+        """Stop the serve loop after ``max_requests`` compiles (CI)."""
+        limit = getattr(self.server, "max_requests", None)
+        if limit is None:
+            return
+        with self.server.count_lock:  # type: ignore[attr-defined]
+            self.server.served += 1  # type: ignore[attr-defined]
+            done = self.server.served >= limit  # type: ignore
+        if done:
+            # shutdown() blocks until serve_forever returns; never call
+            # it from the loop's own thread — hand it to a helper.
+            threading.Thread(target=self.server.shutdown,
+                             daemon=True).start()
+
+    def _handle_compile(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            request = json.loads(self.rfile.read(length) or b"{}")
+            config = RamConfig.from_dict(request.get("config", {}))
+            march = resolve_march(request.get("march", "IFA-9"))
+            signoff = request.get("signoff")
+            include = tuple(request.get("include", ()))
+            response = self.macro_server.compile(
+                config, march, signoff=signoff)
+        except ServiceUnavailable as error:
+            self._reply(503, {"error": str(error),
+                              "reason": error.reason})
+        except SignoffError as error:
+            self._reply(422, {"error": str(error),
+                              "failure_class": error.failure_class,
+                              "report": error.report})
+        except (ConfigError, ReproError, ValueError, KeyError,
+                json.JSONDecodeError) as error:
+            self._reply(400, {"error": f"{type(error).__name__}: "
+                                       f"{error}"})
+        except Exception as error:  # pragma: no cover - defensive
+            self._reply(500, {"error": f"{type(error).__name__}: "
+                                       f"{error}"})
+        else:
+            self._reply(200, compile_payload(response, include))
+
+
+def make_http_server(macro_server: MacroServer, host: str = "127.0.0.1",
+                     port: int = 0, verbose: bool = False,
+                     max_requests: Optional[int] = None,
+                     ) -> ThreadingHTTPServer:
+    """A bound (not yet serving) HTTP front-end; port 0 picks a free
+    one (``server.server_address`` reports the choice).
+
+    ``max_requests`` stops the serve loop after that many ``/compile``
+    requests — the hook CI smoke jobs use to run a bounded session.
+    """
+    httpd = ThreadingHTTPServer((host, port), _Handler)
+    httpd.macro_server = macro_server  # type: ignore[attr-defined]
+    httpd.verbose = verbose  # type: ignore[attr-defined]
+    httpd.max_requests = max_requests  # type: ignore[attr-defined]
+    httpd.served = 0  # type: ignore[attr-defined]
+    httpd.count_lock = threading.Lock()  # type: ignore[attr-defined]
+    httpd.daemon_threads = True
+    return httpd
+
+
+def serve_forever_in_thread(httpd: ThreadingHTTPServer
+                            ) -> threading.Thread:
+    """Run the HTTP loop on a daemon thread (tests, embedded use)."""
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+class ServiceClient:
+    """Stdlib HTTP client for a running macro server.
+
+    The small helper the campaign runtime and benchmarks use; every
+    method opens one connection (the server is thread-per-request, so
+    keep-alive buys nothing at this scale).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout_s: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Tuple[int, dict]:
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=self.timeout_s)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            reply = connection.getresponse()
+            return reply.status, json.loads(reply.read() or b"{}")
+        finally:
+            connection.close()
+
+    def compile(self, config: RamConfig, march: str = "IFA-9",
+                signoff: Optional[str] = None,
+                include: Tuple[str, ...] = ()) -> dict:
+        """Compile via the server; returns the JSON payload.
+
+        Raises:
+            ServiceUnavailable: on 503 (backpressure / draining).
+            ConfigError: on 400.
+            ReproError: on any other non-200.
+        """
+        status, payload = self._request("POST", "/compile", {
+            "config": config.to_dict(),
+            "march": march,
+            "signoff": signoff,
+            "include": list(include),
+        })
+        if status == 200:
+            return payload
+        message = payload.get("error", f"HTTP {status}")
+        if status == 503:
+            raise ServiceUnavailable(
+                message, reason=payload.get("reason", "saturated"))
+        if status == 400:
+            raise ConfigError(message)
+        raise ReproError(message)
+
+    def artifact(self, payload: dict, name: str) -> bytes:
+        """Decode one ``include``-requested artifact from a compile
+        payload."""
+        try:
+            return base64.b64decode(payload["content"][name])
+        except KeyError:
+            raise ConfigError(
+                f"artifact {name!r} was not included in the response "
+                f"(pass it via include=)") from None
+
+    def stats(self) -> dict:
+        status, payload = self._request("GET", "/stats")
+        if status != 200:
+            raise ReproError(payload.get("error", f"HTTP {status}"))
+        return payload
+
+    def healthz(self) -> dict:
+        status, payload = self._request("GET", "/healthz")
+        if status != 200:
+            raise ReproError(payload.get("error", f"HTTP {status}"))
+        return payload

@@ -1,0 +1,291 @@
+"""The concurrent macro server: compile-as-a-service in one process.
+
+A :class:`MacroServer` turns the compiler into a long-lived service
+the way the ROADMAP's serving story demands: a thread pool executes
+builds, the artifact store absorbs repeats across time, and three
+mechanisms absorb repeats and overload *in the moment*:
+
+* **Single-flight deduplication** — concurrent requests for the same
+  bundle key coalesce onto one in-flight build; N identical requests
+  cost exactly one compilation (then all N are served its artifacts).
+* **Bounded queue with backpressure** — at most ``queue_limit``
+  requests may be queued-or-running; beyond that, ``submit`` raises
+  :class:`~repro.core.errors.ServiceUnavailable` immediately instead
+  of letting latency grow without bound.
+* **Graceful drain** — ``shutdown(drain=True)`` stops admissions,
+  lets every in-flight build finish (they are expensive; killing them
+  wastes the work), then stops the pool.
+
+Metrics are first-class: per-request latency percentiles, hit/build/
+coalesce/reject counts, plus the store's and stage cache's own stats,
+all JSON-serializable for the HTTP ``/stats`` endpoint
+(:mod:`repro.service.http`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bist.march import IFA_9, MarchTest
+from repro.core.config import RamConfig
+from repro.core.errors import ConfigError, ServiceUnavailable
+from repro.core.stages import StageCache
+from repro.service.bundle import bundle_key, compile_cached
+from repro.service.store import ArtifactStore
+
+
+@dataclass(frozen=True)
+class CompileResponse:
+    """What the server returns for one request.
+
+    Attributes:
+        key: the bundle's content address.
+        cached: True when the bytes came from the artifact store.
+        elapsed_s: wall time of the underlying build (shared across
+            coalesced requests; per-caller latency lives in the
+            server's metrics).
+        artifacts: artifact name -> bytes.
+    """
+
+    key: str
+    cached: bool
+    elapsed_s: float
+    artifacts: Dict[str, bytes]
+
+    def manifest(self) -> dict:
+        """Hash/size summary, safe to serialise without the payload."""
+        return {
+            name: {
+                "sha256": hashlib.sha256(data).hexdigest(),
+                "bytes": len(data),
+            }
+            for name, data in sorted(self.artifacts.items())
+        }
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def latency_summary(latencies: Sequence[float]) -> dict:
+    """p50/p90/p99/max/mean summary of a latency sample, in seconds."""
+    if not latencies:
+        return {"count": 0}
+    ordered = sorted(latencies)
+    return {
+        "count": len(ordered),
+        "mean_s": round(sum(ordered) / len(ordered), 6),
+        "p50_s": round(percentile(ordered, 0.50), 6),
+        "p90_s": round(percentile(ordered, 0.90), 6),
+        "p99_s": round(percentile(ordered, 0.99), 6),
+        "max_s": round(ordered[-1], 6),
+    }
+
+
+class MacroServer:
+    """Thread-pool compile service with single-flight and backpressure.
+
+    Args:
+        store: optional :class:`ArtifactStore` consulted before (and
+            fed after) every build.
+        workers: build threads.
+        queue_limit: max requests queued-or-running before
+            :class:`ServiceUnavailable` backpressure kicks in
+            (coalesced joins never count — they add no work).
+        stage_cache: optional shared :class:`StageCache`; defaults to
+            a private instance so different-policy requests for the
+            same geometry share stage products.
+        builder: the cached-compile callable, signature-compatible
+            with :func:`repro.service.bundle.compile_cached`
+            (injectable for tests and benchmarks).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        workers: int = 4,
+        queue_limit: int = 64,
+        stage_cache: Optional[StageCache] = None,
+        builder: Optional[Callable] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if queue_limit < 1:
+            raise ConfigError("queue_limit must be >= 1")
+        self.store = store
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.stage_cache = stage_cache if stage_cache is not None \
+            else StageCache()
+        self._builder = builder or compile_cached
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="macroserver")
+        # Reentrant: done-callbacks registered under the lock can fire
+        # synchronously in this thread when the future is already done.
+        self._lock = threading.RLock()
+        self._inflight: Dict[str, Future] = {}
+        self._admitted = 0  # queued + running (coalesced joins excluded)
+        self._draining = False
+        # -- metrics --
+        self._request_latencies: List[float] = []
+        self._build_latencies: List[float] = []
+        self._requests = 0
+        self._builds = 0
+        self._store_hits = 0
+        self._coalesced = 0
+        self._rejected = 0
+        self._failures = 0
+        self._started = time.monotonic()
+
+    # -- request path -------------------------------------------------------
+
+    def submit(self, config: RamConfig, march: MarchTest = IFA_9,
+               signoff: Optional[str] = None) -> "Future[CompileResponse]":
+        """Admit one request; returns the (possibly shared) future.
+
+        Raises:
+            ServiceUnavailable: when draining, or when admitting would
+                exceed ``queue_limit`` (backpressure — retry later).
+        """
+        key = bundle_key(config, march, signoff)
+        t_submit = time.monotonic()
+        with self._lock:
+            if self._draining:
+                self._rejected += 1
+                raise ServiceUnavailable(
+                    "macro server is draining for shutdown",
+                    reason="draining")
+            self._requests += 1
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._coalesced += 1
+                self._observe_request(existing, t_submit)
+                return existing
+            if self._admitted >= self.queue_limit:
+                self._requests -= 1
+                self._rejected += 1
+                raise ServiceUnavailable(
+                    f"macro server saturated "
+                    f"({self.queue_limit} request(s) queued or "
+                    f"running); retry later", reason="saturated")
+            self._admitted += 1
+            future: "Future[CompileResponse]" = self._pool.submit(
+                self._run, key, config, march, signoff)
+            self._inflight[key] = future
+            future.add_done_callback(
+                lambda f, key=key: self._retire(key, f))
+            self._observe_request(future, t_submit)
+            return future
+
+    def compile(self, config: RamConfig, march: MarchTest = IFA_9,
+                signoff: Optional[str] = None) -> CompileResponse:
+        """Blocking submit: the response, or the build's exception."""
+        return self.submit(config, march, signoff=signoff).result()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the server.
+
+        ``drain=True`` (the default) refuses new admissions, waits for
+        every in-flight build, then stops the pool; ``drain=False``
+        additionally cancels whatever has not started running.
+        """
+        with self._lock:
+            self._draining = True
+            inflight = list(self._inflight.values())
+        if drain:
+            for future in inflight:
+                try:
+                    future.result()
+                except Exception:
+                    pass  # the submitter owns the failure
+            self._pool.shutdown(wait=True)
+        else:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "MacroServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(drain=True)
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats(self) -> dict:
+        """JSON-serializable server + store + stage-cache metrics."""
+        with self._lock:
+            data = {
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "workers": self.workers,
+                "queue_limit": self.queue_limit,
+                "draining": self._draining,
+                "inflight": len(self._inflight),
+                "requests": self._requests,
+                "builds": self._builds,
+                "store_hits": self._store_hits,
+                "coalesced": self._coalesced,
+                "rejected": self._rejected,
+                "failures": self._failures,
+                "request_latency": latency_summary(
+                    self._request_latencies),
+                "build_latency": latency_summary(self._build_latencies),
+                "stage_cache": self.stage_cache.stats(),
+            }
+        if self.store is not None:
+            data["store"] = self.store.stats.to_dict()
+        return data
+
+    # -- internals ----------------------------------------------------------
+
+    def _run(self, key: str, config: RamConfig, march: MarchTest,
+             signoff: Optional[str]) -> CompileResponse:
+        t0 = time.monotonic()
+        try:
+            artifacts, hit, _ = self._builder(
+                config, march, signoff=signoff, store=self.store,
+                stage_cache=self.stage_cache)
+        except Exception:
+            with self._lock:
+                self._failures += 1
+            raise
+        elapsed = time.monotonic() - t0
+        with self._lock:
+            if hit:
+                self._store_hits += 1
+            else:
+                self._builds += 1
+            self._build_latencies.append(elapsed)
+        return CompileResponse(
+            key=key, cached=hit, elapsed_s=elapsed,
+            artifacts=artifacts,
+        )
+
+    def _retire(self, key: str, future: Future) -> None:
+        with self._lock:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+            self._admitted -= 1
+
+    def _observe_request(self, future: Future, t_submit: float) -> None:
+        """Record this caller's own admission-to-completion latency."""
+        def record(_f: Future) -> None:
+            latency = time.monotonic() - t_submit
+            with self._lock:
+                self._request_latencies.append(latency)
+
+        future.add_done_callback(record)

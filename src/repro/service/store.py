@@ -1,0 +1,329 @@
+"""Content-addressed on-disk artifact store for compiled macros.
+
+One compiled configuration — CIF layout, TRPLA plane files, datasheet,
+area report, signoff report — is a *bundle* of named artifacts keyed
+by a canonical digest over everything that determines its bytes (the
+:class:`~repro.core.config.RamConfig`, the march test, the process
+rule deck, the signoff policy; see :func:`repro.service.bundle.bundle_key`).
+
+On disk::
+
+    <root>/objects/<k0k1>/<key>/manifest.json   per-artifact sha256 + size
+    <root>/objects/<k0k1>/<key>/<artifact>      the raw bytes
+    <root>/tmp/                                 staging for atomic publish
+
+Guarantees:
+
+* **Atomic writes** — a bundle is staged under ``tmp/`` and published
+  with one ``os.rename``, so readers (including concurrent campaign
+  worker processes) never observe a half-written entry; losing a
+  publish race to another writer is silently fine because content
+  addressing makes both copies identical.
+* **Integrity on read** — every artifact is re-hashed against its
+  manifest entry; any mismatch, truncation, or missing file deletes
+  the entry and reports a *miss* (the caller rebuilds), never a crash
+  or a silently corrupt artifact.
+* **LRU eviction** — an optional byte budget; least-recently-used
+  bundles are dropped first (access order is tracked in-process and
+  falls back to manifest mtimes for entries created by other
+  processes).
+* **Observability** — :class:`StoreStats` counts hits, misses,
+  writes, evictions, corruption events, and current footprint, all
+  JSON-serializable for the server's ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import shutil
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.errors import ConfigError
+
+MANIFEST = "manifest.json"
+STORE_VERSION = 1
+
+#: Process-wide staging counter so concurrent threads never collide on
+#: a staging directory name.
+_STAGING_IDS = itertools.count()
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """JSON-serializable counters for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    #: Filled in by :meth:`ArtifactStore.stats` at read time.
+    bytes: int = 0
+    entries: int = 0
+    byte_budget: Optional[int] = None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "bytes": self.bytes,
+            "entries": self.entries,
+            "byte_budget": self.byte_budget,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """One published bundle as seen during an eviction scan."""
+
+    key: str
+    path: Path
+    size: int
+    last_access: float
+
+
+class ArtifactStore:
+    """Content-addressed bundle store (see the module docstring).
+
+    Args:
+        root: store directory (created if missing).
+        byte_budget: optional cap on the summed artifact bytes; when
+            exceeded after a write, least-recently-used bundles are
+            evicted until the store fits.
+
+    Thread-safe within a process; safe against concurrent writers in
+    other processes thanks to atomic publish (their entries simply
+    appear; eviction races at worst delete a bundle the other process
+    re-creates on its next miss).
+    """
+
+    def __init__(self, root, byte_budget: Optional[int] = None) -> None:
+        if byte_budget is not None and byte_budget < 1:
+            raise ConfigError("byte_budget must be positive (or None)")
+        self.root = Path(root)
+        self.byte_budget = byte_budget
+        self._objects = self.root / "objects"
+        self._staging = self.root / "tmp"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self._staging.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._stats = StoreStats(byte_budget=byte_budget)
+        #: In-process access ordering (monotone counter per key); the
+        #: tie-breaker above manifest mtimes, whose resolution is too
+        #: coarse to order a test's back-to-back accesses.
+        self._access: Dict[str, int] = {}
+        self._access_clock = itertools.count(1)
+
+    # -- public API ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, bytes]]:
+        """The bundle for ``key``, or None (miss *or* corruption).
+
+        A corrupt entry — bad hash, wrong size, missing artifact,
+        unreadable manifest — is deleted and counted, and the call
+        reports a miss so the caller rebuilds.
+        """
+        self._check_key(key)
+        with self._lock:
+            entry = self._entry_dir(key)
+            manifest_path = entry / MANIFEST
+            if not manifest_path.is_file():
+                self._stats.misses += 1
+                return None
+            artifacts = self._verified_read(key, entry, manifest_path)
+            if artifacts is None:
+                self._stats.corrupt += 1
+                self._stats.misses += 1
+                return None
+            self._stats.hits += 1
+            self._touch(key, manifest_path)
+            return artifacts
+
+    def put(self, key: str, artifacts: Mapping[str, bytes]) -> bool:
+        """Publish a bundle atomically; True if this call stored it.
+
+        Returns False when the key already exists (another thread,
+        process, or an earlier call won the race) — content addressing
+        makes the existing entry equivalent, so losing is success.
+        """
+        self._check_key(key)
+        if not artifacts:
+            raise ConfigError("refusing to store an empty bundle")
+        for name in artifacts:
+            if (not name or name == MANIFEST or "/" in name
+                    or "\\" in name or name.startswith(".")):
+                raise ConfigError(f"invalid artifact name {name!r}")
+        with self._lock:
+            final = self._entry_dir(key)
+            if (final / MANIFEST).is_file():
+                self._touch(key, final / MANIFEST)
+                return False
+            staged = self._staging / \
+                f"{key[:16]}.{os.getpid()}.{next(_STAGING_IDS)}"
+            staged.mkdir(parents=True)
+            try:
+                manifest = {
+                    "version": STORE_VERSION,
+                    "key": key,
+                    "artifacts": {},
+                }
+                for name, data in sorted(artifacts.items()):
+                    self._write_file(staged / name, data)
+                    manifest["artifacts"][name] = {
+                        "sha256": _sha256(data),
+                        "bytes": len(data),
+                    }
+                # Manifest last: its presence marks the entry complete.
+                self._write_file(
+                    staged / MANIFEST,
+                    json.dumps(manifest, sort_keys=True,
+                               indent=1).encode("utf-8"),
+                )
+                final.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.rename(staged, final)
+                except OSError:
+                    # Lost the publish race; the surviving copy is
+                    # byte-identical by construction.
+                    shutil.rmtree(staged, ignore_errors=True)
+                    return False
+            except Exception:
+                shutil.rmtree(staged, ignore_errors=True)
+                raise
+            self._stats.writes += 1
+            self._touch(key, final / MANIFEST)
+            if self.byte_budget is not None:
+                self._evict_to_budget()
+            return True
+
+    def delete(self, key: str) -> bool:
+        """Drop one bundle; True if it existed."""
+        self._check_key(key)
+        with self._lock:
+            entry = self._entry_dir(key)
+            existed = entry.exists()
+            shutil.rmtree(entry, ignore_errors=True)
+            self._access.pop(key, None)
+            return existed
+
+    def keys(self) -> List[str]:
+        """Keys of every published bundle, sorted."""
+        with self._lock:
+            return sorted(e.key for e in self._scan())
+
+    def total_bytes(self) -> int:
+        """Summed artifact bytes across published bundles."""
+        with self._lock:
+            return sum(e.size for e in self._scan())
+
+    @property
+    def stats(self) -> StoreStats:
+        """Counters with the current footprint filled in."""
+        with self._lock:
+            entries = list(self._scan())
+            self._stats.bytes = sum(e.size for e in entries)
+            self._stats.entries = len(entries)
+            return self._stats
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if not key or not all(c in "0123456789abcdef" for c in key):
+            raise ConfigError(
+                f"store keys are lowercase hex digests, got {key!r}"
+            )
+
+    def _entry_dir(self, key: str) -> Path:
+        return self._objects / key[:2] / key
+
+    @staticmethod
+    def _write_file(path: Path, data: bytes) -> None:
+        with open(path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _verified_read(self, key: str, entry: Path,
+                       manifest_path: Path) -> Optional[Dict[str, bytes]]:
+        """Read + integrity-check one bundle; None deletes the entry."""
+        try:
+            manifest = json.loads(manifest_path.read_text("utf-8"))
+            if (manifest.get("version") != STORE_VERSION
+                    or manifest.get("key") != key):
+                raise ValueError("manifest identity mismatch")
+            artifacts: Dict[str, bytes] = {}
+            for name, meta in manifest["artifacts"].items():
+                data = (entry / name).read_bytes()
+                if (len(data) != meta["bytes"]
+                        or _sha256(data) != meta["sha256"]):
+                    raise ValueError(f"artifact {name} fails its hash")
+                artifacts[name] = data
+            return artifacts
+        except (OSError, ValueError, KeyError, TypeError,
+                json.JSONDecodeError):
+            shutil.rmtree(entry, ignore_errors=True)
+            self._access.pop(key, None)
+            return None
+
+    def _touch(self, key: str, manifest_path: Path) -> None:
+        self._access[key] = next(self._access_clock)
+        try:
+            os.utime(manifest_path)
+        except OSError:
+            pass  # LRU freshness only; never worth failing a read
+
+    def _scan(self) -> Iterator[_Entry]:
+        for shard in self._objects.iterdir() if \
+                self._objects.exists() else ():
+            if not shard.is_dir():
+                continue
+            for entry in shard.iterdir():
+                manifest_path = entry / MANIFEST
+                try:
+                    manifest = json.loads(
+                        manifest_path.read_text("utf-8"))
+                    size = sum(int(m["bytes"]) for m in
+                               manifest["artifacts"].values())
+                    mtime = manifest_path.stat().st_mtime
+                except (OSError, ValueError, KeyError, TypeError,
+                        json.JSONDecodeError):
+                    continue  # unpublished or torn; ignore
+                yield _Entry(key=entry.name, path=entry, size=size,
+                             last_access=mtime)
+
+    def _evict_to_budget(self) -> None:
+        """Drop LRU bundles until the store fits its byte budget."""
+        entries = list(self._scan())
+        total = sum(e.size for e in entries)
+        if total <= self.byte_budget:
+            return
+        # In-process access order wins; mtime orders foreign entries.
+        entries.sort(key=lambda e: (self._access.get(e.key, 0),
+                                    e.last_access))
+        for entry in entries:
+            if total <= self.byte_budget:
+                break
+            shutil.rmtree(entry.path, ignore_errors=True)
+            self._access.pop(entry.key, None)
+            total -= entry.size
+            self._stats.evictions += 1

@@ -45,6 +45,79 @@ class TestCompile:
         assert "error" in capsys.readouterr().err
 
 
+class TestCompileCache:
+    """``compile --cache-dir``: the content-addressed artifact store
+    must serve byte-identical artifacts to an uncached build."""
+
+    def _artifacts(self, capsys, tmp_path, label, *extra):
+        cif = tmp_path / f"{label}.cif"
+        ctl = tmp_path / f"{label}-ctl"
+        code, out = run(capsys, "compile", *CFG,
+                        "--cif", str(cif), "--control-dir", str(ctl),
+                        *extra)
+        assert code == 0
+        return out, {
+            "cif": cif.read_bytes(),
+            "and": (ctl / "trpla_and.plane").read_bytes(),
+            "or": (ctl / "trpla_or.plane").read_bytes(),
+        }
+
+    def test_cached_and_uncached_are_byte_identical(self, capsys,
+                                                    tmp_path):
+        cache = str(tmp_path / "cache")
+        plain_out, plain = self._artifacts(capsys, tmp_path, "plain")
+        miss_out, miss = self._artifacts(capsys, tmp_path, "miss",
+                                         "--cache-dir", cache)
+        hit_out, hit = self._artifacts(capsys, tmp_path, "hit",
+                                       "--cache-dir", cache)
+        assert "cache MISS" in miss_out
+        assert "cache HIT" in hit_out
+        assert "cache HIT" not in plain_out
+        assert "cache MISS" not in plain_out
+        assert plain == miss == hit
+
+    def test_cache_hit_prints_same_datasheet(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        code, first = run(capsys, "compile", *CFG,
+                          "--cache-dir", cache)
+        code, second = run(capsys, "compile", *CFG,
+                           "--cache-dir", cache)
+        assert code == 0
+        strip = lambda text: [l for l in text.splitlines()
+                              if not l.startswith("cache ")]
+        assert strip(first) == strip(second)
+        assert "read access time" in second
+
+    def test_no_cache_skips_the_store(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        run(capsys, "compile", *CFG, "--cache-dir", cache)
+        code, out = run(capsys, "compile", *CFG,
+                        "--cache-dir", cache, "--no-cache")
+        assert code == 0
+        assert "cache HIT" not in out
+
+    def test_render_flags_keep_the_store_warm(self, capsys, tmp_path):
+        """--ascii takes the direct build path but still publishes, so
+        the next cached run hits."""
+        cache = str(tmp_path / "cache")
+        code, out = run(capsys, "compile", *CFG,
+                        "--cache-dir", cache, "--ascii")
+        assert code == 0
+        assert "array" in out
+        code, out = run(capsys, "compile", *CFG, "--cache-dir", cache)
+        assert code == 0
+        assert "cache HIT" in out
+
+    def test_different_geometry_misses(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        run(capsys, "compile", *CFG, "--cache-dir", cache)
+        code, out = run(capsys, "compile", "--words", "64", "--bpw",
+                        "8", "--bpc", "4", "--strap-every", "8",
+                        "--spares", "8", "--cache-dir", cache)
+        assert code == 0
+        assert "cache MISS" in out
+
+
 class TestSelftest:
     def test_clean(self, capsys):
         code, out = run(capsys, "selftest", *CFG)

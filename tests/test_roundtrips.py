@@ -170,6 +170,79 @@ class TestSpiceRoundTrip:
             read_spice(path, PROCESS)
 
 
+class TestConfigRoundTrip:
+    """RamConfig's canonical dict form: the identity the artifact
+    store, stage cache, and campaign journal all key on."""
+
+    def _config(self, **overrides):
+        from repro import RamConfig
+
+        params = dict(words=64, bpw=8, bpc=4, spares=8,
+                      gate_size=2, strap_every=16, process="mos08")
+        params.update(overrides)
+        return RamConfig(**params)
+
+    def test_to_dict_from_dict_is_identity(self):
+        from repro import RamConfig
+
+        config = self._config()
+        assert RamConfig.from_dict(config.to_dict()) == config
+
+    def test_dict_survives_json(self):
+        import json
+
+        from repro import RamConfig
+
+        config = self._config()
+        wire = json.loads(json.dumps(config.to_dict()))
+        assert RamConfig.from_dict(wire) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        import pytest as _pytest
+
+        from repro import RamConfig
+        from repro.core.errors import ConfigError
+
+        payload = self._config().to_dict()
+        payload["volts"] = 5
+        with _pytest.raises(ConfigError, match="volts"):
+            RamConfig.from_dict(payload)
+
+    def test_from_dict_rejects_missing_geometry(self):
+        from repro import RamConfig
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            RamConfig.from_dict({"words": 64})
+
+    def test_from_dict_still_validates(self):
+        from repro import RamConfig
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            RamConfig.from_dict({"words": 63, "bpw": 8, "bpc": 4})
+
+    def test_digest_is_stable_and_discriminating(self):
+        config = self._config()
+        assert config.digest() == self._config().digest()
+        assert config.digest() != self._config(spares=16).digest()
+        assert len(config.digest()) == 64
+        assert config.digest(16) == config.digest()[:16]
+
+    def test_digest_matches_canonical_json_recipe(self):
+        """The digest is pinned to sorted-key compact JSON -> sha256;
+        journal fingerprints and store keys rely on this recipe."""
+        import hashlib
+        import json
+
+        config = self._config()
+        expected = hashlib.sha256(
+            json.dumps(config.to_dict(), sort_keys=True,
+                       separators=(",", ":")).encode("utf-8")
+        ).hexdigest()
+        assert config.digest() == expected
+
+
 class TestCifFuzzRoundTrip:
     def test_random_hierarchies_roundtrip(self):
         """Fuzz: random flat-shape cells under random placements must

@@ -1,0 +1,302 @@
+"""Tests for the concurrent macro server and its HTTP front-end."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import RamConfig
+from repro.core.errors import ConfigError, ReproError, ServiceUnavailable
+from repro.service import (
+    ArtifactStore,
+    MacroServer,
+    bundle_key,
+    latency_summary,
+    percentile,
+)
+
+CFG = RamConfig(words=64, bpw=8, bpc=4)
+CFG2 = RamConfig(words=64, bpw=8, bpc=4, spares=8)
+
+
+def counting_builder(calls, gate=None, delay_s=0.0):
+    """A fake compile_cached: records invocations, optionally blocks
+    on ``gate`` so tests control exactly when builds finish."""
+    lock = threading.Lock()
+
+    def build(config, march, signoff=None, store=None, stage_cache=None):
+        with lock:
+            calls.append(config)
+        if gate is not None:
+            assert gate.wait(10.0), "test gate never opened"
+        if delay_s:
+            time.sleep(delay_s)
+        return ({"out.txt": b"payload"}, False,
+                bundle_key(config, march, signoff))
+
+    return build
+
+
+class TestSingleFlight:
+    def test_n_concurrent_identical_requests_build_once(self):
+        """The acceptance bar: N >= 8 identical requests, 1 build."""
+        calls = []
+        gate = threading.Event()
+        server = MacroServer(workers=8,
+                             builder=counting_builder(calls, gate))
+        barrier = threading.Barrier(8)
+        futures = []
+        futures_lock = threading.Lock()
+
+        def request():
+            barrier.wait()
+            future = server.submit(CFG)
+            with futures_lock:
+                futures.append(future)
+
+        threads = [threading.Thread(target=request) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        gate.set()
+
+        results = [f.result(10.0) for f in futures]
+        server.shutdown()
+        assert len(calls) == 1
+        assert len(results) == 8
+        assert all(r.artifacts == {"out.txt": b"payload"}
+                   for r in results)
+        stats = server.stats()
+        assert stats["requests"] == 8
+        assert stats["coalesced"] == 7
+        assert stats["builds"] == 1
+
+    def test_different_configs_do_not_coalesce(self):
+        calls = []
+        server = MacroServer(workers=2,
+                             builder=counting_builder(calls))
+        server.compile(CFG)
+        server.compile(CFG2)
+        server.shutdown()
+        assert len(calls) == 2
+
+    def test_sequential_repeats_rebuild_after_retire(self):
+        """Single-flight is about *concurrent* requests only: once a
+        build retires, the next request runs again (the artifact
+        store, not the inflight table, handles repeats over time)."""
+        calls = []
+        server = MacroServer(workers=1,
+                             builder=counting_builder(calls))
+        server.compile(CFG)
+        server.compile(CFG)
+        server.shutdown()
+        assert len(calls) == 2
+
+
+class TestBackpressure:
+    def test_saturated_queue_rejects(self):
+        calls = []
+        gate = threading.Event()
+        server = MacroServer(workers=1, queue_limit=1,
+                             builder=counting_builder(calls, gate))
+        first = server.submit(CFG)
+        with pytest.raises(ServiceUnavailable) as info:
+            server.submit(CFG2)
+        assert info.value.reason == "saturated"
+        gate.set()
+        first.result(10.0)
+        server.shutdown()
+        assert server.stats()["rejected"] == 1
+
+    def test_coalesced_joins_bypass_the_limit(self):
+        """Joining an in-flight build adds no work, so it must never
+        be rejected no matter how full the queue is."""
+        calls = []
+        gate = threading.Event()
+        server = MacroServer(workers=1, queue_limit=1,
+                             builder=counting_builder(calls, gate))
+        first = server.submit(CFG)
+        joined = server.submit(CFG)  # same key: allowed at the limit
+        assert joined is first
+        gate.set()
+        first.result(10.0)
+        server.shutdown()
+
+    def test_capacity_frees_after_completion(self):
+        calls = []
+        server = MacroServer(workers=1, queue_limit=1,
+                             builder=counting_builder(calls))
+        server.compile(CFG)
+        server.compile(CFG2)  # would raise if capacity leaked
+        server.shutdown()
+
+    def test_draining_rejects_new_requests(self):
+        server = MacroServer(workers=1,
+                             builder=counting_builder([]))
+        server.shutdown()
+        with pytest.raises(ServiceUnavailable) as info:
+            server.submit(CFG)
+        assert info.value.reason == "draining"
+
+    def test_bad_construction(self):
+        with pytest.raises(ConfigError):
+            MacroServer(workers=0)
+        with pytest.raises(ConfigError):
+            MacroServer(queue_limit=0)
+
+
+class TestDrainAndFailures:
+    def test_drain_finishes_inflight_builds(self):
+        calls = []
+        server = MacroServer(workers=2,
+                             builder=counting_builder(calls,
+                                                      delay_s=0.05))
+        futures = [server.submit(CFG), server.submit(CFG2)]
+        server.shutdown(drain=True)
+        assert all(f.done() for f in futures)
+        assert [f.result() for f in futures]
+
+    def test_build_failure_propagates_and_is_counted(self):
+        def broken(config, march, signoff=None, store=None,
+                   stage_cache=None):
+            raise ReproError("melted")
+
+        server = MacroServer(workers=1, builder=broken)
+        with pytest.raises(ReproError, match="melted"):
+            server.compile(CFG)
+        # The failed key retired, so a retry is admitted (and fails
+        # again) rather than being served the poisoned future forever.
+        with pytest.raises(ReproError, match="melted"):
+            server.compile(CFG)
+        server.shutdown()
+        assert server.stats()["failures"] == 2
+
+    def test_context_manager_drains(self):
+        calls = []
+        with MacroServer(workers=1,
+                         builder=counting_builder(calls)) as server:
+            server.compile(CFG)
+        assert server.draining
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 5.0
+        assert percentile(values, 1.0) == 10.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_latency_summary_shape(self):
+        summary = latency_summary([0.2, 0.1, 0.3])
+        assert summary["count"] == 3
+        assert summary["p50_s"] == 0.2
+        assert summary["max_s"] == 0.3
+        assert summary["mean_s"] == pytest.approx(0.2)
+        assert latency_summary([]) == {"count": 0}
+
+    def test_stats_track_store_hits(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        server = MacroServer(store=store, workers=2)
+        first = server.compile(CFG)
+        second = server.compile(CFG)
+        server.shutdown()
+        assert first.cached is False
+        assert second.cached is True
+        assert second.artifacts == first.artifacts
+        stats = server.stats()
+        assert stats["builds"] == 1
+        assert stats["store_hits"] == 1
+        assert stats["request_latency"]["count"] == 2
+        assert stats["store"]["writes"] == 1
+
+
+class TestHttp:
+    @pytest.fixture()
+    def service(self, tmp_path):
+        from repro.service.http import (
+            ServiceClient,
+            make_http_server,
+            serve_forever_in_thread,
+        )
+
+        server = MacroServer(store=ArtifactStore(tmp_path), workers=2)
+        httpd = make_http_server(server, port=0)
+        serve_forever_in_thread(httpd)
+        host, port = httpd.server_address[:2]
+        yield ServiceClient(host, port)
+        httpd.shutdown()
+        httpd.server_close()
+        server.shutdown()
+
+    def test_compile_roundtrip_with_artifact_bytes(self, service):
+        payload = service.compile(CFG, include=("macro.cif",))
+        assert payload["cached"] is False
+        assert payload["datasheet"]["config"]["words"] == 64
+        cif = service.artifact(payload, "macro.cif")
+        assert cif.startswith(b"DS ") or b"DS " in cif
+        manifest = payload["artifacts"]["macro.cif"]
+        assert manifest["bytes"] == len(cif)
+
+        again = service.compile(CFG)
+        assert again["cached"] is True
+        assert again["key"] == payload["key"]
+
+    def test_missing_include_raises(self, service):
+        payload = service.compile(CFG)
+        with pytest.raises(ConfigError, match="include"):
+            service.artifact(payload, "macro.cif")
+
+    def test_bad_config_maps_to_config_error(self, service):
+        with pytest.raises(ConfigError):
+            service.compile(_UnvalidatedConfig())
+
+    def test_stats_and_healthz(self, service):
+        service.compile(CFG)
+        stats = service.stats()
+        assert stats["requests"] >= 1
+        assert "store" in stats
+        assert service.healthz() == {"status": "ok"}
+
+
+class TestSignoffDriverCache:
+    def test_shard_serves_from_preseeded_store(self, tmp_path):
+        """The campaign driver's store path: a shard whose bundle is
+        already published never touches the compiler."""
+        import json
+
+        import numpy as np
+
+        from repro.bist.march import IFA_9
+        from repro.runtime.drivers import signoff_campaign, signoff_shard
+        from repro.runtime.runner import ShardSpec
+        from repro.verify.report import SignoffReport
+
+        spec = signoff_campaign(words=64, bpw=8, bpc=4, spares=4,
+                                processes=["cda07"],
+                                cache_dir=str(tmp_path))
+        config = RamConfig(words=64, bpw=8, bpc=4, spares=4,
+                           process="cda07")
+        report = SignoffReport(config_label="preseeded",
+                               process="cda07")
+        ArtifactStore(tmp_path).put(
+            bundle_key(config, IFA_9, "degrade"),
+            {"signoff.json":
+                json.dumps(report.to_dict()).encode("utf-8")})
+
+        result = signoff_shard(spec.params, ShardSpec(
+            index=0, n_shards=1,
+            seed_seq=np.random.SeedSequence(0)))
+        assert result["cache_hit"] is True
+        assert result["clean"] is True
+        assert result["process"] == "cda07"
+        assert result["report"]["config"] == "preseeded"
+
+
+class _UnvalidatedConfig:
+    """Quacks like a RamConfig but serialises an invalid geometry, so
+    only the *server-side* validation can reject it."""
+
+    def to_dict(self):
+        return {"words": 63, "bpw": 8, "bpc": 4}

@@ -1,0 +1,183 @@
+"""Tests for the content-addressed artifact store."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.service.store import MANIFEST, ArtifactStore
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+KEY_D = "d" * 64
+
+BUNDLE = {
+    "macro.cif": b"DS 1 1 1;\nE\n",
+    "datasheet.json": b'{"t_read_ns": 12}\n',
+}
+
+
+class TestRoundTrip:
+    def test_put_then_get_is_byte_identical(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.put(KEY_A, BUNDLE) is True
+        assert store.get(KEY_A) == BUNDLE
+
+    def test_get_missing_is_a_counted_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get(KEY_A) is None
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+
+    def test_second_put_loses_the_race_politely(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.put(KEY_A, BUNDLE) is True
+        assert store.put(KEY_A, BUNDLE) is False
+        assert store.stats.writes == 1
+
+    def test_two_store_instances_share_the_directory(self, tmp_path):
+        """A second process (new instance) sees published entries."""
+        ArtifactStore(tmp_path).put(KEY_A, BUNDLE)
+        assert ArtifactStore(tmp_path).get(KEY_A) == BUNDLE
+
+    def test_keys_and_total_bytes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, BUNDLE)
+        store.put(KEY_B, {"x": b"12345"})
+        assert store.keys() == sorted([KEY_A, KEY_B])
+        assert store.total_bytes() == \
+            sum(len(v) for v in BUNDLE.values()) + 5
+
+    def test_delete(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, BUNDLE)
+        assert store.delete(KEY_A) is True
+        assert store.delete(KEY_A) is False
+        assert store.get(KEY_A) is None
+
+
+class TestValidation:
+    def test_rejects_non_hex_keys(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for bad in ("", "XYZ", "abc/../def", KEY_A.upper()):
+            with pytest.raises(ConfigError, match="hex"):
+                store.get(bad)
+
+    def test_rejects_hostile_artifact_names(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for bad in ("../escape", "a/b", "a\\b", ".hidden", "", MANIFEST):
+            with pytest.raises(ConfigError):
+                store.put(KEY_A, {bad: b"x"})
+
+    def test_rejects_empty_bundle(self, tmp_path):
+        with pytest.raises(ConfigError, match="empty"):
+            ArtifactStore(tmp_path).put(KEY_A, {})
+
+    def test_rejects_non_positive_budget(self, tmp_path):
+        with pytest.raises(ConfigError, match="byte_budget"):
+            ArtifactStore(tmp_path, byte_budget=0)
+
+
+class TestCorruption:
+    """Any on-disk damage must read as a rebuildable miss, not a crash
+    and never as silently wrong bytes."""
+
+    def _entry(self, store, key):
+        return store._entry_dir(key)
+
+    def test_truncated_artifact_is_a_miss_then_rebuilds(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, BUNDLE)
+        target = self._entry(store, KEY_A) / "macro.cif"
+        target.write_bytes(target.read_bytes()[:3])
+
+        assert store.get(KEY_A) is None
+        assert store.stats.corrupt == 1
+        # The damaged entry is gone; a rebuild publishes cleanly.
+        assert store.put(KEY_A, BUNDLE) is True
+        assert store.get(KEY_A) == BUNDLE
+
+    def test_flipped_byte_fails_the_hash(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, BUNDLE)
+        target = self._entry(store, KEY_A) / "datasheet.json"
+        data = bytearray(target.read_bytes())
+        data[0] ^= 0xFF
+        target.write_bytes(bytes(data))
+        assert store.get(KEY_A) is None
+        assert store.stats.corrupt == 1
+
+    def test_missing_artifact_file(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, BUNDLE)
+        (self._entry(store, KEY_A) / "macro.cif").unlink()
+        assert store.get(KEY_A) is None
+
+    def test_garbage_manifest(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, BUNDLE)
+        (self._entry(store, KEY_A) / MANIFEST).write_text("not json {")
+        assert store.get(KEY_A) is None
+        assert store.stats.corrupt == 1
+
+    def test_manifest_key_mismatch(self, tmp_path):
+        """An entry renamed to the wrong key must not serve."""
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, BUNDLE)
+        manifest_path = self._entry(store, KEY_A) / MANIFEST
+        manifest = json.loads(manifest_path.read_text())
+        manifest["key"] = KEY_B
+        manifest_path.write_text(json.dumps(manifest))
+        assert store.get(KEY_A) is None
+
+
+class TestEviction:
+    def test_lru_eviction_under_tiny_budget(self, tmp_path):
+        """Budget for ~2 bundles: the least-recently-used one goes."""
+        bundle = {"data.bin": b"x" * 100}
+        store = ArtifactStore(tmp_path, byte_budget=250)
+        store.put(KEY_A, bundle)
+        store.put(KEY_B, bundle)
+        # A is now more recently used than B.
+        assert store.get(KEY_A) is not None
+        store.put(KEY_C, bundle)  # 300 bytes > 250: evict LRU (B)
+
+        assert store.get(KEY_B) is None
+        assert store.get(KEY_A) is not None
+        assert store.get(KEY_C) is not None
+        assert store.stats.evictions == 1
+        assert store.total_bytes() <= 250
+
+    def test_eviction_keeps_store_under_budget(self, tmp_path):
+        store = ArtifactStore(tmp_path, byte_budget=150)
+        for key in (KEY_A, KEY_B, KEY_C, KEY_D):
+            store.put(key, {"data.bin": b"y" * 100})
+            assert store.total_bytes() <= 150
+        assert store.stats.evictions == 3
+        # Only the newest entry survives a 1.5-bundle budget.
+        assert store.keys() == [KEY_D]
+
+    def test_no_budget_never_evicts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for key in (KEY_A, KEY_B, KEY_C):
+            store.put(key, {"data.bin": b"z" * 10_000})
+        assert store.stats.evictions == 0
+        assert len(store.keys()) == 3
+
+
+class TestStats:
+    def test_counters_and_footprint(self, tmp_path):
+        store = ArtifactStore(tmp_path, byte_budget=10_000)
+        store.put(KEY_A, BUNDLE)
+        store.get(KEY_A)
+        store.get(KEY_B)
+        stats = store.stats.to_dict()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["writes"] == 1
+        assert stats["entries"] == 1
+        assert stats["bytes"] == sum(len(v) for v in BUNDLE.values())
+        assert stats["byte_budget"] == 10_000
+        assert stats["hit_rate"] == 0.5
+        json.dumps(stats)  # must stay JSON-serializable
