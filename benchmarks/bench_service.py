@@ -162,3 +162,82 @@ def test_single_flight_absorbs_a_thundering_herd(tmp_path):
     assert len(results) == 8
     assert stats["builds"] + stats["store_hits"] == 1
     assert stats["coalesced"] == 7
+
+
+def _distinct_configs(count):
+    """``count`` configurations with distinct bundle keys (cold work
+    that cannot coalesce or hit the store)."""
+    configs = [RamConfig(words=64, bpw=8, bpc=4, strap_every=8,
+                         gate_size=gate, spares=spares)
+               for gate in range(1, 9) for spares in (4, 8)]
+    assert count <= len(configs)
+    return configs[:count]
+
+
+def test_process_backend_cold_throughput_scales(tmp_path):
+    """Cold builds through the supervised process backend must scale
+    with client concurrency — that is the whole point of moving off
+    the GIL-bound thread pool.
+
+    The bar is core-aware: builds are CPU-bound, so an N-core box can
+    only deliver ~N-fold scaling.  On >= 6 cores we demand the full
+    3x at 8 clients vs 1; on smaller boxes we demand proportionally
+    less (and on one core only that concurrency does not collapse)."""
+    import os
+
+    from repro.service.backend import ProcessPoolBackend
+    from repro.service.bundle import bundle_key
+
+    cores = os.cpu_count() or 1
+    requests_per_client = 2
+    rows = []
+    throughputs = {}
+    for n_clients in (1, 8):
+        configs = _distinct_configs(n_clients * requests_per_client)
+        store = ArtifactStore(tmp_path / f"store-{n_clients}")
+        backend = ProcessPoolBackend(store, workers=8, poll_s=0.01)
+        server = MacroServer(store=store, workers=8,
+                             queue_limit=256, backend=backend)
+        errors = []
+
+        def client(index, server=server, configs=configs):
+            for j in range(requests_per_client):
+                config = configs[index * requests_per_client + j]
+                try:
+                    response = server.compile(config)
+                    assert response.key == bundle_key(config)
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(n_clients)]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - t0
+        stats = server.stats()
+        server.shutdown()
+        assert not errors, errors[:1]
+        total = n_clients * requests_per_client
+        assert stats["backend"]["builds"] == total  # all cold, no dupes
+        throughputs[n_clients] = total / elapsed
+        rows.append([n_clients, total, f"{elapsed:.3f}",
+                     f"{total / elapsed:.2f}"])
+
+    print_table(
+        f"Process-backend cold-build throughput ({cores} core(s))",
+        ["clients", "cold builds", "seconds", "builds/s"],
+        rows,
+    )
+    ratio = throughputs[8] / throughputs[1]
+    if cores >= 6:
+        floor = 3.0
+    elif cores >= 2:
+        floor = 1.2
+    else:
+        floor = 0.5  # single core: no parallel speedup to be had
+    assert ratio >= floor, (
+        f"8-client throughput only {ratio:.2f}x the single-client "
+        f"rate on {cores} core(s); floor {floor}x")

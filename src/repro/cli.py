@@ -187,15 +187,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
         budget = (int(args.cache_budget_mb * 1_000_000)
                   if args.cache_budget_mb else None)
         store = ArtifactStore(args.cache_dir, byte_budget=budget)
+    backend = None
+    if args.backend == "process":
+        from repro.service.backend import ProcessPoolBackend
+
+        if store is None:
+            raise ConfigError(
+                "--backend process needs --cache-dir: workers "
+                "publish their results through the artifact store")
+        backend = ProcessPoolBackend(store, workers=args.workers,
+                                     deadline_s=args.deadline_s)
+    wal = None
+    if args.wal:
+        from repro.service.wal import RequestLog
+
+        wal = RequestLog(args.wal)
     server = MacroServer(store=store, workers=args.workers,
-                         queue_limit=args.queue_limit)
+                         queue_limit=args.queue_limit,
+                         backend=backend, wal=wal)
     httpd = make_http_server(server, host=args.host, port=args.port,
                              verbose=args.verbose,
                              max_requests=args.max_requests)
     host, port = httpd.server_address[:2]
     print(f"macro server on http://{host}:{port} "
-          f"(workers={args.workers} queue={args.queue_limit} "
-          f"cache={args.cache_dir or 'off'})", flush=True)
+          f"(backend={args.backend} workers={args.workers} "
+          f"queue={args.queue_limit} "
+          f"cache={args.cache_dir or 'off'} "
+          f"wal={args.wal or 'off'})", flush=True)
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
@@ -209,6 +227,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"store, {stats['coalesced']} coalesced, "
           f"{stats['rejected']} rejected")
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos scenarios (``repro chaos --scenarios all``)."""
+    import json as json_module
+    import shutil
+    import tempfile
+
+    from repro.service.chaos import run_scenarios
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        reports = run_scenarios(args.scenarios, workdir)
+    finally:
+        if args.workdir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+    if args.json:
+        print(json_module.dumps(
+            {"passed": all(r.passed for r in reports),
+             "scenarios": [r.to_dict() for r in reports]},
+            indent=1, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.summary())
+        failed = [r.name for r in reports if not r.passed]
+        verdict = (f"FAILED: {', '.join(failed)}" if failed
+                   else f"all {len(reports)} scenario(s) passed")
+        print(verdict)
+    return 0 if all(r.passed for r in reports) else 1
 
 
 def cmd_selftest(args: argparse.Namespace) -> int:
@@ -524,10 +571,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8080,
                    help="TCP port (0 picks a free one)")
     p.add_argument("--workers", type=int, default=4,
-                   help="build threads")
+                   help="build threads (or worker processes with "
+                        "--backend process)")
     p.add_argument("--queue-limit", type=int, default=64,
                    help="max queued-or-running requests before 503 "
                         "backpressure")
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread",
+                   help="'process' builds on supervised worker "
+                        "processes (deadlines, crash quarantine, "
+                        "claim-based cross-process single-flight); "
+                        "requires --cache-dir")
+    p.add_argument("--deadline-s", type=float, default=300.0,
+                   help="per-build wall-clock budget before a hung "
+                        "worker is killed (process backend)")
+    p.add_argument("--wal", default=None, metavar="FILE",
+                   help="journal every admitted request to this "
+                        "write-ahead log and replay unfinished ones "
+                        "on restart")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="back the server with this artifact store")
     p.add_argument("--cache-budget-mb", type=float, default=None,
@@ -538,6 +599,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="log each HTTP request")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the deterministic chaos scenarios against the "
+             "service tier (worker kills, hangs, torn publishes, "
+             "eviction races, ENOSPC, WAL replay)",
+    )
+    p.add_argument("--scenarios", nargs="+", default=["all"],
+                   metavar="NAME",
+                   help="scenario names, or 'all' (the default)")
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="scratch directory (default: a fresh "
+                        "temporary directory, removed afterwards)")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON report instead of text")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("selftest",
                        help="inject defects and run BIST/BISR")

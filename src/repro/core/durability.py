@@ -1,0 +1,44 @@
+"""Power-loss durability helpers.
+
+An ``fsync`` on a file makes its *bytes* durable; it does not make the
+file's *directory entry* durable.  After an atomic
+``tmp -> final`` rename, a power cut can therefore still lose the file
+(the data blocks survive, the name does not) unless the parent
+directory is fsynced too.  Every atomic-publish site in the repo — the
+artifact store, the campaign checkpoint journal, the service WAL —
+funnels through :func:`fsync_dir` after its rename.
+
+Must stay stdlib-only and import-light: it is pulled in from the
+lowest layers.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def fsync_dir(path) -> None:
+    """fsync a directory so renames/creates inside it survive power
+    loss.
+
+    Best-effort: platforms (and some filesystems) that cannot open a
+    directory for reading simply skip the sync — the rename is still
+    atomic, only its crash-durability window widens, which is the
+    pre-existing behaviour everywhere this helper is called.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_file(handle) -> None:
+    """Flush + fsync an open file handle (bytes, not directory entry)."""
+    handle.flush()
+    os.fsync(handle.fileno())

@@ -102,12 +102,37 @@ class ServiceUnavailable(ReproError):
     :class:`ReproError` — onto exit code 2.
 
     Attributes:
-        reason: ``"saturated"`` or ``"draining"``.
+        reason: ``"saturated"``, ``"draining"``, or ``"not_ready"``.
+        retry_after_s: server's advice on how long to back off before
+            retrying (the HTTP front-end sends it as ``Retry-After``).
     """
 
-    def __init__(self, message: str, reason: str = "saturated") -> None:
+    def __init__(self, message: str, reason: str = "saturated",
+                 retry_after_s: float = 1.0) -> None:
         super().__init__(message)
         self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class BuildCrashed(ReproError):
+    """A build request kept killing its worker process and was
+    quarantined as a poison config (or died with its crash budget
+    spent).
+
+    The process-pool build backend raises this instead of retrying
+    forever: a request that SIGKILLs/OOMs every worker it touches
+    must be isolated, not re-flown into a healthy pool.
+
+    Attributes:
+        key: the bundle key of the poisonous request.
+        crashes: worker deaths charged to it.
+    """
+
+    def __init__(self, message: str, key: str = "",
+                 crashes: int = 0) -> None:
+        super().__init__(message)
+        self.key = key
+        self.crashes = crashes
 
 
 class SignoffError(ReproError):

@@ -7,7 +7,10 @@
 * :mod:`~repro.runtime.journal` — the append-only JSONL checkpoint
   journal behind ``--checkpoint`` / ``--resume``,
 * :mod:`~repro.runtime.drivers` — the sharded workloads: Monte-Carlo
-  yield, supervised fault-injection repair, SPICE sizing sweeps.
+  yield, supervised fault-injection repair, SPICE sizing sweeps,
+* :mod:`~repro.runtime.supervision` — the reusable supervision
+  primitives (retry policy, crash blame, deadlines, pool teardown)
+  shared with the service tier's process-pool build backend.
 """
 
 from repro.runtime.journal import CheckpointJournal, fingerprint_digest
@@ -15,10 +18,16 @@ from repro.runtime.runner import (
     CampaignResult,
     CampaignRunner,
     CampaignSpec,
-    RetryPolicy,
     ShardOutcome,
     ShardSpec,
+)
+from repro.runtime.supervision import (
+    CrashBlame,
+    DeadlineTable,
+    DelayQueue,
+    RetryPolicy,
     classify_error,
+    terminate_pool,
 )
 
 __all__ = [
@@ -26,9 +35,13 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CheckpointJournal",
+    "CrashBlame",
+    "DeadlineTable",
+    "DelayQueue",
     "RetryPolicy",
     "ShardOutcome",
     "ShardSpec",
     "classify_error",
     "fingerprint_digest",
+    "terminate_pool",
 ]

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Dict, Mapping, Optional
 
 from repro.core.canonical import stable_digest
+from repro.core.durability import fsync_dir
 from repro.core.errors import ConfigError
 
 JOURNAL_VERSION = 1
@@ -83,6 +84,10 @@ class CheckpointJournal:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, self.path)
+            # The rename is atomic but not durable until the directory
+            # entry itself is synced; without this a power cut can lose
+            # the whole journal even though its bytes were fsynced.
+            fsync_dir(self.path.parent)
         self._handle = open(self.path, "a", encoding="utf-8")
         return prior
 

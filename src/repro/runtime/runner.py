@@ -38,7 +38,6 @@ structured result instead of dying:
 
 from __future__ import annotations
 
-import heapq
 import random
 import time
 from collections import Counter, deque
@@ -54,77 +53,24 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.core.errors import (
-    ConfigError,
-    RepairExhausted,
-    ReproError,
-    SpiceConvergenceError,
-)
+from repro.core.errors import ConfigError
 from repro.runtime.journal import CheckpointJournal, fingerprint_digest
 
-# ---------------------------------------------------------------------------
-# error taxonomy
-# ---------------------------------------------------------------------------
-
-_TAXONOMY = (
-    (ConfigError, "config"),
-    (SpiceConvergenceError, "convergence"),
-    (RepairExhausted, "repair_exhausted"),
-    (ReproError, "repro"),
-    (TimeoutError, "timeout"),
+# The supervision mechanics (retry policy, crash blame, scheduling,
+# pool teardown) are shared with the service tier's process-pool build
+# backend; re-exported here because this module was their first home.
+from repro.runtime.supervision import (  # noqa: F401 - re-exports
+    CrashBlame,
+    DeadlineTable,
+    DelayQueue,
+    RetryPolicy,
+    classify_error,
+    terminate_pool,
 )
 
-
-def classify_error(error: BaseException) -> str:
-    """Map an exception onto the campaign error taxonomy."""
-    for errtype, name in _TAXONOMY:
-        if isinstance(error, errtype):
-            return name
-    return "unexpected"
-
-
 # ---------------------------------------------------------------------------
-# specs and policies
+# specs
 # ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded retry with exponential backoff, per shard.
-
-    The same policy shape as
-    :class:`~repro.bisr.escalation.EscalationPolicy`, applied one level
-    up: attempts instead of test/repair cycles, seconds instead of
-    simulated maintenance cycles.
-
-    Attributes:
-        max_attempts: dispatches per shard before it is finalised as
-            failed (``config`` errors never retry — they are
-            deterministic misuse, not weather).
-        backoff_base: seconds waited before the second attempt.
-        backoff_factor: multiplier applied to the wait per attempt.
-        crash_retries: times a shard may take a worker down with it
-            before being quarantined.
-    """
-
-    max_attempts: int = 3
-    backoff_base: float = 0.05
-    backoff_factor: float = 2.0
-    crash_retries: int = 1
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ConfigError("max_attempts must be >= 1")
-        if self.backoff_base < 0 or self.backoff_factor < 1:
-            raise ConfigError(
-                "backoff_base must be >= 0 and backoff_factor >= 1"
-            )
-        if self.crash_retries < 0:
-            raise ConfigError("crash_retries must be >= 0")
-
-    def backoff_s(self, attempt: int) -> float:
-        """Seconds to wait after failed attempt number ``attempt``."""
-        return self.backoff_base * self.backoff_factor ** (attempt - 1)
 
 
 @dataclass(frozen=True)
@@ -430,12 +376,12 @@ class CampaignRunner:
 
     def _supervise(self, spec, children, todo, outcomes, journal) -> None:
         attempts = {i: 0 for i in todo}
-        crashes: Counter = Counter()
+        blame = CrashBlame(self.retry.crash_retries)
         pending = deque(todo)
-        delayed: List[Tuple[float, int]] = []  # (eligible_time, index)
+        delayed = DelayQueue()  # backoff: (eligible_time, index)
         solo = deque()  # crash suspects, re-flown one at a time
         in_flight: Dict[Future, int] = {}
-        deadlines: Dict[Future, float] = {}
+        deadlines = DeadlineTable()
         pool: Optional[ProcessPoolExecutor] = None
 
         def finalize(outcome: ShardOutcome) -> None:
@@ -449,7 +395,7 @@ class CampaignRunner:
                     and attempts[index] < self.retry.max_attempts):
                 eta = time.monotonic() \
                     + self.retry.backoff_s(attempts[index])
-                heapq.heappush(delayed, (eta, index))
+                delayed.push(eta, index)
             else:
                 finalize(ShardOutcome(
                     index=index, status="failed",
@@ -461,32 +407,19 @@ class CampaignRunner:
             # Guilt is ambiguous when several shards were in flight, so
             # every suspect is re-flown alone; only a shard that crashes
             # a worker while flying solo (or repeatedly) is quarantined.
-            for index in suspects:
-                crashes[index] += 1
-                if crashes[index] > self.retry.crash_retries:
-                    finalize(ShardOutcome(
-                        index=index, status="quarantined",
-                        attempts=attempts[index], taxonomy="crash",
-                        message=(f"worker died {crashes[index]} time(s) "
-                                 f"running this shard"),
-                    ))
-                else:
-                    solo.append(index)
+            quarantined, resuspects = blame.accuse(suspects)
+            for index in quarantined:
+                finalize(ShardOutcome(
+                    index=index, status="quarantined",
+                    attempts=attempts[index], taxonomy="crash",
+                    message=(f"worker died {blame.crashes(index)} "
+                             f"time(s) running this shard"),
+                ))
+            solo.extend(resuspects)
 
         def discard_pool() -> None:
             nonlocal pool
-            if pool is None:
-                return
-            # shutdown() alone leaves hung/killed workers running; the
-            # private-but-stable _processes map is the only way to
-            # reclaim them without abandoning ProcessPoolExecutor.
-            for process in list(getattr(pool, "_processes", {})
-                                .values() or []):
-                try:
-                    process.terminate()
-                except Exception:
-                    pass
-            pool.shutdown(wait=False, cancel_futures=True)
+            terminate_pool(pool)
             pool = None
 
         def submit(index: int) -> None:
@@ -509,13 +442,11 @@ class CampaignRunner:
                 return
             in_flight[future] = index
             if self.timeout_s is not None:
-                deadlines[future] = time.monotonic() + self.timeout_s
+                deadlines.arm(future, time.monotonic() + self.timeout_s)
 
         while pending or delayed or solo or in_flight:
             now = time.monotonic()
-            while delayed and delayed[0][0] <= now:
-                _, index = heapq.heappop(delayed)
-                pending.append(index)
+            pending.extend(delayed.pop_ready(now))
 
             # Fill execution slots.  Crash suspects fly strictly alone
             # so the next pool death identifies its killer.
@@ -527,9 +458,10 @@ class CampaignRunner:
                     submit(pending.popleft())
 
             if not in_flight:
-                if delayed:
-                    time.sleep(max(0.0, min(
-                        delayed[0][0] - time.monotonic(), self.poll_s)))
+                eta = delayed.next_eta()
+                if eta is not None:
+                    time.sleep(max(0.0, min(eta - time.monotonic(),
+                                            self.poll_s)))
                 continue
 
             done, _ = wait(list(in_flight), timeout=self.poll_s,
@@ -538,7 +470,7 @@ class CampaignRunner:
             suspects: List[int] = []
             for future in done:
                 index = in_flight.pop(future)
-                deadlines.pop(future, None)
+                deadlines.disarm(future)
                 try:
                     payload = future.result()
                 except BrokenExecutor:
@@ -574,8 +506,8 @@ class CampaignRunner:
 
             if self.timeout_s is not None and deadlines:
                 now = time.monotonic()
-                overdue = [f for f, eta in deadlines.items()
-                           if eta <= now and not f.done()]
+                overdue = [f for f in deadlines.overdue(now)
+                           if not f.done()]
                 if overdue:
                     # The only way to stop a hung worker is to kill the
                     # pool; innocents are requeued at the front (their

@@ -1,0 +1,236 @@
+"""Reusable supervision primitives for process-pool workloads.
+
+Two very different subsystems supervise CPU-bound work on worker
+processes: the batch :class:`~repro.runtime.runner.CampaignRunner`
+(finite shard sets, run to completion) and the long-lived
+:class:`~repro.service.backend.ProcessPoolBackend` behind the macro
+server (requests arrive forever).  Both need the same four mechanisms,
+so they live here, shape-agnostic:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff,
+  plus the crash-retry budget that separates "try again" from
+  "quarantine".
+* :class:`CrashBlame` — solo-reflight crash accounting.  When a worker
+  process dies, every task in flight is a *suspect*; suspects are
+  re-flown alone so the next death identifies its killer, and a task
+  that exceeds its crash budget is quarantined — it can never take a
+  pool down again.
+* :class:`DelayQueue` / :class:`DeadlineTable` — backoff scheduling
+  and per-task wall-clock deadlines (a hung worker cannot be joined;
+  it has to be found and killed).
+* :func:`terminate_pool` — the only reliable way to stop hung or
+  half-dead ``ProcessPoolExecutor`` workers.
+
+Also home to :func:`classify_error`, the error-taxonomy mapper the
+campaign journal and the service WAL both persist.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.errors import (
+    ConfigError,
+    RepairExhausted,
+    ReproError,
+    SpiceConvergenceError,
+)
+
+# ---------------------------------------------------------------------------
+# error taxonomy
+# ---------------------------------------------------------------------------
+
+_TAXONOMY = (
+    (ConfigError, "config"),
+    (SpiceConvergenceError, "convergence"),
+    (RepairExhausted, "repair_exhausted"),
+    (ReproError, "repro"),
+    (TimeoutError, "timeout"),
+    (OSError, "io"),
+)
+
+
+def classify_error(error: BaseException) -> str:
+    """Map an exception onto the supervision error taxonomy."""
+    for errtype, name in _TAXONOMY:
+        if isinstance(error, errtype):
+            return name
+    return "unexpected"
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff, per task.
+
+    The same policy shape as
+    :class:`~repro.bisr.escalation.EscalationPolicy`, applied one level
+    up: attempts instead of test/repair cycles, seconds instead of
+    simulated maintenance cycles.
+
+    Attributes:
+        max_attempts: dispatches per task before it is finalised as
+            failed (``config`` errors never retry — they are
+            deterministic misuse, not weather).
+        backoff_base: seconds waited before the second attempt.
+        backoff_factor: multiplier applied to the wait per attempt.
+        crash_retries: times a task may take a worker down with it
+            before being quarantined.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    crash_retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ConfigError(
+                "backoff_base must be >= 0 and backoff_factor >= 1"
+            )
+        if self.crash_retries < 0:
+            raise ConfigError("crash_retries must be >= 0")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt number ``attempt``."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+# ---------------------------------------------------------------------------
+# crash blame
+# ---------------------------------------------------------------------------
+
+
+class CrashBlame:
+    """Solo-reflight crash accounting shared by runner and backend.
+
+    When a pool breaks, guilt is ambiguous — several tasks were in
+    flight.  :meth:`accuse` charges every suspect one crash and splits
+    them into *quarantined* (budget exceeded; never dispatch again)
+    and *suspects* (re-fly, but strictly alone, so the next death has
+    exactly one candidate killer).
+
+    Not thread-safe by itself; callers hold their own lock.
+    """
+
+    def __init__(self, crash_retries: int) -> None:
+        if crash_retries < 0:
+            raise ConfigError("crash_retries must be >= 0")
+        self.crash_retries = crash_retries
+        self._crashes: Counter = Counter()
+        self._quarantined: set = set()
+
+    def accuse(self, keys) -> Tuple[List[Hashable], List[Hashable]]:
+        """Charge each key one crash; -> (quarantined, solo_suspects)."""
+        quarantined: List[Hashable] = []
+        suspects: List[Hashable] = []
+        for key in keys:
+            self._crashes[key] += 1
+            if self._crashes[key] > self.crash_retries:
+                self._quarantined.add(key)
+                quarantined.append(key)
+            else:
+                suspects.append(key)
+        return quarantined, suspects
+
+    def crashes(self, key: Hashable) -> int:
+        """How many worker deaths this key has been charged with."""
+        return self._crashes[key]
+
+    def is_quarantined(self, key: Hashable) -> bool:
+        return key in self._quarantined
+
+    @property
+    def quarantined(self) -> frozenset:
+        return frozenset(self._quarantined)
+
+
+# ---------------------------------------------------------------------------
+# scheduling helpers
+# ---------------------------------------------------------------------------
+
+
+class DelayQueue:
+    """Tasks waiting out their backoff, ordered by eligibility time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._tiebreak = 0  # heap stability for equal etas
+
+    def push(self, eligible_at: float, item: Hashable) -> None:
+        self._tiebreak += 1
+        heapq.heappush(self._heap, (eligible_at, self._tiebreak, item))
+
+    def pop_ready(self, now: float) -> List[Hashable]:
+        """Every item whose eligibility time has arrived, in order."""
+        ready: List[Hashable] = []
+        while self._heap and self._heap[0][0] <= now:
+            ready.append(heapq.heappop(self._heap)[2])
+        return ready
+
+    def next_eta(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class DeadlineTable:
+    """Per-token wall-clock deadlines (token is any hashable; the
+    runner uses futures, the backend uses request keys)."""
+
+    def __init__(self) -> None:
+        self._deadlines: Dict[Hashable, float] = {}
+
+    def arm(self, token: Hashable, deadline: float) -> None:
+        self._deadlines[token] = deadline
+
+    def disarm(self, token: Hashable) -> None:
+        self._deadlines.pop(token, None)
+
+    def overdue(self, now: float) -> List[Hashable]:
+        return [t for t, eta in self._deadlines.items() if eta <= now]
+
+    def clear(self) -> None:
+        self._deadlines.clear()
+
+    def __len__(self) -> int:
+        return len(self._deadlines)
+
+    def __bool__(self) -> bool:
+        return bool(self._deadlines)
+
+
+# ---------------------------------------------------------------------------
+# pool teardown
+# ---------------------------------------------------------------------------
+
+
+def terminate_pool(pool) -> None:
+    """Terminate a ``ProcessPoolExecutor`` and its workers, hung ones
+    included.
+
+    ``shutdown()`` alone leaves hung/killed workers running; the
+    private-but-stable ``_processes`` map is the only way to reclaim
+    them without abandoning ``ProcessPoolExecutor``.
+    """
+    if pool is None:
+        return
+    for process in list(getattr(pool, "_processes", {}).values() or []):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)

@@ -9,6 +9,13 @@
 * :mod:`~repro.service.server` — the concurrent macro server:
   thread-pool builds, single-flight dedup, bounded-queue
   backpressure, latency metrics, graceful drain,
+* :mod:`~repro.service.backend` — the supervised multi-process build
+  backend: per-request deadlines, crash blame and quarantine,
+  claim-file cross-process single-flight,
+* :mod:`~repro.service.wal` — the request-lifecycle write-ahead log
+  that lets a killed server replay unfinished requests on restart,
+* :mod:`~repro.service.chaos` — deterministic fault injection and
+  the recovery scenarios behind ``repro chaos``,
 * :mod:`~repro.service.http` — the stdlib HTTP front-end behind
   ``repro serve`` and the matching :class:`ServiceClient`.
 """
@@ -43,15 +50,38 @@ __all__ = [
     "ServiceClient",
     "make_http_server",
     "serve_forever_in_thread",
+    "ProcessPoolBackend",
+    "BuildResult",
+    "RequestLog",
+    "ChaosPlan",
+    "ChaosSpec",
+    "run_scenario",
+    "run_scenarios",
 ]
+
+#: Lazily imported names -> home module (keeps
+#: `from repro.service import ArtifactStore` light: http pulls in the
+#: march registry + HTTP stack, backend pulls in multiprocessing,
+#: chaos pulls in both).
+_LAZY = {
+    "ServiceClient": "repro.service.http",
+    "make_http_server": "repro.service.http",
+    "serve_forever_in_thread": "repro.service.http",
+    "ProcessPoolBackend": "repro.service.backend",
+    "BuildResult": "repro.service.backend",
+    "RequestLog": "repro.service.wal",
+    "ChaosPlan": "repro.service.chaos",
+    "ChaosSpec": "repro.service.chaos",
+    "run_scenario": "repro.service.chaos",
+    "run_scenarios": "repro.service.chaos",
+}
 
 
 def __getattr__(name):
-    # http pulls in the march registry + HTTP stack; import lazily so
-    # `from repro.service import ArtifactStore` stays light.
-    if name in ("ServiceClient", "make_http_server",
-                "serve_forever_in_thread"):
-        from repro.service import http as _http
-        return getattr(_http, name)
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
+
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}")

@@ -10,12 +10,17 @@ The wire format is deliberately small and stdlib-only:
 * ``GET /stats`` — the server's JSON metrics (latency percentiles,
   hit/build/coalesce/reject counts, store + stage-cache stats).
 * ``GET /healthz`` — liveness + drain state.
+* ``GET /readyz`` — readiness: 503 while the server is still
+  replaying its WAL backlog from a crashed predecessor (it *serves*
+  during replay — readiness is for load balancers deciding where to
+  send fresh traffic).
 
 Status codes: 400 for a bad request (unknown config field, bad march
 notation — anything :class:`~repro.core.errors.ConfigError`), 422 for
 a build that failed strict signoff, 503 when backpressure or draining
-rejects the request (clients should retry with backoff), 500 for the
-unexpected.
+rejects the request, 500 for the unexpected.  Every 503 carries a
+``Retry-After`` header (seconds); :class:`ServiceClient` honors it
+with bounded, jittered backoff instead of failing fast.
 
 :class:`ServiceClient` is the matching stdlib client the campaign
 runtime and the benchmarks use.
@@ -25,7 +30,9 @@ from __future__ import annotations
 
 import base64
 import json
+import random
 import threading
+import time
 from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
@@ -91,13 +98,23 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict,
+               headers: Optional[dict] = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _reply_unavailable(self, error: ServiceUnavailable) -> None:
+        self._reply(503, {
+            "error": str(error),
+            "reason": error.reason,
+            "retry_after_s": error.retry_after_s,
+        }, headers={"Retry-After": f"{error.retry_after_s:g}"})
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         if self.path == "/stats":
@@ -107,6 +124,13 @@ class _Handler(BaseHTTPRequestHandler):
                 "status": "draining" if self.macro_server.draining
                 else "ok",
             })
+        elif self.path == "/readyz":
+            if self.macro_server.ready:
+                self._reply(200, {"status": "ready"})
+            else:
+                self._reply_unavailable(ServiceUnavailable(
+                    "still replaying the write-ahead log",
+                    reason="not_ready", retry_after_s=2.0))
         else:
             self._reply(404, {"error": f"no such endpoint {self.path}"})
 
@@ -144,8 +168,7 @@ class _Handler(BaseHTTPRequestHandler):
             response = self.macro_server.compile(
                 config, march, signoff=signoff)
         except ServiceUnavailable as error:
-            self._reply(503, {"error": str(error),
-                              "reason": error.reason})
+            self._reply_unavailable(error)
         except SignoffError as error:
             self._reply(422, {"error": str(error),
                               "failure_class": error.failure_class,
@@ -195,16 +218,30 @@ class ServiceClient:
     The small helper the campaign runtime and benchmarks use; every
     method opens one connection (the server is thread-per-request, so
     keep-alive buys nothing at this scale).
+
+    A 503 (backpressure, drain, replay) is retried up to ``retries``
+    times, sleeping the server's ``Retry-After`` advice — capped at
+    ``backoff_cap_s`` and jittered up to +25% so a herd of rejected
+    clients does not return in lockstep — before giving up with
+    :class:`ServiceUnavailable`.  ``retries=0`` restores fail-fast.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 timeout_s: float = 600.0) -> None:
+                 timeout_s: float = 600.0, retries: int = 3,
+                 backoff_cap_s: float = 5.0) -> None:
+        if retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if backoff_cap_s <= 0:
+            raise ConfigError("backoff_cap_s must be positive")
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_cap_s = backoff_cap_s
 
     def _request(self, method: str, path: str,
-                 body: Optional[dict] = None) -> Tuple[int, dict]:
+                 body: Optional[dict] = None,
+                 ) -> Tuple[int, dict, dict]:
         connection = HTTPConnection(self.host, self.port,
                                     timeout=self.timeout_s)
         try:
@@ -216,9 +253,20 @@ class ServiceClient:
             connection.request(method, path, body=payload,
                                headers=headers)
             reply = connection.getresponse()
-            return reply.status, json.loads(reply.read() or b"{}")
+            return (reply.status, json.loads(reply.read() or b"{}"),
+                    dict(reply.headers.items()))
         finally:
             connection.close()
+
+    def _backoff_s(self, headers: dict, payload: dict) -> float:
+        """The server's Retry-After advice, capped and jittered."""
+        try:
+            advice = float(headers.get(
+                "Retry-After", payload.get("retry_after_s", 1.0)))
+        except (TypeError, ValueError):
+            advice = 1.0
+        delay = max(0.0, min(advice, self.backoff_cap_s))
+        return delay + random.uniform(0.0, 0.25 * delay)
 
     def compile(self, config: RamConfig, march: str = "IFA-9",
                 signoff: Optional[str] = None,
@@ -226,22 +274,29 @@ class ServiceClient:
         """Compile via the server; returns the JSON payload.
 
         Raises:
-            ServiceUnavailable: on 503 (backpressure / draining).
+            ServiceUnavailable: 503 with every retry exhausted.
             ConfigError: on 400.
             ReproError: on any other non-200.
         """
-        status, payload = self._request("POST", "/compile", {
+        body = {
             "config": config.to_dict(),
             "march": march,
             "signoff": signoff,
             "include": list(include),
-        })
+        }
+        for attempt in range(self.retries + 1):
+            status, payload, headers = self._request(
+                "POST", "/compile", body)
+            if status != 503 or attempt >= self.retries:
+                break
+            time.sleep(self._backoff_s(headers, payload))
         if status == 200:
             return payload
         message = payload.get("error", f"HTTP {status}")
         if status == 503:
             raise ServiceUnavailable(
-                message, reason=payload.get("reason", "saturated"))
+                message, reason=payload.get("reason", "saturated"),
+                retry_after_s=float(payload.get("retry_after_s", 1.0)))
         if status == 400:
             raise ConfigError(message)
         raise ReproError(message)
@@ -257,13 +312,19 @@ class ServiceClient:
                 f"(pass it via include=)") from None
 
     def stats(self) -> dict:
-        status, payload = self._request("GET", "/stats")
+        status, payload, _ = self._request("GET", "/stats")
         if status != 200:
             raise ReproError(payload.get("error", f"HTTP {status}"))
         return payload
 
     def healthz(self) -> dict:
-        status, payload = self._request("GET", "/healthz")
+        status, payload, _ = self._request("GET", "/healthz")
         if status != 200:
             raise ReproError(payload.get("error", f"HTTP {status}"))
+        return payload
+
+    def readyz(self) -> dict:
+        """Readiness payload; ``{"status": "ready"}`` once WAL replay
+        is done, the 503 body (with ``reason``) while it is not."""
+        _, payload, _ = self._request("GET", "/readyz")
         return payload

@@ -31,7 +31,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.bist.march import IFA_9, MarchTest
+from repro.bist.march import IFA_9, MarchTest, parse_march
 from repro.core.config import RamConfig
 from repro.core.errors import ConfigError, ServiceUnavailable
 from repro.core.stages import StageCache
@@ -78,9 +78,16 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
 
 
 def latency_summary(latencies: Sequence[float]) -> dict:
-    """p50/p90/p99/max/mean summary of a latency sample, in seconds."""
+    """p50/p90/p99/max/mean summary of a latency sample, in seconds.
+
+    An empty sample returns every key zeroed rather than a bare
+    ``{"count": 0}``: consumers (dashboards, the bench harness, tests)
+    index ``p50_s`` unconditionally, and scraping ``/stats`` before the
+    first request completes must not crash them.
+    """
     if not latencies:
-        return {"count": 0}
+        return {"count": 0, "mean_s": 0.0, "p50_s": 0.0,
+                "p90_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
     ordered = sorted(latencies)
     return {
         "count": len(ordered),
@@ -108,6 +115,18 @@ class MacroServer:
         builder: the cached-compile callable, signature-compatible
             with :func:`repro.service.bundle.compile_cached`
             (injectable for tests and benchmarks).
+        backend: optional
+            :class:`~repro.service.backend.ProcessPoolBackend`; when
+            given, builds run on supervised worker *processes* (the
+            thread pool then only coordinates), warm store hits are
+            still served from this process, and the server owns the
+            backend's shutdown.  Mutually exclusive with ``builder``.
+        wal: optional :class:`~repro.service.wal.RequestLog`; when
+            given, every admitted request is journaled before its
+            build starts, and requests left pending by a crashed
+            predecessor are replayed in the background at startup
+            (the server serves normally while replaying; ``ready``
+            flips true when the backlog drains).
     """
 
     def __init__(
@@ -117,17 +136,23 @@ class MacroServer:
         queue_limit: int = 64,
         stage_cache: Optional[StageCache] = None,
         builder: Optional[Callable] = None,
+        backend=None,
+        wal=None,
     ) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
         if queue_limit < 1:
             raise ConfigError("queue_limit must be >= 1")
+        if builder is not None and backend is not None:
+            raise ConfigError(
+                "builder and backend are mutually exclusive")
         self.store = store
         self.workers = workers
         self.queue_limit = queue_limit
         self.stage_cache = stage_cache if stage_cache is not None \
             else StageCache()
         self._builder = builder or compile_cached
+        self._backend = backend
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="macroserver")
         # Reentrant: done-callbacks registered under the lock can fire
@@ -146,6 +171,20 @@ class MacroServer:
         self._rejected = 0
         self._failures = 0
         self._started = time.monotonic()
+        # -- write-ahead log + crash recovery --
+        self._wal = wal
+        self._wal_replayed = 0
+        self._wal_replay_failures = 0
+        self._ready = threading.Event()
+        self._replay_thread: Optional[threading.Thread] = None
+        backlog = self._wal.open() if self._wal is not None else []
+        if backlog:
+            self._replay_thread = threading.Thread(
+                target=self._replay, args=(backlog,),
+                name="macroserver-wal-replay", daemon=True)
+            self._replay_thread.start()
+        else:
+            self._ready.set()
 
     # -- request path -------------------------------------------------------
 
@@ -179,11 +218,22 @@ class MacroServer:
                     f"({self.queue_limit} request(s) queued or "
                     f"running); retry later", reason="saturated")
             self._admitted += 1
+            request_id = None
+            if self._wal is not None:
+                # Journaled (and fsynced) before any work is
+                # dispatched: an admitted request survives a kill.
+                request_id = self._wal.admit(
+                    key=key, config=config.to_dict(),
+                    march_name=march.name,
+                    march_notation=str(march), signoff=signoff)
             future: "Future[CompileResponse]" = self._pool.submit(
                 self._run, key, config, march, signoff)
             self._inflight[key] = future
             future.add_done_callback(
                 lambda f, key=key: self._retire(key, f))
+            if request_id is not None:
+                future.add_done_callback(
+                    lambda f, rid=request_id: self._wal_done(rid, f))
             self._observe_request(future, t_submit)
             return future
 
@@ -205,6 +255,8 @@ class MacroServer:
             self._draining = True
             inflight = list(self._inflight.values())
         if drain:
+            if self._replay_thread is not None:
+                self._replay_thread.join()
             for future in inflight:
                 try:
                     future.result()
@@ -213,6 +265,10 @@ class MacroServer:
             self._pool.shutdown(wait=True)
         else:
             self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._backend is not None:
+            self._backend.shutdown()
+        if self._wal is not None:
+            self._wal.close()
 
     def __enter__(self) -> "MacroServer":
         return self
@@ -226,6 +282,19 @@ class MacroServer:
     def draining(self) -> bool:
         return self._draining
 
+    @property
+    def ready(self) -> bool:
+        """False while a WAL replay backlog is still being rebuilt.
+
+        A not-ready server still serves requests (warm store hits
+        especially); readiness is load-balancer advice, not a gate.
+        """
+        return self._ready.is_set()
+
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until WAL replay has drained; True when ready."""
+        return self._ready.wait(timeout)
+
     def stats(self) -> dict:
         """JSON-serializable server + store + stage-cache metrics."""
         with self._lock:
@@ -234,6 +303,7 @@ class MacroServer:
                 "workers": self.workers,
                 "queue_limit": self.queue_limit,
                 "draining": self._draining,
+                "ready": self.ready,
                 "inflight": len(self._inflight),
                 "requests": self._requests,
                 "builds": self._builds,
@@ -246,6 +316,14 @@ class MacroServer:
                 "build_latency": latency_summary(self._build_latencies),
                 "stage_cache": self.stage_cache.stats(),
             }
+            if self._wal is not None:
+                data["wal"] = {
+                    "replayed": self._wal_replayed,
+                    "replay_failures": self._wal_replay_failures,
+                    "pending": len(self._wal.pending()),
+                }
+        if self._backend is not None:
+            data["backend"] = self._backend.stats_dict()
         if self.store is not None:
             data["store"] = self.store.stats.to_dict()
         return data
@@ -256,9 +334,13 @@ class MacroServer:
              signoff: Optional[str]) -> CompileResponse:
         t0 = time.monotonic()
         try:
-            artifacts, hit, _ = self._builder(
-                config, march, signoff=signoff, store=self.store,
-                stage_cache=self.stage_cache)
+            if self._backend is not None:
+                artifacts, hit = self._backend_build(
+                    key, config, march, signoff)
+            else:
+                artifacts, hit, _ = self._builder(
+                    config, march, signoff=signoff, store=self.store,
+                    stage_cache=self.stage_cache)
         except Exception:
             with self._lock:
                 self._failures += 1
@@ -274,6 +356,60 @@ class MacroServer:
             key=key, cached=hit, elapsed_s=elapsed,
             artifacts=artifacts,
         )
+
+    def _backend_build(self, key, config, march, signoff):
+        """Build via the process backend; warm hits stay in-process.
+
+        The store read is integrity-checked, so a torn or evicted
+        entry falls through to the backend, which rebuilds it.
+        """
+        if self.store is not None:
+            cached = self.store.get(key)
+            if cached is not None:
+                return cached, True
+        result = self._backend.build(key, config, march,
+                                     signoff=signoff)
+        return result.artifacts, result.cached
+
+    def _replay(self, backlog) -> None:
+        """Re-execute requests a dead predecessor admitted but never
+        finished.  Runs once, in the background, off the request pool
+        (replay must not eat queue_limit slots); the server serves
+        normally throughout.  Idempotent: content addressing turns
+        already-published work into store hits."""
+        for record in backlog:
+            status = "failed"
+            try:
+                config = RamConfig.from_dict(record["config"])
+                march = parse_march(record["march_name"],
+                                    record["march_notation"])
+                self._run(record["key"], config, march,
+                          record.get("signoff"))
+                status = "ok"
+            except Exception:
+                # A request that cannot replay (config rejected by a
+                # newer validator, signoff now failing) is retired as
+                # failed: replaying it forever would be a crash loop.
+                with self._lock:
+                    self._wal_replay_failures += 1
+            if status == "ok":
+                with self._lock:
+                    self._wal_replayed += 1
+            try:
+                self._wal.done(record["id"], status)
+            except Exception:
+                pass  # bookkeeping only; never kill the replay loop
+        self._ready.set()
+
+    def _wal_done(self, request_id: str, future: Future) -> None:
+        try:
+            status = "ok" if future.exception() is None else "failed"
+        except Exception:  # cancelled during a non-drain shutdown
+            status = "failed"
+        try:
+            self._wal.done(request_id, status)
+        except Exception:
+            pass  # a full disk must not break the response path
 
     def _retire(self, key: str, future: Future) -> None:
         with self._lock:

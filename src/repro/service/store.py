@@ -26,7 +26,17 @@ Guarantees:
 * **LRU eviction** — an optional byte budget; least-recently-used
   bundles are dropped first (access order is tracked in-process and
   falls back to manifest mtimes for entries created by other
-  processes).
+  processes).  Eviction unlinks the manifest *first*, so a concurrent
+  reader in another process observes a clean miss, never a
+  half-deleted bundle.
+* **Crash durability** — after the publish rename the parent
+  directories are fsynced, so a power cut cannot lose the directory
+  entry of a bundle whose bytes were already durable.
+* **Claims** — per-digest claim files (``claims/<key>.claim``,
+  created with ``O_EXCL``) give builders multi-process single-flight:
+  one worker builds, the rest wait for the publish.  A claim whose
+  owning pid is dead, or older than its staleness budget, can be
+  broken and adopted — a crashed builder never wedges its digest.
 * **Observability** — :class:`StoreStats` counts hits, misses,
   writes, evictions, corruption events, and current footprint, all
   JSON-serializable for the server's ``/stats`` endpoint.
@@ -39,11 +49,14 @@ import itertools
 import json
 import os
 import shutil
+import socket
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
+from repro.core.durability import fsync_dir
 from repro.core.errors import ConfigError
 
 MANIFEST = "manifest.json"
@@ -123,8 +136,10 @@ class ArtifactStore:
         self.byte_budget = byte_budget
         self._objects = self.root / "objects"
         self._staging = self.root / "tmp"
+        self._claims = self.root / "claims"
         self._objects.mkdir(parents=True, exist_ok=True)
         self._staging.mkdir(parents=True, exist_ok=True)
+        self._claims.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._stats = StoreStats(byte_budget=byte_budget)
         #: In-process access ordering (monotone counter per key); the
@@ -134,6 +149,31 @@ class ArtifactStore:
         self._access_clock = itertools.count(1)
 
     # -- public API ---------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """Whether a published entry exists (no integrity check, no
+        hit/miss accounting) — the cheap existence probe builders use
+        while waiting on another process's publish."""
+        self._check_key(key)
+        return (self._entry_dir(key) / MANIFEST).is_file()
+
+    def verify(self, key: str) -> bool:
+        """Integrity-check one bundle without returning its bytes.
+
+        A corrupt or torn entry is deleted (and counted) exactly as in
+        :meth:`get`, so a False answer means "gone; rebuild".  Neither
+        outcome counts as a hit or a miss.
+        """
+        self._check_key(key)
+        with self._lock:
+            entry = self._entry_dir(key)
+            manifest_path = entry / MANIFEST
+            if not manifest_path.is_file():
+                return False
+            if self._verified_read(key, entry, manifest_path) is None:
+                self._stats.corrupt += 1
+                return False
+            return True
 
     def get(self, key: str) -> Optional[Dict[str, bytes]]:
         """The bundle for ``key``, or None (miss *or* corruption).
@@ -206,6 +246,11 @@ class ArtifactStore:
                     # byte-identical by construction.
                     shutil.rmtree(staged, ignore_errors=True)
                     return False
+                # Artifact bytes are fsynced above; syncing the parent
+                # directories makes the *entry* survive power loss too
+                # (the rename alone does not).
+                fsync_dir(final.parent)
+                fsync_dir(self._objects)
             except Exception:
                 shutil.rmtree(staged, ignore_errors=True)
                 raise
@@ -221,8 +266,7 @@ class ArtifactStore:
         with self._lock:
             entry = self._entry_dir(key)
             existed = entry.exists()
-            shutil.rmtree(entry, ignore_errors=True)
-            self._access.pop(key, None)
+            self._remove_entry(key, entry)
             return existed
 
     def keys(self) -> List[str]:
@@ -234,6 +278,80 @@ class ArtifactStore:
         """Summed artifact bytes across published bundles."""
         with self._lock:
             return sum(e.size for e in self._scan())
+
+    # -- claims: multi-process single-flight --------------------------------
+
+    def try_claim(self, key: str, stale_s: float = 120.0) -> bool:
+        """Try to become the builder for ``key``; True on success.
+
+        The claim is a file created with ``O_EXCL`` — the atomic
+        cross-process mutex — recording owner pid, host, and wall
+        time.  A claim is *stale* (and silently broken, then re-taken)
+        when its owning pid no longer exists on this host or it is
+        older than ``stale_s``: a builder that died mid-compile must
+        never wedge its digest forever.
+        """
+        self._check_key(key)
+        if stale_s <= 0:
+            raise ConfigError("stale_s must be positive")
+        path = self._claim_path(key)
+        for _ in range(2):  # second try after breaking a stale claim
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+            except FileExistsError:
+                holder = self.claim_holder(key)
+                if holder is not None and not self._claim_stale(
+                        holder, stale_s):
+                    return False
+                # Stale (or unreadable) claim: break it and re-race.
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump({"pid": os.getpid(),
+                           "host": socket.gethostname(),
+                           "time": time.time(), "key": key}, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            return True
+        return False
+
+    def release_claim(self, key: str) -> None:
+        """Drop this process's claim (idempotent; unowned is a no-op)."""
+        self._check_key(key)
+        try:
+            os.unlink(self._claim_path(key))
+        except OSError:
+            pass
+
+    def claim_holder(self, key: str) -> Optional[dict]:
+        """The claim record for ``key``, or None (no claim / torn)."""
+        self._check_key(key)
+        try:
+            return json.loads(self._claim_path(key).read_text("utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _claim_path(self, key: str) -> Path:
+        return self._claims / f"{key}.claim"
+
+    @staticmethod
+    def _claim_stale(holder: dict, stale_s: float) -> bool:
+        age = time.time() - holder.get("time", 0.0)
+        if age > stale_s:
+            return True
+        pid = holder.get("pid")
+        if (holder.get("host") == socket.gethostname()
+                and isinstance(pid, int)):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True  # owner died; adopt immediately
+            except OSError:
+                pass  # e.g. EPERM: pid exists but is not ours
+        return False
 
     @property
     def stats(self) -> StoreStats:
@@ -323,7 +441,22 @@ class ArtifactStore:
         for entry in entries:
             if total <= self.byte_budget:
                 break
-            shutil.rmtree(entry.path, ignore_errors=True)
-            self._access.pop(entry.key, None)
+            self._remove_entry(entry.key, entry.path)
             total -= entry.size
             self._stats.evictions += 1
+
+    def _remove_entry(self, key: str, entry: Path) -> None:
+        """Drop a bundle manifest-first.
+
+        The manifest's presence is what marks an entry published, so
+        unlinking it before the artifacts turns a concurrent reader's
+        view into a clean miss; deleting artifacts first would let a
+        reader load the manifest and then find bytes missing —
+        indistinguishable from corruption.
+        """
+        try:
+            os.unlink(entry / MANIFEST)
+        except OSError:
+            pass
+        shutil.rmtree(entry, ignore_errors=True)
+        self._access.pop(key, None)

@@ -1,0 +1,180 @@
+"""Tests for the supervised process-pool build backend."""
+
+import threading
+
+import pytest
+
+from repro.bist.march import IFA_9
+from repro.core.config import RamConfig
+from repro.core.errors import (
+    BuildCrashed,
+    ConfigError,
+    ServiceUnavailable,
+)
+from repro.core.errors import ReproError
+from repro.runtime.supervision import RetryPolicy
+from repro.service.backend import ProcessPoolBackend
+from repro.service.bundle import build_bundle, bundle_key
+from repro.service.chaos import ChaosPlan, ChaosSpec
+from repro.service.store import ArtifactStore
+
+CFG = RamConfig(words=64, bpw=8, bpc=4, strap_every=8)
+KEY = bundle_key(CFG, IFA_9)
+
+
+def make_backend(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("deadline_s", 120.0)
+    kwargs.setdefault("poll_s", 0.01)
+    return ProcessPoolBackend(ArtifactStore(tmp_path / "store"),
+                              **kwargs)
+
+
+class TestBuildPath:
+    def test_cold_build_publishes_and_serves(self, tmp_path):
+        with make_backend(tmp_path) as backend:
+            result = backend.build(KEY, CFG, IFA_9)
+            assert result.source == "built"
+            assert result.cached is False
+            assert result.attempts == 1
+            assert backend.store.verify(KEY)
+            assert result.artifacts == build_bundle(CFG, IFA_9)
+
+    def test_second_build_is_a_store_hit(self, tmp_path):
+        with make_backend(tmp_path) as backend:
+            first = backend.build(KEY, CFG, IFA_9)
+            second = backend.build(KEY, CFG, IFA_9)
+            assert second.cached is True
+            assert second.source == "store"
+            assert second.artifacts == first.artifacts
+            assert backend.stats.builds == 1
+            assert backend.stats.store_hits == 1
+
+    def test_artifacts_never_cross_the_pickle_boundary(self, tmp_path):
+        """The parent reads the store, so the store must hold the
+        bytes the caller got (not a pickled copy)."""
+        with make_backend(tmp_path) as backend:
+            result = backend.build(KEY, CFG, IFA_9)
+            assert backend.store.get(KEY) == result.artifacts
+
+    def test_config_error_propagates_without_retry(self, tmp_path):
+        with make_backend(tmp_path) as backend:
+            with pytest.raises(ConfigError, match="signoff policy"):
+                backend.build(bundle_key(CFG, IFA_9, "bogus"), CFG,
+                              IFA_9, signoff="bogus")
+            assert backend.stats.retries == 0
+
+    def test_store_is_mandatory(self):
+        with pytest.raises(ConfigError, match="store"):
+            ProcessPoolBackend(None)
+
+
+class TestSupervision:
+    def test_worker_kill_is_retried_solo_and_recovers(self, tmp_path):
+        plan = ChaosPlan(ChaosSpec("kill", "pre_build"))
+        with make_backend(tmp_path, chaos=plan) as backend:
+            result = backend.build(KEY, CFG, IFA_9)
+            assert result.artifacts == build_bundle(CFG, IFA_9)
+            assert backend.stats.crashes == 1
+            assert KEY not in backend.quarantined_keys
+
+    def test_repeat_killer_is_quarantined(self, tmp_path):
+        plan = ChaosPlan(ChaosSpec("kill", "spawn"), fail_times=10)
+        with make_backend(tmp_path, chaos=plan) as backend:
+            with pytest.raises(BuildCrashed) as excinfo:
+                backend.build(KEY, CFG, IFA_9)
+            assert excinfo.value.key == KEY
+            assert excinfo.value.crashes == 2  # crash_retries=1, then out
+            assert KEY in backend.quarantined_keys
+            # Quarantine is sticky: the next attempt fails fast,
+            # without touching another worker.
+            crashes_before = backend.stats.crashes
+            with pytest.raises(BuildCrashed):
+                backend.build(KEY, CFG, IFA_9)
+            assert backend.stats.crashes == crashes_before
+
+    def test_hung_worker_hits_deadline_then_recovers(self, tmp_path):
+        plan = ChaosPlan(ChaosSpec("hang", "pre_build", hang_s=60.0))
+        with make_backend(tmp_path, chaos=plan,
+                          deadline_s=2.0) as backend:
+            result = backend.build(KEY, CFG, IFA_9)
+            assert backend.stats.timeouts == 1
+            assert result.artifacts == build_bundle(CFG, IFA_9)
+
+    def test_transient_io_failure_is_retried(self, tmp_path):
+        plan = ChaosPlan(ChaosSpec("enospc", "pre_publish"))
+        with make_backend(tmp_path, chaos=plan) as backend:
+            result = backend.build(KEY, CFG, IFA_9)
+            assert backend.stats.retries >= 1
+            assert result.attempts == 2
+            assert backend.store.verify(KEY)
+
+    def test_retries_exhaust_into_repro_error(self, tmp_path):
+        plan = ChaosPlan(ChaosSpec("enospc", "pre_publish"),
+                         fail_times=99)
+        retry = RetryPolicy(max_attempts=2, backoff_base=0.01)
+        with make_backend(tmp_path, chaos=plan,
+                          retry=retry) as backend:
+            with pytest.raises(ReproError, match=r"\[io\]"):
+                backend.build(KEY, CFG, IFA_9)
+
+    def test_shutdown_refuses_new_builds(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.shutdown()
+        with pytest.raises(ServiceUnavailable, match="shut down"):
+            backend.build(KEY, CFG, IFA_9)
+
+
+class TestCrossProcessSingleFlight:
+    def test_two_backends_sharing_a_store_build_once(self, tmp_path):
+        """Two backends over one store root (two server processes in
+        real life): the claim file lets exactly one build, the other
+        waits for the publish."""
+        store_a = ArtifactStore(tmp_path / "store")
+        store_b = ArtifactStore(tmp_path / "store")
+        backend_a = ProcessPoolBackend(store_a, workers=1,
+                                       poll_s=0.01)
+        backend_b = ProcessPoolBackend(store_b, workers=1,
+                                       poll_s=0.01)
+        results = {}
+
+        def run(name, backend):
+            results[name] = backend.build(KEY, CFG, IFA_9)
+
+        threads = [
+            threading.Thread(target=run, args=("a", backend_a)),
+            threading.Thread(target=run, args=("b", backend_b)),
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300.0)
+        finally:
+            backend_a.shutdown()
+            backend_b.shutdown()
+        assert set(results) == {"a", "b"}
+        assert results["a"].artifacts == results["b"].artifacts
+        # Exactly one compile happened across both backends; the
+        # other request found the publish (waiting on the claim, or
+        # arriving after it).
+        sources = sorted(r.source for r in results.values())
+        assert sources.count("built") == 1
+        assert sources[1] in ("store", "waited") or \
+            sources[0] in ("store", "waited")
+
+    def test_dead_claim_holder_is_adopted(self, tmp_path):
+        """A claim owned by a dead pid must not wedge the digest."""
+        import json
+        import socket
+        import time
+
+        store = ArtifactStore(tmp_path / "store")
+        # Fake a claim from a process that no longer exists.
+        store._claim_path(KEY).write_text(json.dumps({
+            "pid": 999999999, "host": socket.gethostname(),
+            "time": time.time(), "key": KEY}), "utf-8")
+        with ProcessPoolBackend(store, workers=1,
+                                poll_s=0.01) as backend:
+            result = backend.build(KEY, CFG, IFA_9)
+            assert result.source == "built"

@@ -194,7 +194,12 @@ class TestMetrics:
         assert summary["p50_s"] == 0.2
         assert summary["max_s"] == 0.3
         assert summary["mean_s"] == pytest.approx(0.2)
-        assert latency_summary([]) == {"count": 0}
+        empty = latency_summary([])
+        # Full shape even with no samples: /stats consumers index
+        # p50_s unconditionally and must not crash on a fresh server.
+        assert empty["count"] == 0
+        assert set(empty) == set(summary)
+        assert all(value == 0 for value in empty.values())
 
     def test_stats_track_store_hits(self, tmp_path):
         store = ArtifactStore(tmp_path)
@@ -300,3 +305,144 @@ class _UnvalidatedConfig:
 
     def to_dict(self):
         return {"words": 63, "bpw": 8, "bpc": 4}
+
+
+class TestHttpRobustness:
+    @pytest.fixture()
+    def stack(self, tmp_path):
+        from repro.service.http import (
+            ServiceClient,
+            make_http_server,
+            serve_forever_in_thread,
+        )
+
+        server = MacroServer(store=ArtifactStore(tmp_path), workers=2)
+        httpd = make_http_server(server, port=0)
+        serve_forever_in_thread(httpd)
+        host, port = httpd.server_address[:2]
+        yield server, ServiceClient(host, port)
+        httpd.shutdown()
+        httpd.server_close()
+        server.shutdown()
+
+    def test_readyz_reports_ready(self, stack):
+        _, client = stack
+        assert client.readyz() == {"status": "ready"}
+
+    def test_readyz_503_while_replaying(self, stack):
+        server, client = stack
+        server._ready.clear()  # simulate an in-progress WAL replay
+        try:
+            status, payload, headers = client._request(
+                "GET", "/readyz")
+            assert status == 503
+            assert payload["reason"] == "not_ready"
+            assert float(headers["Retry-After"]) > 0
+        finally:
+            server._ready.set()
+        assert client.readyz() == {"status": "ready"}
+
+    def test_compile_503_carries_retry_after(self, stack):
+        server, client = stack
+        server.shutdown(drain=True)  # draining rejects everything
+        status, payload, headers = client._request(
+            "POST", "/compile", {"config": CFG.to_dict()})
+        assert status == 503
+        assert payload["reason"] == "draining"
+        assert "Retry-After" in headers
+        assert payload["retry_after_s"] > 0
+
+    def test_client_gives_up_with_retry_after_attached(self, stack):
+        from repro.service.http import ServiceClient
+
+        server, client = stack
+        server.shutdown(drain=True)
+        fast = ServiceClient(client.host, client.port, retries=1,
+                             backoff_cap_s=0.01)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            fast.compile(CFG)
+        assert excinfo.value.reason == "draining"
+        assert excinfo.value.retry_after_s > 0
+
+    def test_client_honors_retry_after_backoff(self, monkeypatch):
+        """Two 503s, then success: the client must sleep the server's
+        (capped) Retry-After advice between attempts."""
+        from repro.service import http as http_module
+        from repro.service.http import ServiceClient
+
+        replies = [
+            (503, {"error": "busy", "reason": "saturated",
+                   "retry_after_s": 2.0}, {"Retry-After": "2"}),
+            (503, {"error": "busy", "reason": "saturated",
+                   "retry_after_s": 2.0}, {"Retry-After": "2"}),
+            (200, {"key": "k", "cached": False}, {}),
+        ]
+        slept = []
+        client = ServiceClient("127.0.0.1", 1, retries=3,
+                               backoff_cap_s=0.5)
+        monkeypatch.setattr(
+            client, "_request",
+            lambda method, path, body=None: replies.pop(0))
+        monkeypatch.setattr(http_module.time, "sleep", slept.append)
+        payload = client.compile(CFG)
+        assert payload == {"key": "k", "cached": False}
+        assert len(slept) == 2
+        for delay in slept:
+            # Capped at backoff_cap_s, jittered at most +25%.
+            assert 0.5 <= delay <= 0.625
+
+    def test_client_fail_fast_mode_never_sleeps(self, monkeypatch):
+        from repro.service import http as http_module
+        from repro.service.http import ServiceClient
+
+        client = ServiceClient("127.0.0.1", 1, retries=0)
+        monkeypatch.setattr(
+            client, "_request",
+            lambda method, path, body=None:
+                (503, {"error": "busy", "reason": "saturated"}, {}))
+        slept = []
+        monkeypatch.setattr(http_module.time, "sleep", slept.append)
+        with pytest.raises(ServiceUnavailable):
+            client.compile(CFG)
+        assert slept == []
+
+    def test_client_validates_retry_settings(self):
+        from repro.service.http import ServiceClient
+
+        with pytest.raises(ConfigError):
+            ServiceClient(retries=-1)
+        with pytest.raises(ConfigError):
+            ServiceClient(backoff_cap_s=0)
+
+
+class TestProcessBackendServer:
+    def test_server_over_process_backend(self, tmp_path):
+        from repro.service.backend import ProcessPoolBackend
+
+        store = ArtifactStore(tmp_path)
+        backend = ProcessPoolBackend(store, workers=2, poll_s=0.01)
+        server = MacroServer(store=store, workers=2, backend=backend)
+        try:
+            first = server.compile(CFG)
+            second = server.compile(CFG)
+            assert first.cached is False
+            assert second.cached is True
+            assert second.artifacts == first.artifacts
+            stats = server.stats()
+            assert stats["backend"]["builds"] == 1
+            assert stats["builds"] == 1
+            assert stats["store_hits"] == 1
+        finally:
+            server.shutdown()
+
+    def test_builder_and_backend_are_exclusive(self, tmp_path):
+        from repro.service.backend import ProcessPoolBackend
+
+        store = ArtifactStore(tmp_path)
+        backend = ProcessPoolBackend(store, workers=1)
+        try:
+            with pytest.raises(ConfigError, match="exclusive"):
+                MacroServer(store=store, builder=lambda *a, **k: None,
+                            backend=backend)
+        finally:
+            backend.shutdown()

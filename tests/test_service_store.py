@@ -181,3 +181,147 @@ class TestStats:
         assert stats["byte_budget"] == 10_000
         assert stats["hit_rate"] == 0.5
         json.dumps(stats)  # must stay JSON-serializable
+
+
+class TestContainsAndVerify:
+    def test_contains_is_accounting_free(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.contains(KEY_A) is False
+        store.put(KEY_A, BUNDLE)
+        assert store.contains(KEY_A) is True
+        assert store.stats.hits == 0
+        assert store.stats.misses == 0
+
+    def test_verify_passes_a_clean_entry(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, BUNDLE)
+        assert store.verify(KEY_A) is True
+        assert store.stats.hits == 0
+
+    def test_verify_deletes_a_torn_entry(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, BUNDLE)
+        entry = store._entry_dir(KEY_A)
+        (entry / "macro.cif").write_bytes(b"truncated")
+        assert store.verify(KEY_A) is False
+        assert store.stats.corrupt == 1
+        assert store.contains(KEY_A) is False  # entry deleted
+
+
+class TestClaims:
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.try_claim(KEY_A) is True
+        assert store.try_claim(KEY_A) is False
+        store.release_claim(KEY_A)
+        assert store.try_claim(KEY_A) is True
+
+    def test_claim_records_its_holder(self, tmp_path):
+        import os
+
+        store = ArtifactStore(tmp_path)
+        store.try_claim(KEY_A)
+        holder = store.claim_holder(KEY_A)
+        assert holder["pid"] == os.getpid()
+        assert holder["key"] == KEY_A
+
+    def test_stale_claim_by_age_is_broken(self, tmp_path):
+        import json as json_module
+        import socket
+        import time
+
+        store = ArtifactStore(tmp_path)
+        store._claim_path(KEY_A).write_text(json_module.dumps({
+            "pid": 999999999, "host": socket.gethostname(),
+            "time": time.time() - 3600.0, "key": KEY_A}), "utf-8")
+        assert store.try_claim(KEY_A, stale_s=1.0) is True
+
+    def test_dead_pid_claim_is_broken_immediately(self, tmp_path):
+        import json as json_module
+        import socket
+        import time
+
+        store = ArtifactStore(tmp_path)
+        store._claim_path(KEY_A).write_text(json_module.dumps({
+            "pid": 999999999, "host": socket.gethostname(),
+            "time": time.time(), "key": KEY_A}), "utf-8")
+        assert store.try_claim(KEY_A, stale_s=3600.0) is True
+
+    def test_live_foreign_claim_is_respected(self, tmp_path):
+        import json as json_module
+        import os
+        import socket
+        import time
+
+        store = ArtifactStore(tmp_path)
+        store._claim_path(KEY_A).write_text(json_module.dumps({
+            "pid": os.getpid(), "host": socket.gethostname(),
+            "time": time.time(), "key": KEY_A}), "utf-8")
+        assert store.try_claim(KEY_A, stale_s=3600.0) is False
+
+    def test_release_unowned_claim_is_a_no_op(self, tmp_path):
+        ArtifactStore(tmp_path).release_claim(KEY_A)
+
+    def test_bad_stale_budget_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="stale_s"):
+            ArtifactStore(tmp_path).try_claim(KEY_A, stale_s=0)
+
+
+class TestEvictionRaces:
+    def test_publish_racing_eviction_of_same_digest(self, tmp_path):
+        """A reader hammering one digest while a second store instance
+        (a second process, in real life) publishes and evicts it must
+        only ever see a clean hit with correct bytes or a clean miss."""
+        import threading
+
+        size = sum(len(v) for v in BUNDLE.values())
+        reader_store = ArtifactStore(tmp_path)
+        writer_store = ArtifactStore(tmp_path,
+                                     byte_budget=int(size * 1.5))
+        writer_store.put(KEY_A, BUNDLE)
+        other = {"macro.cif": b"z" * size}
+        wrong = []
+        reads = 0
+        stop = threading.Event()
+
+        def hammer():
+            nonlocal reads
+            while not stop.is_set():
+                got = reader_store.get(KEY_A)
+                reads += 1
+                if got is not None and got != BUNDLE:
+                    wrong.append(got)
+
+        thread = threading.Thread(target=hammer, daemon=True)
+        thread.start()
+        try:
+            for _ in range(50):
+                writer_store.put(KEY_B, other)  # overflows the budget
+                writer_store.delete(KEY_B)
+                writer_store.put(KEY_A, BUNDLE)
+        finally:
+            stop.set()
+            thread.join(timeout=30.0)
+        assert reads > 0
+        assert wrong == []
+        writer_store.put(KEY_A, BUNDLE)
+        assert reader_store.get(KEY_A) == BUNDLE
+
+    def test_eviction_is_manifest_first(self, tmp_path):
+        """Deleting unlinks the manifest before the artifact bytes, so
+        a concurrent reader sees a miss, never a half-entry."""
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, BUNDLE)
+        entry = store._entry_dir(KEY_A)
+        removed = []
+        original_unlink = __import__("os").unlink
+
+        def spying_unlink(path, *args, **kwargs):
+            removed.append(str(path))
+            return original_unlink(path, *args, **kwargs)
+
+        import unittest.mock as mock
+        with mock.patch("repro.service.store.os.unlink",
+                        side_effect=spying_unlink):
+            store.delete(KEY_A)
+        assert removed[0] == str(entry / MANIFEST)

@@ -1,0 +1,122 @@
+"""Tests for the shared supervision primitives (repro.runtime)."""
+
+import pytest
+
+from repro.core.errors import (
+    ConfigError,
+    RepairExhausted,
+    ReproError,
+    SpiceConvergenceError,
+)
+from repro.runtime.supervision import (
+    CrashBlame,
+    DeadlineTable,
+    DelayQueue,
+    RetryPolicy,
+    classify_error,
+    terminate_pool,
+)
+
+
+class TestClassifyError:
+    def test_taxonomy_mapping(self):
+        assert classify_error(ConfigError("x")) == "config"
+        assert classify_error(SpiceConvergenceError("x")) == \
+            "convergence"
+        assert classify_error(RepairExhausted("x")) == \
+            "repair_exhausted"
+        assert classify_error(ReproError("x")) == "repro"
+        assert classify_error(KeyError("x")) == "unexpected"
+
+    def test_timeout_wins_over_io(self):
+        """TimeoutError subclasses OSError since 3.10; the taxonomy
+        must classify it as a timeout, not generic io."""
+        assert classify_error(TimeoutError("x")) == "timeout"
+        assert classify_error(OSError("x")) == "io"
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(crash_retries=-1)
+
+
+class TestCrashBlame:
+    def test_suspects_within_budget_refly(self):
+        blame = CrashBlame(crash_retries=1)
+        quarantined, suspects = blame.accuse(["a", "b"])
+        assert quarantined == []
+        assert suspects == ["a", "b"]
+        assert blame.crashes("a") == 1
+        assert not blame.is_quarantined("a")
+
+    def test_budget_exceeded_quarantines(self):
+        blame = CrashBlame(crash_retries=1)
+        blame.accuse(["a"])
+        quarantined, suspects = blame.accuse(["a"])
+        assert quarantined == ["a"]
+        assert suspects == []
+        assert blame.is_quarantined("a")
+        assert blame.quarantined == frozenset(["a"])
+
+    def test_zero_budget_quarantines_on_first_crash(self):
+        blame = CrashBlame(crash_retries=0)
+        quarantined, _ = blame.accuse(["a"])
+        assert quarantined == ["a"]
+
+
+class TestScheduling:
+    def test_delay_queue_orders_by_eta(self):
+        queue = DelayQueue()
+        queue.push(5.0, "late")
+        queue.push(1.0, "early")
+        queue.push(3.0, "middle")
+        assert queue.next_eta() == 1.0
+        assert queue.pop_ready(3.5) == ["early", "middle"]
+        assert len(queue) == 1
+        assert queue.pop_ready(10.0) == ["late"]
+        assert not queue
+        assert queue.next_eta() is None
+
+    def test_delay_queue_is_stable_for_equal_etas(self):
+        queue = DelayQueue()
+        for item in ("first", "second", "third"):
+            queue.push(1.0, item)
+        assert queue.pop_ready(1.0) == ["first", "second", "third"]
+
+    def test_deadline_table(self):
+        table = DeadlineTable()
+        table.arm("a", 10.0)
+        table.arm("b", 20.0)
+        assert table.overdue(15.0) == ["a"]
+        table.disarm("a")
+        assert table.overdue(15.0) == []
+        assert len(table) == 1
+        table.clear()
+        assert not table
+
+
+class TestTerminatePool:
+    def test_none_is_a_no_op(self):
+        terminate_pool(None)
+
+    def test_terminates_live_workers(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=1)
+        pool.submit(sum, (1, 2)).result()  # force a worker to spawn
+        processes = list(pool._processes.values())
+        terminate_pool(pool)
+        for process in processes:
+            process.join(timeout=10.0)
+            assert not process.is_alive()
