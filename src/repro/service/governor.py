@@ -1,0 +1,202 @@
+"""Admission control under resource pressure.
+
+A macro server that admits work until the disk is full dies with
+``ENOSPC`` mid-publish; one that admits until the kernel OOM-kills a
+worker dies with a crash-blame storm.  The governor inverts both
+failure modes into *backpressure before the cliff*:
+
+* It samples the **free bytes on the store volume** and the **resident
+  set size** of the server process plus its build workers, at most
+  once per ``sample_interval_s`` (the probes are cheap but not free,
+  and admission sits on the request hot path).
+* Below ``disk_reserve_bytes`` free — or above ``rss_limit_bytes``
+  resident — the state is **shedding**: the server refuses new builds
+  with 503 + ``Retry-After`` while the pressure lasts.  Shedding is
+  recoverable by waiting (evictions, finished builds, freed memory),
+  which is exactly what ``Retry-After`` tells clients to do.
+* Below ``disk_floor_bytes`` free (default: a quarter of the reserve)
+  the state is **read_only**: the disk budget is exhausted, and even
+  WAL appends are a risk — the server stops *all* writes and degrades
+  to serving artifact-store hits only, so warm traffic survives a
+  full volume untouched.
+
+States are ordered ``admitting < shedding < read_only``; transitions
+are counted for ``/stats``.  Probes are injectable (``disk_probe``,
+``rss_probe``) so tests and the chaos harness can replay pressure
+curves deterministically instead of actually filling disks.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+from repro.core.errors import ConfigError
+
+#: Governor states, in increasing severity.
+GOVERNOR_STATES = ("admitting", "shedding", "read_only")
+
+
+def rss_bytes(pid: Optional[int] = None) -> Optional[int]:
+    """Resident set size of one process in bytes, or None (no /proc,
+    pid gone, permission).  ``pid=None`` means this process."""
+    target = "self" if pid is None else str(pid)
+    try:
+        with open(f"/proc/{target}/status", "rb") as handle:
+            for raw in handle:
+                if raw.startswith(b"VmRSS:"):
+                    return int(raw.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+class ResourceGovernor:
+    """Samples resource headroom and renders an admission verdict.
+
+    Args:
+        path: a directory on the volume to watch (the artifact store
+            root); free-space probes run against it.
+        disk_reserve_bytes: shed new builds when free space drops
+            below this.  None disables disk-pressure shedding.
+        disk_floor_bytes: flip to read-only-serve-hits below this
+            (default ``disk_reserve_bytes // 4``) — the last-ditch
+            budget where even journal appends must stop.
+        rss_limit_bytes: shed when the server + worker RSS exceeds
+            this.  None disables memory shedding.
+        sample_interval_s: minimum seconds between probe runs; 0
+            samples on every :meth:`state` call (tests).
+        retry_after_s: the backoff advice attached to shed rejections.
+        disk_probe: optional ``() -> int`` free-bytes override.
+        rss_probe: optional ``() -> Optional[int]`` total-RSS override.
+        worker_pids: optional ``() -> Iterable[int]`` (e.g.
+            ``ProcessPoolBackend.worker_pids``) folded into the
+            default RSS probe so build workers count against the
+            memory budget too.
+    """
+
+    def __init__(
+        self,
+        path,
+        disk_reserve_bytes: Optional[int] = None,
+        disk_floor_bytes: Optional[int] = None,
+        rss_limit_bytes: Optional[int] = None,
+        sample_interval_s: float = 1.0,
+        retry_after_s: float = 5.0,
+        disk_probe: Optional[Callable[[], int]] = None,
+        rss_probe: Optional[Callable[[], Optional[int]]] = None,
+        worker_pids: Optional[Callable[[], Iterable[int]]] = None,
+    ) -> None:
+        for name, value in (("disk_reserve_bytes", disk_reserve_bytes),
+                            ("disk_floor_bytes", disk_floor_bytes),
+                            ("rss_limit_bytes", rss_limit_bytes)):
+            if value is not None and value < 1:
+                raise ConfigError(f"{name} must be positive (or None)")
+        if sample_interval_s < 0:
+            raise ConfigError("sample_interval_s must be >= 0")
+        if retry_after_s <= 0:
+            raise ConfigError("retry_after_s must be positive")
+        if (disk_floor_bytes is not None and disk_reserve_bytes is not None
+                and disk_floor_bytes > disk_reserve_bytes):
+            raise ConfigError(
+                "disk_floor_bytes must not exceed disk_reserve_bytes "
+                "(the floor is the harder limit)")
+        self.path = Path(path)
+        self.disk_reserve_bytes = disk_reserve_bytes
+        self.disk_floor_bytes = disk_floor_bytes
+        if disk_floor_bytes is None and disk_reserve_bytes is not None:
+            self.disk_floor_bytes = max(1, disk_reserve_bytes // 4)
+        self.rss_limit_bytes = rss_limit_bytes
+        self.sample_interval_s = sample_interval_s
+        self.retry_after_s = retry_after_s
+        self._disk_probe = disk_probe
+        self._rss_probe = rss_probe
+        self._worker_pids = worker_pids
+        self._lock = threading.Lock()
+        self._state = "admitting"
+        self._sampled_at: Optional[float] = None
+        self._free_bytes: Optional[int] = None
+        self._rss_bytes: Optional[int] = None
+        self._transitions = 0
+
+    # -- the verdict --------------------------------------------------------
+
+    def state(self) -> str:
+        """The current admission state, resampling when due."""
+        with self._lock:
+            now = time.monotonic()
+            if (self._sampled_at is None
+                    or now - self._sampled_at >= self.sample_interval_s):
+                self._sample_locked()
+                self._sampled_at = now
+            return self._state
+
+    def refresh(self) -> str:
+        """Force a probe run regardless of the interval."""
+        with self._lock:
+            self._sample_locked()
+            self._sampled_at = time.monotonic()
+            return self._state
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot for ``/stats`` (does not probe:
+        operators see exactly what admissions last saw)."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "free_disk_bytes": self._free_bytes,
+                "rss_bytes": self._rss_bytes,
+                "disk_reserve_bytes": self.disk_reserve_bytes,
+                "disk_floor_bytes": self.disk_floor_bytes,
+                "rss_limit_bytes": self.rss_limit_bytes,
+                "retry_after_s": self.retry_after_s,
+                "transitions": self._transitions,
+            }
+
+    # -- internals ----------------------------------------------------------
+
+    def _sample_locked(self) -> None:
+        free = self._probe_disk()
+        rss = self._probe_rss()
+        state = "admitting"
+        if free is not None and self.disk_reserve_bytes is not None:
+            if free < self.disk_floor_bytes:
+                state = "read_only"
+            elif free < self.disk_reserve_bytes:
+                state = "shedding"
+        if (state == "admitting" and rss is not None
+                and self.rss_limit_bytes is not None
+                and rss > self.rss_limit_bytes):
+            state = "shedding"
+        if state != self._state:
+            self._transitions += 1
+        self._state = state
+        self._free_bytes = free
+        self._rss_bytes = rss
+
+    def _probe_disk(self) -> Optional[int]:
+        if self._disk_probe is not None:
+            return int(self._disk_probe())
+        if self.disk_reserve_bytes is None:
+            return None  # nothing to compare against; skip the stat
+        probe = self.path if self.path.exists() else self.path.parent
+        try:
+            return shutil.disk_usage(probe).free
+        except OSError:
+            return None  # unknowable headroom must not wedge serving
+
+    def _probe_rss(self) -> Optional[int]:
+        if self._rss_probe is not None:
+            return self._rss_probe()
+        if self.rss_limit_bytes is None:
+            return None
+        total = rss_bytes()
+        if self._worker_pids is not None:
+            for pid in self._worker_pids():
+                worker = rss_bytes(pid)
+                if worker is not None:
+                    total = (total or 0) + worker
+        return total

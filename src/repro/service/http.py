@@ -7,23 +7,44 @@ The wire format is deliberately small and stdlib-only:
   the bundle manifest (per-artifact sha256 + size), the parsed
   datasheet/area payloads, and — for names listed in ``include`` —
   the artifact bytes, base64-encoded.
+* ``POST /compile_batch`` — body ``{"items": [{"config": {...},
+  "march": "IFA-9", "signoff": null}, ...], "include": [...]}``.
+  Responds 200 with ``Content-Type: application/x-ndjson`` and
+  **streams one JSON line per item as it completes** (out of order;
+  each line carries the item's ``index``), ending with a
+  ``{"done": true, "items": N, "ok": a, "failed": b}`` sentinel.
+  Per-item failures are lines with ``status: "failed"`` and a
+  ``kind`` (``config`` / ``signoff`` / ``crashed`` / ``unavailable``
+  / ``build``) — one poison config never fails the batch.  A batch
+  larger than the server's ``batch_limit`` is refused whole with 413.
+* ``POST /admin/drain`` — begin a graceful drain + lease handoff;
+  responds 202 immediately (drain finishes in the background).
+* ``GET /artifact/<key>/<name>`` — raw artifact bytes from the store
+  (octet-stream; 404 on a miss).
 * ``GET /stats`` — the server's JSON metrics (latency percentiles,
-  hit/build/coalesce/reject counts, store + stage-cache stats).
-* ``GET /healthz`` — liveness + drain state.
+  hit/build/coalesce/reject counts, per-endpoint counters, governor
+  and lease state, store + stage-cache stats).
+* ``GET /healthz`` — liveness + drain state + role + governor state.
 * ``GET /readyz`` — readiness: 503 while the server is still
   replaying its WAL backlog from a crashed predecessor (it *serves*
   during replay — readiness is for load balancers deciding where to
   send fresh traffic).
 
+Every response carries ``X-Served-By: primary|standby`` so clients
+(and the failover smoke test) can see who answered.
+
 Status codes: 400 for a bad request (unknown config field, bad march
-notation — anything :class:`~repro.core.errors.ConfigError`), 422 for
-a build that failed strict signoff, 503 when backpressure or draining
-rejects the request, 500 for the unexpected.  Every 503 carries a
-``Retry-After`` header (seconds); :class:`ServiceClient` honors it
-with bounded, jittered backoff instead of failing fast.
+notation — anything :class:`~repro.core.errors.ConfigError`), 413 for
+an oversized batch, 422 for a build that failed strict signoff, 503
+when backpressure, resource pressure, or draining rejects the
+request, 500 for the unexpected.  Every 503 carries a ``Retry-After``
+header (seconds); :class:`ServiceClient` honors it with bounded,
+jittered backoff instead of failing fast.
 
 :class:`ServiceClient` is the matching stdlib client the campaign
-runtime and the benchmarks use.
+runtime and the benchmarks use.  It takes a ``failover`` list of
+alternate endpoints and rotates onto them when a connection is
+refused or reset — the transparent-failover half of the HA story.
 """
 
 from __future__ import annotations
@@ -33,14 +54,16 @@ import json
 import random
 import threading
 import time
+from concurrent.futures import as_completed
 from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.bist.march import MarchTest, parse_march
 from repro.bist import ALL_TESTS
 from repro.core.config import RamConfig
 from repro.core.errors import (
+    BuildCrashed,
     ConfigError,
     ReproError,
     ServiceUnavailable,
@@ -104,6 +127,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Served-By", self.macro_server.role)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -120,9 +144,13 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/stats":
             self._reply(200, self.macro_server.stats())
         elif self.path == "/healthz":
+            governor = self.macro_server.governor
             self._reply(200, {
                 "status": "draining" if self.macro_server.draining
                 else "ok",
+                "role": self.macro_server.role,
+                "governor": (governor.state() if governor is not None
+                             else "admitting"),
             })
         elif self.path == "/readyz":
             if self.macro_server.ready:
@@ -131,17 +159,35 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply_unavailable(ServiceUnavailable(
                     "still replaying the write-ahead log",
                     reason="not_ready", retry_after_s=2.0))
+        elif self.path.startswith("/artifact/"):
+            self._handle_artifact()
         else:
             self._reply(404, {"error": f"no such endpoint {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
-        if self.path != "/compile":
+        if self.path == "/compile":
+            self.macro_server.count_endpoint("compile")
+            try:
+                self._handle_compile()
+            finally:
+                self._count_request()
+        elif self.path == "/compile_batch":
+            self.macro_server.count_endpoint("compile_batch")
+            try:
+                self._handle_batch()
+            finally:
+                self._count_request()
+        elif self.path == "/admin/drain":
+            # Drain blocks until in-flight builds finish; answer 202
+            # now and let it run — /healthz flips to "draining" and
+            # the lease release is the observable completion signal.
+            threading.Thread(target=self.macro_server.drain,
+                             name="macroserver-drain",
+                             daemon=True).start()
+            self._reply(202, {"status": "draining",
+                              "role": self.macro_server.role})
+        else:
             self._reply(404, {"error": f"no such endpoint {self.path}"})
-            return
-        try:
-            self._handle_compile()
-        finally:
-            self._count_request()
 
     def _count_request(self) -> None:
         """Stop the serve loop after ``max_requests`` compiles (CI)."""
@@ -183,6 +229,137 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(200, compile_payload(response, include))
 
+    def _handle_batch(self) -> None:
+        """``POST /compile_batch``: admit N items, stream NDJSON."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            request = json.loads(self.rfile.read(length) or b"{}")
+            items = request.get("items")
+            include = tuple(request.get("include", ()))
+        except (ValueError, json.JSONDecodeError) as error:
+            self._reply(400, {"error": f"{type(error).__name__}: "
+                                       f"{error}"})
+            return
+        if not isinstance(items, list) or not items:
+            self._reply(400, {"error": "the body must carry a "
+                                       "non-empty 'items' list"})
+            return
+        limit = self.macro_server.batch_limit
+        if len(items) > limit:
+            self._reply(413, {
+                "error": f"batch of {len(items)} item(s) exceeds the "
+                         f"batch limit of {limit}; split it",
+                "limit": limit,
+            })
+            return
+        # Parse everything up front: items that do not even parse get
+        # failure lines; the rest are admitted as one batch.
+        parsed = []  # (index, config, march, signoff)
+        error_lines = []
+        for index, item in enumerate(items):
+            try:
+                if not isinstance(item, dict):
+                    raise ConfigError(
+                        "each batch item must be a JSON object")
+                config = RamConfig.from_dict(item.get("config", {}))
+                march = resolve_march(item.get("march", "IFA-9"))
+                parsed.append((index, config, march,
+                               item.get("signoff")))
+            except (ConfigError, ReproError, ValueError,
+                    KeyError) as error:
+                error_lines.append({
+                    "index": index, "status": "failed",
+                    "kind": "config",
+                    "error": f"{type(error).__name__}: {error}"})
+        outcomes = self.macro_server.submit_batch(
+            [(config, march, signoff)
+             for _, config, march, signoff in parsed])
+        # Coalesced items share one future; fan results back out by
+        # index so every requested item gets exactly one line.
+        futures: dict = {}  # id(future) -> (future, [indexes])
+        for (index, _c, _m, _s), (tag, value) in zip(parsed,
+                                                     outcomes):
+            if tag == "future":
+                entry = futures.setdefault(id(value), (value, []))
+                entry[1].append(index)
+                continue
+            line = {"index": index, "status": "failed",
+                    "error": str(value)}
+            if isinstance(value, ServiceUnavailable):
+                line["kind"] = "unavailable"
+                line["reason"] = value.reason
+                line["retry_after_s"] = value.retry_after_s
+            else:
+                line["kind"] = "config"
+            error_lines.append(line)
+        # HTTP/1.0 stream-until-close: no Content-Length; the client
+        # reads NDJSON lines until the done sentinel.
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("X-Served-By", self.macro_server.role)
+        self.end_headers()
+        ok = failed = 0
+        try:
+            for line in error_lines:
+                failed += 1
+                self._write_line(line)
+            for future in as_completed(
+                    [f for f, _ in futures.values()]):
+                _, indexes = futures[id(future)]
+                try:
+                    response = future.result()
+                except Exception as error:
+                    kind = ("crashed" if isinstance(error, BuildCrashed)
+                            else "signoff"
+                            if isinstance(error, SignoffError)
+                            else "unavailable"
+                            if isinstance(error, ServiceUnavailable)
+                            else "build")
+                    for index in indexes:
+                        failed += 1
+                        self._write_line({
+                            "index": index, "status": "failed",
+                            "kind": kind,
+                            "error": f"{type(error).__name__}: "
+                                     f"{error}"})
+                else:
+                    payload = compile_payload(response, include)
+                    for index in indexes:
+                        ok += 1
+                        self._write_line({"index": index,
+                                          "status": "ok", **payload})
+            self._write_line({"done": True, "items": len(items),
+                              "ok": ok, "failed": failed})
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the client went away mid-stream; nothing to do
+
+    def _write_line(self, record: dict) -> None:
+        self.wfile.write(
+            json.dumps(record, sort_keys=True).encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+    def _handle_artifact(self) -> None:
+        """``GET /artifact/<key>/<name>``: raw bytes from the store."""
+        self.macro_server.count_endpoint("artifact")
+        parts = self.path.split("/", 3)  # ["", "artifact", key, name]
+        if len(parts) != 4 or not parts[2] or not parts[3]:
+            self._reply(400, {"error": "use /artifact/<key>/<name>"})
+            return
+        key, name = parts[2], parts[3]
+        store = self.macro_server.store
+        artifacts = store.get(key) if store is not None else None
+        if artifacts is None or name not in artifacts:
+            self._reply(404, {"error": f"no artifact {name!r} under "
+                                       f"key {key[:16]}"})
+            return
+        data = artifacts[name]
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Served-By", self.macro_server.role)
+        self.end_headers()
+        self.wfile.write(data)
+
 
 def make_http_server(macro_server: MacroServer, host: str = "127.0.0.1",
                      port: int = 0, verbose: bool = False,
@@ -223,12 +400,17 @@ class ServiceClient:
     times, sleeping the server's ``Retry-After`` advice — capped at
     ``backoff_cap_s`` and jittered up to +25% so a herd of rejected
     clients does not return in lockstep — before giving up with
-    :class:`ServiceUnavailable`.  ``retries=0`` restores fail-fast.
+    :class:`ServiceUnavailable`.  A **refused or reset connection**
+    (server restarting, primary killed) is retried with the same
+    bounded jittered backoff, rotating through ``failover`` endpoints
+    so a promoted standby picks up the traffic transparently.
+    ``retries=0`` restores fail-fast.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
                  timeout_s: float = 600.0, retries: int = 3,
-                 backoff_cap_s: float = 5.0) -> None:
+                 backoff_cap_s: float = 5.0,
+                 failover: Sequence[Tuple[str, int]] = ()) -> None:
         if retries < 0:
             raise ConfigError("retries must be >= 0")
         if backoff_cap_s <= 0:
@@ -238,23 +420,70 @@ class ServiceClient:
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_cap_s = backoff_cap_s
+        self.endpoints = [(host, port)] + [
+            (str(h), int(p)) for h, p in failover]
+        self._endpoint_index = 0
+
+    def _open_stream(self, method: str, path: str,
+                     body: Optional[dict] = None):
+        """Issue one request; return ``(status, reply, connection,
+        headers)`` with the response body left unread (the batch
+        endpoint streams it).  Connection-level failures — refused,
+        reset, broken pipe — rotate to the next endpoint and retry
+        with bounded jittered backoff; exhaustion raises
+        :class:`ServiceUnavailable` (reason ``unreachable``).
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            endpoint = self.endpoints[self._endpoint_index]
+            try:
+                return self._attempt(endpoint, method, path, body)
+            except (ConnectionResetError, ConnectionRefusedError,
+                    BrokenPipeError) as error:
+                last_error = error
+                # A dead endpoint stays dead for a while; try the
+                # next one first on the following attempt.
+                self._endpoint_index = (
+                    (self._endpoint_index + 1) % len(self.endpoints))
+                if attempt >= self.retries:
+                    break
+                delay = min(0.05 * (2 ** attempt), self.backoff_cap_s)
+                time.sleep(delay + random.uniform(0.0, 0.25 * delay))
+        raise ServiceUnavailable(
+            f"no endpoint answered {method} {path} after "
+            f"{self.retries + 1} attempt(s) across "
+            f"{len(self.endpoints)} endpoint(s): {last_error}",
+            reason="unreachable")
+
+    def _attempt(self, endpoint: Tuple[str, int], method: str,
+                 path: str, body: Optional[dict]):
+        """One connection attempt to one endpoint; connection-level
+        errors propagate for :meth:`_open_stream` to retry."""
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = HTTPConnection(endpoint[0], endpoint[1],
+                                    timeout=self.timeout_s)
+        try:
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            reply = connection.getresponse()
+        except Exception:
+            connection.close()
+            raise
+        return (reply.status, reply, connection,
+                dict(reply.headers.items()))
 
     def _request(self, method: str, path: str,
                  body: Optional[dict] = None,
                  ) -> Tuple[int, dict, dict]:
-        connection = HTTPConnection(self.host, self.port,
-                                    timeout=self.timeout_s)
+        status, reply, connection, headers = self._open_stream(
+            method, path, body)
         try:
-            payload = None
-            headers = {}
-            if body is not None:
-                payload = json.dumps(body).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=payload,
-                               headers=headers)
-            reply = connection.getresponse()
-            return (reply.status, json.loads(reply.read() or b"{}"),
-                    dict(reply.headers.items()))
+            return (status, json.loads(reply.read() or b"{}"),
+                    headers)
         finally:
             connection.close()
 
@@ -300,6 +529,105 @@ class ServiceClient:
         if status == 400:
             raise ConfigError(message)
         raise ReproError(message)
+
+    def compile_batch(self, configs: Iterable[RamConfig],
+                      march: str = "IFA-9",
+                      signoff: Optional[str] = None,
+                      include: Tuple[str, ...] = (),
+                      ) -> Iterator[dict]:
+        """Submit a batch; yields per-item result dicts as they land.
+
+        The request is issued eagerly (413/400/503 raise here); the
+        returned iterator then yields one dict per item, in completion
+        order, each carrying ``index`` and ``status`` (``"ok"`` lines
+        have the full compile payload; ``"failed"`` lines have
+        ``kind`` + ``error``).  The server's ``done`` sentinel is
+        consumed, not yielded.  A stream that ends *without* the
+        sentinel (primary killed mid-batch) raises
+        :class:`ServiceUnavailable` (reason ``interrupted``) — every
+        admitted item is WAL-journaled and content-addressed, so
+        resubmitting the same batch is the correct, idempotent move.
+        """
+        body = {
+            "items": [{"config": config.to_dict(), "march": march,
+                       "signoff": signoff} for config in configs],
+            "include": list(include),
+        }
+        for attempt in range(self.retries + 1):
+            status, reply, connection, headers = self._open_stream(
+                "POST", "/compile_batch", body)
+            if status != 503 or attempt >= self.retries:
+                break
+            payload = json.loads(reply.read() or b"{}")
+            connection.close()
+            time.sleep(self._backoff_s(headers, payload))
+        if status != 200:
+            try:
+                payload = json.loads(reply.read() or b"{}")
+            finally:
+                connection.close()
+            message = payload.get("error", f"HTTP {status}")
+            if status == 503:
+                raise ServiceUnavailable(
+                    message,
+                    reason=payload.get("reason", "saturated"),
+                    retry_after_s=float(
+                        payload.get("retry_after_s", 1.0)))
+            if status in (400, 413):
+                raise ConfigError(message)
+            raise ReproError(message)
+        return self._consume_batch(reply, connection)
+
+    @staticmethod
+    def _consume_batch(reply, connection) -> Iterator[dict]:
+        done = False
+        try:
+            try:
+                for raw in reply:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    if record.get("done"):
+                        done = True
+                        break
+                    yield record
+            except (ConnectionError, TimeoutError, OSError):
+                pass  # a torn stream; handled as not-done below
+            if not done:
+                raise ServiceUnavailable(
+                    "the batch stream ended before the server's done "
+                    "record (server killed mid-batch?); resubmit — "
+                    "admitted items are journaled and idempotent",
+                    reason="interrupted")
+        finally:
+            connection.close()
+
+    def drain(self) -> dict:
+        """Ask the server to drain + hand off its lease; 202 payload."""
+        status, payload, _ = self._request("POST", "/admin/drain")
+        if status not in (200, 202):
+            raise ReproError(payload.get("error", f"HTTP {status}"))
+        return payload
+
+    def fetch_artifact(self, key: str, name: str) -> bytes:
+        """One artifact's raw bytes via ``GET /artifact/…``."""
+        status, reply, connection, _ = self._open_stream(
+            "GET", f"/artifact/{key}/{name}")
+        try:
+            data = reply.read()
+        finally:
+            connection.close()
+        if status != 200:
+            try:
+                message = json.loads(data or b"{}").get(
+                    "error", f"HTTP {status}")
+            except json.JSONDecodeError:
+                message = f"HTTP {status}"
+            if status == 404:
+                raise ConfigError(message)
+            raise ReproError(message)
+        return data
 
     def artifact(self, payload: dict, name: str) -> bytes:
         """Decode one ``include``-requested artifact from a compile

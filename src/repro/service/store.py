@@ -35,8 +35,9 @@ Guarantees:
 * **Claims** — per-digest claim files (``claims/<key>.claim``,
   created with ``O_EXCL``) give builders multi-process single-flight:
   one worker builds, the rest wait for the publish.  A claim whose
-  owning pid is dead, or older than its staleness budget, can be
-  broken and adopted — a crashed builder never wedges its digest.
+  owning pid is dead (or recycled: same pid, different process start
+  time), or older than its staleness budget, can be broken and
+  adopted — a crashed builder never wedges its digest.
 * **Observability** — :class:`StoreStats` counts hits, misses,
   writes, evictions, corruption events, and current footprint, all
   JSON-serializable for the server's ``/stats`` endpoint.
@@ -58,6 +59,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.core.durability import fsync_dir
 from repro.core.errors import ConfigError
+from repro.core.liveness import process_start_time, same_process
 
 MANIFEST = "manifest.json"
 STORE_VERSION = 1
@@ -311,6 +313,7 @@ class ArtifactStore:
                 continue
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump({"pid": os.getpid(),
+                           "start": process_start_time(os.getpid()),
                            "host": socket.gethostname(),
                            "time": time.time(), "key": key}, handle)
                 handle.flush()
@@ -345,12 +348,11 @@ class ArtifactStore:
         pid = holder.get("pid")
         if (holder.get("host") == socket.gethostname()
                 and isinstance(pid, int)):
-            try:
-                os.kill(pid, 0)
-            except ProcessLookupError:
-                return True  # owner died; adopt immediately
-            except OSError:
-                pass  # e.g. EPERM: pid exists but is not ours
+            # Dead pid — or a *recycled* one: same number, different
+            # process start time.  Either way the owner is gone and
+            # the claim is adoptable immediately.
+            if not same_process(pid, holder.get("start")):
+                return True
         return False
 
     @property

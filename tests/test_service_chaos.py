@@ -73,7 +73,9 @@ class TestScenarios:
     def test_registry_covers_the_advertised_faults(self):
         assert {"worker_kill", "worker_hang", "torn_publish",
                 "corrupt_artifact", "eviction_race", "enospc",
-                "wal_replay"} <= set(SCENARIOS)
+                "wal_replay", "lease_steal", "drain_hang",
+                "disk_pressure", "batch_worker_kill",
+                "failover"} <= set(SCENARIOS)
 
     def test_torn_publish_scenario_passes(self, tmp_path):
         report = run_scenario("torn_publish", tmp_path)
@@ -88,6 +90,18 @@ class TestScenarios:
 
     def test_eviction_race_scenario_passes(self, tmp_path):
         report = run_scenario("eviction_race", tmp_path)
+        assert report.passed, report.summary()
+
+    def test_lease_steal_scenario_passes(self, tmp_path):
+        report = run_scenario("lease_steal", tmp_path)
+        assert report.passed, report.summary()
+
+    def test_drain_hang_scenario_passes(self, tmp_path):
+        report = run_scenario("drain_hang", tmp_path)
+        assert report.passed, report.summary()
+
+    def test_disk_pressure_scenario_passes(self, tmp_path):
+        report = run_scenario("disk_pressure", tmp_path)
         assert report.passed, report.summary()
 
     def test_all_expands_to_every_scenario(self, tmp_path, monkeypatch):

@@ -1,0 +1,147 @@
+"""Tests for admission control under resource pressure."""
+
+import os
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.service.governor import (
+    GOVERNOR_STATES,
+    ResourceGovernor,
+    rss_bytes,
+)
+
+GIB = 1 << 30
+
+
+def scripted(tmp_path, *, free=None, rss=None, **kwargs):
+    """A governor whose probes read mutable dicts, so tests replay
+    pressure curves deterministically."""
+    return ResourceGovernor(
+        tmp_path,
+        disk_probe=(lambda: free["now"]) if free is not None else None,
+        rss_probe=(lambda: rss["now"]) if rss is not None else None,
+        sample_interval_s=0.0,
+        **kwargs)
+
+
+class TestValidation:
+    def test_thresholds_must_be_positive(self, tmp_path):
+        for field in ("disk_reserve_bytes", "disk_floor_bytes",
+                      "rss_limit_bytes"):
+            with pytest.raises(ConfigError, match=field):
+                ResourceGovernor(tmp_path, **{field: 0})
+
+    def test_floor_must_not_exceed_reserve(self, tmp_path):
+        with pytest.raises(ConfigError, match="floor"):
+            ResourceGovernor(tmp_path, disk_reserve_bytes=GIB,
+                             disk_floor_bytes=2 * GIB)
+
+    def test_retry_after_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigError, match="retry_after"):
+            ResourceGovernor(tmp_path, retry_after_s=0)
+
+    def test_sample_interval_must_be_nonnegative(self, tmp_path):
+        with pytest.raises(ConfigError, match="sample_interval"):
+            ResourceGovernor(tmp_path, sample_interval_s=-1)
+
+    def test_floor_defaults_to_a_quarter_of_the_reserve(self, tmp_path):
+        governor = ResourceGovernor(tmp_path, disk_reserve_bytes=GIB)
+        assert governor.disk_floor_bytes == GIB // 4
+
+
+class TestStates:
+    def test_state_ordering_constant(self):
+        assert GOVERNOR_STATES == ("admitting", "shedding", "read_only")
+
+    def test_disk_pressure_curve(self, tmp_path):
+        free = {"now": 10 * GIB}
+        governor = scripted(tmp_path, free=free,
+                            disk_reserve_bytes=GIB)
+        assert governor.state() == "admitting"
+        free["now"] = GIB // 2  # below reserve, above floor
+        assert governor.state() == "shedding"
+        free["now"] = GIB // 8  # below the floor (reserve // 4)
+        assert governor.state() == "read_only"
+        free["now"] = 10 * GIB
+        assert governor.state() == "admitting"
+        assert governor.to_dict()["transitions"] == 3
+
+    def test_rss_pressure_sheds(self, tmp_path):
+        rss = {"now": 100}
+        governor = scripted(tmp_path, rss=rss, rss_limit_bytes=1000)
+        assert governor.state() == "admitting"
+        rss["now"] = 2000
+        assert governor.state() == "shedding"
+        rss["now"] = 100
+        assert governor.state() == "admitting"
+
+    def test_no_limits_means_always_admitting(self, tmp_path):
+        governor = ResourceGovernor(tmp_path, sample_interval_s=0.0)
+        assert governor.state() == "admitting"
+        snapshot = governor.to_dict()
+        assert snapshot["free_disk_bytes"] is None
+        assert snapshot["rss_bytes"] is None
+
+    def test_unknowable_disk_headroom_admits(self, tmp_path):
+        """A failed statvfs must not wedge the server shut."""
+        governor = ResourceGovernor(
+            tmp_path / "vanished" / "deeper",
+            disk_reserve_bytes=GIB, sample_interval_s=0.0)
+        # The probe falls back to the (also absent) parent; a real
+        # OSError path returns None, which must admit.
+        assert governor.state() in ("admitting", "shedding")
+
+    def test_sampling_is_interval_cached(self, tmp_path):
+        probes = []
+        governor = ResourceGovernor(
+            tmp_path, disk_reserve_bytes=GIB,
+            disk_probe=lambda: probes.append(1) or 10 * GIB,
+            sample_interval_s=3600.0)
+        governor.state()
+        governor.state()
+        governor.state()
+        assert len(probes) == 1
+        governor.refresh()  # the bypass valve
+        assert len(probes) == 2
+
+    def test_to_dict_reports_without_probing(self, tmp_path):
+        probes = []
+        governor = ResourceGovernor(
+            tmp_path, disk_reserve_bytes=GIB,
+            disk_probe=lambda: probes.append(1) or 10 * GIB,
+            sample_interval_s=0.0)
+        governor.state()
+        count = len(probes)
+        snapshot = governor.to_dict()
+        assert len(probes) == count
+        assert snapshot["state"] == "admitting"
+        assert snapshot["free_disk_bytes"] == 10 * GIB
+        assert snapshot["disk_reserve_bytes"] == GIB
+        assert snapshot["retry_after_s"] == 5.0
+
+    def test_real_disk_probe_runs(self, tmp_path):
+        governor = ResourceGovernor(tmp_path, disk_reserve_bytes=1,
+                                    sample_interval_s=0.0)
+        assert governor.state() == "admitting"
+        assert governor.to_dict()["free_disk_bytes"] > 0
+
+
+class TestRss:
+    def test_rss_bytes_reads_proc(self):
+        own = rss_bytes()
+        assert own is not None and own > 0
+        assert rss_bytes(os.getpid()) is not None
+
+    def test_rss_bytes_for_a_dead_pid_is_none(self):
+        assert rss_bytes(2 ** 22 + 12345) is None
+
+    def test_worker_pids_fold_into_the_budget(self, tmp_path):
+        governor = ResourceGovernor(
+            tmp_path, rss_limit_bytes=1,
+            worker_pids=lambda: [os.getpid()],
+            sample_interval_s=0.0)
+        assert governor.state() == "shedding"
+        # Self + one "worker" (ourselves again): roughly double.
+        total = governor.to_dict()["rss_bytes"]
+        assert total >= 2 * (rss_bytes() or 0) * 0.5

@@ -1,0 +1,322 @@
+"""Tests for the HA layer: liveness lease, warm standby, promotion,
+drain handoff."""
+
+import json
+import os
+import socket
+import time
+
+import pytest
+
+from repro.bist.march import IFA_9
+from repro.core.config import RamConfig
+from repro.core.errors import ConfigError, ServiceUnavailable
+from repro.core.liveness import process_start_time
+from repro.service import ArtifactStore, MacroServer, bundle_key
+from repro.service.ha import Lease
+from repro.service.wal import RequestLog
+
+CFG = RamConfig(words=64, bpw=8, bpc=4)
+CFG2 = RamConfig(words=64, bpw=8, bpc=4, spares=8)
+
+
+def fake_builder():
+    """A builder that publishes to the store, so a standby sharing the
+    store can serve the key as a hit."""
+
+    def build(config, march, signoff=None, store=None, stage_cache=None):
+        key = bundle_key(config, march, signoff)
+        artifacts = {
+            "out.txt": b"payload-" + key[:8].encode("ascii"),
+            "datasheet.json": json.dumps(
+                {"config": config.to_dict()}).encode("utf-8"),
+            "area.json": json.dumps({"total_um2": 1.0}).encode("utf-8"),
+        }
+        if store is not None:
+            store.put(key, artifacts)
+        return artifacts, False, key
+
+    return build
+
+
+def write_foreign_record(path, *, pid=1, start=None, age_s=0.0,
+                         state="active", epoch=3):
+    """A lease record held by someone who is not this process."""
+    record = {
+        "pid": pid,
+        "host": socket.gethostname(),
+        "start": (process_start_time(pid) if start is None else start),
+        "time": time.time() - age_s,
+        "epoch": epoch,
+        "state": state,
+    }
+    path.write_text(json.dumps(record), encoding="utf-8")
+    return record
+
+
+def wait_until(predicate, timeout_s=10.0, poll_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return predicate()
+
+
+class TestLease:
+    def test_bad_ttl_is_refused(self, tmp_path):
+        with pytest.raises(ConfigError, match="ttl"):
+            Lease(tmp_path / "lease", ttl_s=0)
+
+    def test_acquire_free_lease(self, tmp_path):
+        lease = Lease(tmp_path / "lease", ttl_s=60)
+        assert lease.acquire() is True
+        assert lease.owned() is True
+        assert lease.epoch == 1
+        snapshot = lease.describe()
+        assert snapshot["held_by_us"] is True
+        assert snapshot["expired"] is False
+        assert snapshot["state"] == "active"
+        assert snapshot["holder_pid"] == os.getpid()
+
+    def test_reacquire_own_lease_bumps_epoch(self, tmp_path):
+        lease = Lease(tmp_path / "lease", ttl_s=60)
+        assert lease.acquire()
+        assert lease.acquire()
+        assert lease.epoch == 2
+
+    def test_live_foreign_holder_is_respected(self, tmp_path):
+        path = tmp_path / "lease"
+        write_foreign_record(path)  # pid 1: alive, fresh heartbeat
+        lease = Lease(path, ttl_s=60)
+        assert lease.expired() is False
+        assert lease.acquire() is False
+        assert lease.epoch is None
+
+    def test_stale_heartbeat_expires_even_if_pid_lives(self, tmp_path):
+        path = tmp_path / "lease"
+        write_foreign_record(path, age_s=5.0)
+        lease = Lease(path, ttl_s=1.0)
+        assert lease.expired() is True
+        assert lease.acquire() is True
+        assert lease.epoch == 4  # continues the dead holder's line
+
+    def test_recycled_pid_expires_the_lease(self, tmp_path):
+        """Same pid, different start time: the original holder is dead
+        and the pid was recycled — the lease must not honor the
+        impostor."""
+        path = tmp_path / "lease"
+        pid = os.getpid()
+        write_foreign_record(
+            path, pid=pid,
+            start=(process_start_time(pid) or 0) + 9999)
+        lease = Lease(path, ttl_s=60)
+        assert lease.expired() is True
+        assert lease.acquire() is True
+
+    def test_release_handoff_lets_successor_promote(self, tmp_path):
+        path = tmp_path / "lease"
+        first = Lease(path, ttl_s=60)
+        assert first.acquire()
+        first.release(handoff=True)
+        assert first.epoch is None
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["state"] == "released"
+        successor = Lease(path, ttl_s=60)
+        assert successor.expired() is True
+        assert successor.acquire() is True
+        assert successor.epoch == 2
+
+    def test_release_without_handoff_unlinks(self, tmp_path):
+        path = tmp_path / "lease"
+        lease = Lease(path, ttl_s=60)
+        assert lease.acquire()
+        lease.release(handoff=False)
+        assert not path.exists()
+
+    def test_release_never_clobbers_a_successor(self, tmp_path):
+        path = tmp_path / "lease"
+        lease = Lease(path, ttl_s=60)
+        assert lease.acquire()
+        usurper = write_foreign_record(path, epoch=9)
+        lease.release(handoff=True)
+        assert json.loads(path.read_text(encoding="utf-8")) == usurper
+
+    def test_heartbeat_refreshes_the_record(self, tmp_path):
+        path = tmp_path / "lease"
+        lease = Lease(path, ttl_s=60)
+        assert lease.acquire()
+        before = json.loads(path.read_text(encoding="utf-8"))["time"]
+        time.sleep(0.02)
+        assert lease.heartbeat() is True
+        after = json.loads(path.read_text(encoding="utf-8"))["time"]
+        assert after > before
+
+    def test_heartbeat_detects_a_stolen_lease(self, tmp_path):
+        path = tmp_path / "lease"
+        lease = Lease(path, ttl_s=60)
+        assert lease.acquire()
+        write_foreign_record(path)
+        assert lease.heartbeat() is False
+        assert lease.epoch is None
+
+    def test_torn_record_reads_as_free(self, tmp_path):
+        path = tmp_path / "lease"
+        path.write_text('{"pid": 12', encoding="utf-8")  # the kill
+        lease = Lease(path, ttl_s=60)
+        assert lease.read() is None
+        assert lease.expired() is True
+        assert lease.acquire() is True
+
+
+class TestStandby:
+    def test_standby_requires_store_and_lease(self, tmp_path):
+        lease = Lease(tmp_path / "lease", ttl_s=60)
+        with pytest.raises(ConfigError, match="store"):
+            MacroServer(workers=1, role="standby", lease=lease,
+                        builder=fake_builder())
+        with pytest.raises(ConfigError, match="lease"):
+            MacroServer(workers=1, role="standby",
+                        store=ArtifactStore(tmp_path / "store"),
+                        builder=fake_builder())
+        with pytest.raises(ConfigError, match="role"):
+            MacroServer(workers=1, role="observer",
+                        builder=fake_builder())
+
+    def test_second_primary_is_refused(self, tmp_path):
+        write_foreign_record(tmp_path / "lease")
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            MacroServer(workers=1, builder=fake_builder(),
+                        store=ArtifactStore(tmp_path / "store"),
+                        lease=Lease(tmp_path / "lease", ttl_s=60))
+        assert excinfo.value.reason == "lease_held"
+
+    def test_standby_serves_hits_and_503s_cold_keys(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        primary = MacroServer(
+            workers=1, builder=fake_builder(), store=store,
+            lease=Lease(tmp_path / "lease", ttl_s=60))
+        standby = MacroServer(
+            workers=1, builder=fake_builder(), store=store,
+            lease=Lease(tmp_path / "lease", ttl_s=60),
+            role="standby", standby_poll_s=0.05)
+        try:
+            warm = primary.compile(CFG)
+            served = standby.compile(CFG)
+            assert served.cached is True
+            assert served.artifacts == warm.artifacts
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                standby.compile(CFG2)
+            assert excinfo.value.reason == "standby_miss"
+            stats = standby.stats()
+            assert stats["role"] == "standby"
+            assert stats["store_hits"] == 1
+            assert stats["rejected"] == 1
+            assert stats["lease"]["state"] == "active"
+        finally:
+            standby.shutdown()
+            primary.shutdown()
+
+    def test_standby_promotes_on_handoff(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        wal_path = tmp_path / "wal.jsonl"
+        primary = MacroServer(
+            workers=1, builder=fake_builder(), store=store,
+            wal=RequestLog(wal_path),
+            lease=Lease(tmp_path / "lease", ttl_s=60))
+        standby = MacroServer(
+            workers=1, builder=fake_builder(), store=store,
+            lease=Lease(tmp_path / "lease", ttl_s=60),
+            role="standby", standby_poll_s=0.05)
+        try:
+            primary.compile(CFG)
+            primary.drain()
+            assert wait_until(lambda: standby.role == "primary")
+            cold = standby.compile(CFG2)  # builds: full rights now
+            assert cold.cached is False
+            stats = standby.stats()
+            assert stats["promotions"] == 1
+            assert stats["lease"]["held_by_us"] is True
+            assert stats["lease"]["epoch"] == 2
+            with pytest.raises(ServiceUnavailable, match="drain"):
+                primary.submit(CFG2)
+        finally:
+            standby.shutdown()
+            primary.shutdown()
+
+    def test_standby_promotes_on_ttl_expiry(self, tmp_path):
+        """No cooperative handoff — the 'primary' stops heartbeating
+        (SIGKILL equivalent) and the standby takes over after the
+        TTL."""
+        store = ArtifactStore(tmp_path / "store")
+        dead = Lease(tmp_path / "lease", ttl_s=0.3)
+        assert dead.acquire()  # ...and never heartbeats again
+        standby = MacroServer(
+            workers=1, builder=fake_builder(), store=store,
+            lease=Lease(tmp_path / "lease", ttl_s=0.3),
+            role="standby", standby_poll_s=0.05)
+        try:
+            assert wait_until(lambda: standby.role == "primary")
+            assert standby.compile(CFG2).cached is False
+            assert standby.stats()["lease"]["epoch"] == 2
+        finally:
+            standby.shutdown()
+
+    def test_promote_is_idempotent_and_raceable(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        # "The primary" is a live foreign process (pid 1): the lease
+        # identity is (pid, host, start), so an in-process MacroServer
+        # cannot stand in for it here.
+        write_foreign_record(tmp_path / "lease")
+        standby = MacroServer(
+            workers=1, builder=fake_builder(), store=store,
+            lease=Lease(tmp_path / "lease", ttl_s=60),
+            role="standby", standby_poll_s=30.0)
+        primary = MacroServer(workers=1, builder=fake_builder(),
+                              store=store)
+        try:
+            # The foreign primary is alive: promotion must be refused.
+            assert standby.promote() is False
+            assert standby.role == "standby"
+            assert primary.promote() is True  # primary: no-op True
+        finally:
+            standby.shutdown()
+            primary.shutdown()
+
+
+class TestDrainHttp:
+    def test_admin_drain_hands_off_and_rejects(self, tmp_path):
+        from repro.service.http import (
+            ServiceClient,
+            make_http_server,
+            serve_forever_in_thread,
+        )
+
+        lease_path = tmp_path / "lease"
+        server = MacroServer(
+            workers=1, builder=fake_builder(),
+            store=ArtifactStore(tmp_path / "store"),
+            wal=RequestLog(tmp_path / "wal.jsonl"),
+            lease=Lease(lease_path, ttl_s=60))
+        httpd = make_http_server(server, port=0)
+        serve_forever_in_thread(httpd)
+        host, port = httpd.server_address[:2]
+        client = ServiceClient(host, port, retries=0)
+        try:
+            client.compile(CFG)
+            ack = client.drain()
+            assert ack["status"] == "draining"
+            assert wait_until(
+                lambda: client.healthz()["status"] == "draining")
+            assert wait_until(
+                lambda: (json.loads(lease_path.read_text("utf-8"))
+                         .get("state") == "released"))
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                client.compile(CFG2)
+            assert excinfo.value.reason == "draining"
+            # The journal was compacted to empty before the handoff.
+            assert server.stats()["wal"]["pending"] == 0
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            server.shutdown()

@@ -262,7 +262,12 @@ class TestHttp:
         stats = service.stats()
         assert stats["requests"] >= 1
         assert "store" in stats
-        assert service.healthz() == {"status": "ok"}
+        assert stats["role"] == "primary"
+        assert stats["endpoints"]["compile"] == 1
+        health = service.healthz()
+        assert health["status"] == "ok"
+        assert health["role"] == "primary"
+        assert health["governor"] == "admitting"
 
 
 class TestSignoffDriverCache:
@@ -446,3 +451,247 @@ class TestProcessBackendServer:
                             backend=backend)
         finally:
             backend.shutdown()
+
+
+class TestBatchSubmit:
+    def test_submit_batch_returns_futures_in_order(self):
+        from repro.bist.march import IFA_9
+
+        calls = []
+        server = MacroServer(workers=4,
+                             builder=counting_builder(calls))
+        try:
+            outcomes = server.submit_batch(
+                [(CFG, IFA_9, None), (CFG2, IFA_9, None)])
+            assert [kind for kind, _ in outcomes] == ["future", "future"]
+            responses = [value.result(timeout=60.0)
+                         for _, value in outcomes]
+            assert responses[0].key != responses[1].key
+        finally:
+            server.shutdown()
+
+    def test_submit_batch_coalesces_duplicates(self):
+        from repro.bist.march import IFA_9
+
+        calls = []
+        gate = threading.Event()
+        server = MacroServer(workers=4,
+                             builder=counting_builder(calls, gate=gate))
+        try:
+            outcomes = server.submit_batch(
+                [(CFG, IFA_9, None), (CFG, IFA_9, None)])
+            gate.set()
+            first = outcomes[0][1].result(timeout=60.0)
+            second = outcomes[1][1].result(timeout=60.0)
+            assert outcomes[0][1] is outcomes[1][1]
+            assert first is second
+            assert len(calls) == 1
+            assert server.stats()["coalesced"] == 1
+        finally:
+            server.shutdown()
+
+    def test_submit_batch_over_limit_is_refused(self):
+        from repro.bist.march import IFA_9
+
+        server = MacroServer(workers=1, batch_limit=2,
+                             builder=counting_builder([]))
+        try:
+            with pytest.raises(ConfigError, match="batch"):
+                server.submit_batch([(CFG, IFA_9, None)] * 3)
+        finally:
+            server.shutdown()
+
+    def test_submit_batch_partial_admission(self):
+        """One item tripping admission control must not sink the rest."""
+        from repro.bist.march import IFA_9
+
+        calls = []
+        gate = threading.Event()
+        server = MacroServer(workers=1, queue_limit=1,
+                             builder=counting_builder(calls, gate=gate))
+        try:
+            outcomes = server.submit_batch(
+                [(CFG, IFA_9, None), (CFG2, IFA_9, None)])
+            kinds = [kind for kind, _ in outcomes]
+            assert kinds == ["future", "error"]
+            assert isinstance(outcomes[1][1], ServiceUnavailable)
+            gate.set()
+            assert outcomes[0][1].result(timeout=60.0).key
+        finally:
+            gate.set()
+            server.shutdown()
+
+    def test_bad_batch_limit_is_refused(self):
+        with pytest.raises(ConfigError, match="batch_limit"):
+            MacroServer(workers=1, batch_limit=0,
+                        builder=counting_builder([]))
+
+
+class TestBatchHttp:
+    @pytest.fixture()
+    def stack(self, tmp_path):
+        from repro.service.http import (
+            ServiceClient,
+            make_http_server,
+            serve_forever_in_thread,
+        )
+
+        server = MacroServer(store=ArtifactStore(tmp_path), workers=2,
+                             batch_limit=4)
+        httpd = make_http_server(server, port=0)
+        serve_forever_in_thread(httpd)
+        host, port = httpd.server_address[:2]
+        yield server, ServiceClient(host, port)
+        httpd.shutdown()
+        httpd.server_close()
+        server.shutdown()
+
+    def test_batch_roundtrip_streams_every_item(self, stack):
+        server, client = stack
+        records = list(client.compile_batch([CFG, CFG2]))
+        assert len(records) == 2
+        assert {r["index"] for r in records} == {0, 1}
+        assert all(r["status"] == "ok" for r in records)
+        keys = {r["key"] for r in records}
+        assert len(keys) == 2
+        stats = server.stats()
+        assert stats["endpoints"]["compile_batch"] == 1
+
+    def test_batch_partial_failure_reports_per_item(self, stack):
+        _, client = stack
+        records = {r["index"]: r
+                   for r in client.compile_batch(
+                       [_UnvalidatedConfig(), CFG])}
+        assert records[0]["status"] == "failed"
+        assert records[0]["kind"] == "config"
+        assert records[1]["status"] == "ok"
+
+    def test_batch_deduplicates_identical_items(self, stack):
+        server, client = stack
+        records = list(client.compile_batch([CFG, CFG, CFG]))
+        assert len(records) == 3
+        assert len({r["key"] for r in records}) == 1
+        assert all(r["status"] == "ok" for r in records)
+        assert server.stats()["builds"] == 1
+
+    def test_oversized_batch_is_413(self, stack):
+        _, client = stack
+        with pytest.raises(ConfigError, match="batch"):
+            list(client.compile_batch([CFG] * 5))
+
+    def test_empty_batch_is_400(self, stack):
+        _, client = stack
+        with pytest.raises(ConfigError):
+            list(client.compile_batch([]))
+
+    def test_every_reply_names_its_server_role(self, stack):
+        _, client = stack
+        status, _, connection, headers = client._open_stream(
+            "GET", "/healthz")
+        connection.close()
+        assert status == 200
+        assert headers["X-Served-By"] == "primary"
+
+    def test_artifact_endpoint_serves_store_bytes(self, stack):
+        _, client = stack
+        payload = client.compile(CFG, include=("macro.cif",))
+        raw = client.fetch_artifact(payload["key"], "macro.cif")
+        assert raw == client.artifact(payload, "macro.cif")
+        with pytest.raises(ConfigError):
+            client.fetch_artifact("f" * 64, "macro.cif")
+
+    def test_endpoint_counters_cover_all_routes(self, stack):
+        server, client = stack
+        payload = client.compile(CFG, include=("macro.cif",))
+        list(client.compile_batch([CFG]))
+        client.fetch_artifact(payload["key"], "macro.cif")
+        counts = server.stats()["endpoints"]
+        assert counts["compile"] == 1
+        assert counts["compile_batch"] == 1
+        assert counts["artifact"] == 1
+
+
+class TestClientFailover:
+    def test_connection_refused_rotates_to_failover(self, tmp_path):
+        """Primary endpoint is a dead port: the client must fail over
+        to the standby endpoint and succeed."""
+        from repro.service.http import (
+            ServiceClient,
+            make_http_server,
+            serve_forever_in_thread,
+        )
+
+        server = MacroServer(store=ArtifactStore(tmp_path), workers=2)
+        httpd = make_http_server(server, port=0)
+        serve_forever_in_thread(httpd)
+        host, port = httpd.server_address[:2]
+        try:
+            dead_port = _claim_dead_port()
+            client = ServiceClient(host, dead_port, retries=4,
+                                   backoff_cap_s=0.01,
+                                   failover=[(host, port)])
+            payload = client.compile(CFG)
+            assert payload["key"]
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            server.shutdown()
+
+    def test_all_endpoints_down_is_unreachable(self, monkeypatch):
+        from repro.service import http as http_module
+        from repro.service.http import ServiceClient
+
+        monkeypatch.setattr(http_module.time, "sleep", lambda s: None)
+        dead = _claim_dead_port()
+        client = ServiceClient("127.0.0.1", dead, retries=2,
+                               backoff_cap_s=0.01,
+                               failover=[("127.0.0.1", dead)])
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.compile(CFG)
+        assert excinfo.value.reason == "unreachable"
+
+    def test_reset_mid_request_is_retried(self, monkeypatch):
+        """A ConnectionResetError on the first attempt must be retried,
+        not surfaced to the caller."""
+        from repro.service import http as http_module
+        from repro.service.http import ServiceClient
+
+        client = ServiceClient("127.0.0.1", 1, retries=2,
+                               backoff_cap_s=0.01)
+        attempts = []
+
+        class _Reply:
+            status = 200
+
+            def read(self):
+                return b'{"key": "k", "cached": true}'
+
+        class _Conn:
+            def close(self):
+                pass
+
+        def fake_attempt(endpoint, method, path, body):
+            attempts.append(endpoint)
+            if len(attempts) == 1:
+                raise ConnectionResetError(104, "peer reset")
+            return 200, _Reply(), _Conn(), {}
+
+        monkeypatch.setattr(client, "_attempt", fake_attempt)
+        monkeypatch.setattr(http_module.time, "sleep", lambda s: None)
+        status, payload, headers = client._request("POST", "/compile",
+                                                   {"config": {}})
+        assert status == 200
+        assert payload["key"] == "k"
+        assert len(attempts) == 2
+
+
+def _claim_dead_port():
+    """A port that was just bound and released: connecting to it gets
+    ECONNREFUSED (nothing is listening any more)."""
+    import socket
+
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port

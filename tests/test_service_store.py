@@ -259,6 +259,49 @@ class TestClaims:
             "time": time.time(), "key": KEY_A}), "utf-8")
         assert store.try_claim(KEY_A, stale_s=3600.0) is False
 
+    def test_claim_records_owner_start_time(self, tmp_path):
+        import os
+
+        from repro.core.liveness import process_start_time
+
+        store = ArtifactStore(tmp_path)
+        store.try_claim(KEY_A)
+        holder = store.claim_holder(KEY_A)
+        assert holder["start"] == process_start_time(os.getpid())
+
+    def test_recycled_pid_claim_is_adopted(self, tmp_path):
+        """Same pid number, different process start time: the owner
+        died and the kernel reused its pid.  The claim must be
+        adoptable immediately, not after the stale_s horizon."""
+        import json as json_module
+        import os
+        import socket
+        import time
+
+        from repro.core.liveness import process_start_time
+
+        store = ArtifactStore(tmp_path)
+        store._claim_path(KEY_A).write_text(json_module.dumps({
+            "pid": os.getpid(), "host": socket.gethostname(),
+            "start": (process_start_time(os.getpid()) or 0) + 12345,
+            "time": time.time(), "key": KEY_A}), "utf-8")
+        assert store.try_claim(KEY_A, stale_s=3600.0) is True
+
+    def test_live_claim_with_matching_start_is_respected(self, tmp_path):
+        import json as json_module
+        import os
+        import socket
+        import time
+
+        from repro.core.liveness import process_start_time
+
+        store = ArtifactStore(tmp_path)
+        store._claim_path(KEY_A).write_text(json_module.dumps({
+            "pid": os.getpid(), "host": socket.gethostname(),
+            "start": process_start_time(os.getpid()),
+            "time": time.time(), "key": KEY_A}), "utf-8")
+        assert store.try_claim(KEY_A, stale_s=3600.0) is False
+
     def test_release_unowned_claim_is_a_no_op(self, tmp_path):
         ArtifactStore(tmp_path).release_claim(KEY_A)
 

@@ -105,6 +105,78 @@ class TestRequestLog:
         log.close()
         assert second != first
 
+    def test_is_open_tracks_the_handle(self, tmp_path):
+        log = RequestLog(tmp_path / "wal.jsonl")
+        assert log.is_open is False
+        log.open()
+        assert log.is_open is True
+        log.close()
+        assert log.is_open is False
+
+    def test_compact_before_open_is_refused(self, tmp_path):
+        """Compacting an unloaded log would rewrite the file from an
+        empty pending set — destroying a live primary's journal (the
+        standby holds an unopened RequestLog until promotion)."""
+        path = tmp_path / "wal.jsonl"
+        with RequestLog(path) as primary:
+            admit_one(primary)
+            standby = RequestLog(path)
+            with pytest.raises(ConfigError, match="before open"):
+                standby.compact()
+        # The primary's admit survived the refused compaction.
+        assert [r["key"] for r in RequestLog(path).open()] == [KEY]
+
+    def test_compaction_racing_admits(self, tmp_path):
+        """Admits from request threads racing the periodic compaction
+        must never be lost or duplicated: after the dust settles the
+        pending set is exactly the admitted-minus-done ids."""
+        import threading
+
+        path = tmp_path / "wal.jsonl"
+        log = RequestLog(path)
+        log.open()
+        admitted = [[] for _ in range(4)]
+        errors = []
+        start = threading.Barrier(5)
+
+        def admitter(slot):
+            try:
+                start.wait(10.0)
+                for index in range(50):
+                    rid = admit_one(
+                        log, key=f"{slot}{index:03d}".ljust(64, "e"))
+                    admitted[slot].append(rid)
+                    if index % 3 == 0:
+                        log.done(rid, "ok")
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        def compactor():
+            try:
+                start.wait(10.0)
+                for _ in range(25):
+                    log.compact()
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=admitter, args=(slot,))
+                   for slot in range(4)]
+        threads.append(threading.Thread(target=compactor))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        survivors = {rid for slot in admitted for rid in slot}
+        # Every third admit per thread was retired inline above.
+        retired = {rid for slot in admitted for rid in slot[::3]}
+        expected = survivors - retired
+        assert {r["id"] for r in log.pending()} == expected
+        log.close()
+        # The on-disk file replays to the same pending set.
+        assert {r["id"]
+                for r in RequestLog(path).open()} == expected
+
 
 class TestServerRecovery:
     def test_requests_are_journaled_and_retired(self, tmp_path):
