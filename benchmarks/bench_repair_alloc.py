@@ -1,0 +1,92 @@
+"""Repair-allocator throughput and exact-vs-greedy quality gap.
+
+The branch-and-bound allocator is on the hot path of both the Monte-
+Carlo 2-D yield model (thousands of calls per campaign) and the
+in-field repair controller.  This bench measures plans/second across
+fault densities and quantifies what the greedy fallback gives up: how
+often a node-budget-starved greedy cover burns more lines than the
+exact optimum, and how often it misses a repair the exact search finds.
+"""
+
+import random
+import time
+
+from conftest import print_table
+from repro.bisr import allocate
+
+ROWS, COLS = 64, 32
+SPARES_R, SPARES_C = 4, 4
+
+
+def random_faults(rng, n):
+    faults = set()
+    while len(faults) < n:
+        faults.add((rng.randrange(ROWS), rng.randrange(COLS)))
+    return sorted(faults)
+
+
+def test_allocator_throughput(benchmark):
+    densities = (2, 6, 12, 20)
+    trials = 60
+
+    def campaign():
+        rows = []
+        for n in densities:
+            rng = random.Random(n)
+            patterns = [random_faults(rng, n) for _ in range(trials)]
+            start = time.perf_counter()
+            exact = sum(
+                allocate(p, ROWS, COLS, SPARES_R, SPARES_C).exact
+                for p in patterns
+            )
+            elapsed = time.perf_counter() - start
+            rows.append([n, f"{trials / elapsed:,.0f}",
+                         f"{exact}/{trials}"])
+        return rows
+
+    rows = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    print_table(
+        f"allocate() throughput ({ROWS}x{COLS}, "
+        f"{SPARES_R}+{SPARES_C} spares, {trials} trials/density)",
+        ["faults", "plans/s", "exact"],
+        rows,
+    )
+    # The exact search must stay interactive even at saturation.
+    assert all(float(r[1].replace(",", "")) > 50 for r in rows)
+
+
+def test_greedy_quality_gap(benchmark):
+    """Greedy (node_budget=0) vs exact: count extra lines burned and
+    repairs missed over random patterns near the repairability edge."""
+    trials = 120
+
+    def campaign():
+        rng = random.Random(99)
+        extra_lines = 0
+        missed = 0
+        both_repair = 0
+        for _ in range(trials):
+            faults = random_faults(rng, rng.randrange(4, 10))
+            exact = allocate(faults, ROWS, COLS, SPARES_R, SPARES_C)
+            greedy = allocate(faults, ROWS, COLS, SPARES_R, SPARES_C,
+                              node_budget=0)
+            if exact.repairable and not greedy.repairable:
+                missed += 1
+            elif exact.repairable and greedy.repairable:
+                both_repair += 1
+                extra_lines += greedy.lines_used - exact.lines_used
+            # Greedy must never claim a win the exact search rejects.
+            assert not (greedy.repairable and not exact.repairable)
+        return both_repair, missed, extra_lines
+
+    both_repair, missed, extra = benchmark.pedantic(
+        campaign, rounds=1, iterations=1)
+    print_table(
+        f"greedy fallback quality ({trials} random patterns)",
+        ["both repair", "greedy missed", "extra lines burned"],
+        [[both_repair, missed, extra]],
+    )
+    # Greedy is allowed to be wasteful, not wrong — and on these
+    # densities it should still land the large majority of repairs.
+    assert both_repair > trials * 0.5
+    assert missed <= trials * 0.2

@@ -13,6 +13,18 @@
 
 from repro.bisr.tlb import Tlb, TlbEntry
 from repro.bisr.repair import RepairAnalysis, analyze_repair
+from repro.bisr.colsteer import (
+    ColumnSteer,
+    ColumnSteerEntry,
+    ColumnSteerDelayModel,
+    colsteer_delay_s,
+)
+from repro.bisr.allocate import (
+    RepairPlan,
+    allocate,
+    repair_plan_from_dict,
+    sequence_spares_consumed,
+)
 from repro.bisr.escalation import (
     AttemptRecord,
     DegradedResult,
@@ -35,6 +47,14 @@ __all__ = [
     "TlbEntry",
     "RepairAnalysis",
     "analyze_repair",
+    "ColumnSteer",
+    "ColumnSteerEntry",
+    "ColumnSteerDelayModel",
+    "colsteer_delay_s",
+    "RepairPlan",
+    "allocate",
+    "repair_plan_from_dict",
+    "sequence_spares_consumed",
     "AttemptRecord",
     "DegradedResult",
     "EscalationPolicy",

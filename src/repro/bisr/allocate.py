@@ -1,0 +1,385 @@
+"""2-D repair allocation: assigning spare rows and columns to faults.
+
+Row-only repair is trivial (one faulty row, one spare row); the moment
+spare columns exist the problem becomes the classic minimum line cover
+of a fault bitmap under separate row/column budgets — NP-hard in
+general (Kuo & Fuchs, 1987).  The allocator uses the standard two-step
+attack:
+
+1. **Must-repair analysis** — any row holding more faults than the
+   spare columns still available must take a spare row (no column
+   assignment can cover it), and symmetrically for columns.  Applying
+   the rule to a fixpoint shrinks the problem; on many real fault
+   patterns (single row/column defects plus sparse cells) it solves it
+   outright, which is why the allocator is *exact* on must-repair-
+   reducible patterns.
+
+2. **Branch-and-bound cover** of the sparse residual — branch on an
+   uncovered fault (cover its row, or cover its column), prune on a
+   lines lower bound from an independent fault set and on budget
+   feasibility.  The search is exact but bounded by ``node_budget``;
+   past the budget a greedy most-faults-first cover takes over and the
+   plan is flagged ``exact=False`` so callers (and the
+   :class:`~repro.bisr.escalation.DegradedResult` path) know the
+   verdict is best-effort.  The allocator never raises and never hangs
+   on any input.
+
+Faulty spares are handled with the same walk the hardware does: spare
+assignment is a strictly increasing sequence, so landing ``n`` repairs
+on good spares consumes every faulty entry passed along the way —
+``spare_rows_used``/``spare_cols_used`` report that consumption,
+matching what the iterated 2k-pass flow burns in
+:class:`~repro.bisr.tlb.Tlb`/:class:`~repro.bisr.colsteer.ColumnSteer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """The allocator's verdict on one fault bitmap.
+
+    Attributes:
+        repairable: True when every fault is covered within budget.
+        rows: rows to divert to spare rows (sorted; includes
+            must-repair rows).
+        cols: physical columns to steer to spare columns (sorted).
+        must_repair_rows / must_repair_cols: the subset forced by
+            must-repair analysis.
+        spare_rows_used / spare_cols_used: entries consumed from the
+            strictly increasing spare sequences, *including* faulty
+            spares walked over.  For an unrepairable plan this counts
+            what the partial (greedy) assignment would have burned.
+        exact: True when branch-and-bound completed (the cover is
+            minimal, or infeasibility is proven); False after a greedy
+            fallback.
+        nodes_explored: branch-and-bound nodes visited.
+        reason: one-line explanation for non-repairable or non-exact
+            outcomes.
+    """
+
+    repairable: bool
+    rows: Tuple[int, ...]
+    cols: Tuple[int, ...]
+    must_repair_rows: Tuple[int, ...]
+    must_repair_cols: Tuple[int, ...]
+    spare_rows_used: int
+    spare_cols_used: int
+    exact: bool
+    nodes_explored: int
+    reason: str = ""
+
+    @property
+    def lines_used(self) -> int:
+        return len(self.rows) + len(self.cols)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation with a ``kind`` discriminator."""
+        data = asdict(self)
+        data["kind"] = "repair_plan"
+        return data
+
+    def summary(self) -> str:
+        verdict = "repairable" if self.repairable else "UNREPAIRABLE"
+        mode = "exact" if self.exact else "greedy"
+        note = f" ({self.reason})" if self.reason else ""
+        return (
+            f"{verdict} [{mode}]: rows={list(self.rows)} "
+            f"cols={list(self.cols)}, consumes "
+            f"{self.spare_rows_used} spare row(s) + "
+            f"{self.spare_cols_used} spare col(s){note}"
+        )
+
+
+def repair_plan_from_dict(data: Mapping) -> RepairPlan:
+    """Rebuild a :meth:`RepairPlan.to_dict` payload.
+
+    Tolerates a JSON round-trip (tuples come back as lists); rejects
+    payloads carrying the wrong ``kind``.
+    """
+    data = dict(data)
+    kind = data.pop("kind", "repair_plan")
+    if kind != "repair_plan":
+        raise ValueError(f"not a repair_plan payload: kind={kind!r}")
+    return RepairPlan(
+        repairable=bool(data["repairable"]),
+        rows=tuple(data["rows"]),
+        cols=tuple(data["cols"]),
+        must_repair_rows=tuple(data["must_repair_rows"]),
+        must_repair_cols=tuple(data["must_repair_cols"]),
+        spare_rows_used=data["spare_rows_used"],
+        spare_cols_used=data["spare_cols_used"],
+        exact=bool(data["exact"]),
+        nodes_explored=data["nodes_explored"],
+        reason=data.get("reason", ""),
+    )
+
+
+def sequence_spares_consumed(needed: int, faulty: Iterable[int],
+                             total: int) -> int:
+    """Entries burned landing ``needed`` repairs on good spares.
+
+    The strictly increasing assignment walks spares 0, 1, 2, ...; a
+    faulty spare is consumed (its entry re-records and advances) but
+    repairs nothing.  Returns ``total`` when the good spares run out —
+    the sequence is spent either way.
+    """
+    if needed <= 0:
+        return 0
+    bad = set(faulty)
+    good = 0
+    for idx in range(total):
+        if idx not in bad:
+            good += 1
+            if good == needed:
+                return idx + 1
+    return total
+
+
+class _BudgetExhausted(Exception):
+    """Internal: branch-and-bound ran past its node budget."""
+
+
+class _Cover:
+    """Branch-and-bound state over the residual sparse faults."""
+
+    def __init__(self, faults: Sequence[Tuple[int, int]],
+                 max_rows: int, max_cols: int, node_budget: int) -> None:
+        self.faults = sorted(set(faults))
+        self.max_rows = max_rows
+        self.max_cols = max_cols
+        self.node_budget = node_budget
+        self.nodes = 0
+        self.best: Tuple[Tuple[int, ...], Tuple[int, ...]] = None
+
+    def solve(self) -> None:
+        """Fills ``self.best`` (None = proven infeasible)."""
+        self._descend(self.faults, frozenset(), frozenset())
+
+    def _lower_bound(self, uncovered: Sequence[Tuple[int, int]]) -> int:
+        """Greedy independent fault set: no two share a row or column,
+        so each needs its own repair line."""
+        seen_rows: Set[int] = set()
+        seen_cols: Set[int] = set()
+        bound = 0
+        for r, c in uncovered:
+            if r not in seen_rows and c not in seen_cols:
+                seen_rows.add(r)
+                seen_cols.add(c)
+                bound += 1
+        return bound
+
+    def _descend(self, uncovered: Sequence[Tuple[int, int]],
+                 rows: frozenset, cols: frozenset) -> None:
+        self.nodes += 1
+        if self.nodes > self.node_budget:
+            raise _BudgetExhausted
+        if not uncovered:
+            if self.best is None or \
+                    len(rows) + len(cols) < len(self.best[0]) + \
+                    len(self.best[1]):
+                self.best = (tuple(sorted(rows)), tuple(sorted(cols)))
+            return
+        used = len(rows) + len(cols)
+        if self.best is not None:
+            best_size = len(self.best[0]) + len(self.best[1])
+            if used + self._lower_bound(uncovered) >= best_size:
+                return
+        rows_left = self.max_rows - len(rows)
+        cols_left = self.max_cols - len(cols)
+        # Budget feasibility: with one budget spent, the other must
+        # cover every remaining distinct line on its own.
+        if rows_left == 0 and len({c for _r, c in uncovered}) > cols_left:
+            return
+        if cols_left == 0 and len({r for r, _c in uncovered}) > rows_left:
+            return
+        if rows_left == 0 and cols_left == 0:
+            return
+        r, c = uncovered[0]
+        if rows_left > 0:
+            remaining = [f for f in uncovered if f[0] != r]
+            self._descend(remaining, rows | {r}, cols)
+        if cols_left > 0:
+            remaining = [f for f in uncovered if f[1] != c]
+            self._descend(remaining, rows, cols | {c})
+
+
+def _greedy_cover(faults: Sequence[Tuple[int, int]],
+                  max_rows: int, max_cols: int,
+                  ) -> Tuple[List[int], List[int], bool]:
+    """Most-faults-first line cover.  Deterministic tie-break: higher
+    count wins, then rows before columns, then lower index."""
+    uncovered = sorted(set(faults))
+    rows: List[int] = []
+    cols: List[int] = []
+    while uncovered:
+        row_counts: Dict[int, int] = {}
+        col_counts: Dict[int, int] = {}
+        for r, c in uncovered:
+            row_counts[r] = row_counts.get(r, 0) + 1
+            col_counts[c] = col_counts.get(c, 0) + 1
+        candidates = []
+        if len(rows) < max_rows:
+            candidates += [(-n, 0, r) for r, n in row_counts.items()]
+        if len(cols) < max_cols:
+            candidates += [(-n, 1, c) for c, n in col_counts.items()]
+        if not candidates:
+            return rows, cols, False
+        _neg, kind, index = min(candidates)
+        if kind == 0:
+            rows.append(index)
+            uncovered = [f for f in uncovered if f[0] != index]
+        else:
+            cols.append(index)
+            uncovered = [f for f in uncovered if f[1] != index]
+    return rows, cols, True
+
+
+def allocate(
+    faults: Iterable[Tuple[int, int]],
+    rows: int,
+    cols: int,
+    spare_rows: int,
+    spare_cols: int,
+    faulty_spare_rows: Iterable[int] = (),
+    faulty_spare_cols: Iterable[int] = (),
+    node_budget: int = 20000,
+) -> RepairPlan:
+    """Allocate spare rows/columns to a fault bitmap.
+
+    Args:
+        faults: (row, physical column) fault coordinates in the regular
+            array; duplicates are folded.
+        rows / cols: regular array geometry (cols = bpw * bpc).
+        spare_rows / spare_cols: spare line counts.
+        faulty_spare_rows / faulty_spare_cols: spare indices known bad
+            — they repair nothing but are still consumed when the
+            strictly increasing sequence walks over them.
+        node_budget: branch-and-bound node limit; 0 skips straight to
+            the greedy cover.  The allocator never raises past it.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    if spare_rows < 0 or spare_cols < 0:
+        raise ValueError("spare counts must be non-negative")
+    fault_set: Set[Tuple[int, int]] = set()
+    for r, c in faults:
+        if not (0 <= r < rows and 0 <= c < cols):
+            raise ValueError(f"fault ({r}, {c}) outside the array")
+        fault_set.add((r, c))
+    bad_rows = {s for s in faulty_spare_rows if 0 <= s < spare_rows}
+    bad_cols = {s for s in faulty_spare_cols if 0 <= s < spare_cols}
+    good_rows = spare_rows - len(bad_rows)
+    good_cols = spare_cols - len(bad_cols)
+
+    def finish(repairable: bool, row_sel: Iterable[int],
+               col_sel: Iterable[int], must_r: Iterable[int],
+               must_c: Iterable[int], exact: bool, nodes: int,
+               reason: str = "") -> RepairPlan:
+        row_sel = tuple(sorted(set(row_sel)))
+        col_sel = tuple(sorted(set(col_sel)))
+        return RepairPlan(
+            repairable=repairable,
+            rows=row_sel,
+            cols=col_sel,
+            must_repair_rows=tuple(sorted(set(must_r))),
+            must_repair_cols=tuple(sorted(set(must_c))),
+            spare_rows_used=sequence_spares_consumed(
+                len(row_sel), bad_rows, spare_rows),
+            spare_cols_used=sequence_spares_consumed(
+                len(col_sel), bad_cols, spare_cols),
+            exact=exact,
+            nodes_explored=nodes,
+            reason=reason,
+        )
+
+    if not fault_set:
+        return finish(True, (), (), (), (), True, 0)
+
+    # -- step 1: must-repair fixpoint ------------------------------------
+    must_r: Set[int] = set()
+    must_c: Set[int] = set()
+    residual = set(fault_set)
+    while True:
+        row_counts: Dict[int, int] = {}
+        col_counts: Dict[int, int] = {}
+        for r, c in residual:
+            row_counts[r] = row_counts.get(r, 0) + 1
+            col_counts[c] = col_counts.get(c, 0) + 1
+        cols_avail = good_cols - len(must_c)
+        rows_avail = good_rows - len(must_r)
+        forced_r = sorted(r for r, n in row_counts.items()
+                          if n > cols_avail and r not in must_r)
+        if forced_r:
+            if len(must_r) + len(forced_r) > good_rows:
+                return finish(
+                    False, must_r, must_c, must_r, must_c, True, 0,
+                    reason=(
+                        f"must-repair needs {len(must_r) + len(forced_r)} "
+                        f"spare rows, only {good_rows} usable"),
+                )
+            must_r.update(forced_r)
+            residual = {f for f in residual if f[0] not in must_r}
+            continue
+        forced_c = sorted(c for c, n in col_counts.items()
+                          if n > rows_avail and c not in must_c)
+        if forced_c:
+            if len(must_c) + len(forced_c) > good_cols:
+                return finish(
+                    False, must_r, must_c, must_r, must_c, True, 0,
+                    reason=(
+                        f"must-repair needs {len(must_c) + len(forced_c)} "
+                        f"spare columns, only {good_cols} usable"),
+                )
+            must_c.update(forced_c)
+            residual = {f for f in residual if f[1] not in must_c}
+            continue
+        break
+
+    rows_left = good_rows - len(must_r)
+    cols_left = good_cols - len(must_c)
+    if not residual:
+        return finish(True, must_r, must_c, must_r, must_c, True, 0)
+
+    # -- step 2: exact branch-and-bound on the residual ------------------
+    if node_budget > 0:
+        cover = _Cover(sorted(residual), rows_left, cols_left, node_budget)
+        try:
+            cover.solve()
+        except _BudgetExhausted:
+            pass
+        else:
+            if cover.best is None:
+                return finish(
+                    False, must_r, must_c, must_r, must_c, True,
+                    cover.nodes,
+                    reason=(
+                        f"exhaustive search proved no cover fits "
+                        f"{rows_left} spare row(s) + {cols_left} "
+                        f"spare col(s)"),
+                )
+            extra_r, extra_c = cover.best
+            return finish(
+                True, must_r | set(extra_r), must_c | set(extra_c),
+                must_r, must_c, True, cover.nodes,
+            )
+        nodes = cover.nodes
+        budget_note = f"node budget {node_budget} exhausted"
+    else:
+        nodes = 0
+        budget_note = "node budget 0: exact search skipped"
+
+    # -- step 3: greedy fallback -----------------------------------------
+    g_rows, g_cols, covered = _greedy_cover(
+        sorted(residual), rows_left, cols_left)
+    if covered:
+        reason = f"{budget_note}; greedy cover found"
+    else:
+        reason = f"{budget_note}; greedy cover ran out of spares"
+    return finish(
+        covered, must_r | set(g_rows), must_c | set(g_cols),
+        must_r, must_c, False, nodes, reason=reason,
+    )

@@ -28,11 +28,13 @@ comparator).  :class:`RepairSupervisor` wraps the
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import List, Mapping, Optional, Set, Tuple
+from typing import TYPE_CHECKING, List, Mapping, Optional, Set, Tuple
 
-from repro.bist.controller import BistScheduler, TestTarget
-from repro.bist.march import MarchTest
 from repro.core.errors import ConfigError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - break the bisr <-> bist cycle
+    from repro.bist.controller import TestTarget
+    from repro.bist.march import MarchTest
 
 
 @dataclass(frozen=True)
@@ -238,8 +240,12 @@ class _ConfirmingTarget:
 class RepairSupervisor:
     """Escalating test-and-repair driver around a BistScheduler."""
 
-    def __init__(self, march: MarchTest, bpw: int,
+    def __init__(self, march: "MarchTest", bpw: int,
                  policy: Optional[EscalationPolicy] = None) -> None:
+        # Imported here, not at module level: the controller lives in
+        # repro.bist, which itself imports repair types from repro.bisr.
+        from repro.bist.controller import BistScheduler
+
         self.march = march
         self.bpw = bpw
         self.policy = policy or EscalationPolicy()

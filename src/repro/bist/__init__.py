@@ -34,6 +34,11 @@ from repro.bist.march import (
 )
 from repro.bist.transparent import TransparentBist, transparent_march
 from repro.bist.field_repair import FieldRepairController, MaintenanceResult
+from repro.bist.repair2d import (
+    Repair2DResult,
+    TwoDRepairController,
+    repair2d_result_from_dict,
+)
 from repro.bist.infrastructure import FaultyInfrastructure
 from repro.bist.addgen import AddGen
 from repro.bist.datagen import DataGen, backgrounds_for_word
@@ -63,6 +68,9 @@ __all__ = [
     "TransparentBist",
     "transparent_march",
     "FieldRepairController",
+    "Repair2DResult",
+    "TwoDRepairController",
+    "repair2d_result_from_dict",
     "MaintenanceResult",
     "FaultyInfrastructure",
     "AddGen",

@@ -14,6 +14,9 @@ bisramgen reliability --words 4096 --bpw 4 --bpc 4 --years 1,5,10
 bisramgen cost     [--processor "TI SuperSPARC"]
 bisramgen coverage --march IFA-9 --samples 20
 bisramgen optimize --words 1024 --bpw 16 --bpc 4 --defects 3.0
+bisramgen repair-plan --words 256 --bpw 8 --bpc 4 --spare-cols 2 \
+                   --defects 4 --seed 1
+bisramgen spare-mix --rows 128 --bpw 8 --bpc 4 --mixes 4x0,2x2,0x4
 bisramgen campaign --driver montecarlo --trials 200000 --shards 16 \
                    --workers 4 --checkpoint run.jsonl [--resume]
 bisramgen verify   --words 256 --bpw 8 --bpc 4 [--cif m.cif] [--json]
@@ -50,6 +53,8 @@ def _add_config_arguments(parser: argparse.ArgumentParser,
                         help="bits per column / mux factor (power of two)")
     parser.add_argument("--spares", type=int, default=spares_default,
                         choices=(4, 8, 16), help="spare rows")
+    parser.add_argument("--spare-cols", type=int, default=0,
+                        help="spare columns (0..16; 0 = row-only repair)")
     parser.add_argument("--process", default="cda07",
                         choices=("cda05", "mos06", "cda07", "mos08"))
     parser.add_argument("--gate-size", type=int, default=1,
@@ -61,7 +66,8 @@ def _add_config_arguments(parser: argparse.ArgumentParser,
 def _config_from(args: argparse.Namespace) -> RamConfig:
     return RamConfig(
         words=args.words, bpw=args.bpw, bpc=args.bpc,
-        spares=args.spares, process=args.process,
+        spares=args.spares, spare_cols=getattr(args, "spare_cols", 0),
+        process=args.process,
         gate_size=args.gate_size, strap_every=args.strap_every,
     )
 
@@ -506,10 +512,96 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_repair_plan(args: argparse.Namespace) -> int:
+    """Inject, diagnose, allocate, then replay the repair in hardware.
+
+    The static leg runs the diagnosis pass over the BIST failure log
+    and feeds the fault bitmap to the must-repair + branch-and-bound
+    allocator; the dynamic leg hands the same device to the 2-D repair
+    controller and lets it discover, allocate and program the spares
+    itself.  Exit 0 when the device ends up repaired, 1 when the
+    controller degrades.
+    """
+    from repro.bisr import allocate
+    from repro.bist import IFA_9, TwoDRepairController
+    from repro.memsim import (
+        FaultMix, collect_fail_records, fault_bitmap,
+    )
+
+    config = _config_from(args)
+    ram = compile_ram(config)
+    device = ram.simulation_model()
+    mix = FaultMix(column_defect=args.column_weight)
+    injector = DefectInjector(rng=random.Random(args.seed), mix=mix,
+                              clustering=args.clustering)
+    faults = injector.inject(device.array, args.defects)
+    print(f"injected: {[f.describe() for f in faults]}")
+
+    records = collect_fail_records(IFA_9, device, bpw=config.bpw)
+    cells = fault_bitmap(records, config.bpw, config.bpc)
+    print(f"{len(records)} comparator hits -> "
+          f"{len(cells)} distinct faulty cells")
+    plan = allocate(cells, config.rows, config.columns,
+                    config.spares, config.spare_cols,
+                    node_budget=args.node_budget)
+    print(f"static plan: {plan.summary()}")
+
+    device.reset_for_test()
+    controller = TwoDRepairController(IFA_9, bpw=config.bpw,
+                                      node_budget=args.node_budget)
+    result = controller.run(device)
+    print(f"dynamic repair: {result.summary()}")
+    if result.repaired:
+        print(f"REPAIRED: {result.spare_rows_used} spare row(s) + "
+              f"{result.spare_cols_used} spare column(s) in "
+              f"{result.cycles} cycle(s)")
+        return 0
+    print(f"DEGRADED: {result.reason}")
+    return 1
+
+
+def cmd_spare_mix(args: argparse.Namespace) -> int:
+    """Sweep row/column spare mixes for cost per good bit."""
+    from repro.cost import best_mix, spare_mix_sweep
+
+    mixes = []
+    for part in args.mixes.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            sr_text, sc_text = part.split("x")
+            mixes.append((int(sr_text), int(sc_text)))
+        except ValueError:
+            raise ConfigError(
+                f"--mixes wants SRxSC pairs like 4x0,2x2, got {part!r}"
+            ) from None
+    defect_counts = _float_list(args.defects)
+    points = spare_mix_sweep(
+        args.rows, args.bpw, args.bpc, mixes, defect_counts,
+        trials=args.trials, seed=args.seed,
+        row_defect_frac=args.row_defect_frac,
+        col_defect_frac=args.col_defect_frac,
+    )
+    print(f"{'mix':>7}  {'defects':>8}  {'area':>7}  "
+          f"{'yield':>7}  {'cost/bit':>9}")
+    for p in points:
+        print(f"{p.spares_r:>3}x{p.spares_c:<3}  {p.n_defects:>8g}  "
+              f"{p.area_factor:>7.4f}  {p.yield_estimate:>7.4f}  "
+              f"{p.cost_per_good_bit:>9.4f}")
+    for n in defect_counts:
+        b = best_mix(points, n)
+        print(f"best @ {n:g} defects: {b.spares_r} spare row(s) + "
+              f"{b.spares_c} spare column(s) "
+              f"(cost/bit {b.cost_per_good_bit:.4f})")
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Supervised parallel campaign with checkpoint/resume."""
     from repro.runtime import CampaignRunner, RetryPolicy
     from repro.runtime.drivers import (
+        montecarlo2d_campaign,
         montecarlo_campaign,
         repair_campaign,
         signoff_campaign,
@@ -535,7 +627,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         )
     else:
         config = _config_from(args)
-        if args.driver == "montecarlo":
+        if args.driver == "montecarlo2d":
+            from repro.cost import area_growth_factor
+
+            spec = montecarlo2d_campaign(
+                rows=config.rows, bpw=config.bpw, bpc=config.bpc,
+                spares_r=config.spares, spares_c=config.spare_cols,
+                defects=args.defects, trials=args.trials,
+                n_shards=args.shards, seed=args.seed,
+                growth_factor=area_growth_factor(
+                    config.rows, config.columns,
+                    config.spares, config.spare_cols),
+                row_defect_frac=args.row_defect_frac,
+                col_defect_frac=args.col_defect_frac,
+                node_budget=args.node_budget,
+            )
+        elif args.driver == "montecarlo":
             spec = montecarlo_campaign(
                 rows=config.rows, spares=config.spares,
                 bpw=config.bpw, bpc=config.bpc,
@@ -759,22 +866,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_diagnose)
 
+    p = sub.add_parser("repair-plan",
+                       help="inject defects, diagnose, run the 2-D "
+                            "must-repair + branch-and-bound allocator, "
+                            "then replay the repair dynamically")
+    _add_config_arguments(p)
+    p.add_argument("--defects", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--column-weight", type=float, default=0.005,
+                   help="column-defect weight in the fault mix")
+    p.add_argument("--clustering", type=float, default=0.0,
+                   help="defect clustering strength (0 = uniform)")
+    p.add_argument("--node-budget", type=int, default=20_000,
+                   help="branch-and-bound nodes before the allocator "
+                        "falls back to the greedy cover")
+    p.set_defaults(func=cmd_repair_plan)
+
+    p = sub.add_parser("spare-mix",
+                       help="sweep row/column spare mixes for cost "
+                            "per good bit")
+    p.add_argument("--rows", type=int, default=128)
+    p.add_argument("--bpw", type=int, default=8)
+    p.add_argument("--bpc", type=int, default=4)
+    p.add_argument("--mixes", default="4x0,2x2,0x4",
+                   help="comma-separated SRxSC pairs")
+    p.add_argument("--defects", default="1,2,5",
+                   help="comma-separated mean defect counts")
+    p.add_argument("--trials", type=int, default=2_000)
+    p.add_argument("--row-defect-frac", type=float, default=0.02,
+                   help="fraction of defects that kill a whole row")
+    p.add_argument("--col-defect-frac", type=float, default=0.05,
+                   help="fraction of defects that kill a whole column")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_spare_mix)
+
     p = sub.add_parser(
         "campaign",
         help="supervised parallel campaign: sharded, checkpointed, "
              "resumable",
     )
     p.add_argument("--driver",
-                   choices=("montecarlo", "repair", "sizing", "signoff"),
+                   choices=("montecarlo", "montecarlo2d", "repair",
+                            "sizing", "signoff"),
                    default="montecarlo",
-                   help="workload: Monte-Carlo yield, fault-injection "
-                        "repair, SPICE sizing sweep, or cross-node "
-                        "signoff")
+                   help="workload: Monte-Carlo yield (row-only or 2-D "
+                        "with the allocator in the loop), "
+                        "fault-injection repair, SPICE sizing sweep, "
+                        "or cross-node signoff")
     # Geometry defaults so a smoke campaign needs no required flags.
     p.add_argument("--words", type=int, default=4096)
     p.add_argument("--bpw", type=int, default=4)
     p.add_argument("--bpc", type=int, default=4)
     p.add_argument("--spares", type=int, default=4, choices=(4, 8, 16))
+    p.add_argument("--spare-cols", type=int, default=0,
+                   help="spare columns for the montecarlo2d driver")
+    p.add_argument("--row-defect-frac", type=float, default=0.0,
+                   help="whole-row defect fraction (montecarlo2d)")
+    p.add_argument("--col-defect-frac", type=float, default=0.0,
+                   help="whole-column defect fraction (montecarlo2d)")
+    p.add_argument("--node-budget", type=int, default=4_000,
+                   help="allocator search budget (montecarlo2d)")
     p.add_argument("--process", default="cda07",
                    choices=("cda05", "mos06", "cda07", "mos08"))
     p.add_argument("--gate-size", type=int, default=1)

@@ -64,6 +64,7 @@ class AreaReport:
     bist_bisr_mm2: float
     spare_rows_mm2: float
     bbox_mm2: float = 0.0
+    spare_cols_mm2: float = 0.0
 
     @property
     def overhead_percent(self) -> float:
@@ -76,11 +77,12 @@ class AreaReport:
 
     @property
     def bist_bisr_only_percent(self) -> float:
-        """Overhead excluding the spare rows, which the paper does not
-        count ("redundancy is used in a vast majority of large RAMs
-        even if there is no self-repair")."""
+        """Overhead excluding the spare rows/columns, which the paper
+        does not count ("redundancy is used in a vast majority of large
+        RAMs even if there is no self-repair")."""
         return 100.0 * (
-            (self.total_mm2 - self.spare_rows_mm2) / self.baseline_mm2
+            (self.total_mm2 - self.spare_rows_mm2 - self.spare_cols_mm2)
+            / self.baseline_mm2
             - 1.0
         )
 
@@ -112,6 +114,7 @@ class CompiledRam:
             bpw=self.config.bpw,
             bpc=self.config.bpc,
             spares=self.config.spares,
+            spare_cols=self.config.spare_cols,
         )
 
     def self_test_controller(self, device: Optional[BisrRam] = None,
@@ -299,6 +302,8 @@ class BISRAMGen:
                 spare_rows_mm2=floorplan.spare_rows_area_cu2(self.config)
                 * cu2_to_mm2,
                 bbox_mm2=floorplan.area_mm2(),
+                spare_cols_mm2=floorplan.spare_cols_area_cu2(self.config)
+                * cu2_to_mm2,
             )
 
         report = runner.run("layout", base_key, layout_stage)

@@ -28,6 +28,10 @@ class RamConfig:
             allow a user to generate a RAM array with more spares but
             will not be able to guarantee that the TLB delay penalty
             can be masked").
+        spare_cols: spare bit-line pairs for 2-D redundancy (0 = the
+            paper's row-only repair).  Each spare column is a full
+            bit-line pair running the whole array height, bypassed in
+            via the column-steering mux; 0..16 allowed.
         gate_size: integer drive-strength multiplier for critical gates
             (precharge devices, word-line drivers).
         strap_every: bit-cell columns between strap columns (0 = no
@@ -41,6 +45,7 @@ class RamConfig:
     bpw: int
     bpc: int
     spares: int = 4
+    spare_cols: int = 0
     gate_size: int = 1
     strap_every: int = 32
     strap_width_lambda: int = 16
@@ -62,6 +67,8 @@ class RamConfig:
             raise ConfigError(
                 "spares must be 4, 8, or 16 (the options BISRAMGEN offers)"
             )
+        if not 0 <= self.spare_cols <= 16:
+            raise ConfigError("spare_cols must be in 0..16")
         if self.gate_size < 1:
             raise ConfigError("gate_size must be >= 1")
         if self.strap_every < 0:
@@ -84,6 +91,11 @@ class RamConfig:
     def columns(self) -> int:
         """Physical bit-line pair count (bpw subarrays of bpc each)."""
         return self.bpw * self.bpc
+
+    @property
+    def total_columns(self) -> int:
+        """Physical bit-line pairs including spare columns."""
+        return self.columns + self.spare_cols
 
     @property
     def bits(self) -> int:
@@ -158,8 +170,10 @@ class RamConfig:
 
     def describe(self) -> str:
         kb = self.bits / 1024
+        cols = (f", cols={self.columns}+{self.spare_cols} spare"
+                if self.spare_cols else "")
         return (
             f"{self.words} words x {self.bpw} bits ({kb:.0f} Kbit), "
-            f"bpc={self.bpc}, rows={self.rows}+{self.spares} spare, "
-            f"process={self.process}"
+            f"bpc={self.bpc}, rows={self.rows}+{self.spares} spare"
+            f"{cols}, process={self.process}"
         )

@@ -102,9 +102,10 @@ def build_datasheet(config: RamConfig, area_mm2: float) -> Datasheet:
     # the array plus one access-gate load per column.
     drive_w = 6 * f * config.gate_size * 3
     r_drv = effective_resistance(process.pmos, vdd, drive_w, f)
-    wl_length_um = config.columns * 68 * lam / 100.0
+    wl_length_um = config.total_columns * 68 * lam / 100.0
     c_wl = wl_length_um * process.wire_c_af_um * 0.65e-18 + \
-        config.columns * process.nmos.cox * (3 * f * 1e-6) * (f * 1e-6)
+        config.total_columns * process.nmos.cox * \
+        (3 * f * 1e-6) * (f * 1e-6)
     t_wordline = 0.69 * r_drv * c_wl
 
     # Stage 3: bit-line differential development: cell read current
@@ -130,6 +131,13 @@ def build_datasheet(config: RamConfig, area_mm2: float) -> Datasheet:
         "mux": t_mux,
         "sense": t_sense,
     }
+    # The column-steering mux sits in the data path after the column
+    # mux; row-only configs carry no stage (and no entry) at all.
+    if config.spare_cols:
+        from repro.bisr.colsteer import colsteer_delay_s
+
+        stage_delays["steer"] = colsteer_delay_s(
+            process, config.spare_cols)
     read_access = sum(stage_delays.values())
     # Writes bypass the sense amp; the write driver slams full swing.
     write_time = t_decode + t_wordline + 2.5 * t_bitline
@@ -151,7 +159,7 @@ def build_datasheet(config: RamConfig, area_mm2: float) -> Datasheet:
     # column set + word line + periphery) at the nominal cycle rate.
     cycle = 1.4 * read_access
     c_switched = (
-        config.columns * blp.capacitance_f * swing / vdd
+        config.total_columns * blp.capacitance_f * swing / vdd
         + c_wl
         + 200e-15
     )

@@ -86,14 +86,22 @@ class Floorplan:
         return sum(self.areas_cu2.values()) * self._CU2_TO_MM2
 
     def bist_bisr_area_cu2(self) -> int:
-        """Silicon spent on test-and-repair (TRPLA, TLB, generators)."""
-        keys = ("trpla", "tlb", "addgen", "datagen", "streg")
+        """Silicon spent on test-and-repair (TRPLA, TLB, generators,
+        and the column steer when spare columns exist)."""
+        keys = ("trpla", "tlb", "addgen", "datagen", "streg", "colsteer")
         return sum(self.areas_cu2[k] for k in keys if k in self.areas_cu2)
 
     def spare_rows_area_cu2(self, config: RamConfig) -> int:
         """Area of the redundant rows inside the array macro."""
         array_area = self.areas_cu2["array"]
         return array_area * config.spares // config.total_rows
+
+    def spare_cols_area_cu2(self, config: RamConfig) -> int:
+        """Area of the redundant columns inside the array macro."""
+        if not config.spare_cols:
+            return 0
+        array_area = self.areas_cu2["array"]
+        return array_area * config.spare_cols // config.total_columns
 
 
 def build_floorplan(config: RamConfig, march: MarchTest = IFA_9,
@@ -109,14 +117,15 @@ def build_floorplan(config: RamConfig, march: MarchTest = IFA_9,
 
     # ---- datapath macrocells --------------------------------------------
     spares = config.spares if with_bisr else 0
-    array = _build_array(config, process, spares)
+    spare_cols = config.spare_cols if with_bisr else 0
+    array = _build_array(config, process, spares, spare_cols)
     macrocells["array"] = array
     macrocells["precharge_row"] = _build_column_row(
         config, process, precharge_cell(process, config.gate_size),
-        "precharge_row",
+        "precharge_row", spare_cols,
     )
     macrocells["mux_row"] = _build_column_row(
-        config, process, column_mux_cell(process), "mux_row"
+        config, process, column_mux_cell(process), "mux_row", spare_cols
     )
     macrocells["sense_row"] = _build_sense_row(config, process)
     macrocells["decoder_col"] = _build_decoder_column(
@@ -138,6 +147,8 @@ def build_floorplan(config: RamConfig, march: MarchTest = IFA_9,
         macrocells["streg"] = _tile_row(
             dff_cell(process), assembled.state_bits, "streg"
         )
+        if spare_cols:
+            macrocells["colsteer"] = _build_colsteer(config, process)
 
     # ---- assembly ----------------------------------------------------------------
     top = Cell("bisr_ram" if with_bisr else "ram")
@@ -153,6 +164,8 @@ def build_floorplan(config: RamConfig, march: MarchTest = IFA_9,
     # Control strip at the bottom (BISR builds only).
     if with_bisr:
         strip_names = ["trpla", "tlb", "addgen", "datagen", "streg"]
+        if "colsteer" in macrocells:
+            strip_names.append("colsteer")
         blocks = [
             Block.from_cell(macrocells[n]) for n in strip_names
         ]
@@ -196,12 +209,18 @@ def build_floorplan(config: RamConfig, march: MarchTest = IFA_9,
 
 
 def _build_array(config: RamConfig, process: Process,
-                 spares: int) -> Cell:
+                 spares: int, spare_cols: int = 0) -> Cell:
     """The bit-cell array with strap columns and spare rows on top.
 
     Bit-line ports are re-exported on the array's own bottom and top
     edges so the mux row and precharge row connect to it by pure
     abutment — checkable with :func:`repro.pnr.abutting_ports`.
+
+    Spare columns are ordinary bit-cell columns appended after the
+    regular ones at the same pitch and strap cadence — "fully
+    integrated with the main array", like the spare rows — so DRC and
+    abutment hold by the same construction that proves them for the
+    regular array.
     """
     from repro.layout.cell import Port
 
@@ -216,7 +235,7 @@ def _build_array(config: RamConfig, process: Process,
     strip = Cell("row_strip")
     column_x = []
     x = 0
-    for c in range(config.columns):
+    for c in range(config.columns + spare_cols):
         if strap is not None and c and c % config.strap_every == 0:
             strip.add_instance(
                 strap, Transform(translation=Point(x, 0)),
@@ -253,12 +272,15 @@ def _build_array(config: RamConfig, process: Process,
 
 
 def _build_column_row(config: RamConfig, process: Process,
-                      template: Cell, name: str) -> Cell:
+                      template: Cell, name: str,
+                      spare_cols: int = 0) -> Cell:
     """A row of per-bit-line-pair cells matching the array pitch.
 
     The template's ``bl``/``blb`` ports are re-exported per column on
     both the bottom edge (where the template places them) and, when the
-    template carries top-edge twins, the top edge.
+    template carries top-edge twins, the top edge.  Spare columns get
+    the same per-pair cell as regular ones (they are full bit-line
+    pairs and need precharge/mux service identically).
     """
     from repro.layout.cell import Port
 
@@ -266,7 +288,7 @@ def _build_column_row(config: RamConfig, process: Process,
     strap_w = config.strap_width_lambda * lam
     row = Cell(name)
     x = 0
-    for c in range(config.columns):
+    for c in range(config.columns + spare_cols):
         if config.strap_every and c and c % config.strap_every == 0:
             x += strap_w
         row.add_instance(
@@ -368,6 +390,47 @@ def _build_tlb(config: RamConfig, process: Process) -> Cell:
             name=f"tri_{s}",
         )
     return tlb
+
+
+def _build_colsteer(config: RamConfig, process: Process) -> Cell:
+    """The column-steering register file and data-path mux.
+
+    One entry per spare column: CAM cells holding the faulty column
+    address (compared against the live column-select), a tristate
+    driver onto the spare bus, and one 2:1 steering mux per I/O
+    subarray to substitute the spare bus for the faulty datum.
+    """
+    lam = process.lambda_cu
+    cam = cam_cell(process)
+    tri = tristate_buffer_cell(process, config.gate_size)
+    mux = column_mux_cell(process)
+    col_addr_bits = max(1, (config.columns - 1).bit_length())
+    steer = Cell("colsteer")
+    pitch_y = CELL_H * lam
+    for s in range(config.spare_cols):
+        for b in range(col_addr_bits):
+            steer.add_instance(
+                cam,
+                Transform(translation=Point(b * cam.width, s * pitch_y)),
+                name=f"cam_{s}_{b}",
+            )
+        steer.add_instance(
+            tri,
+            Transform(
+                translation=Point(
+                    col_addr_bits * cam.width + 8 * lam, s * pitch_y
+                )
+            ),
+            name=f"tri_{s}",
+        )
+    mux_x = col_addr_bits * cam.width + tri.width + 16 * lam
+    for i in range(config.bpw):
+        steer.add_instance(
+            mux,
+            Transform(translation=Point(mux_x + i * mux.width, 0)),
+            name=f"steer_mux_{i}",
+        )
+    return steer
 
 
 def _build_datagen(config: RamConfig, process: Process) -> Cell:

@@ -10,6 +10,14 @@ from repro.cost.analysis import (
     table3_rows,
 )
 from repro.cost.binning import SpeedBinning, binning_distribution
+from repro.cost.sparemix import (
+    SpareMixPoint,
+    area_growth_factor,
+    best_mix,
+    evaluate_mix,
+    spare_mix_point_from_dict,
+    spare_mix_sweep,
+)
 from repro.cost.learning import (
     LearningCurve,
     bisr_advantage_over_ramp,
@@ -29,6 +37,12 @@ __all__ = [
     "table3_rows",
     "SpeedBinning",
     "binning_distribution",
+    "SpareMixPoint",
+    "area_growth_factor",
+    "best_mix",
+    "evaluate_mix",
+    "spare_mix_point_from_dict",
+    "spare_mix_sweep",
     "LearningCurve",
     "bisr_advantage_over_ramp",
     "extra_layer_wafer_cost",

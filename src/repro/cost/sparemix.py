@@ -1,0 +1,179 @@
+"""Spare-mix economics: cost per good bit across row/column mixes.
+
+The paper's cost chapter prices a fixed organisation (four spare
+rows).  With 2-D redundancy the question becomes *which* mix of spare
+rows and spare columns buys the most good bits per unit silicon: spare
+columns are cheaper per spare on tall arrays (one column is ``rows``
+cells against ``cols`` per row) but carry the column-steering overhead
+(CAM + bypass muxes), and only a column spare can absorb a whole-column
+defect.  This module sweeps mixes at a given defect environment and
+reports cost per good bit, where cost is module area divided by yield
+— the standard dies-per-wafer argument of Table II with constant
+wafer cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.yieldmodel.montecarlo import simulate_yield_2d
+
+#: Fractional module-area overhead per spare column for the steering
+#: logic (CAM word + tristate drivers + per-I/O bypass muxes); the
+#: floorplan's colsteer macro lands in this band for the canonical
+#: organisations.
+STEER_OVERHEAD_PER_COL = 0.004
+
+#: Fractional module-area overhead per spare row for the TLB entry
+#: (CAM compare + spare decoder row); matches the Table I band the
+#: row-only cost model charges via its 5% four-spare overhead.
+TLB_OVERHEAD_PER_ROW = 0.010
+
+
+def area_growth_factor(rows: int, cols: int, spares_r: int,
+                       spares_c: int) -> float:
+    """Module area relative to the nonredundant array.
+
+    Cell-array growth ``((rows + sr) * (cols + sc)) / (rows * cols)``
+    times the repair-logic overheads, which scale with the spare counts
+    (a rows-only module pays no steering, a cols-only module no TLB).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    if spares_r < 0 or spares_c < 0:
+        raise ValueError("spare counts must be non-negative")
+    cell_growth = ((rows + spares_r) * (cols + spares_c)) / (rows * cols)
+    logic = (1.0 + TLB_OVERHEAD_PER_ROW * spares_r
+             + STEER_OVERHEAD_PER_COL * spares_c)
+    return cell_growth * logic
+
+
+@dataclass(frozen=True)
+class SpareMixPoint:
+    """One (spares_r, spares_c) mix evaluated at one defect density."""
+
+    spares_r: int
+    spares_c: int
+    n_defects: float
+    area_factor: float
+    yield_estimate: float
+    cost_per_good_bit: float
+    trials: int
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["kind"] = "spare_mix_point"
+        return data
+
+    def summary(self) -> str:
+        return (f"sr={self.spares_r} sc={self.spares_c} "
+                f"@ {self.n_defects:g} defects: area x{self.area_factor:.4f}, "
+                f"yield {self.yield_estimate:.4f}, "
+                f"cost/bit {self.cost_per_good_bit:.4f}")
+
+
+def spare_mix_point_from_dict(data: dict) -> SpareMixPoint:
+    if data.get("kind") != "spare_mix_point":
+        raise ValueError(f"not a spare_mix_point dict: {data.get('kind')!r}")
+    fields = {k: v for k, v in data.items() if k != "kind"}
+    return SpareMixPoint(**fields)
+
+
+def evaluate_mix(
+    rows: int,
+    bpw: int,
+    bpc: int,
+    spares_r: int,
+    spares_c: int,
+    n_defects: float,
+    trials: int = 4_000,
+    rng: Optional[np.random.Generator] = None,
+    row_defect_frac: float = 0.0,
+    col_defect_frac: float = 0.0,
+    node_budget: int = 4_000,
+) -> SpareMixPoint:
+    """Cost per good bit for one mix at one defect density.
+
+    Cost per good bit is ``area_factor / yield`` in units of the
+    nonredundant array's per-bit cost at yield 1: the area factor
+    shrinks dies per wafer, the yield divides good dies, and the bit
+    count cancels across mixes of the same logical geometry.  A yield
+    estimate of zero prices the mix at ``inf`` — every die is scrap.
+    """
+    cols = bpw * bpc
+    growth = area_growth_factor(rows, cols, spares_r, spares_c)
+    result = simulate_yield_2d(
+        rows, bpw, bpc, spares_r, spares_c, n_defects,
+        growth_factor=growth, trials=trials, rng=rng,
+        row_defect_frac=row_defect_frac, col_defect_frac=col_defect_frac,
+        node_budget=node_budget,
+    )
+    y = result.yield_estimate
+    cost = growth / y if y > 0.0 else float("inf")
+    return SpareMixPoint(
+        spares_r=spares_r,
+        spares_c=spares_c,
+        n_defects=n_defects,
+        area_factor=growth,
+        yield_estimate=y,
+        cost_per_good_bit=cost,
+        trials=result.trials,
+    )
+
+
+def spare_mix_sweep(
+    rows: int,
+    bpw: int,
+    bpc: int,
+    mixes: Sequence[Tuple[int, int]],
+    defect_counts: Sequence[float],
+    trials: int = 4_000,
+    seed: int = 0,
+    row_defect_frac: float = 0.0,
+    col_defect_frac: float = 0.0,
+    node_budget: int = 4_000,
+) -> List[SpareMixPoint]:
+    """Evaluate every mix at every defect density.
+
+    One child generator per (mix, density) pair, spawned from ``seed``,
+    so the sweep is deterministic and each point is independent of the
+    evaluation order.
+    """
+    if not mixes:
+        raise ValueError("at least one (spares_r, spares_c) mix required")
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(len(mixes) * len(defect_counts))
+    points = []
+    index = 0
+    for spares_r, spares_c in mixes:
+        for n in defect_counts:
+            rng = np.random.default_rng(children[index])
+            index += 1
+            points.append(evaluate_mix(
+                rows, bpw, bpc, spares_r, spares_c, n,
+                trials=trials, rng=rng,
+                row_defect_frac=row_defect_frac,
+                col_defect_frac=col_defect_frac,
+                node_budget=node_budget,
+            ))
+    return points
+
+
+def best_mix(points: Sequence[SpareMixPoint],
+             n_defects: Optional[float] = None) -> SpareMixPoint:
+    """Cheapest mix, optionally restricted to one defect density.
+
+    Ties break deterministically toward fewer total spares, then fewer
+    spare columns (the simpler repair structure).
+    """
+    candidates = [p for p in points
+                  if n_defects is None or p.n_defects == n_defects]
+    if not candidates:
+        raise ValueError("no points to choose from")
+    return min(candidates,
+               key=lambda p: (p.cost_per_good_bit,
+                              p.spares_r + p.spares_c,
+                              p.spares_c))

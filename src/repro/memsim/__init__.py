@@ -42,6 +42,8 @@ from repro.memsim.diagnosis import (
     FailRecord,
     Diagnosis,
     diagnose,
+    diagnosis_from_dict,
+    fault_bitmap,
     collect_fail_records,
 )
 
@@ -68,5 +70,7 @@ __all__ = [
     "FailRecord",
     "Diagnosis",
     "diagnose",
+    "diagnosis_from_dict",
+    "fault_bitmap",
     "collect_fail_records",
 ]

@@ -7,12 +7,22 @@ physical column ``i * bpc + (a % bpc)``.  ``spares`` extra rows sit
 above the regular rows, "fully integrated with the main array and
 [sharing] the same column multiplexers"; they are reached only through
 the spare word addresses ``regular_words + s * bpc + c``.
+
+``spare_cols`` extra bit-line pairs sit to the right of the regular
+columns (physical columns ``phys_cols .. phys_cols + spare_cols - 1``)
+and run the full array height, spare rows included.  They are reached
+only through the column-steering map (``col_map``): normal addressing
+never touches them, exactly like spare rows and the TLB.
+
+Cell indices are flat ``row * row_stride + phys_col`` where
+``row_stride = phys_cols + spare_cols``; with no spare columns this is
+the historical ``row * phys_cols + phys_col`` layout, bit for bit.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.memsim.faults import Fault
 
@@ -25,10 +35,11 @@ class MemoryArray:
         bpw: bits per word (power of two).
         bpc: bits per column — the column-mux factor (power of two).
         spares: spare rows (0 allowed: a plain non-redundant array).
+        spare_cols: spare bit-line pairs (0 allowed: row-only BISR).
     """
 
     def __init__(self, rows: int, bpw: int, bpc: int,
-                 spares: int = 0) -> None:
+                 spares: int = 0, spare_cols: int = 0) -> None:
         for name, value in (("rows", rows), ("bpw", bpw), ("bpc", bpc)):
             if value < 1:
                 raise ValueError(f"{name} must be positive")
@@ -37,13 +48,17 @@ class MemoryArray:
                 raise ValueError(f"{name} must be a power of two")
         if spares < 0:
             raise ValueError("spares must be non-negative")
+        if spare_cols < 0:
+            raise ValueError("spare_cols must be non-negative")
         self.rows = rows
         self.bpw = bpw
         self.bpc = bpc
         self.spares = spares
+        self.spare_cols = spare_cols
         self.total_rows = rows + spares
         self.phys_cols = bpw * bpc
-        self._bits = bytearray(self.total_rows * self.phys_cols)
+        self.row_stride = self.phys_cols + spare_cols
+        self._bits = bytearray(self.total_rows * self.row_stride)
         self._faults: List[Fault] = []
         self._cell_faults: Dict[int, List[Fault]] = defaultdict(list)
         self._column_last: Dict[int, int] = {}
@@ -64,7 +79,7 @@ class MemoryArray:
 
     @property
     def cell_count(self) -> int:
-        return self.total_rows * self.phys_cols
+        return self.total_rows * self.row_stride
 
     def cell_index(self, row: int, word_bit: int, column: int) -> int:
         """Flat cell index of word bit ``word_bit`` at (row, column)."""
@@ -74,7 +89,15 @@ class MemoryArray:
             raise ValueError(f"word bit {word_bit} out of range")
         if not 0 <= column < self.bpc:
             raise ValueError(f"column {column} out of range")
-        return row * self.phys_cols + word_bit * self.bpc + column
+        return row * self.row_stride + word_bit * self.bpc + column
+
+    def spare_cell_index(self, row: int, spare_col: int) -> int:
+        """Flat cell index of spare column ``spare_col`` at ``row``."""
+        if not 0 <= row < self.total_rows:
+            raise ValueError(f"row {row} out of range")
+        if not 0 <= spare_col < self.spare_cols:
+            raise ValueError(f"spare column {spare_col} out of range")
+        return row * self.row_stride + self.phys_cols + spare_col
 
     def split_address(self, address: int) -> Tuple[int, int]:
         """Word address -> (row, column)."""
@@ -107,7 +130,7 @@ class MemoryArray:
 
     def faulty_rows(self) -> List[int]:
         """Rows touched by any injected fault, ascending."""
-        rows = {cell // self.phys_cols
+        rows = {cell // self.row_stride
                 for f in self._faults for cell in f.cells()}
         return sorted(rows)
 
@@ -127,11 +150,31 @@ class MemoryArray:
 
     # -- word access ----------------------------------------------------------------
 
-    def read_word(self, address: int, row_override: int = None) -> int:
+    def _resolve_cell(self, row: int, bit: int, column: int,
+                      col_map: Optional[Mapping[int, int]],
+                      ) -> Tuple[int, int]:
+        """(flat cell, resolved physical column) for one word bit.
+
+        ``col_map`` is the column-steering map: logical physical column
+        -> spare column index.  A steered bit's cell lives in the spare
+        column at the same row; everything else follows Fig. 2.
+        """
+        logical = bit * self.bpc + column
+        if col_map is not None:
+            spare = col_map.get(logical)
+            if spare is not None:
+                phys = self.phys_cols + spare
+                return row * self.row_stride + phys, phys
+        return row * self.row_stride + logical, logical
+
+    def read_word(self, address: int, row_override: int = None,
+                  col_map: Optional[Mapping[int, int]] = None) -> int:
         """Read the ``bpw``-bit word at ``address``.
 
         ``row_override`` substitutes the physical row while keeping the
-        column from the address — the BISR diversion path.
+        column from the address — the BISR diversion path.  ``col_map``
+        steers individual physical columns onto spare columns — the
+        2-D repair path.
         """
         row, column = self.split_address(address)
         if row_override is not None:
@@ -139,18 +182,19 @@ class MemoryArray:
         self.read_count += 1
         word = 0
         for bit in range(self.bpw):
-            cell = self.cell_index(row, bit, column)
+            cell, phys = self._resolve_cell(row, bit, column, col_map)
             value = self._bits[cell]
             for fault in self._cell_faults.get(cell, ()):
                 value = fault.on_read(cell, value, self)
             value = 1 if value else 0
-            self._column_last[bit * self.bpc + column] = value
+            self._column_last[phys] = value
             if value:
                 word |= 1 << bit
         return word
 
     def write_word(self, address: int, word: int,
-                   row_override: int = None) -> None:
+                   row_override: int = None,
+                   col_map: Optional[Mapping[int, int]] = None) -> None:
         """Write the ``bpw``-bit ``word`` at ``address``."""
         row, column = self.split_address(address)
         if row_override is not None:
@@ -158,13 +202,13 @@ class MemoryArray:
         self.write_count += 1
         touched = []
         for bit in range(self.bpw):
-            cell = self.cell_index(row, bit, column)
+            cell, phys = self._resolve_cell(row, bit, column, col_map)
             old = self._bits[cell]
             new = (word >> bit) & 1
             for fault in self._cell_faults.get(cell, ()):
                 new = fault.on_write(cell, old, new)
             self._bits[cell] = 1 if new else 0
-            self._column_last[bit * self.bpc + column] = self._bits[cell]
+            self._column_last[phys] = self._bits[cell]
             touched.append(cell)
         # Coupling side effects fire after the whole word lands.
         for cell in touched:

@@ -6,12 +6,19 @@ system would use after self-repair.  "After a fault or defect has been
 diagnosed and the system switches back to normal operational mode, any
 incoming address intended for a faulty memory location is diverted to a
 new address."
+
+With ``spare_cols > 0`` the device also carries a
+:class:`~repro.bisr.colsteer.ColumnSteer`: in repair mode, bit lines
+recorded as faulty are steered onto spare columns in the data path,
+composing freely with TLB row diversion (spare rows have spare-column
+cells too, so a diverted row still benefits from steering).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
+from repro.bisr.colsteer import ColumnSteer
 from repro.bisr.tlb import Tlb
 from repro.memsim.array import MemoryArray
 
@@ -24,13 +31,17 @@ class BisrRam:
         bpw: bits per word.
         bpc: bits per column (column-mux factor).
         spares: spare rows (also the TLB entry count).
+        spare_cols: spare bit-line pairs (also the steer entry count).
     """
 
-    def __init__(self, rows: int, bpw: int, bpc: int, spares: int) -> None:
+    def __init__(self, rows: int, bpw: int, bpc: int, spares: int,
+                 spare_cols: int = 0) -> None:
         if spares < 1:
             raise ValueError("a BISR RAM needs at least one spare row")
-        self.array = MemoryArray(rows, bpw, bpc, spares)
+        self.array = MemoryArray(rows, bpw, bpc, spares, spare_cols)
         self.tlb = Tlb(regular_rows=rows, spares=spares)
+        self.colsteer = ColumnSteer(
+            regular_cols=self.array.phys_cols, spares=spare_cols)
         self.repair_mode = False
         self.diversion_count = 0
         self._remapped_rows = set()
@@ -44,11 +55,13 @@ class BisrRam:
 
     def read(self, address: int) -> int:
         row = self._physical_row(address)
-        return self.array.read_word(address, row_override=row)
+        return self.array.read_word(
+            address, row_override=row, col_map=self._col_map())
 
     def write(self, address: int, word: int) -> None:
         row = self._physical_row(address)
-        self.array.write_word(address, word, row_override=row)
+        self.array.write_word(
+            address, word, row_override=row, col_map=self._col_map())
 
     def set_repair_mode(self, enabled: bool) -> None:
         """Enable/disable TLB diversion (BIST pass 1 runs with it off).
@@ -94,11 +107,17 @@ class BisrRam:
             return physical
         return None
 
+    def _col_map(self) -> Optional[Dict[int, int]]:
+        if not self.repair_mode or not len(self.colsteer):
+            return None
+        return self.colsteer.active_map()
+
     # -- normal-mode conveniences ---------------------------------------------------
 
     def reset_for_test(self) -> None:
-        """Fresh self-test: clear the TLB and leave repair mode off."""
+        """Fresh self-test: clear the TLB/steer, leave repair mode off."""
         self.tlb.reset()
+        self.colsteer.reset()
         self.repair_mode = False
         self.diversion_count = 0
         self._remapped_rows = set()
@@ -119,8 +138,11 @@ class BisrRam:
 
     def describe(self) -> str:
         a = self.array
+        steer = (f", spare_cols={a.spare_cols}, "
+                 f"steer_used={self.colsteer.spares_used}"
+                 if a.spare_cols else "")
         return (
             f"BisrRam(rows={a.rows}, bpw={a.bpw}, bpc={a.bpc}, "
             f"spares={a.spares}, words={a.words}, "
-            f"tlb_used={self.tlb.spares_used})"
+            f"tlb_used={self.tlb.spares_used}{steer})"
         )

@@ -14,13 +14,28 @@ test pass:
 
 The classifier is the software twin of what a repair allocator in
 hardware would infer from the fault-capture stream.
+
+Edge-case behaviour is deterministic and part of the contract:
+
+* **empty failure log** — an empty, row-repairable diagnosis with zero
+  spares needed (a clean device is trivially repairable);
+* **row/column tie-break** — columns are classified first and their
+  contributions removed before row analysis, so when one physical
+  event could be read either way the *column* verdict wins; but a lane
+  must fail in at least two distinct rows to be called a column, and a
+  row must fail in at least two distinct words to be called a row, so
+  a single-row event can never masquerade as a column (or vice versa)
+  regardless of how small the array is;
+* **all addresses failing on all bits** — every lane meets the column
+  rule, so the verdict is all-columns (rows and cells empty) and not
+  row-repairable: the columns-first precedence applied consistently.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -53,6 +68,12 @@ class Diagnosis:
             f"({self.spares_needed} spares needed)"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation with a ``kind`` discriminator."""
+        data = asdict(self)
+        data["kind"] = "diagnosis"
+        return data
+
 
 def diagnose(
     records: Sequence[FailRecord],
@@ -71,7 +92,9 @@ def diagnose(
         row_threshold: fraction of a row's words that must fail to call
             the whole row bad.
         column_threshold: fraction of rows that must fail at one
-            (column, bit-lane) to call the bit line bad.
+            (column, bit-lane) to call the bit line bad (at least two
+            distinct rows regardless, so a single-row event is never
+            read as a column).
     """
     if rows < 1:
         raise ValueError("rows must be positive")
@@ -90,7 +113,7 @@ def diagnose(
                 lane_rows[(column, bit)].add(row)
     column_faults = sorted(
         lane for lane, hit_rows in lane_rows.items()
-        if len(hit_rows) >= column_threshold * rows
+        if len(hit_rows) >= max(2, column_threshold * rows)
     )
     column_set = set(column_faults)
 
@@ -130,6 +153,45 @@ def diagnose(
         repairable_with_rows=repairable,
         spares_needed=len(rows_needing_spares),
     )
+
+
+def diagnosis_from_dict(data: Mapping) -> Diagnosis:
+    """Rebuild a :meth:`Diagnosis.to_dict` payload.
+
+    Tolerates a JSON round-trip (tuples come back as lists); rejects
+    payloads carrying the wrong ``kind``.
+    """
+    data = dict(data)
+    kind = data.pop("kind", "diagnosis")
+    if kind != "diagnosis":
+        raise ValueError(f"not a diagnosis payload: kind={kind!r}")
+    return Diagnosis(
+        cell_faults=tuple((r, c) for r, c in data["cell_faults"]),
+        row_faults=tuple(data["row_faults"]),
+        column_faults=tuple((c, b) for c, b in data["column_faults"]),
+        repairable_with_rows=bool(data["repairable_with_rows"]),
+        spares_needed=data["spares_needed"],
+    )
+
+
+def fault_bitmap(records: Sequence[FailRecord], bpw: int, bpc: int,
+                 ) -> Tuple[Tuple[int, int], ...]:
+    """Failure log -> sorted (row, physical column) fault coordinates.
+
+    The bitmap the 2-D allocator consumes: word address ``a`` failing
+    on bit ``b`` means cell (``a // bpc``, ``b * bpc + a % bpc``) per
+    the Fig. 2 addressing.  Bits beyond ``bpw`` are masked (a defensive
+    guard against corrupt comparator payloads); duplicates fold.
+    """
+    cells: Set[Tuple[int, int]] = set()
+    mask = (1 << bpw) - 1
+    for record in records:
+        row, column = divmod(record.address, bpc)
+        bits = record.failing_bits() & mask
+        for bit in range(bpw):
+            if (bits >> bit) & 1:
+                cells.add((row, bit * bpc + column))
+    return tuple(sorted(cells))
 
 
 def collect_fail_records(march, device, bpw: int) -> List[FailRecord]:

@@ -13,7 +13,9 @@ Faults hook into the array at three points:
 * ``after_write(array, cell)`` — coupling side effects on *other* cells,
 * ``on_retention(array)`` — decay during the data-retention pause.
 
-Cells are flat indices ``row * phys_cols + phys_col``.
+Cells are flat indices ``row * row_stride + phys_col`` where
+``row_stride`` covers regular and spare columns (equal to ``phys_cols``
+on arrays without spare columns).
 """
 
 from __future__ import annotations
@@ -90,7 +92,7 @@ class StuckOpen(Fault):
         return old  # the write never reaches the cell
 
     def on_read(self, cell: int, stored: int, array) -> int:
-        phys_col = cell % array.phys_cols
+        phys_col = cell % array.row_stride
         return array.last_column_value(phys_col)
 
     def describe(self) -> str:

@@ -132,7 +132,7 @@ class DefectInjector:
         if cluster_center is None:
             return self.rng.randrange(array.cell_count)
         # Spread around the centre with a geometric-ish tail.
-        spread = max(1, int(array.phys_cols * 2))
+        spread = max(1, int(array.row_stride * 2))
         offset = int(self.rng.gauss(0, spread))
         return min(max(cluster_center + offset, 0), array.cell_count - 1)
 
@@ -149,9 +149,10 @@ class DefectInjector:
                     "inversion_coupling"):
             # The coupled neighbour is physically adjacent: same row,
             # next physical column (wrapping at the row edge).
-            row = cell // array.phys_cols
-            col = cell % array.phys_cols
-            neighbour = row * array.phys_cols + (col + 1) % array.phys_cols
+            stride = array.row_stride
+            row = cell // stride
+            col = cell % stride
+            neighbour = row * stride + (col + 1) % stride
             if kind == "state_coupling":
                 return StateCoupling(
                     aggressor=cell, victim=neighbour,
@@ -190,12 +191,12 @@ class DefectInjector:
                 seed=rng.getrandbits(32),
             )
         if kind == "row_defect":
-            row = cell // array.phys_cols
-            return RowStuck(row, array.phys_cols, rng.randrange(2))
+            row = cell // array.row_stride
+            return RowStuck(row, array.row_stride, rng.randrange(2))
         if kind == "column_defect":
-            col = cell % array.phys_cols
+            col = cell % array.row_stride
             return ColumnStuck(
-                col, array.total_rows, array.phys_cols, rng.randrange(2)
+                col, array.total_rows, array.row_stride, rng.randrange(2)
             )
         raise ValueError(f"unknown fault kind {kind!r}")
 
@@ -221,7 +222,7 @@ class DefectInjector:
             centre = self.rng.choice(centres) if centres else None
             cell = self._pick_cell(array, centre)
             if spare_rows_immune:
-                limit = array.rows * array.phys_cols
+                limit = array.rows * array.row_stride
                 cell = cell % limit
             kind = self.rng.choices(_KINDS, weights=self.mix.weights())[0]
             fault = self.make_fault(array, kind, cell)

@@ -7,10 +7,13 @@ and a reducer (executed once on the main process over the *ordered*
 shard results) — plus a ``*_campaign`` factory building the
 :class:`~repro.runtime.runner.CampaignSpec`.
 
-Four workloads are wired through the runtime:
+Five workloads are wired through the runtime:
 
 * **Monte-Carlo yield** (:func:`montecarlo_campaign`) — Fig. 4 scale
   row-level yield simulation, trials split evenly over shards.
+* **2-D Monte-Carlo yield** (:func:`montecarlo2d_campaign`) — cell and
+  line defects over a row+column spare mix, repairability decided by
+  the real must-repair + branch-and-bound allocator.
 * **Fault-injection repair** (:func:`repair_campaign`) — inject
   defects, run the supervised BIST/BISR escalation ladder, count
   repaired / degraded devices.
@@ -111,6 +114,66 @@ def montecarlo_campaign(
             "trials": trials,
         },
         reduce=montecarlo_reduce,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2-D Monte-Carlo yield (repro.yieldmodel.montecarlo + repro.bisr.allocate)
+# ---------------------------------------------------------------------------
+
+
+def montecarlo2d_shard(params: dict, shard: ShardSpec) -> dict:
+    from repro.yieldmodel.montecarlo import simulate_yield_2d
+
+    trials = shard_trials(params["trials"], shard.n_shards, shard.index)
+    if trials == 0:
+        return {"trials": 0, "good": 0}
+    mc = simulate_yield_2d(
+        params["rows"], params["bpw"], params["bpc"],
+        params["spares_r"], params["spares_c"],
+        params["defects"], params.get("growth_factor", 1.0),
+        trials=trials, rng=shard.rng(),
+        row_defect_frac=params.get("row_defect_frac", 0.0),
+        col_defect_frac=params.get("col_defect_frac", 0.0),
+        node_budget=params.get("node_budget", 4_000),
+    )
+    return {"trials": mc.trials, "good": mc.good}
+
+
+def montecarlo2d_reduce(results: Sequence[Optional[dict]]) -> dict:
+    # Same pooled-Bernoulli aggregate as the row-only driver.
+    return montecarlo_reduce(results)
+
+
+def montecarlo2d_campaign(
+    rows: int, bpw: int, bpc: int, spares_r: int, spares_c: int,
+    defects: float, trials: int = 20_000, n_shards: int = 8, seed: int = 0,
+    growth_factor: float = 1.0, row_defect_frac: float = 0.0,
+    col_defect_frac: float = 0.0, node_budget: int = 4_000,
+) -> CampaignSpec:
+    """2-D repairability simulation (allocator in the loop) as a
+    resumable campaign.  Shard aggregates are bit-identical across
+    worker counts and kill/resume because each shard draws from its own
+    spawned SeedSequence and the reducer pools ordered results."""
+    _validate_workload(defects, trials)
+    if spares_r < 0 or spares_c < 0:
+        raise ConfigError("spare counts must be >= 0")
+    if not 0.0 <= row_defect_frac + col_defect_frac <= 1.0:
+        raise ConfigError(
+            "row/col defect fractions must sum to at most 1")
+    return CampaignSpec(
+        name="montecarlo-yield-2d",
+        task=montecarlo2d_shard,
+        n_shards=n_shards,
+        seed=seed,
+        params={
+            "rows": rows, "bpw": bpw, "bpc": bpc,
+            "spares_r": spares_r, "spares_c": spares_c,
+            "defects": defects, "growth_factor": growth_factor,
+            "trials": trials, "row_defect_frac": row_defect_frac,
+            "col_defect_frac": col_defect_frac, "node_budget": node_budget,
+        },
+        reduce=montecarlo2d_reduce,
     )
 
 

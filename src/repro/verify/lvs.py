@@ -41,10 +41,13 @@ def intended_netlist(config: RamConfig) -> Dict[str, FrozenSet[Endpoint]]:
     Bit lines are the module's abutment-routed signals: every column's
     ``bl``/``blb`` must run precharge → array → mux.  The array exports
     both its bottom landing (``bl_<c>``) and its top-edge feed-through
-    twin (``bl_t_<c>``); both belong to the net.
+    twin (``bl_t_<c>``); both belong to the net.  Spare columns are
+    full bit-line pairs and carry the same nets, so the intended
+    netlist covers ``total_columns`` (the compiled layout is always the
+    BISR build, which includes them).
     """
     nets: Dict[str, FrozenSet[Endpoint]] = {}
-    for c in range(config.columns):
+    for c in range(config.total_columns):
         for polarity in ("bl", "blb"):
             name = f"{polarity}_{c}"
             nets[name] = frozenset({

@@ -19,8 +19,15 @@ from repro.yieldmodel.poisson import (
 from repro.yieldmodel.stapper import stapper_yield, defects_from_yield
 from repro.yieldmodel.repair_prob import (
     repair_probability,
+    repair_probability_2d,
     bisr_yield,
+    bisr_yield_2d,
     yield_curve,
+)
+from repro.yieldmodel.montecarlo import (
+    MonteCarloYield,
+    simulate_yield,
+    simulate_yield_2d,
 )
 from repro.yieldmodel.chip import (
     chip_yield,
@@ -36,8 +43,13 @@ __all__ = [
     "stapper_yield",
     "defects_from_yield",
     "repair_probability",
+    "repair_probability_2d",
     "bisr_yield",
+    "bisr_yield_2d",
     "yield_curve",
+    "MonteCarloYield",
+    "simulate_yield",
+    "simulate_yield_2d",
     "chip_yield",
     "embedded_ram_yield",
     "chip_yield_with_bisr",

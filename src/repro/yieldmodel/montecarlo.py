@@ -136,6 +136,114 @@ def simulate_yield(
     return MonteCarloYield(trials=trials, good=good)
 
 
+def simulate_yield_2d(
+    rows: int,
+    bpw: int,
+    bpc: int,
+    spares_r: int,
+    spares_c: int,
+    n_defects: float,
+    growth_factor: float = 1.0,
+    trials: int = 20_000,
+    rng: Optional[np.random.Generator] = None,
+    row_defect_frac: float = 0.0,
+    col_defect_frac: float = 0.0,
+    node_budget: int = 4_000,
+) -> MonteCarloYield:
+    """Monte-Carlo 2-D repairability with the real allocator in the loop.
+
+    Each trial draws Poisson defects over the grown module.  Overhead
+    hits and *any* hit on a spare row, spare column or spare-by-spare
+    cell are fatal (strict goodness).  Array defects are, independently,
+    a whole-row defect with probability ``row_defect_frac``, a
+    whole-column defect with probability ``col_defect_frac``, else a
+    single-cell defect.  Line defects commit a spare of the matching
+    kind outright; residual cell faults go through the same must-repair
+    + cover analysis the hardware uses (:func:`repro.bisr.allocate.
+    allocate`), with two exact fast paths first:
+
+    * more faulty row (column) lines than spare rows (columns) — bad;
+    * at most ``spares_left_r + spares_left_c`` distinct residual cells
+      — always coverable (see ``repair_probability_2d``), good.
+
+    Because line defects are only repairable by a spare of their own
+    kind, a rows-only configuration can never repair a column-line
+    defect — which is what creates the crossover where a row+column
+    spare mix beats rows-only on cost per good bit.
+    """
+    if rows < 1 or trials < 1:
+        raise ValueError("rows and trials must be positive")
+    if spares_r < 0 or spares_c < 0:
+        raise ValueError("spare counts must be non-negative")
+    if n_defects < 0 or growth_factor < 1.0:
+        raise ValueError("bad defect count or growth factor")
+    if not 0.0 <= row_defect_frac + col_defect_frac <= 1.0:
+        raise ValueError(
+            "row/col defect fractions must be a sub-probability")
+    from repro.bisr.allocate import allocate
+
+    rng = rng or np.random.default_rng(0)
+    cols = bpw * bpc
+    total_rows = rows + spares_r
+    total_cols = cols + spares_c
+    array_cells = total_rows * total_cols
+    grown_cells = rows * cols * growth_factor
+    overhead_cells = max(grown_cells - array_cells, 0.0)
+    denom = max(grown_cells, float(array_cells))
+    mean_total = n_defects * growth_factor
+    mean_overhead = mean_total * overhead_cells / denom
+    mean_array = mean_total - mean_overhead
+
+    counts = rng.poisson(mean_array, size=trials)
+    overhead_ok = rng.poisson(mean_overhead, size=trials) == 0
+    good = int(np.count_nonzero(overhead_ok[counts == 0]))
+    for trial in np.nonzero(counts > 0)[0]:
+        if not overhead_ok[trial]:
+            continue
+        count = int(counts[trial])
+        kinds = rng.random(count)
+        row_lines = set()
+        col_lines = set()
+        cells = set()
+        bad = False
+        for kind in kinds:
+            if kind < row_defect_frac:
+                r = int(rng.integers(0, total_rows))
+                if r >= rows:
+                    bad = True
+                    break
+                row_lines.add(r)
+            elif kind < row_defect_frac + col_defect_frac:
+                c = int(rng.integers(0, total_cols))
+                if c >= cols:
+                    bad = True
+                    break
+                col_lines.add(c)
+            else:
+                r = int(rng.integers(0, total_rows))
+                c = int(rng.integers(0, total_cols))
+                if r >= rows or c >= cols:
+                    bad = True
+                    break
+                cells.add((r, c))
+        if bad:
+            continue
+        if len(row_lines) > spares_r or len(col_lines) > spares_c:
+            continue
+        left_r = spares_r - len(row_lines)
+        left_c = spares_c - len(col_lines)
+        residual = [(r, c) for r, c in cells
+                    if r not in row_lines and c not in col_lines]
+        if len(residual) <= left_r + left_c:
+            good += 1
+            continue
+        plan = allocate(sorted(residual), rows, cols, left_r, left_c,
+                        node_budget=node_budget)
+        if plan.repairable:
+            good += 1
+    return MonteCarloYield(trials=trials, good=good)
+
+
 def validate_against_analytic(
     rows: int,
     spares: int,

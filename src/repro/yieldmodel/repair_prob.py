@@ -79,6 +79,69 @@ def bisr_yield(
         y_overhead
 
 
+def repair_probability_2d(rows: int, cols: int, spares_r: int,
+                          spares_c: int, lambda_c: float) -> float:
+    """Analytic lower bound on 2-D repairability R(rows, cols, sr, sc).
+
+    The exact 2-D repairability has no closed form (minimum line cover
+    is NP-hard), but a sharp sufficient condition exists: ``n`` distinct
+    faulty cells are *always* coverable when ``n <= sr + sc`` (cover up
+    to ``sr`` of the affected rows; at most ``n - sr`` faults remain,
+    each alone in its row, so columns cover them).  With cell faults
+    Poisson over the regular array:
+
+        R >= P(N <= sr + sc) * P(all spare cells fault-free)
+
+    where the spare cells are ``sr`` full rows, ``sc`` full columns and
+    the ``sr * sc`` intersection — the same strict goodness as the
+    row-only model.  For ``spares_c = 0`` this is slightly *stricter*
+    than :func:`repair_probability` (cell faults are not merged per
+    row), making it a consistent lower bound everywhere.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    if spares_r < 0 or spares_c < 0:
+        raise ValueError("spare counts must be non-negative")
+    if lambda_c < 0:
+        raise ValueError("lambda_c must be non-negative")
+    mean_regular = lambda_c * rows * cols
+    p_coverable = float(
+        stats.poisson.cdf(spares_r + spares_c, mean_regular))
+    spare_cells = spares_r * cols + spares_c * rows + spares_r * spares_c
+    p_spares_good = math.exp(-lambda_c * spare_cells)
+    return p_coverable * p_spares_good
+
+
+def bisr_yield_2d(
+    rows: int,
+    bpw: int,
+    bpc: int,
+    spares_r: int,
+    spares_c: int,
+    n_defects: float,
+    growth_factor: float = 1.0,
+) -> float:
+    """2-D analogue of :func:`bisr_yield` (a lower bound, see
+    :func:`repair_probability_2d`), with the same grown-area defect
+    accounting: overhead (BIST/BISR/steer/strap) hits are fatal."""
+    if n_defects < 0:
+        raise ValueError("n_defects must be non-negative")
+    if growth_factor < 1.0:
+        raise ValueError("growth factor cannot shrink the array")
+    cols = bpw * bpc
+    total_cells = rows * cols
+    grown_defects = n_defects * growth_factor
+    array_cells = (rows + spares_r) * (cols + spares_c)
+    area_cells_equivalent = total_cells * growth_factor
+    lambda_c = lambda_per_cell(grown_defects, max(array_cells, 1))
+    overhead_cells = max(area_cells_equivalent - array_cells, 0.0)
+    overhead_defects = (grown_defects * overhead_cells
+                        / max(area_cells_equivalent, 1.0))
+    y_overhead = math.exp(-overhead_defects)
+    return repair_probability_2d(
+        rows, cols, spares_r, spares_c, lambda_c) * y_overhead
+
+
 def yield_curve(
     rows: int,
     bpw: int,

@@ -1,0 +1,92 @@
+"""CLI surface of the 2-D repair flow: repair-plan, spare-mix,
+campaign --driver montecarlo2d, and compile --spare-cols."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+CFG_2D = ["--words", "256", "--bpw", "8", "--bpc", "4",
+          "--spares", "4", "--spare-cols", "2"]
+
+
+class TestRepairPlan:
+    def test_repairable_device_exits_zero(self, capsys):
+        code, out = run(capsys, "repair-plan", *CFG_2D,
+                        "--defects", "4", "--seed", "1",
+                        "--column-weight", "0.2")
+        assert code == 0
+        assert "static plan" in out
+        assert "dynamic repair" in out
+        assert "REPAIRED" in out
+
+    def test_overwhelming_damage_exits_one(self, capsys):
+        code, out = run(capsys, "repair-plan",
+                        "--words", "64", "--bpw", "4", "--bpc", "2",
+                        "--spares", "4", "--spare-cols", "1",
+                        "--defects", "40", "--seed", "1",
+                        "--column-weight", "0.1")
+        assert code == 1
+        assert "DEGRADED" in out
+        assert "must-repair" in out
+
+    def test_clean_device_needs_no_spares(self, capsys):
+        code, out = run(capsys, "repair-plan", *CFG_2D,
+                        "--defects", "0", "--seed", "1")
+        assert code == 0
+        assert "REPAIRED" in out
+        assert "0 spare row(s) + 0 spare column(s)" in out
+
+
+class TestSpareMix:
+    def test_sweep_prints_table_and_best(self, capsys):
+        code, out = run(capsys, "spare-mix",
+                        "--rows", "64", "--bpw", "4", "--bpc", "4",
+                        "--mixes", "2x0,1x1", "--defects", "1,3",
+                        "--trials", "200", "--seed", "5",
+                        "--col-defect-frac", "0.1")
+        assert code == 0
+        assert "cost/bit" in out
+        assert out.count("best @") == 2
+
+    def test_bad_mix_spec_is_a_config_error(self, capsys):
+        code = main(["spare-mix", "--mixes", "2+2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCampaignMonteCarlo2D:
+    def test_smoke_run_prints_aggregates(self, capsys):
+        code, out = run(capsys, "campaign", "--driver", "montecarlo2d",
+                        *CFG_2D, "--defects", "2",
+                        "--trials", "400", "--shards", "4",
+                        "--workers", "2", "--seed", "3",
+                        "--col-defect-frac", "0.1")
+        assert code == 0
+        assert "4/4 shard(s) completed" in out
+        assert "aggregates:" in out
+
+    def test_bad_fractions_rejected(self, capsys):
+        code = main(["campaign", "--driver", "montecarlo2d", *CFG_2D,
+                     "--defects", "2", "--row-defect-frac", "0.9",
+                     "--col-defect-frac", "0.9"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompileSpareCols:
+    def test_compile_accepts_spare_cols(self, capsys):
+        code, out = run(capsys, "compile", *CFG_2D)
+        assert code == 0
+        assert "read access time" in out
+
+    def test_too_many_spare_cols_rejected(self, capsys):
+        code = main(["compile", "--words", "256", "--bpw", "8",
+                     "--bpc", "4", "--spare-cols", "99"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,138 @@
+"""Column steering: the register file, the array data path, the device.
+
+Covers the strictly increasing spare-assignment rule (the same contract
+as the TLB), the ``col_map`` resolution inside ``MemoryArray``, the
+bit-for-bit compatibility of the ``spare_cols=0`` layout with the
+historical row-stride, and the steering delay model.
+"""
+
+import pytest
+
+from repro.bisr import ColumnSteer, ColumnSteerDelayModel, colsteer_delay_s
+from repro.memsim import BisrRam, ColumnStuck, MemoryArray, StuckAt
+from repro.tech import get_process
+
+
+class TestColumnSteer:
+    def test_strictly_increasing_assignment(self):
+        steer = ColumnSteer(regular_cols=8, spares=2)
+        assert steer.record(3)
+        assert steer.record(5)
+        assert steer.active_map() == {3: 0, 5: 1}
+        assert steer.spares_used == 2 and steer.spares_left == 0
+
+    def test_duplicate_record_is_a_noop(self):
+        steer = ColumnSteer(regular_cols=8, spares=2)
+        steer.record(3)
+        assert steer.record(3)  # already steered: True, no new spare
+        assert steer.spares_used == 1
+
+    def test_remap_advances_a_faulty_spare(self):
+        steer = ColumnSteer(regular_cols=8, spares=3)
+        steer.record(3)
+        assert steer.steer(3) == (0, True)
+        # spare 0 turned out faulty: re-record advances, never reuses.
+        assert steer.record(3, remap=True)
+        assert steer.steer(3) == (1, True)
+        assert steer.spares_used == 2
+
+    def test_overflow_sets_the_flag_and_returns_false(self):
+        steer = ColumnSteer(regular_cols=8, spares=1)
+        assert steer.record(0)
+        assert not steer.record(1)
+        assert steer.overflowed
+
+    def test_zero_spares_is_a_row_only_device(self):
+        steer = ColumnSteer(regular_cols=8, spares=0)
+        assert not steer.record(0)
+        assert steer.overflowed
+        assert steer.active_map() == {}
+
+    def test_only_regular_columns_are_recordable(self):
+        steer = ColumnSteer(regular_cols=8, spares=2)
+        with pytest.raises(ValueError):
+            steer.record(8)
+
+    def test_reset_clears_everything(self):
+        steer = ColumnSteer(regular_cols=8, spares=1)
+        steer.record(2)
+        steer.record(4)  # overflows
+        steer.reset()
+        assert steer.spares_used == 0 and not steer.overflowed
+        assert len(steer) == 0
+
+
+class TestArraySteering:
+    def test_zero_spare_cols_keeps_the_historical_layout(self):
+        array = MemoryArray(rows=4, bpw=2, bpc=2)
+        assert array.row_stride == array.phys_cols
+        assert array.cell_index(3, 1, 1) == 3 * 4 + 1 * 2 + 1
+
+    def test_spare_cells_sit_past_the_regular_columns(self):
+        array = MemoryArray(rows=4, bpw=2, bpc=2, spare_cols=2)
+        assert array.row_stride == 6
+        assert array.spare_cell_index(1, 0) == 1 * 6 + 4
+        with pytest.raises(ValueError):
+            array.spare_cell_index(0, 2)
+
+    def test_col_map_reroutes_reads_and_writes(self):
+        array = MemoryArray(rows=4, bpw=2, bpc=2, spare_cols=1)
+        # Stuck bit on logical physical column 2 (= bit 1, column 0).
+        array.inject(StuckAt(array.cell_index(0, 1, 0), 1))
+        assert array.read_word(0) == 0b10  # fault visible unsteered
+        col_map = {2: 0}
+        array.write_word(0, 0b00, col_map=col_map)
+        assert array.read_word(0, col_map=col_map) == 0b00
+        # The spare-column cell actually holds the steered bit.
+        assert array.raw(array.spare_cell_index(0, 0)) == 0
+
+    def test_faulty_spare_column_shows_through_the_map(self):
+        array = MemoryArray(rows=4, bpw=2, bpc=2, spare_cols=1)
+        array.inject(StuckAt(array.spare_cell_index(0, 0), 1))
+        col_map = {2: 0}
+        array.write_word(0, 0b00, col_map=col_map)
+        assert array.read_word(0, col_map=col_map) == 0b10
+
+
+class TestDeviceSteering:
+    def test_column_defect_repaired_by_steering(self):
+        device = BisrRam(rows=8, bpw=2, bpc=2, spares=1, spare_cols=1)
+        array = device.array
+        array.inject(ColumnStuck(2, array.total_rows, array.row_stride, 1))
+        device.set_repair_mode(True)
+        device.write(0, 0b00)
+        assert device.read(0) == 0b10  # bit 1, column 0 is the bad lane
+        device.colsteer.record(2)
+        device.write(0, 0b00)
+        assert device.read(0) == 0b00
+
+    def test_steering_inactive_outside_repair_mode(self):
+        device = BisrRam(rows=8, bpw=2, bpc=2, spares=1, spare_cols=1)
+        array = device.array
+        array.inject(ColumnStuck(2, array.total_rows, array.row_stride, 1))
+        device.colsteer.record(2)
+        device.set_repair_mode(False)
+        device.write(0, 0b00)
+        assert device.read(0) == 0b10
+
+
+class TestDelayModel:
+    def test_zero_spares_costs_nothing(self):
+        assert colsteer_delay_s(get_process("cda07"), 0) == 0.0
+
+    def test_penalty_grows_gently_with_spares(self):
+        process = get_process("cda07")
+        d2 = colsteer_delay_s(process, 2)
+        d8 = colsteer_delay_s(process, 8)
+        assert 0.0 < d2 < d8
+        assert d8 < 4 * d2  # sub-linear: only the bus loading grows
+
+    def test_breakdown_names_both_stages(self):
+        model = ColumnSteerDelayModel(get_process("cda07"), 2)
+        breakdown = model.breakdown()
+        assert set(breakdown) == {"steer_mux", "spare_bus"}
+        assert model.total() == pytest.approx(sum(breakdown.values()))
+
+    def test_negative_spares_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnSteerDelayModel(get_process("cda07"), -1)

@@ -1,0 +1,82 @@
+"""The diagnosis edge-case contract (deterministic, documented).
+
+Empty log, all-failing log, and the row/column tie-break rules:
+columns are classified first, but a lane needs two distinct rows (and
+a row two distinct words) before a line verdict is allowed.
+"""
+
+from repro.memsim import FailRecord, diagnose, fault_bitmap
+
+
+def rec(address, failing_bits):
+    return FailRecord(address=address, observed=failing_bits, expected=0)
+
+
+class TestEmptyLog:
+    def test_clean_device_is_trivially_repairable(self):
+        result = diagnose([], rows=8, bpw=4, bpc=2, spares=2)
+        assert result.cell_faults == ()
+        assert result.row_faults == ()
+        assert result.column_faults == ()
+        assert result.repairable_with_rows
+        assert result.spares_needed == 0
+
+
+class TestAllFailing:
+    def test_everything_failing_reads_as_all_columns(self):
+        rows, bpw, bpc = 4, 2, 2
+        records = [rec(a, 0b11) for a in range(rows * bpc)]
+        result = diagnose(records, rows, bpw, bpc, spares=4)
+        # Columns-first precedence applied consistently: every lane
+        # meets the column rule, nothing is left for rows or cells.
+        assert len(result.column_faults) == bpw * bpc
+        assert result.row_faults == ()
+        assert result.cell_faults == ()
+        assert not result.repairable_with_rows
+
+
+class TestTieBreak:
+    def test_column_beats_row_when_both_could_claim(self):
+        # Lane (column 0, bit 1) fails in two rows; each row fails in
+        # only one word, so the column verdict wins cleanly.
+        records = [rec(0, 0b10), rec(2, 0b10)]  # addresses row 0/1, col 0
+        result = diagnose(records, rows=4, bpw=2, bpc=2, spares=2)
+        assert result.column_faults == ((0, 1),)
+        assert result.row_faults == ()
+        assert result.cell_faults == ()
+
+    def test_single_row_event_is_never_a_column(self):
+        # Both failures sit in row 0: lanes see one row each, so the
+        # row rule (two distinct words) fires instead.
+        records = [rec(0, 0b01), rec(1, 0b01)]
+        result = diagnose(records, rows=4, bpw=2, bpc=2, spares=2)
+        assert result.column_faults == ()
+        assert result.row_faults == (0,)
+
+    def test_single_cell_is_neither_row_nor_column(self):
+        records = [rec(5, 0b01)]
+        result = diagnose(records, rows=4, bpw=2, bpc=2, spares=2)
+        assert result.column_faults == () and result.row_faults == ()
+        assert result.cell_faults == ((2, 1),)
+        assert result.repairable_with_rows
+        assert result.spares_needed == 1
+
+
+class TestFaultBitmap:
+    def test_fig2_addressing(self):
+        # Address 5 with bpc=2 is (row 2, column 1); failing bit 1
+        # lives at physical column 1 * 2 + 1 = 3.
+        cells = fault_bitmap([rec(5, 0b10)], bpw=2, bpc=2)
+        assert cells == ((2, 3),)
+
+    def test_bits_beyond_bpw_are_masked(self):
+        cells = fault_bitmap([rec(5, 0b1111)], bpw=2, bpc=2)
+        assert cells == ((2, 1), (2, 3))
+
+    def test_duplicates_fold_and_output_is_sorted(self):
+        records = [rec(1, 0b01), rec(1, 0b01), rec(0, 0b01)]
+        cells = fault_bitmap(records, bpw=2, bpc=2)
+        assert cells == ((0, 0), (0, 1))
+
+    def test_empty_log_is_an_empty_bitmap(self):
+        assert fault_bitmap([], bpw=4, bpc=4) == ()

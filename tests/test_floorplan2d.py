@@ -1,0 +1,67 @@
+"""Physical design of the 2-D macro: floorplan, area, delay, signoff.
+
+A macro compiled with spare columns must carry the column-steer mux
+through every physical layer — a ``colsteer`` macrocell in the
+floorplan, a non-zero spare-column area line in the area report, and a
+``steer`` stage in the datasheet's access-path breakdown — while a
+row-only macro shows none of them and keeps its historical numbers.
+"""
+
+import pytest
+
+from repro import RamConfig, compile_ram
+
+CFG_2D = RamConfig(words=256, bpw=8, bpc=4, spares=4, spare_cols=2)
+CFG_ROW_ONLY = RamConfig(words=256, bpw=8, bpc=4, spares=4)
+
+
+@pytest.fixture(scope="module")
+def ram2d():
+    return compile_ram(CFG_2D, signoff="strict")
+
+
+@pytest.fixture(scope="module")
+def ram_row_only():
+    return compile_ram(CFG_ROW_ONLY, signoff="strict")
+
+
+class TestSignoff:
+    def test_2d_macro_passes_strict_signoff(self, ram2d):
+        assert ram2d.signoff is not None
+        assert ram2d.signoff.clean, ram2d.signoff.summary()
+
+    def test_row_only_macro_still_passes(self, ram_row_only):
+        assert ram_row_only.signoff.clean, ram_row_only.signoff.summary()
+
+
+class TestFloorplan:
+    def test_colsteer_macrocell_present_only_with_spare_cols(
+            self, ram2d, ram_row_only):
+        assert "colsteer" in ram2d.floorplan.macrocells
+        assert "colsteer" not in ram_row_only.floorplan.macrocells
+
+
+class TestAreaReport:
+    def test_spare_col_area_is_accounted(self, ram2d, ram_row_only):
+        assert ram2d.area_report.spare_cols_mm2 > 0.0
+        assert ram_row_only.area_report.spare_cols_mm2 == 0.0
+
+    def test_spare_cols_grow_the_macro(self, ram2d, ram_row_only):
+        assert ram2d.area_report.total_mm2 > \
+            ram_row_only.area_report.total_mm2
+
+
+class TestDatasheet:
+    def test_steer_stage_present_only_with_spare_cols(
+            self, ram2d, ram_row_only):
+        assert "steer" in ram2d.datasheet.stage_delays
+        assert "steer" not in ram_row_only.datasheet.stage_delays
+
+    def test_steer_delay_is_a_small_tax(self, ram2d):
+        ds = ram2d.datasheet
+        assert 0.0 < ds.stage_delays["steer"] < ds.read_access_s
+
+    def test_simulation_model_matches_the_config(self, ram2d):
+        device = ram2d.simulation_model()
+        assert device.array.spare_cols == CFG_2D.spare_cols
+        assert device.colsteer is not None

@@ -1,0 +1,178 @@
+"""Static allocator vs dynamic 2-D repair: one truth, two routes.
+
+The ISSUE-9 agreement contract: the static allocator's verdict
+(repairable, and how many spares the strictly increasing sequences
+consume) must match what the dynamic BIST + repair replay actually does
+on the same device — including devices whose *spares* are faulty, where
+both sides must walk the dead entries the same way.
+"""
+
+import random
+
+import pytest
+
+from repro.bisr import allocate
+from repro.bist import IFA_9, TwoDRepairController
+from repro.memsim import BisrRam, ColumnStuck, RowStuck, StuckAt
+
+ROWS, BPW, BPC = 16, 4, 2
+PHYS_COLS = BPW * BPC
+SPARES_R, SPARES_C = 2, 2
+
+
+def make_device():
+    return BisrRam(rows=ROWS, bpw=BPW, bpc=BPC,
+                   spares=SPARES_R, spare_cols=SPARES_C)
+
+
+def cell_of(row, phys_col):
+    """Flat cell index of regular-array coordinate (row, phys col)."""
+    bit, column = divmod(phys_col, BPC)
+    return row * (PHYS_COLS + SPARES_C) + bit * BPC + column
+
+
+def run_both(device, faults, faulty_spare_rows=(), faulty_spare_cols=()):
+    plan = allocate(sorted(faults), ROWS, PHYS_COLS, SPARES_R, SPARES_C,
+                    faulty_spare_rows=faulty_spare_rows,
+                    faulty_spare_cols=faulty_spare_cols)
+    result = TwoDRepairController(IFA_9, bpw=BPW).run(device)
+    return plan, result
+
+
+class TestAgreementScenarios:
+    def test_clean_device(self):
+        plan, result = run_both(make_device(), [])
+        assert plan.repairable and result.repaired
+        assert result.spare_rows_used == 0 == plan.spare_rows_used
+        assert result.spare_cols_used == 0 == plan.spare_cols_used
+
+    def test_single_cell_fault(self):
+        device = make_device()
+        device.array.inject(StuckAt(cell_of(5, 3), 1))
+        plan, result = run_both(device, [(5, 3)])
+        assert plan.repairable and result.repaired
+        assert result.spare_rows_used == plan.spare_rows_used
+        assert result.spare_cols_used == plan.spare_cols_used
+        assert set(result.rows_mapped) == set(plan.rows)
+        assert tuple(result.cols_steered) == plan.cols
+
+    def test_column_defect_takes_a_column_spare(self):
+        device = make_device()
+        array = device.array
+        array.inject(ColumnStuck(3, array.total_rows, array.row_stride, 1))
+        faults = [(r, 3) for r in range(ROWS)]
+        plan, result = run_both(device, faults)
+        assert plan.repairable and result.repaired
+        assert plan.cols == (3,) and tuple(result.cols_steered) == (3,)
+        assert result.spare_cols_used == 1 == plan.spare_cols_used
+        assert result.spare_rows_used == 0 == plan.spare_rows_used
+
+    def test_row_defect_takes_a_row_spare(self):
+        device = make_device()
+        array = device.array
+        array.inject(RowStuck(6, array.row_stride, 1))
+        faults = [(6, c) for c in range(PHYS_COLS)]
+        plan, result = run_both(device, faults)
+        assert plan.repairable and result.repaired
+        assert plan.rows == (6,) and set(result.rows_mapped) == {6}
+        assert result.spare_rows_used == 1 == plan.spare_rows_used
+
+    def test_mixed_row_and_column_damage(self):
+        device = make_device()
+        array = device.array
+        array.inject(RowStuck(2, array.row_stride, 1))
+        array.inject(ColumnStuck(5, array.total_rows, array.row_stride, 0))
+        device.array.inject(StuckAt(cell_of(9, 0), 1))
+        faults = ([(2, c) for c in range(PHYS_COLS)]
+                  + [(r, 5) for r in range(ROWS)] + [(9, 0)])
+        plan, result = run_both(device, faults)
+        assert plan.repairable and result.repaired
+        assert result.spare_rows_used == plan.spare_rows_used
+        assert result.spare_cols_used == plan.spare_cols_used
+
+    def test_faulty_spare_row_is_walked_by_both(self):
+        device = make_device()
+        array = device.array
+        # Spare row 0 (physical row ROWS) is dead at one bit.
+        array.inject(StuckAt(array.cell_index(ROWS, 1, 0), 1))
+        array.inject(RowStuck(3, array.row_stride, 1))
+        faults = [(3, c) for c in range(PHYS_COLS)]
+        plan, result = run_both(device, faults, faulty_spare_rows={0})
+        assert plan.repairable and result.repaired
+        # Landing row 3 on a good spare burns entries 0 and 1.
+        assert plan.spare_rows_used == 2
+        assert result.spare_rows_used == 2
+
+    def test_faulty_spare_column_is_walked_by_both(self):
+        device = make_device()
+        array = device.array
+        array.inject(StuckAt(array.spare_cell_index(5, 0), 1))
+        array.inject(ColumnStuck(3, array.total_rows, array.row_stride, 1))
+        faults = [(r, 3) for r in range(ROWS)]
+        plan, result = run_both(device, faults, faulty_spare_cols={0})
+        assert plan.repairable and result.repaired
+        assert plan.spare_cols_used == 2
+        assert result.spare_cols_used == 2
+
+    def test_unrepairable_damage_agrees_on_the_verdict(self):
+        device = make_device()
+        array = device.array
+        for row in (1, 5, 9):
+            array.inject(RowStuck(row, array.row_stride, 1))
+        faults = [(r, c) for r in (1, 5, 9) for c in range(PHYS_COLS)]
+        plan, result = run_both(device, faults)
+        assert not plan.repairable
+        assert result.degraded and not result.repaired
+        assert "infeasible" in result.reason
+        # The degrade-around map localises the surviving damage.
+        assert set(result.outcome.unrepaired_rows) <= {1, 5, 9}
+        assert result.outcome.unrepaired_rows  # at least one row left
+
+
+class TestAgreementCorpus:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_cell_faults_agree(self, seed):
+        rng = random.Random(seed)
+        n_faults = rng.randrange(1, SPARES_R + SPARES_C + 1)
+        faults = set()
+        while len(faults) < n_faults:
+            faults.add((rng.randrange(ROWS), rng.randrange(PHYS_COLS)))
+        device = make_device()
+        for row, col in faults:
+            device.array.inject(StuckAt(cell_of(row, col),
+                                        rng.randrange(2)))
+        plan, result = run_both(device, faults)
+        # n <= sr + sc distinct cells are always coverable.
+        assert plan.repairable, plan.summary()
+        assert result.repaired, result.summary()
+        assert set(result.rows_mapped) == set(plan.rows)
+        assert tuple(result.cols_steered) == plan.cols
+        assert result.spare_rows_used == plan.spare_rows_used
+        assert result.spare_cols_used == plan.spare_cols_used
+
+
+class TestControllerBounds:
+    def test_cycle_budget_degrades_not_hangs(self):
+        device = make_device()
+        device.array.inject(StuckAt(cell_of(4, 4), 1))
+        controller = TwoDRepairController(IFA_9, bpw=BPW, max_cycles=1)
+        result = controller.run(device)
+        assert result.degraded
+        assert "cycle budget" in result.reason
+
+    def test_node_budget_zero_still_repairs_simple_damage(self):
+        device = make_device()
+        device.array.inject(StuckAt(cell_of(4, 4), 1))
+        controller = TwoDRepairController(IFA_9, bpw=BPW, node_budget=0)
+        result = controller.run(device)
+        assert result.repaired
+        assert result.plan is not None and not result.plan.exact
+
+    def test_run_never_raises_on_saturated_damage(self):
+        device = make_device()
+        array = device.array
+        for row in range(0, ROWS, 2):
+            array.inject(RowStuck(row, array.row_stride, 1))
+        result = TwoDRepairController(IFA_9, bpw=BPW).run(device)
+        assert result.degraded
+        assert result.outcome.unrepaired_rows

@@ -1,0 +1,158 @@
+"""Serde contracts for the 2-D repair result types, plus digest keys.
+
+The PR-2 conventions apply to every new type: ``to_dict`` carries a
+``kind`` discriminator, the module-level ``*_from_dict`` rebuilds the
+exact object after a JSON round-trip (lists back to tuples), pickling
+preserves equality, and a wrong ``kind`` is rejected loudly.  The
+config digest must also separate row-only from 2-D geometry so cache
+and service keys cannot collide.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro import RamConfig
+from repro.bisr import allocate, repair_plan_from_dict
+from repro.bist import IFA_9, TwoDRepairController, repair2d_result_from_dict
+from repro.cost import SpareMixPoint, spare_mix_point_from_dict
+from repro.memsim import (
+    BisrRam,
+    FailRecord,
+    RowStuck,
+    StuckAt,
+    diagnose,
+    diagnosis_from_dict,
+)
+
+
+def json_cycle(payload):
+    return json.loads(json.dumps(payload))
+
+
+class TestRepairPlanSerde:
+    def plan(self):
+        return allocate([(0, 0), (1, 1), (2, 1)], rows=8, cols=8,
+                        spare_rows=2, spare_cols=2)
+
+    def test_json_round_trip(self):
+        plan = self.plan()
+        data = json_cycle(plan.to_dict())
+        assert data["kind"] == "repair_plan"
+        assert repair_plan_from_dict(data) == plan
+
+    def test_pickle_round_trip(self):
+        plan = self.plan()
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_wrong_kind_rejected(self):
+        data = self.plan().to_dict()
+        data["kind"] = "diagnosis"
+        with pytest.raises(ValueError):
+            repair_plan_from_dict(data)
+
+
+class TestDiagnosisSerde:
+    def diagnosis(self):
+        records = [FailRecord(address=0, observed=1, expected=0),
+                   FailRecord(address=2, observed=1, expected=0)]
+        return diagnose(records, rows=4, bpw=2, bpc=2, spares=2)
+
+    def test_json_round_trip(self):
+        diag = self.diagnosis()
+        data = json_cycle(diag.to_dict())
+        assert data["kind"] == "diagnosis"
+        assert diagnosis_from_dict(data) == diag
+
+    def test_pickle_round_trip(self):
+        diag = self.diagnosis()
+        assert pickle.loads(pickle.dumps(diag)) == diag
+
+    def test_wrong_kind_rejected(self):
+        data = self.diagnosis().to_dict()
+        data["kind"] = "repair_plan"
+        with pytest.raises(ValueError):
+            diagnosis_from_dict(data)
+
+
+class TestRepair2DResultSerde:
+    def repaired_result(self):
+        device = BisrRam(rows=8, bpw=2, bpc=2, spares=2, spare_cols=1)
+        device.array.inject(StuckAt(device.array.cell_index(3, 0, 1), 1))
+        return TwoDRepairController(IFA_9, bpw=2).run(device)
+
+    def degraded_result(self):
+        device = BisrRam(rows=8, bpw=2, bpc=2, spares=1, spare_cols=1)
+        for row in (1, 3, 5):
+            device.array.inject(RowStuck(row, device.array.row_stride, 1))
+        return TwoDRepairController(IFA_9, bpw=2).run(device)
+
+    def test_repaired_json_round_trip(self):
+        result = self.repaired_result()
+        assert result.repaired
+        data = json_cycle(result.to_dict())
+        assert data["kind"] == "repair2d_result"
+        clone = repair2d_result_from_dict(data)
+        assert clone == result
+        assert clone.repaired and not clone.degraded
+
+    def test_degraded_json_round_trip(self):
+        result = self.degraded_result()
+        assert result.degraded
+        clone = repair2d_result_from_dict(json_cycle(result.to_dict()))
+        assert clone == result
+        assert clone.degraded
+        assert clone.reason == result.reason
+        assert clone.outcome.unrepaired_rows == \
+            result.outcome.unrepaired_rows
+
+    def test_pickle_round_trip(self):
+        result = self.repaired_result()
+        assert pickle.loads(pickle.dumps(result)) == result
+
+    def test_wrong_kind_rejected(self):
+        data = self.repaired_result().to_dict()
+        data["kind"] = "supervisor_result"
+        with pytest.raises(ValueError):
+            repair2d_result_from_dict(data)
+
+
+class TestSpareMixPointSerde:
+    def point(self):
+        return SpareMixPoint(spares_r=2, spares_c=2, n_defects=3.0,
+                             area_factor=1.11, yield_estimate=0.8,
+                             cost_per_good_bit=1.39, trials=1000)
+
+    def test_json_round_trip(self):
+        point = self.point()
+        data = json_cycle(point.to_dict())
+        assert data["kind"] == "spare_mix_point"
+        assert spare_mix_point_from_dict(data) == point
+
+    def test_wrong_kind_rejected(self):
+        data = self.point().to_dict()
+        data["kind"] = "repair_plan"
+        with pytest.raises(ValueError):
+            spare_mix_point_from_dict(data)
+
+
+class TestConfigDigest:
+    def test_row_only_and_2d_digests_differ(self):
+        row_only = RamConfig(words=256, bpw=8, bpc=4, spares=4)
+        two_d = RamConfig(words=256, bpw=8, bpc=4, spares=4, spare_cols=2)
+        assert row_only.digest() != two_d.digest()
+
+    def test_spare_cols_is_part_of_the_canonical_dict(self):
+        config = RamConfig(words=256, bpw=8, bpc=4, spares=4, spare_cols=2)
+        assert config.to_dict()["spare_cols"] == 2
+        assert RamConfig(words=256, bpw=8, bpc=4,
+                         spares=4).to_dict()["spare_cols"] == 0
+
+    def test_different_spare_col_counts_digest_differently(self):
+        digests = {
+            RamConfig(words=256, bpw=8, bpc=4, spares=4,
+                      spare_cols=n).digest()
+            for n in (0, 1, 2, 4)
+        }
+        assert len(digests) == 4

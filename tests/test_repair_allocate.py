@@ -1,0 +1,188 @@
+"""The 2-D repair allocator: must-repair, branch-and-bound, fallback.
+
+The contract under test (ISSUE 9 acceptance): exact on
+must-repair-reducible patterns, minimal covers from branch-and-bound,
+and past the node budget a deterministic greedy fallback that never
+raises and never hangs.
+"""
+
+import random
+
+import pytest
+
+from repro.bisr import RepairPlan, allocate, sequence_spares_consumed
+
+
+class TestSequenceSparesConsumed:
+    def test_no_repairs_consume_nothing(self):
+        assert sequence_spares_consumed(0, {0, 1}, 4) == 0
+
+    def test_clean_sequence_is_exact(self):
+        assert sequence_spares_consumed(1, (), 4) == 1
+        assert sequence_spares_consumed(3, (), 4) == 3
+
+    def test_faulty_spares_are_walked_over(self):
+        # spare 0 bad: landing 2 repairs burns entries 0, 1, 2.
+        assert sequence_spares_consumed(2, {0}, 4) == 3
+        # bad spare after the last landing spot costs nothing.
+        assert sequence_spares_consumed(1, {3}, 4) == 1
+
+    def test_exhausted_sequence_is_fully_spent(self):
+        # only two good spares exist; asking for three spends all four.
+        assert sequence_spares_consumed(3, {0, 1}, 4) == 4
+
+
+class TestMustRepair:
+    def test_empty_bitmap_is_trivially_repairable(self):
+        plan = allocate([], rows=8, cols=8, spare_rows=2, spare_cols=2)
+        assert plan.repairable and plan.exact
+        assert plan.rows == () and plan.cols == ()
+        assert plan.spare_rows_used == 0 and plan.spare_cols_used == 0
+
+    def test_overloaded_row_forces_a_row_spare(self):
+        faults = [(3, 0), (3, 1), (3, 2)]  # 3 faults > 2 spare cols
+        plan = allocate(faults, rows=8, cols=8, spare_rows=1, spare_cols=2)
+        assert plan.repairable and plan.exact
+        assert plan.must_repair_rows == (3,)
+        assert plan.rows == (3,) and plan.cols == ()
+
+    def test_overloaded_column_forces_a_column_spare(self):
+        faults = [(0, 5), (1, 5)]  # 2 faults > 1 spare row
+        plan = allocate(faults, rows=8, cols=8, spare_rows=1, spare_cols=1)
+        assert plan.repairable and plan.exact
+        assert plan.must_repair_cols == (5,)
+        assert plan.cols == (5,)
+
+    def test_fixpoint_cascades(self):
+        # Row 2 is forced first (4 faults > 1 spare col); with the row
+        # budget then empty, column 7's remaining faults force it too.
+        faults = ([(2, c) for c in range(4)]
+                  + [(r, 7) for r in (0, 1, 3, 4)])
+        plan = allocate(faults, rows=8, cols=8, spare_rows=1, spare_cols=1)
+        assert plan.repairable and plan.exact
+        assert plan.must_repair_rows == (2,)
+        assert plan.must_repair_cols == (7,)
+
+    def test_must_repair_infeasibility_is_proven(self):
+        # Two overloaded rows, one spare row: exactly infeasible.
+        faults = [(1, c) for c in range(3)] + [(2, c) for c in range(3)]
+        plan = allocate(faults, rows=8, cols=8, spare_rows=1, spare_cols=1)
+        assert not plan.repairable
+        assert plan.exact
+        assert "must-repair" in plan.reason
+
+
+class TestBranchAndBound:
+    def test_finds_the_minimal_cover(self):
+        # row 0 covers two faults; one more line finishes — minimum 2.
+        faults = [(0, 0), (0, 1), (1, 0)]
+        plan = allocate(faults, rows=8, cols=8, spare_rows=2, spare_cols=2)
+        assert plan.repairable and plan.exact
+        assert plan.lines_used == 2
+
+    def test_independent_faults_need_one_line_each(self):
+        faults = [(0, 0), (1, 1), (2, 2)]
+        plan = allocate(faults, rows=8, cols=8, spare_rows=3, spare_cols=3)
+        assert plan.repairable and plan.exact
+        assert plan.lines_used == 3
+
+    def test_proves_infeasibility_of_independent_overload(self):
+        # 3 pairwise independent faults, 1+1 budget: no cover exists.
+        faults = [(0, 0), (1, 1), (2, 2)]
+        plan = allocate(faults, rows=8, cols=8, spare_rows=1, spare_cols=1)
+        assert not plan.repairable
+        assert plan.exact
+        assert "no cover" in plan.reason
+
+    def test_theorem_n_faults_with_n_spares_always_covers(self):
+        # n distinct cells are always coverable with n total spares.
+        rng = random.Random(5)
+        for _ in range(25):
+            faults = {(rng.randrange(16), rng.randrange(16))
+                      for _ in range(4)}
+            plan = allocate(sorted(faults), rows=16, cols=16,
+                            spare_rows=2, spare_cols=2)
+            assert plan.repairable, plan.summary()
+
+
+class TestGreedyFallback:
+    def test_budget_exhaustion_falls_back_not_raises(self):
+        faults = [(0, 0), (1, 1), (2, 2), (0, 1), (1, 0)]
+        plan = allocate(faults, rows=8, cols=8, spare_rows=3,
+                        spare_cols=3, node_budget=1)
+        assert isinstance(plan, RepairPlan)
+        assert plan.repairable  # the greedy cover still fits
+        assert not plan.exact
+        assert "node budget 1 exhausted" in plan.reason
+
+    def test_zero_budget_skips_straight_to_greedy(self):
+        plan = allocate([(0, 0)], rows=8, cols=8, spare_rows=1,
+                        spare_cols=1, node_budget=0)
+        assert plan.repairable and not plan.exact
+        assert plan.nodes_explored == 0
+        assert "node budget 0" in plan.reason
+
+    def test_greedy_out_of_spares_reports_unrepairable(self):
+        # A 6-cycle of faults: every row and column holds exactly two,
+        # so must-repair never fires, yet covering needs 6 lines.
+        faults = [(i, i) for i in range(6)] + \
+            [(i, (i + 1) % 6) for i in range(6)]
+        plan = allocate(faults, rows=8, cols=8, spare_rows=2,
+                        spare_cols=2, node_budget=0)
+        assert not plan.repairable and not plan.exact
+        assert "ran out of spares" in plan.reason
+
+    def test_dense_pattern_terminates_quickly(self):
+        # 200 random faults, tiny budget: must return, not hang.
+        rng = random.Random(17)
+        faults = {(rng.randrange(30), rng.randrange(30))
+                  for _ in range(200)}
+        plan = allocate(sorted(faults), rows=30, cols=30,
+                        spare_rows=4, spare_cols=4, node_budget=500)
+        assert isinstance(plan, RepairPlan)
+        assert len(plan.rows) <= 4 and len(plan.cols) <= 4
+
+    def test_greedy_is_deterministic(self):
+        faults = [(0, 0), (0, 1), (1, 0), (1, 1), (2, 5)]
+        plans = [allocate(faults, rows=8, cols=8, spare_rows=2,
+                          spare_cols=2, node_budget=0)
+                 for _ in range(3)]
+        assert plans[0] == plans[1] == plans[2]
+
+
+class TestFaultySpares:
+    def test_faulty_spares_inflate_consumption(self):
+        faults = [(0, 0), (1, 1)]
+        plan = allocate(faults, rows=8, cols=8, spare_rows=3,
+                        spare_cols=0, faulty_spare_rows={0})
+        assert plan.repairable
+        assert plan.rows == (0, 1)
+        # Landing 2 repairs with spare 0 dead walks entries 0, 1, 2.
+        assert plan.spare_rows_used == 3
+
+    def test_faulty_spares_shrink_the_budget(self):
+        # 2 spare rows but one is dead: two overloaded rows can't fit.
+        faults = [(1, c) for c in range(3)] + [(2, c) for c in range(3)]
+        plan = allocate(faults, rows=8, cols=8, spare_rows=2,
+                        spare_cols=1, faulty_spare_rows={1})
+        assert not plan.repairable and plan.exact
+
+    def test_out_of_range_faulty_spares_are_ignored(self):
+        plan = allocate([(0, 0)], rows=8, cols=8, spare_rows=1,
+                        spare_cols=0, faulty_spare_rows={7})
+        assert plan.repairable
+        assert plan.spare_rows_used == 1
+
+
+class TestValidation:
+    def test_fault_outside_array_raises(self):
+        with pytest.raises(ValueError):
+            allocate([(8, 0)], rows=8, cols=8, spare_rows=1, spare_cols=1)
+        with pytest.raises(ValueError):
+            allocate([(0, -1)], rows=8, cols=8, spare_rows=1, spare_cols=1)
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ValueError):
+            allocate([], rows=0, cols=8, spare_rows=1, spare_cols=1)
+        with pytest.raises(ValueError):
+            allocate([], rows=8, cols=8, spare_rows=-1, spare_cols=1)

@@ -1,0 +1,135 @@
+"""2-D repairability: analytic lower bound, Monte-Carlo, spare-mix cost.
+
+The acceptance claim of ISSUE 9 lives here: in a defect environment
+with whole-column defects there is at least one density where a
+row+column spare mix beats rows-only on cost per good bit — because a
+rows-only array cannot repair a broken bit line at any spare count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cost import area_growth_factor, best_mix, spare_mix_sweep
+from repro.yieldmodel import (
+    bisr_yield_2d,
+    repair_probability_2d,
+    simulate_yield_2d,
+)
+
+
+class TestAnalytic2D:
+    def test_zero_defect_rate_is_certain(self):
+        assert repair_probability_2d(64, 32, 2, 2, 0.0) == \
+            pytest.approx(1.0)
+
+    def test_spares_help_when_defects_are_plentiful(self):
+        # ~4 expected cell faults: coverage dominates the strict-
+        # goodness penalty for keeping the spare silicon clean.
+        lam = 2e-3
+        r00 = repair_probability_2d(64, 32, 0, 0, lam)
+        r20 = repair_probability_2d(64, 32, 2, 0, lam)
+        r22 = repair_probability_2d(64, 32, 2, 2, lam)
+        assert r00 < r20 < r22
+
+    def test_strict_goodness_penalises_idle_spares(self):
+        # At a vanishing defect rate extra spares only add silicon
+        # that must stay clean — the bound correctly *drops*.
+        lam = 1e-4
+        assert repair_probability_2d(64, 32, 2, 2, lam) < \
+            repair_probability_2d(64, 32, 2, 0, lam)
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(ValueError):
+            repair_probability_2d(0, 32, 1, 1, 1e-4)
+        with pytest.raises(ValueError):
+            repair_probability_2d(64, 32, -1, 1, 1e-4)
+        with pytest.raises(ValueError):
+            repair_probability_2d(64, 32, 1, 1, -1e-4)
+        with pytest.raises(ValueError):
+            bisr_yield_2d(64, 8, 4, 1, 1, -1.0)
+        with pytest.raises(ValueError):
+            bisr_yield_2d(64, 8, 4, 1, 1, 1.0, growth_factor=0.9)
+
+    def test_yield_decreases_with_defects(self):
+        ys = [bisr_yield_2d(128, 8, 4, 2, 2, n, 1.05)
+              for n in (0.0, 1.0, 3.0, 6.0)]
+        assert all(a >= b for a, b in zip(ys, ys[1:]))
+        assert ys[0] == pytest.approx(1.0)
+
+    def test_analytic_is_a_lower_bound_on_monte_carlo(self):
+        for n in (1.0, 3.0, 6.0):
+            analytic = bisr_yield_2d(128, 8, 4, 2, 2, n)
+            mc = simulate_yield_2d(
+                128, 8, 4, 2, 2, n, trials=4000,
+                rng=np.random.default_rng(2)).yield_estimate
+            assert analytic <= mc + 0.03, (n, analytic, mc)
+
+
+class TestMonteCarlo2D:
+    def test_deterministic_under_a_seed(self):
+        kwargs = dict(rows=64, bpw=4, bpc=4, spares_r=2, spares_c=2,
+                      n_defects=2.0, trials=800,
+                      row_defect_frac=0.1, col_defect_frac=0.1)
+        a = simulate_yield_2d(rng=np.random.default_rng(9), **kwargs)
+        b = simulate_yield_2d(rng=np.random.default_rng(9), **kwargs)
+        assert (a.trials, a.good) == (b.trials, b.good)
+
+    def test_rows_only_cannot_repair_column_lines(self):
+        # Every defect is a column-line defect: a rows-only array only
+        # survives trials with zero defects, spare columns repair most.
+        kwargs = dict(rows=32, bpw=4, bpc=4, n_defects=2.0, trials=500,
+                      col_defect_frac=1.0)
+        rows_only = simulate_yield_2d(
+            spares_r=4, spares_c=0,
+            rng=np.random.default_rng(3), **kwargs)
+        with_cols = simulate_yield_2d(
+            spares_r=0, spares_c=4,
+            rng=np.random.default_rng(3), **kwargs)
+        assert with_cols.yield_estimate > rows_only.yield_estimate + 0.2
+
+    def test_bad_fractions_raise(self):
+        with pytest.raises(ValueError):
+            simulate_yield_2d(32, 4, 4, 1, 1, 1.0,
+                              row_defect_frac=0.7, col_defect_frac=0.6)
+
+    def test_allocator_hard_cases_still_resolve(self):
+        # High cell-fault density forces the allocate() path (residual
+        # beyond the sr + sc fast path) without raising.
+        mc = simulate_yield_2d(16, 2, 2, 2, 2, 6.0, trials=300,
+                               rng=np.random.default_rng(4),
+                               node_budget=200)
+        assert 0 <= mc.good <= mc.trials
+
+
+class TestSpareMixCost:
+    def test_area_growth_factor_shape(self):
+        base = area_growth_factor(128, 32, 0, 0)
+        assert base == pytest.approx(1.0)
+        rows_only = area_growth_factor(128, 32, 4, 0)
+        with_cols = area_growth_factor(128, 32, 4, 2)
+        assert 1.0 < rows_only < with_cols
+        with pytest.raises(ValueError):
+            area_growth_factor(0, 32, 1, 1)
+
+    def test_mix_beats_rows_only_somewhere(self):
+        # The ISSUE-9 acceptance sweep: with 5% column-line defects a
+        # 2+2 mix must win on cost per good bit at >= 1 density.
+        points = spare_mix_sweep(
+            128, 8, 4, [(4, 0), (2, 2)], [2.0, 5.0],
+            trials=1200, seed=3,
+            row_defect_frac=0.02, col_defect_frac=0.05,
+        )
+        def cost(sr, sc, n):
+            return next(p.cost_per_good_bit for p in points
+                        if (p.spares_r, p.spares_c, p.n_defects)
+                        == (sr, sc, n))
+        assert any(cost(2, 2, n) < cost(4, 0, n) for n in (2.0, 5.0))
+
+    def test_best_mix_tie_breaks_deterministically(self):
+        points = spare_mix_sweep(
+            64, 4, 4, [(2, 0), (0, 2)], [1.0],
+            trials=300, seed=7, col_defect_frac=0.2,
+        )
+        assert best_mix(points) is best_mix(points, 1.0)
+        with pytest.raises(ValueError):
+            best_mix(points, 99.0)
