@@ -50,6 +50,7 @@ from repro.bist.controller import (
     MemoryOp,
     build_test_program,
 )
+from repro.bist.ports import PortView, port_bindings, run_dual_port_test
 
 __all__ = [
     "MarchElement",
@@ -86,4 +87,7 @@ __all__ = [
     "TrplaController",
     "MemoryOp",
     "build_test_program",
+    "PortView",
+    "port_bindings",
+    "run_dual_port_test",
 ]

@@ -17,7 +17,9 @@ without routing.
 from repro.cells.base import CellBuilder
 from repro.cells.stdcell import draw_logic_block, logic_block_width
 from repro.cells.sram6t import sram6t_cell, sram6t_netlist
+from repro.cells.sram_dp import sram_dp_cell, sram_dp_netlist
 from repro.cells.precharge import precharge_cell, precharge_netlist
+from repro.cells.precharge_dp import precharge_dp_cell, precharge_dp_netlist
 from repro.cells.senseamp import senseamp_cell, senseamp_netlist
 from repro.cells.drivers import (
     wordline_driver_cell,
@@ -43,8 +45,12 @@ __all__ = [
     "logic_block_width",
     "sram6t_cell",
     "sram6t_netlist",
+    "sram_dp_cell",
+    "sram_dp_netlist",
     "precharge_cell",
     "precharge_netlist",
+    "precharge_dp_cell",
+    "precharge_dp_netlist",
     "senseamp_cell",
     "senseamp_netlist",
     "wordline_driver_cell",

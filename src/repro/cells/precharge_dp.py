@@ -1,0 +1,100 @@
+"""Port-B bit-line precharge row for dual-port arrays.
+
+The second port's bit lines need their own precharge/equalisation, but
+the port-A precharge row sits on top of the array where ``bl2``/``blb2``
+do not reach the periphery.  This cell is therefore drawn *under* the
+array (between the column mux and the array bottom): the port-A bit
+lines pass straight through on metal2, while pull-ups and an equaliser
+hang on the ``bl2``/``blb2`` columns.  Its VDD rail is on the *bottom*
+edge so the top edge abuts array row 0 (whose bottom edge is the GND
+rail) without metal1 adjacency.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellBuilder
+from repro.cells.sram6t import WIDTH_LAMBDA as COLUMN_PITCH
+from repro.circuit.netlist import Netlist
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+HEIGHT_LAMBDA = 44
+
+#: x centers shared with the dual-port bit cell.
+_X_BL = 4
+_X_BL2 = 18
+_X_BLB2 = 50
+_X_BLB = 64
+
+
+def precharge_dp_cell(process: Process, gate_size: int = 1) -> Cell:
+    """Generate the port-B precharge cell (pass-through for port A)."""
+    if gate_size < 1:
+        raise ValueError("gate_size must be >= 1")
+    b = CellBuilder("precharge_dp", process)
+    w, h = COLUMN_PITCH, HEIGHT_LAMBDA
+    dev_w = 6 + 2 * (gate_size - 1)
+
+    b.rect("metal1", 0, 0, w, 4)      # VDD rail on the BOTTOM edge
+    # Port-A bit lines pass through untouched.
+    b.wire_v("metal2", 0, h, _X_BL)
+    b.wire_v("metal2", 0, h, _X_BLB)
+    # Port-B bit lines end here (the mux row below has no bl2).
+    b.wire_v("metal2", 0, h, _X_BL2)
+    b.wire_v("metal2", 0, h, _X_BLB2)
+
+    # Pull-up pair on bl2/blb2: one pdiff strip, two gates, VDD mid.
+    y_pu = 30
+    b.rect("pdiff", 22, y_pu - dev_w / 2, 46, y_pu + dev_w / 2)
+    for x_gate in (28, 40):
+        b.wire_v("poly", 19, y_pu + dev_w / 2 + 2, x_gate)
+    b.contact("pdiff", 24, y_pu)
+    b.contact("pdiff", 34, y_pu)
+    b.contact("pdiff", 44, y_pu)
+    b.wire_v("metal1", 0, y_pu, 34)   # VDD strap down to the rail
+    b.via1(24, y_pu)
+    b.wire_h("metal2", _X_BL2, 24, y_pu)    # to bl2
+    b.via1(44, y_pu)
+    b.wire_h("metal2", 44, _X_BLB2, y_pu)   # to blb2
+
+    # Equalising device between bl2 and blb2.  Its source/drain
+    # contacts sit outboard (x 27/41) so their metal1 pads clear the
+    # VDD strap running down the cell middle.
+    y_eq = 12
+    b.rect("pdiff", 25, y_eq - 3, 43, y_eq + 3)
+    b.wire_v("poly", y_eq - 5, y_eq + 9, 34)
+    b.contact("pdiff", 27, y_eq)
+    b.contact("pdiff", 41, y_eq)
+    b.via1(27, y_eq)
+    b.wire_h("metal2", _X_BL2, 27, y_eq)
+    b.via1(41, y_eq)
+    b.wire_h("metal2", 41, _X_BLB2, y_eq)
+
+    # Common gate wiring: join the three gates in poly, contact to
+    # metal1, run the active-low precharge signal to the left edge.
+    b.wire_h("poly", 22, 41, 20)
+    b.contact("poly", 24, 20)
+    b.wire_h("metal1", 0, 24, 20)
+    b.rect("nwell", 17, 4, 51, y_pu + dev_w / 2 + 5)
+
+    b.edge_port("bl", "metal2", "bottom", _X_BL - 1.5, _X_BL + 1.5, 0)
+    b.edge_port("blb", "metal2", "bottom", _X_BLB - 1.5, _X_BLB + 1.5, 0)
+    b.edge_port("bl_t", "metal2", "top", _X_BL - 1.5, _X_BL + 1.5, h)
+    b.edge_port("blb_t", "metal2", "top", _X_BLB - 1.5, _X_BLB + 1.5, h)
+    b.edge_port("bl2_t", "metal2", "top", _X_BL2 - 1.5, _X_BL2 + 1.5, h)
+    b.edge_port("blb2_t", "metal2", "top", _X_BLB2 - 1.5, _X_BLB2 + 1.5,
+                h)
+    b.edge_port("pcb2", "metal1", "left", 18.5, 21.5, 0, "in")
+    b.edge_port("vdd", "metal1", "left", 0, 4, 0, "supply")
+    return b.finish()
+
+
+def precharge_dp_netlist(process: Process, gate_size: int = 1) -> Netlist:
+    """Netlist view: three PMOS devices on bl2/blb2 gated by ``pcb2``."""
+    f = process.feature_um
+    w_dev = (3 + gate_size) * f
+    net = Netlist("precharge_dp")
+    net.add_mosfet("bl2", "pcb2", "vdd", process.pmos, w_dev)
+    net.add_mosfet("blb2", "pcb2", "vdd", process.pmos, w_dev)
+    net.add_mosfet("bl2", "pcb2", "blb2", process.pmos, w_dev)
+    return net

@@ -1,0 +1,178 @@
+"""The dual-port (8T) SRAM bit cell.
+
+The macro shape ``ports=2`` selects: the 6T storage core of
+:mod:`repro.cells.sram6t` plus a second NMOS access pair on its own
+word line (metal3, upper band) and its own bit-line pair (metal2, over
+the storage-node columns).  Register-file style dual-port cells like
+this let the BIST engine stream a march from one port while the other
+observes — and are the paper's natural extension target since the BISR
+multiplexers replicate per port.
+
+The cell keeps the 68-lambda column pitch of the 6T cell so dual-port
+arrays reuse every column-periphery generator unchanged; the extra
+word line, access devices, and bit-line terminals raise the height to
+68 lambda.  Edge ports mirror the 6T contract (bit lines vertical,
+word lines and rails horizontal) with a second ``bl2``/``blb2``/``wl2``
+set, so tiling with ``alternate_mirror_y`` shares rails exactly as the
+single-port array does.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellBuilder
+from repro.circuit.netlist import Netlist
+from repro.layout.cell import Cell
+from repro.tech.process import Process
+
+#: Cell dimensions in lambda.  Same column pitch as the 6T cell; the
+#: second port adds 20 lambda of height.
+WIDTH_LAMBDA = 68
+HEIGHT_LAMBDA = 68
+
+#: x centers (lambda), shared with the 6T core.
+_X_BL = 4        # port-A bit line (metal2)
+_X_ACC_L = 10    # port-A left access transistor diffusion
+_X_Q_L = 18      # left storage column: metal1 strap + port-B bit line
+_X_GATE_L = 26   # left inverter gate poly / left WL2 tap
+_X_MID = 34      # shared GND/VDD contact column
+_X_GATE_R = 42
+_X_Q_R = 50
+_X_ACC_R = 58
+_X_BLB = 64
+
+#: y bands (lambda).  The 6T core occupies y 0..38 unchanged; the
+#: port-B structures live in the 38..64 band under the raised VDD rail.
+_Y_NMOS = 10
+_Y_WL = 17       # port-A word line
+_Y_XA = 20
+_Y_XB = 27
+_Y_PMOS = 34
+_Y_QB = 43       # port-B storage-side terminals
+_Y_WL2 = 50      # port-B word line
+_Y_BLB2 = 58     # port-B bit-line-side terminals
+
+
+def sram_dp_cell(process: Process) -> Cell:
+    """Generate the dual-port (8T) bit cell for ``process``."""
+    b = CellBuilder("sram_dp", process)
+    w, h = WIDTH_LAMBDA, HEIGHT_LAMBDA
+
+    # Supply rails on the horizontal edges (shared by row mirroring).
+    b.rect("metal1", 0, 0, w, 4)          # GND rail
+    b.rect("metal1", 0, h - 4, w, h)      # VDD rail
+
+    # Port-A bit lines at the cell edges; port-B bit lines over the
+    # storage columns.  All metal2, full height.
+    b.wire_v("metal2", 0, h, _X_BL)
+    b.wire_v("metal2", 0, h, _X_BLB)
+    b.wire_v("metal2", 0, h, _X_Q_L)
+    b.wire_v("metal2", 0, h, _X_Q_R)
+
+    # Word lines: metal3, full width, one band per port.
+    b.wire_h("metal3", 0, w, _Y_WL)
+    b.wire_h("metal3", 0, w, _Y_WL2)
+
+    # --- 6T storage core (identical to sram6t up to the rail move) ---
+    b.rect("ndiff", _X_Q_L - 2, _Y_NMOS - 2, _X_Q_R + 2, _Y_NMOS + 2)
+    b.rect("pdiff", _X_Q_L - 2, _Y_PMOS - 2, _X_Q_R + 2, _Y_PMOS + 2)
+    b.rect("nwell", _X_Q_L - 7, _Y_PMOS - 7, _X_Q_R + 7, _Y_PMOS + 7)
+    for x_gate in (_X_GATE_L, _X_GATE_R):
+        b.wire_v("poly", _Y_NMOS - 4, _Y_PMOS + 4, x_gate)
+
+    for y in (_Y_NMOS, _Y_PMOS):
+        layer = "ndiff" if y == _Y_NMOS else "pdiff"
+        b.contact(layer, _X_Q_L, y)
+        b.contact(layer, _X_MID, y)
+        b.contact(layer, _X_Q_R, y)
+    # Supply straps: GND down to the bottom rail, VDD up to the raised
+    # top rail.
+    b.wire_v("metal1", 0, _Y_NMOS, _X_MID)
+    b.wire_v("metal1", _Y_PMOS, h, _X_MID)
+    # Storage-node straps, extended upward to meet the port-B
+    # storage-side contacts at y 43.
+    b.wire_v("metal1", _Y_NMOS, _Y_QB + 1, _X_Q_L)
+    b.wire_v("metal1", _Y_NMOS, _Y_QB + 1, _X_Q_R)
+
+    # Cross-couples.
+    b.contact("poly", _X_GATE_L, _Y_XA)
+    b.wire_h("metal1", _X_GATE_L, _X_Q_R, _Y_XA, width_lam=4)
+    b.contact("poly", _X_GATE_R, _Y_XB)
+    b.wire_h("metal1", _X_Q_L, _X_GATE_R, _Y_XB, width_lam=4)
+
+    # Port-A access transistors (the 6T block unchanged).
+    for x_acc, x_bl, inner_x in (
+        (_X_ACC_L, _X_BL, _X_Q_L),
+        (_X_ACC_R, _X_BLB, _X_Q_R),
+    ):
+        b.rect("ndiff", x_acc - 2, 8, x_acc + 2, 30)
+        x_tap = x_acc - 4 if x_bl < x_acc else x_acc + 4
+        stub_x1 = min(x_tap - 2, x_acc - 4)
+        stub_x2 = max(x_tap + 2, x_acc + 4)
+        b.rect("poly", stub_x1, _Y_WL - 1, stub_x2, _Y_WL + 1)
+        b.contact("poly", x_tap, _Y_WL)
+        b.via1(x_tap, _Y_WL)
+        b.via2(x_tap, _Y_WL)
+        b.contact("ndiff", x_acc, _Y_NMOS)
+        b.wire_h(
+            "metal1", min(x_acc, inner_x), max(x_acc, inner_x), _Y_NMOS
+        )
+        b.contact("ndiff", x_acc, _Y_XB)
+        b.via1(x_acc, _Y_XB)
+        b.wire_h("metal2", min(x_bl, x_acc), max(x_bl, x_acc), _Y_XB)
+
+    # --- Port-B access transistors: vertical diffusion columns directly
+    # under the bl2/blb2 metal2, gated by horizontal poly stubs strapped
+    # up to the metal3 WL2 with inboard via stacks.
+    for x_q, x_tap in ((_X_Q_L, _X_GATE_L), (_X_Q_R, _X_GATE_R)):
+        b.rect("ndiff", x_q - 2, _Y_QB - 1, x_q + 2, _Y_BLB2 + 4)
+        stub_x1 = min(x_q - 4, x_tap - 2)
+        stub_x2 = max(x_q + 4, x_tap + 2)
+        b.rect("poly", stub_x1, _Y_WL2 - 1, stub_x2, _Y_WL2 + 1)
+        b.contact("poly", x_tap, _Y_WL2)
+        b.via1(x_tap, _Y_WL2)
+        b.via2(x_tap, _Y_WL2)
+        # Storage-side terminal: the metal1 pad merges the storage strap.
+        b.contact("ndiff", x_q, _Y_QB)
+        # Bit-line-side terminal: contact + via1 straight up into the
+        # bl2/blb2 metal2 running overhead.
+        b.contact("ndiff", x_q, _Y_BLB2)
+        b.via1(x_q, _Y_BLB2)
+
+    # Abutment ports: both port's bit lines vertical, both word lines
+    # and the rails horizontal.
+    b.edge_port("bl", "metal2", "bottom", _X_BL - 1.5, _X_BL + 1.5, 0)
+    b.edge_port("blb", "metal2", "bottom", _X_BLB - 1.5, _X_BLB + 1.5, 0)
+    b.edge_port("bl2", "metal2", "bottom", _X_Q_L - 1.5, _X_Q_L + 1.5, 0)
+    b.edge_port("blb2", "metal2", "bottom", _X_Q_R - 1.5, _X_Q_R + 1.5, 0)
+    b.edge_port("bl_t", "metal2", "top", _X_BL - 1.5, _X_BL + 1.5, h)
+    b.edge_port("blb_t", "metal2", "top", _X_BLB - 1.5, _X_BLB + 1.5, h)
+    b.edge_port("bl2_t", "metal2", "top", _X_Q_L - 1.5, _X_Q_L + 1.5, h)
+    b.edge_port("blb2_t", "metal2", "top", _X_Q_R - 1.5, _X_Q_R + 1.5, h)
+    b.edge_port("wl", "metal3", "left", _Y_WL - 2.5, _Y_WL + 2.5, 0, "in")
+    b.edge_port("wl_r", "metal3", "right", _Y_WL - 2.5, _Y_WL + 2.5, w,
+                "in")
+    b.edge_port("wl2", "metal3", "left", _Y_WL2 - 2.5, _Y_WL2 + 2.5, 0,
+                "in")
+    b.edge_port("wl2_r", "metal3", "right", _Y_WL2 - 2.5, _Y_WL2 + 2.5, w,
+                "in")
+    b.edge_port("gnd", "metal1", "left", 0, 4, 0, "supply")
+    b.edge_port("vdd", "metal1", "left", h - 4, h, 0, "supply")
+    b.edge_port("gnd_r", "metal1", "right", 0, 4, w, "supply")
+    b.edge_port("vdd_r", "metal1", "right", h - 4, h, w, "supply")
+    return b.finish()
+
+
+def sram_dp_netlist(process: Process) -> Netlist:
+    """Transistor netlist of one dual-port cell (8T)."""
+    f = process.feature_um
+    net = Netlist("sram_dp")
+    w_access = 3 * f
+    w_pd = 6 * f
+    w_pu = 3 * f
+    net.add_inverter("qb", "q", process.nmos, process.pmos, w_pd, w_pu)
+    net.add_inverter("q", "qb", process.nmos, process.pmos, w_pd, w_pu)
+    net.add_mosfet("bl", "wl", "q", process.nmos, w_access)
+    net.add_mosfet("blb", "wl", "qb", process.nmos, w_access)
+    net.add_mosfet("bl2", "wl2", "q", process.nmos, w_access)
+    net.add_mosfet("blb2", "wl2", "qb", process.nmos, w_access)
+    return net

@@ -20,8 +20,15 @@ from repro.tech.process import Process
 _Y_WL = 17  # must match the bit cell's word-line band
 
 
-def strap_cell(process: Process, width_lambda: int = 16) -> Cell:
+_Y_WL2 = 50  # dual-port cell's second word-line band
+
+
+def strap_cell(process: Process, width_lambda: int = 16,
+               dual_port: bool = False) -> Cell:
     """Generate a strap column of the given width (lambda).
+
+    ``dual_port=True`` matches the taller dual-port row pitch and
+    carries the second word line through as well.
 
     Raises:
         ValueError: when the width cannot hold a legal well tie.
@@ -30,12 +37,20 @@ def strap_cell(process: Process, width_lambda: int = 16) -> Cell:
         raise ValueError(
             f"strap width {width_lambda} lambda too narrow; needs >= 12"
         )
-    b = CellBuilder("strap", process)
-    w, h = width_lambda, ROW_PITCH
+    if dual_port:
+        from repro.cells.sram_dp import HEIGHT_LAMBDA as DP_ROW_PITCH
+
+        name, h = "strap_dp", DP_ROW_PITCH
+    else:
+        name, h = "strap", ROW_PITCH
+    b = CellBuilder(name, process)
+    w = width_lambda
 
     b.rect("metal1", 0, 0, w, 4)          # GND rail through
     b.rect("metal1", 0, h - 4, w, h)      # VDD rail through
     b.wire_h("metal3", 0, w, _Y_WL)       # word line through
+    if dual_port:
+        b.wire_h("metal3", 0, w, _Y_WL2)  # second word line through
 
     # Substrate/well tie: an n-well tap strip strapped to VDD.
     mid = w / 2
@@ -46,6 +61,11 @@ def strap_cell(process: Process, width_lambda: int = 16) -> Cell:
     b.edge_port("wl", "metal3", "left", _Y_WL - 2.5, _Y_WL + 2.5, 0, "in")
     b.edge_port("wl_r", "metal3", "right", _Y_WL - 2.5, _Y_WL + 2.5, w,
                 "out")
+    if dual_port:
+        b.edge_port("wl2", "metal3", "left", _Y_WL2 - 2.5, _Y_WL2 + 2.5,
+                    0, "in")
+        b.edge_port("wl2_r", "metal3", "right", _Y_WL2 - 2.5,
+                    _Y_WL2 + 2.5, w, "out")
     b.edge_port("gnd", "metal1", "left", 0, 4, 0, "supply")
     b.edge_port("vdd", "metal1", "left", h - 4, h, 0, "supply")
     return b.finish()

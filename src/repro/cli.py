@@ -56,7 +56,16 @@ def _add_config_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--spare-cols", type=int, default=0,
                         help="spare columns (0..16; 0 = row-only repair)")
     parser.add_argument("--process", default="cda07",
-                        choices=("cda05", "mos06", "cda07", "mos08"))
+                        help="rule deck name; builtins plus any deck "
+                             "registered via files or entry points "
+                             "(see `repro tech list`)")
+    parser.add_argument("--ports", type=int, default=1,
+                        choices=(1, 2),
+                        help="access ports (2 = dual-port 8T array)")
+    parser.add_argument("--tech-dir", action="append", default=None,
+                        metavar="DIR",
+                        help="extra directory of technology descriptor "
+                             "files (repeatable; highest precedence)")
     parser.add_argument("--gate-size", type=int, default=1,
                         help="critical-gate drive multiplier")
     parser.add_argument("--strap-every", type=int, default=32,
@@ -67,9 +76,17 @@ def _config_from(args: argparse.Namespace) -> RamConfig:
     return RamConfig(
         words=args.words, bpw=args.bpw, bpc=args.bpc,
         spares=args.spares, spare_cols=getattr(args, "spare_cols", 0),
-        process=args.process,
+        process=args.process, ports=getattr(args, "ports", 1),
         gate_size=args.gate_size, strap_every=args.strap_every,
     )
+
+
+def _apply_tech_dirs(args: argparse.Namespace) -> None:
+    """Register ``--tech-dir`` directories before any deck lookup."""
+    for directory in getattr(args, "tech_dir", None) or ():
+        from repro.techreg import default_registry
+
+        default_registry().add_search_dir(directory)
 
 
 def _int_list(text: str) -> List[int]:
@@ -606,6 +623,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         repair_campaign,
         signoff_campaign,
         sizing_campaign,
+        techmatrix_campaign,
     )
 
     if args.driver == "sizing":
@@ -614,6 +632,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             raise ConfigError("--widths must name at least one width")
         spec = sizing_campaign(process=args.process, widths=widths,
                                seed=args.seed)
+    elif args.driver == "techmatrix":
+        config = _config_from(args)
+        spec = techmatrix_campaign(
+            words=config.words, bpw=config.bpw, bpc=config.bpc,
+            spares=config.spares,
+            processes=[p.strip() for p in args.processes.split(",")
+                       if p.strip()],
+            ports=_int_list(args.port_counts),
+            seed=args.seed, gate_size=config.gate_size,
+            strap_every=config.strap_every,
+            cache_dir=args.cache_dir,
+            tech_dirs=args.tech_dir or (),
+        )
     elif args.driver == "signoff":
         config = _config_from(args)
         spec = signoff_campaign(
@@ -681,6 +712,58 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         return 1
     print(f"\nrecommended: {best.spares} spares")
     return 0
+
+
+def cmd_tech(args: argparse.Namespace) -> int:
+    """Technology-registry tooling: list, show, validate decks."""
+    from repro.techreg import (
+        default_registry,
+        load_descriptor,
+        validate_descriptor,
+    )
+
+    registry = default_registry()
+    if args.tech_cmd == "list":
+        rows = registry.entries()
+        width = max((len(r["name"]) for r in rows), default=4)
+        for row in rows:
+            if "error" in row:
+                print(f"{row['name']:<{width}}  {row['origin']:<8}  "
+                      f"INVALID: {row['error']}")
+            else:
+                print(f"{row['name']:<{width}}  {row['origin']:<8}  "
+                      f"{row['feature_um']:>5} um  {row['vdd']:>4} V  "
+                      f"{row['metals']}M  {row['fingerprint']}")
+        for problem in registry.scan_errors:
+            print(f"warning: {problem}", file=sys.stderr)
+        return 0
+    if args.tech_cmd == "show":
+        process = registry.resolve(args.name)
+        desc = registry.descriptor(args.name)
+        print(f"name         : {process.name}")
+        print(f"description  : {process.description}")
+        print(f"feature size : {process.feature_um:g} um "
+              f"(lambda = {process.rules.lambda_cu} cu)")
+        print(f"metal layers : {process.metal_layers}")
+        print(f"vdd          : {process.vdd:g} V")
+        print(f"fingerprint  : {process.fingerprint()}")
+        if desc is not None and desc.source:
+            print(f"source       : {desc.source}")
+        print(f"rules        : {len(process.rules.rules)} entries")
+        for rule in sorted(process.rules.rules):
+            print(f"  {rule:<24} {process.rules.rules[rule]} cu")
+        return 0
+    # validate: per-field errors for a descriptor file, exit 2 on any.
+    desc = load_descriptor(args.path)
+    problems = validate_descriptor(desc)
+    if not problems:
+        print(f"{args.path}: OK ({desc.name}, "
+              f"{desc.deck_type} deck, {len(desc.rules)} rules)")
+        return 0
+    print(f"{args.path}: {len(problems)} problem(s)", file=sys.stderr)
+    for problem in problems:
+        print(f"  {problem.field}: {problem.message}", file=sys.stderr)
+    return 2
 
 
 # ---------------------------------------------------------------------------
@@ -907,12 +990,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--driver",
                    choices=("montecarlo", "montecarlo2d", "repair",
-                            "sizing", "signoff"),
+                            "sizing", "signoff", "techmatrix"),
                    default="montecarlo",
                    help="workload: Monte-Carlo yield (row-only or 2-D "
                         "with the allocator in the loop), "
                         "fault-injection repair, SPICE sizing sweep, "
-                        "or cross-node signoff")
+                        "cross-node signoff, or the deck x port-count "
+                        "tech matrix")
     # Geometry defaults so a smoke campaign needs no required flags.
     p.add_argument("--words", type=int, default=4096)
     p.add_argument("--bpw", type=int, default=4)
@@ -927,7 +1011,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--node-budget", type=int, default=4_000,
                    help="allocator search budget (montecarlo2d)")
     p.add_argument("--process", default="cda07",
-                   choices=("cda05", "mos06", "cda07", "mos08"))
+                   help="rule deck name (any registered deck)")
+    p.add_argument("--ports", type=int, default=1, choices=(1, 2),
+                   help="access ports for single-config drivers")
+    p.add_argument("--port-counts", default="1,2",
+                   help="port counts swept by the techmatrix driver")
+    p.add_argument("--tech-dir", action="append", default=None,
+                   metavar="DIR",
+                   help="extra technology descriptor directory "
+                        "(repeatable)")
     p.add_argument("--gate-size", type=int, default=1)
     p.add_argument("--strap-every", type=int, default=32)
     p.add_argument("--defects", type=float, default=5.0,
@@ -962,6 +1054,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_campaign)
 
+    p = sub.add_parser(
+        "tech",
+        help="technology-registry tooling: list, show, validate decks",
+    )
+    p.add_argument("--tech-dir", action="append", default=None,
+                   metavar="DIR",
+                   help="extra descriptor directory (repeatable)")
+    tech_sub = p.add_subparsers(dest="tech_cmd", required=True)
+    tp = tech_sub.add_parser("list",
+                             help="all registered decks with origin "
+                                  "and fingerprint")
+    tp.set_defaults(func=cmd_tech)
+    tp = tech_sub.add_parser("show",
+                             help="one deck's parameters and full "
+                                  "rule table")
+    tp.add_argument("name", help="registered deck name")
+    tp.set_defaults(func=cmd_tech)
+    tp = tech_sub.add_parser("validate",
+                             help="check a descriptor file; prints "
+                                  "per-field problems")
+    tp.add_argument("path", help="descriptor file (.toml/.json)")
+    tp.set_defaults(func=cmd_tech)
+
     p = sub.add_parser("optimize", help="choose the spare-row count")
     _add_config_arguments(p)
     p.add_argument("--defects", type=float, default=3.0,
@@ -974,6 +1089,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        _apply_tech_dirs(args)
         return args.func(args)
     except SignoffError as error:
         # A strict stage gate tripped: exit with the failing class's
@@ -986,6 +1102,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Anticipated failures (bad configuration, exhausted spares,
         # non-converging transients) exit with one line, no traceback.
         print(f"error: {error}", file=sys.stderr)
+        for problem in getattr(error, "field_errors", ()) or ():
+            # Descriptor rejections carry per-field diagnostics.
+            print(f"  {problem.field}: {problem.message}",
+                  file=sys.stderr)
         return 2
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -115,6 +115,7 @@ class CompiledRam:
             bpc=self.config.bpc,
             spares=self.config.spares,
             spare_cols=self.config.spare_cols,
+            ports=self.config.ports,
         )
 
     def self_test_controller(self, device: Optional[BisrRam] = None,
@@ -211,10 +212,12 @@ class CompiledRam:
             f"{ds.tlb_penalty_s * 1e9:.2f} ns "
             f"({'masked' if ds.tlb_masked else 'NOT masked'}), "
             f"self-test {ds.selftest_total_s:.1f} s",
+            f"7. rule deck              : {config.process} "
+            f"(fingerprint {ds.deck_fingerprint or get_process(config.process).fingerprint()})",
         ]
         if stage_line and self.stages:
             lines.append(
-                "7. stage cache            : "
+                "8. stage cache            : "
                 + " | ".join(
                     f"{t.name} {'HIT' if t.hit else 'MISS'} "
                     f"{t.elapsed_s:.3f}s"
@@ -232,8 +235,12 @@ class BISRAMGen:
 
     def stage_key(self) -> str:
         """Content key every stage of this build derives from:
-        configuration digest + march identity + rule-deck digest."""
-        deck = get_process(self.config.process).rules.digest()
+        configuration digest + march identity + deck fingerprint.
+
+        The fingerprint covers the *whole* resolved deck (rules, layer
+        map, devices, supply, parasitics), not just the rule table, so
+        a registry deck edit of any kind invalidates cached stages."""
+        deck = get_process(self.config.process).fingerprint()
         return (f"{self.config.digest(32)}:{march_digest(self.march)}"
                 f":{deck}")
 

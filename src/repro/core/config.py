@@ -37,8 +37,12 @@ class RamConfig:
         strap_every: bit-cell columns between strap columns (0 = no
             straps); Figs. 6-7 use 32.
         strap_width_lambda: width of each strap column in lambda.
-        process: process preset name ("cda05", "mos06", "cda07",
-            "mos08").
+        process: process name — a builtin preset ("cda05", "mos06",
+            "cda07", "mos08") or any registry-loaded deck
+            (``repro tech list`` enumerates them).
+        ports: access ports on the bit cell — 1 (classic 6T) or 2
+            (dual-port 8T: second word line and bit-line pair, its own
+            precharge row and row decoder).
     """
 
     words: int
@@ -50,6 +54,7 @@ class RamConfig:
     strap_every: int = 32
     strap_width_lambda: int = 16
     process: str = "cda07"
+    ports: int = 1
 
     def __post_init__(self) -> None:
         if self.words < 1:
@@ -75,6 +80,8 @@ class RamConfig:
             raise ConfigError("strap_every must be non-negative")
         if self.strap_every and self.strap_width_lambda < 12:
             raise ConfigError("strap columns need >= 12 lambda for well ties")
+        if self.ports not in (1, 2):
+            raise ConfigError("ports must be 1 (6T) or 2 (dual-port 8T)")
 
     # -- derived geometry -----------------------------------------------------
 
@@ -165,15 +172,29 @@ class RamConfig:
         Two equal configurations digest equal in any process on any
         platform, so this is the identity the artifact store, the
         compiler's stage cache, and campaign fingerprints key on.
+
+        The payload folds in the resolved *deck fingerprint*
+        (:meth:`repro.tech.process.Process.fingerprint`) on top of
+        :meth:`to_dict`: two configs naming the same process string but
+        resolving different rule decks (a ``--tech-dir`` deck shadowing
+        a builtin, or an edited descriptor file) digest differently, so
+        no cache layer ever serves geometry generated under other
+        rules.  ``to_dict``/``from_dict`` stay fingerprint-free — the
+        fingerprint is derived state, not configuration.
         """
-        return stable_digest(self.to_dict(), chars)
+        from repro.tech.process import get_process
+
+        payload = dict(self.to_dict())
+        payload["deck_fingerprint"] = get_process(self.process).fingerprint()
+        return stable_digest(payload, chars)
 
     def describe(self) -> str:
         kb = self.bits / 1024
         cols = (f", cols={self.columns}+{self.spare_cols} spare"
                 if self.spare_cols else "")
+        dp = ", dual-port" if self.ports == 2 else ""
         return (
             f"{self.words} words x {self.bpw} bits ({kb:.0f} Kbit), "
             f"bpc={self.bpc}, rows={self.rows}+{self.spares} spare"
-            f"{cols}, process={self.process}"
+            f"{cols}, process={self.process}{dp}"
         )

@@ -53,6 +53,9 @@ class Datasheet:
     stage_delays: Dict[str, float]
     selftest_march_s: float = 0.0
     selftest_retention_s: float = 0.0
+    #: Content fingerprint of the resolved rule deck the guarantees
+    #: were extrapolated under (empty for hand-built instances).
+    deck_fingerprint: str = ""
 
     @property
     def selftest_total_s(self) -> float:
@@ -63,6 +66,12 @@ class Datasheet:
         """Human-readable datasheet text."""
         lines = [
             f"BISRAMGEN datasheet — {self.config.describe()}",
+        ]
+        if self.deck_fingerprint:
+            lines.append(
+                f"  rule deck          : {self.config.process} "
+                f"(fingerprint {self.deck_fingerprint})")
+        lines += [
             f"  read access time   : {self.read_access_s * 1e9:7.2f} ns",
             f"  write time         : {self.write_time_s * 1e9:7.2f} ns",
             f"  cycle time         : {self.cycle_time_s * 1e9:7.2f} ns",
@@ -112,11 +121,19 @@ def build_datasheet(config: RamConfig, area_mm2: float) -> Datasheet:
     # discharging the bit line to the ~120 mV the current-mode sense
     # amp needs (the big win of current-mode sensing: ~0.1 V swing,
     # not VDD/2).  The access device in series and velocity saturation
-    # derate the level-1 on-current heavily at 5 V.
-    blp = bitline_parasitics(process, config.total_rows, CELL_H * lam)
+    # derate the level-1 on-current heavily at 5 V.  The sense swing is
+    # a fraction of the supply, floored at the 5 V-class 120 mV — a
+    # 0.7 V registry deck cannot be asked for a 120 mV differential.
+    # Dual-port cells are taller, so the bit line sees more wire per row.
+    cell_h = CELL_H
+    if config.ports == 2:
+        from repro.cells.sram_dp import HEIGHT_LAMBDA as DP_CELL_H
+
+        cell_h = DP_CELL_H
+    blp = bitline_parasitics(process, config.total_rows, cell_h * lam)
     i_sat = 0.5 * process.nmos.beta(3 * f, f) * (vdd - process.nmos.vto) ** 2
     i_cell = i_sat / 8.0
-    swing = 0.12
+    swing = min(0.12, 0.17 * vdd)
     t_bitline = blp.capacitance_f * swing / max(i_cell, 1e-9)
 
     # Stage 4: column mux (one pass device) + sense decision.
@@ -194,4 +211,5 @@ def build_datasheet(config: RamConfig, area_mm2: float) -> Datasheet:
         stage_delays=stage_delays,
         selftest_march_s=selftest.op_time_s,
         selftest_retention_s=selftest.retention_time_s,
+        deck_fingerprint=process.fingerprint(),
     )

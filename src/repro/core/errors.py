@@ -44,6 +44,47 @@ class ConfigError(ReproError, ValueError):
     """
 
 
+class UnknownProcessError(ConfigError, KeyError):
+    """A process/deck name resolved to nothing in the registry.
+
+    Also a ``KeyError`` so call sites predating the taxonomy (the
+    original ``get_process`` raised bare ``KeyError``) keep catching
+    it.  The message always carries the available deck names.
+
+    Attributes:
+        name: the process name that failed to resolve.
+        available: deck names the registry knows about.
+    """
+
+    def __init__(self, name: str,
+                 available: Tuple[str, ...] = ()) -> None:
+        super().__init__(
+            f"unknown process {name!r}; available: {tuple(available)}"
+        )
+        self.name = name
+        self.available = tuple(available)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the message; restore the plain text.
+        return self.args[0]
+
+
+class DescriptorError(ConfigError):
+    """A technology descriptor file failed validation.
+
+    Attributes:
+        path: the descriptor file (empty for in-memory descriptors).
+        field_errors: ``(field, message)`` pairs, one per offending
+            descriptor field, so callers can render a per-field report.
+    """
+
+    def __init__(self, message: str, path: str = "",
+                 field_errors: Tuple[Tuple[str, str], ...] = ()) -> None:
+        super().__init__(message)
+        self.path = path
+        self.field_errors = tuple(field_errors)
+
+
 class RepairExhausted(ReproError):
     """Self-repair ran out of spare rows before the array was clean.
 

@@ -40,9 +40,11 @@ from repro.cells import (
     comparator_slice_cell,
     pla_cell,
     precharge_cell,
+    precharge_dp_cell,
     row_decoder_cell,
     senseamp_cell,
     sram6t_cell,
+    sram_dp_cell,
     strap_cell,
     tristate_buffer_cell,
     wordline_driver_cell,
@@ -50,6 +52,7 @@ from repro.cells import (
 )
 from repro.cells.sram6t import HEIGHT_LAMBDA as CELL_H
 from repro.cells.sram6t import WIDTH_LAMBDA as CELL_W
+from repro.cells.sram_dp import HEIGHT_LAMBDA as DP_CELL_H
 from repro.core.config import RamConfig
 from repro.geometry import Point, Transform
 from repro.layout.cell import Cell
@@ -128,9 +131,21 @@ def build_floorplan(config: RamConfig, march: MarchTest = IFA_9,
         config, process, column_mux_cell(process), "mux_row", spare_cols
     )
     macrocells["sense_row"] = _build_sense_row(config, process)
+    row_pitch = (DP_CELL_H if config.ports == 2 else CELL_H) * lam
     macrocells["decoder_col"] = _build_decoder_column(
-        config, process, spares
+        config, process, spares, pitch=row_pitch
     )
+    if config.ports == 2:
+        # The second port brings its own bit-line service: a port-B
+        # precharge row under the array (port-A lines pass through it)
+        # and a second row-decoder column on the far side of the array.
+        macrocells["precharge_row_b"] = _build_column_row(
+            config, process, precharge_dp_cell(process, config.gate_size),
+            "precharge_row_b", spare_cols,
+        )
+        macrocells["decoder_col_b"] = _build_decoder_column(
+            config, process, spares, pitch=row_pitch, name="decoder_col_b"
+        )
 
     # ---- BIST/BISR macrocells ---------------------------------------------
     program = build_test_program(march, passes=2)
@@ -190,9 +205,16 @@ def build_floorplan(config: RamConfig, march: MarchTest = IFA_9,
     y += macrocells["sense_row"].height
     put("mux_row", x_data, y)
     y += macrocells["mux_row"].height
+    if config.ports == 2:
+        put("precharge_row_b", x_data, y)
+        y += macrocells["precharge_row_b"].height
     y_array = y
     put("array", x_data, y)
     put("decoder_col", 0, y)
+    if config.ports == 2:
+        gap = max(4 * lam, process.rules.min_space("nwell"))
+        put("decoder_col_b",
+            x_data + macrocells["array"].width + gap, y_array)
     y += macrocells["array"].height
     put("precharge_row", x_data, y)
 
@@ -225,9 +247,11 @@ def _build_array(config: RamConfig, process: Process,
     from repro.layout.cell import Port
 
     lam = process.lambda_cu
-    bit = sram6t_cell(process)
+    dual = config.ports == 2
+    bit = sram_dp_cell(process) if dual else sram6t_cell(process)
+    cell_h = DP_CELL_H if dual else CELL_H
     strap = (
-        strap_cell(process, config.strap_width_lambda)
+        strap_cell(process, config.strap_width_lambda, dual_port=dual)
         if config.strap_every
         else None
     )
@@ -251,14 +275,15 @@ def _build_array(config: RamConfig, process: Process,
     total_rows = config.rows + spares
     array.tile(
         strip, columns=1, rows=total_rows,
-        pitch_x=strip.width, pitch_y=CELL_H * lam,
+        pitch_x=strip.width, pitch_y=cell_h * lam,
         alternate_mirror_y=True, name_prefix="row",
     )
     # Re-export the bit-line landings on the array boundary.
-    top_y = total_rows * CELL_H * lam
+    top_y = total_rows * cell_h * lam
+    pair_names = ("bl", "blb", "bl2", "blb2") if dual else ("bl", "blb")
     for c, cx in enumerate(column_x):
-        for name, local in (("bl", bit.port("bl")),
-                            ("blb", bit.port("blb"))):
+        for name in pair_names:
+            local = bit.port(name)
             r = local.rect
             array.add_port(Port(
                 f"{name}_{c}", local.layer,
@@ -295,7 +320,8 @@ def _build_column_row(config: RamConfig, process: Process,
             template, Transform(translation=Point(x, 0)),
             name=f"{template.name}_{c}",
         )
-        for pname in ("bl", "blb"):
+        for pname in ("bl", "blb", "bl2", "blb2",
+                      "bl_t", "blb_t", "bl2_t", "blb2_t"):
             if template.has_port(pname):
                 local = template.port(pname)
                 row.add_port(Port(
@@ -336,14 +362,19 @@ def _build_sense_row(config: RamConfig, process: Process) -> Cell:
 
 
 def _build_decoder_column(config: RamConfig, process: Process,
-                          spares: int) -> Cell:
+                          spares: int, pitch: int = 0,
+                          name: str = "decoder_col") -> Cell:
     """Row decoders + word-line drivers for every (regular) row, and
-    bare drivers for the spare rows (driven by the TLB match logic)."""
+    bare drivers for the spare rows (driven by the TLB match logic).
+
+    ``pitch`` is the row pitch in centimicrons (defaults to the 6T row
+    pitch; dual-port arrays pass their taller pitch).
+    """
     lam = process.lambda_cu
     decoder = row_decoder_cell(process, config.row_address_bits)
     driver = wordline_driver_cell(process, config.gate_size)
-    col = Cell("decoder_col")
-    pitch = CELL_H * lam
+    col = Cell(name)
+    pitch = pitch or CELL_H * lam
     for r in range(config.rows):
         y = r * pitch
         col.add_instance(

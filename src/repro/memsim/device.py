@@ -32,18 +32,25 @@ class BisrRam:
         bpc: bits per column (column-mux factor).
         spares: spare rows (also the TLB entry count).
         spare_cols: spare bit-line pairs (also the steer entry count).
+        ports: access ports (1 or 2).  Both ports see the same storage
+            through the same TLB diversion and column steering — the
+            physical cell is shared; only the access path is doubled.
     """
 
     def __init__(self, rows: int, bpw: int, bpc: int, spares: int,
-                 spare_cols: int = 0) -> None:
+                 spare_cols: int = 0, ports: int = 1) -> None:
         if spares < 1:
             raise ValueError("a BISR RAM needs at least one spare row")
+        if ports not in (1, 2):
+            raise ValueError("ports must be 1 or 2")
         self.array = MemoryArray(rows, bpw, bpc, spares, spare_cols)
         self.tlb = Tlb(regular_rows=rows, spares=spares)
         self.colsteer = ColumnSteer(
             regular_cols=self.array.phys_cols, spares=spare_cols)
+        self.ports = ports
         self.repair_mode = False
         self.diversion_count = 0
+        self.port_ops = [0] * ports
         self._remapped_rows = set()
 
     # -- TestTarget protocol -------------------------------------------------
@@ -53,15 +60,23 @@ class BisrRam:
         """The CPU-visible address space: regular words only."""
         return self.array.words
 
-    def read(self, address: int) -> int:
+    def read(self, address: int, port: int = 0) -> int:
+        self._check_port(port)
         row = self._physical_row(address)
         return self.array.read_word(
             address, row_override=row, col_map=self._col_map())
 
-    def write(self, address: int, word: int) -> None:
+    def write(self, address: int, word: int, port: int = 0) -> None:
+        self._check_port(port)
         row = self._physical_row(address)
         self.array.write_word(
             address, word, row_override=row, col_map=self._col_map())
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.ports:
+            raise ValueError(
+                f"port {port} out of range for a {self.ports}-port device")
+        self.port_ops[port] += 1
 
     def set_repair_mode(self, enabled: bool) -> None:
         """Enable/disable TLB diversion (BIST pass 1 runs with it off).

@@ -25,6 +25,12 @@ Five workloads are wired through the runtime:
   on every tech node with signoff in ``degrade`` mode, one shard per
   node; each shard's journaled result carries the full structured
   :class:`~repro.verify.report.SignoffReport` dict.
+* **Tech matrix** (:func:`techmatrix_campaign`) — the registry-era
+  signoff sweep: one shard per (rule deck, port count) grid point,
+  compiling the geometry single- and dual-port on every named deck.
+  The campaign params embed each deck's content fingerprint, so the
+  checkpoint journal invalidates when a deck file is edited — a
+  resumed run never adopts shards compiled against stale rules.
 """
 
 from __future__ import annotations
@@ -393,4 +399,123 @@ def signoff_campaign(
             "cache_dir": str(cache_dir) if cache_dir else None,
         },
         reduce=signoff_reduce,
+    )
+
+
+# ---------------------------------------------------------------------------
+# tech matrix: rule deck x port count (repro.techreg over repro.core)
+# ---------------------------------------------------------------------------
+
+
+def techmatrix_shard(params: dict, shard: ShardSpec) -> dict:
+    import hashlib
+    import json
+
+    from repro.core.config import RamConfig
+    from repro.verify.report import SignoffReport
+
+    for directory in params.get("tech_dirs") or ():
+        # Shard tasks run in worker processes with a fresh registry;
+        # any --tech-dir decks must be re-registered before resolving.
+        from repro.techreg import default_registry
+
+        default_registry().add_search_dir(directory)
+    processes = params["processes"]
+    ports_list = params["ports"]
+    node = processes[shard.index // len(ports_list)]
+    ports = ports_list[shard.index % len(ports_list)]
+    config = RamConfig(
+        words=params["words"], bpw=params["bpw"], bpc=params["bpc"],
+        spares=params["spares"], process=node, ports=ports,
+        gate_size=params.get("gate_size", 1),
+        strap_every=params.get("strap_every", 32),
+    )
+    cache_hit = False
+    if params.get("cache_dir"):
+        from repro.service import ArtifactStore, compile_cached
+
+        store = ArtifactStore(params["cache_dir"])
+        bundle, cache_hit, _ = compile_cached(
+            config, signoff="degrade", store=store)
+        cif = bundle["macro.cif"]
+        report = SignoffReport.from_dict(
+            json.loads(bundle["signoff.json"].decode("utf-8")))
+    else:
+        from repro.core.compiler import compile_ram
+
+        compiled = compile_ram(config, signoff="degrade")
+        cif = compiled.cif_text().encode("utf-8")
+        report = compiled.signoff
+    return {
+        "process": node,
+        "ports": ports,
+        "clean": report.clean,
+        "failure_class": report.failure_class,
+        "findings": len(report.findings()),
+        "cif_sha256": hashlib.sha256(cif).hexdigest(),
+        "cache_hit": cache_hit,
+    }
+
+
+def techmatrix_reduce(results: Sequence[Optional[dict]]) -> dict:
+    done = [r for r in results if r is not None]
+    dirty = [r for r in done if not r["clean"]]
+    return {
+        "points": len(done),
+        "clean_points": len(done) - len(dirty),
+        "findings": sum(r["findings"] for r in done),
+        "cache_hits": sum(1 for r in done if r.get("cache_hit")),
+        "dirty": {f"{r['process']}/p{r['ports']}": r["failure_class"]
+                  for r in dirty},
+        "cif_sha256": {f"{r['process']}/p{r['ports']}": r["cif_sha256"]
+                       for r in done},
+    }
+
+
+def techmatrix_campaign(
+    words: int, bpw: int, bpc: int, spares: int,
+    processes: Sequence[str] = ("cda05", "mos06", "cda07", "mos08"),
+    ports: Sequence[int] = (1, 2),
+    seed: int = 0, gate_size: int = 1, strap_every: int = 32,
+    cache_dir: Optional[str] = None,
+    tech_dirs: Sequence[str] = (),
+) -> CampaignSpec:
+    """Compile one geometry on every (deck, port count) grid point.
+
+    Deck names resolve through the technology registry, so registered
+    descriptor files sweep alongside the builtins.  Each deck's
+    content fingerprint is baked into the campaign params: editing a
+    deck file changes the journal fingerprint, forcing a clean rerun
+    instead of a silently stale ``--resume``.
+    """
+    from repro.tech.process import get_process
+    from repro.techreg import default_registry
+
+    tech_dirs = [str(d) for d in tech_dirs]
+    for directory in tech_dirs:
+        default_registry().add_search_dir(directory)
+    processes = list(processes)
+    ports = [int(p) for p in ports]
+    if not processes:
+        raise ConfigError("techmatrix campaign needs at least one deck")
+    if not ports or any(p not in (1, 2) for p in ports):
+        raise ConfigError(
+            f"techmatrix port counts must be drawn from (1, 2), "
+            f"got {ports!r}")
+    fingerprints = {name: get_process(name).fingerprint()
+                    for name in processes}
+    return CampaignSpec(
+        name="tech-matrix",
+        task=techmatrix_shard,
+        n_shards=len(processes) * len(ports),
+        seed=seed,
+        params={
+            "words": words, "bpw": bpw, "bpc": bpc, "spares": spares,
+            "processes": processes, "ports": ports,
+            "gate_size": gate_size, "strap_every": strap_every,
+            "deck_fingerprints": fingerprints,
+            "tech_dirs": tech_dirs,
+            "cache_dir": str(cache_dir) if cache_dir else None,
+        },
+        reduce=techmatrix_reduce,
     )

@@ -37,7 +37,7 @@ from repro.core.stages import StageCache
 from repro.service.store import ArtifactStore
 from repro.tech.process import get_process
 
-BUNDLE_VERSION = 1
+BUNDLE_VERSION = 2
 
 #: Artifact names every successful bundle carries.
 CORE_ARTIFACTS = (
@@ -52,15 +52,16 @@ def bundle_key(config: RamConfig, march: MarchTest = IFA_9,
 
     Folds in everything that determines the output bytes: the full
     canonical configuration, the march test's name *and* notation, the
-    process rule-deck digest (so editing a rule invalidates cached
-    layouts built under the old deck), the signoff policy, and a
-    format version (bump it when artifact rendering changes).
+    resolved deck fingerprint (so editing *any* part of a registry deck
+    file — rules, layers, devices, supply — invalidates cached layouts
+    built under the old deck), the signoff policy, and a format version
+    (bump it when artifact rendering changes).
     """
     return stable_digest({
         "bundle_version": BUNDLE_VERSION,
         "config": config.to_dict(),
         "march": march_digest(march),
-        "rule_deck": get_process(config.process).rules.digest(),
+        "deck_fingerprint": get_process(config.process).fingerprint(),
         "signoff": signoff or "",
     })
 

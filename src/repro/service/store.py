@@ -302,10 +302,20 @@ class ArtifactStore:
                 fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
             except FileExistsError:
                 holder = self.claim_holder(key)
-                if holder is not None and not self._claim_stale(
-                        holder, stale_s):
+                if holder is None:
+                    # Exists but unreadable: a live writer between its
+                    # O_EXCL open and the flushed holder stamp, not a
+                    # corpse.  Only file age may prove it abandoned —
+                    # breaking it on sight double-admits the builder.
+                    try:
+                        age = time.time() - os.path.getmtime(path)
+                    except OSError:
+                        continue  # vanished underneath us: re-race
+                    if age <= stale_s:
+                        return False
+                elif not self._claim_stale(holder, stale_s):
                     return False
-                # Stale (or unreadable) claim: break it and re-race.
+                # Stale (or abandoned-unreadable) claim: break, re-race.
                 try:
                     os.unlink(path)
                 except OSError:

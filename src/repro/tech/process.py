@@ -65,6 +65,40 @@ class Process:
         """Convert centimicrons back to microns."""
         return cu / 100.0
 
+    def fingerprint(self, chars: int = 16) -> str:
+        """Content hash of the *resolved* deck: everything that can
+        change generated geometry or the guarantee models.
+
+        Deliberately excludes the name, description, and provenance
+        (builtin vs file vs entry point): a registry-loaded deck that
+        is byte-for-byte the builtin must fingerprint equal, so cached
+        artifacts survive the packaging change.  Any rule, layer,
+        device, or supply edit changes the fingerprint — this is the
+        value :meth:`repro.core.config.RamConfig.digest`, the artifact
+        store's bundle key, and campaign journal fingerprints fold in.
+        """
+        import dataclasses
+
+        from repro.core.canonical import stable_digest
+
+        payload = {
+            "feature_um": self.feature_um,
+            "metal_layers": self.metal_layers,
+            "vdd": self.vdd,
+            "lambda_cu": self.rules.lambda_cu,
+            "rules": dict(self.rules.rules),
+            "layers": [
+                [l.name, l.cif_name, l.gds_number, l.conductor,
+                 l.routing_level]
+                for l in self.layers
+            ],
+            "nmos": dataclasses.asdict(self.nmos),
+            "pmos": dataclasses.asdict(self.pmos),
+            "wire_r_ohm_sq": self.wire_r_ohm_sq,
+            "wire_c_af_um": self.wire_c_af_um,
+        }
+        return stable_digest(payload, chars)
+
 
 def _make_process(name: str, description: str, feature_um: float) -> Process:
     lambda_cu = int(round(feature_um * 100 / 2))
@@ -121,16 +155,19 @@ def available_processes() -> Tuple[str, ...]:
 
 
 def get_process(name: str) -> Process:
-    """Look a preset up by name.
+    """Look a process up by name — builtin preset or registry deck.
+
+    Registry decks (packaged descriptor files, ``--tech-dir``
+    directories, ``repro.techs`` entry points) can also *shadow* a
+    builtin name, so resolution always goes through the registry;
+    builtins are its lowest-precedence source and the common case stays
+    a dict hit.
 
     Raises:
-        KeyError: when the name is not a shipped preset, listing the
-            valid choices (mirrors the tool prompting the user to pick a
-            process before invocation).
+        UnknownProcessError: (a :class:`~repro.core.errors.ConfigError`
+            *and* a ``KeyError``) when the name resolves nowhere; the
+            message lists every available deck.
     """
-    try:
-        return _PRESETS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown process {name!r}; available: {available_processes()}"
-        ) from None
+    from repro.techreg.registry import default_registry
+
+    return default_registry().resolve(name)

@@ -72,6 +72,16 @@ _DEFAULT_LAMBDA_RULES: Dict[str, int] = {
 _UNSCALED_PREFIXES = ("touch.",)
 
 
+def required_rule_names() -> frozenset:
+    """Names every complete rule deck must define (the default table).
+
+    The descriptor validator's completeness check: an absolute deck
+    missing any of these would crash a generator at draw time, so it is
+    rejected at load time instead.
+    """
+    return frozenset(_DEFAULT_LAMBDA_RULES)
+
+
 @dataclass(frozen=True)
 class DesignRules:
     """A complete rule deck for one process.
@@ -90,6 +100,7 @@ class DesignRules:
         cls,
         lambda_cu: int,
         overrides: Optional[Mapping[str, int]] = None,
+        extensions: Optional[Mapping[str, int]] = None,
     ) -> "DesignRules":
         """Build a deck from a lambda value, with optional lambda overrides.
 
@@ -97,6 +108,11 @@ class DesignRules:
             lambda_cu: lambda in centimicrons; must be positive.
             overrides: per-rule overrides *in lambda units* applied on top
                 of the default SCMOS-like table.
+            extensions: *new* rule names (also in lambda units) the
+                default table does not carry — how a 4-metal deck adds
+                ``width.metal4``/``space.via3`` without the unknown-rule
+                guard rejecting them.  A name already in the table is an
+                error here (use ``overrides``).
         """
         if lambda_cu <= 0:
             raise ValueError(f"lambda must be positive, got {lambda_cu}")
@@ -106,12 +122,31 @@ class DesignRules:
             if unknown:
                 raise KeyError(f"unknown design rules: {sorted(unknown)}")
             table.update(overrides)
+        if extensions:
+            clashes = set(extensions) & set(table)
+            if clashes:
+                raise KeyError(
+                    f"extension rules already exist: {sorted(clashes)}")
+            table.update(extensions)
         resolved = {
             name: (value if name.startswith(_UNSCALED_PREFIXES)
                    else value * lambda_cu)
             for name, value in table.items()
         }
         return cls(lambda_cu=lambda_cu, rules=resolved)
+
+    @classmethod
+    def absolute(cls, lambda_cu: int,
+                 rules: Mapping[str, int]) -> "DesignRules":
+        """Build a deck from an already-resolved centimicron rule table.
+
+        The registry's *absolute* descriptor path: nm-scale decks whose
+        rules are not lambda multiples supply the full table directly.
+        ``lambda_cu`` still sets the generators' drawing grid.
+        """
+        if lambda_cu <= 0:
+            raise ValueError(f"lambda must be positive, got {lambda_cu}")
+        return cls(lambda_cu=lambda_cu, rules=dict(rules))
 
     def __getitem__(self, name: str) -> int:
         try:

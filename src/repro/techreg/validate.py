@@ -1,0 +1,253 @@
+"""Strict descriptor validation: reject bad decks at load time.
+
+A deck that passes here resolves into a usable
+:class:`~repro.tech.process.Process`; a deck that fails is rejected
+with *per-field* errors (``repro tech validate`` prints one line per
+offending field) instead of crashing a generator mid-draw.
+
+Checks, per the registry contract:
+
+* required rules present — absolute decks must carry the complete
+  default table; lambda decks may only override known rules or add
+  well-formed extensions;
+* monotone width/spacing sanity — metal widths and spacings must be
+  non-decreasing with routing level, and every geometric rule positive;
+* layer references resolve — every layer named inside a rule must
+  exist in the (standard + extra) layer set, the layer set must cover
+  every routing level up to ``metal_layers``, and each extra metal
+  level must bring its via rules along;
+* device and supply sanity — vto signs, positive transconductance,
+  positive supply and wire parasitics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.core.errors import DescriptorError
+from repro.tech.layers import STANDARD_LAYERS
+from repro.tech.rules import _DEFAULT_LAMBDA_RULES, required_rule_names
+from repro.techreg.descriptor import TechDescriptor
+
+#: Rule-name prefixes a deck may use.
+_RULE_PREFIXES = ("width.", "space.", "enclose.", "overhang.", "touch.")
+
+#: Tokens inside rule names that are generic, not layer references.
+_NON_LAYER_TOKENS = frozenset({"well", "diff", "gate", "corner", "edge",
+                               "to"})
+
+#: Explicit MOS parameter sets must carry exactly these keys
+#: (``polarity`` is implied by the table name).
+_MOS_KEYS = frozenset({"vto", "kp", "lambda_", "cox", "cj", "cjsw",
+                       "min_l_um"})
+
+_NAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_-]*$")
+
+
+@dataclass(frozen=True)
+class FieldError:
+    """One offending descriptor field."""
+
+    field: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.field}: {self.message}"
+
+
+def validate_descriptor(desc: TechDescriptor) -> List[FieldError]:
+    """All field errors of one descriptor (empty when valid)."""
+    errors: List[FieldError] = []
+
+    def bad(field: str, message: str) -> None:
+        errors.append(FieldError(field, message))
+
+    # -- identity -----------------------------------------------------------
+    if not desc.name or not _NAME_RE.match(desc.name):
+        bad("tech.name",
+            f"must match {_NAME_RE.pattern}, got {desc.name!r}")
+    if desc.deck_type not in ("lambda", "absolute"):
+        bad("tech.deck_type",
+            f"must be 'lambda' or 'absolute', got {desc.deck_type!r}")
+    if desc.feature_um <= 0:
+        bad("tech.feature_um",
+            f"must be positive, got {desc.feature_um!r}")
+    if desc.metal_layers < 3:
+        bad("tech.metal_layers",
+            f"needs >= 3 routing metals (the tool and its cost model "
+            f"refuse 2-metal processes), got {desc.metal_layers!r}")
+    if desc.vdd <= 0:
+        bad("tech.vdd", f"must be positive, got {desc.vdd!r}")
+    if desc.lambda_cu <= 0:
+        bad("tech.lambda_cu",
+            f"must be a positive centimicron grid, got {desc.lambda_cu!r}")
+    elif (desc.deck_type == "lambda" and desc.feature_um > 0
+          and desc.lambda_cu != int(round(desc.feature_um * 50))):
+        bad("tech.lambda_cu",
+            f"lambda decks need lambda = feature/2 on the centimicron "
+            f"grid: feature {desc.feature_um} um implies "
+            f"{int(round(desc.feature_um * 50))} cu, got {desc.lambda_cu}")
+
+    # -- layer set ----------------------------------------------------------
+    layer_names = {l.name for l in STANDARD_LAYERS}
+    levels: Dict[int, str] = {
+        l.routing_level: l.name for l in STANDARD_LAYERS if l.routing_level
+    }
+    gds = {l.gds_number for l in STANDARD_LAYERS}
+    for layer in desc.extra_layers:
+        where = f"layers.{layer.name}"
+        if layer.name in layer_names:
+            bad(where, "clashes with a standard layer name")
+            continue
+        if layer.gds_number in gds:
+            bad(where, f"gds_number {layer.gds_number} already taken")
+        if layer.routing_level:
+            if layer.routing_level in levels:
+                bad(where,
+                    f"routing level {layer.routing_level} already "
+                    f"taken by {levels[layer.routing_level]!r}")
+            else:
+                levels[layer.routing_level] = layer.name
+        layer_names.add(layer.name)
+        gds.add(layer.gds_number)
+    if desc.metal_layers >= 3:
+        for level in range(1, desc.metal_layers + 1):
+            if level not in levels:
+                bad("tech.metal_layers",
+                    f"no layer at routing level {level} "
+                    f"(metal_layers = {desc.metal_layers})")
+
+    # -- rule table ---------------------------------------------------------
+    defaults = set(_DEFAULT_LAMBDA_RULES)
+    for name, value in sorted(desc.rules.items()):
+        where = f"rules.{name}"
+        if not name.startswith(_RULE_PREFIXES):
+            bad(where,
+                f"unknown rule prefix; expected one of {_RULE_PREFIXES}")
+            continue
+        for token in name.split(".", 1)[1].split("_"):
+            if token not in _NON_LAYER_TOKENS and token not in layer_names:
+                bad(where, f"references unknown layer {token!r}")
+        if name.startswith("touch."):
+            if value not in (0, 1):
+                bad(where, f"flag must be 0 or 1, got {value}")
+        elif value <= 0:
+            bad(where, f"geometric rule must be positive, got {value}")
+
+    effective = dict(desc.rules)
+    if desc.deck_type == "lambda":
+        effective = dict(_DEFAULT_LAMBDA_RULES)
+        effective.update(desc.rules)
+    elif desc.deck_type == "absolute":
+        missing = sorted(required_rule_names() - set(desc.rules))
+        if missing:
+            bad("rules",
+                f"absolute deck is missing required rule(s): {missing}")
+
+    # Each metal level needs width/space; each level above metal1 needs
+    # its via cut and both enclosures.
+    if desc.metal_layers >= 3:
+        for level in range(1, desc.metal_layers + 1):
+            for kind in ("width", "space"):
+                key = f"{kind}.metal{level}"
+                if key not in effective:
+                    bad(f"rules.{key}",
+                        f"required for metal_layers = {desc.metal_layers}")
+        for level in range(2, desc.metal_layers + 1):
+            via = f"via{level - 1}"
+            for key in (f"width.{via}", f"space.{via}",
+                        f"enclose.metal{level - 1}_{via}",
+                        f"enclose.metal{level}_{via}"):
+                if key not in effective:
+                    bad(f"rules.{key}",
+                        f"required for the metal{level - 1}/metal{level} "
+                        f"via stack")
+
+    # Monotone sanity: widths and spacings must not shrink as the
+    # routing level rises (upper metals are thicker/coarser).
+    for kind in ("width", "space"):
+        for level in range(1, desc.metal_layers):
+            low = effective.get(f"{kind}.metal{level}")
+            high = effective.get(f"{kind}.metal{level + 1}")
+            if low is not None and high is not None and high < low:
+                bad(f"rules.{kind}.metal{level + 1}",
+                    f"{kind} {high} below metal{level}'s {low}; metal "
+                    f"{kind}s must be non-decreasing with level")
+
+    # -- devices ------------------------------------------------------------
+    for table, params in (("nmos", desc.nmos), ("pmos", desc.pmos)):
+        errors.extend(_check_mos(table, params, desc.feature_um))
+
+    # -- wire parasitics ----------------------------------------------------
+    for key in ("r_ohm_sq", "c_af_um"):
+        value = desc.wire.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            bad(f"wire.{key}", f"must be a positive number, got {value!r}")
+
+    return errors
+
+
+def _check_mos(table: str, params: Mapping[str, float],
+               feature_um: float) -> List[FieldError]:
+    """Field errors of one device-parameter table."""
+    errors: List[FieldError] = []
+    if not params:
+        errors.append(FieldError(
+            table, "missing: give {node_um = ...} or the explicit "
+                   "level-1 parameter set"))
+        return errors
+    if "node_um" in params:
+        extra = set(params) - {"node_um"}
+        if extra:
+            errors.append(FieldError(
+                table, f"node_um cannot be mixed with explicit "
+                       f"parameters {sorted(extra)}"))
+        node = params["node_um"]
+        if not isinstance(node, (int, float)) or not 0.3 <= node <= 2.0:
+            errors.append(FieldError(
+                f"{table}.node_um",
+                f"derived parameters only exist for 0.3-2.0 um nodes, "
+                f"got {node!r}; nm-class decks must give explicit "
+                f"parameters"))
+        return errors
+    missing = sorted(_MOS_KEYS - set(params))
+    unknown = sorted(set(params) - _MOS_KEYS)
+    if missing:
+        errors.append(FieldError(table, f"missing parameter(s): {missing}"))
+    if unknown:
+        errors.append(FieldError(table, f"unknown parameter(s): {unknown}"))
+    if missing or unknown:
+        return errors
+    vto = params["vto"]
+    if table == "nmos" and vto <= 0:
+        errors.append(FieldError(f"{table}.vto",
+                                 f"NMOS vto must be positive, got {vto}"))
+    if table == "pmos" and vto >= 0:
+        errors.append(FieldError(f"{table}.vto",
+                                 f"PMOS vto must be negative, got {vto}"))
+    for key in ("kp", "cox", "cj", "cjsw", "min_l_um"):
+        if params[key] <= 0:
+            errors.append(FieldError(
+                f"{table}.{key}",
+                f"must be positive, got {params[key]}"))
+    return errors
+
+
+def check_descriptor(desc: TechDescriptor) -> None:
+    """Raise :class:`DescriptorError` when the descriptor is invalid.
+
+    The exception carries ``field_errors`` so callers can render the
+    same per-field report :func:`validate_descriptor` returns.
+    """
+    errors = validate_descriptor(desc)
+    if errors:
+        where = f" ({desc.source})" if desc.source else ""
+        raise DescriptorError(
+            f"descriptor {desc.name or '<unnamed>'}{where} has "
+            f"{len(errors)} error(s): "
+            + "; ".join(str(e) for e in errors),
+            path=desc.source,
+            field_errors=tuple((e.field, e.message) for e in errors),
+        )

@@ -50,12 +50,31 @@ def intended_netlist(config: RamConfig) -> Dict[str, FrozenSet[Endpoint]]:
     for c in range(config.total_columns):
         for polarity in ("bl", "blb"):
             name = f"{polarity}_{c}"
-            nets[name] = frozenset({
+            endpoints = {
                 ("precharge_row", name),
                 ("array", name),
                 ("array", f"{polarity}_t_{c}"),
                 ("mux_row", name),
-            })
+            }
+            if config.ports == 2:
+                # Port-A lines additionally pass through the port-B
+                # precharge row sitting between the mux and the array.
+                endpoints |= {
+                    ("precharge_row_b", name),
+                    ("precharge_row_b", f"{polarity}_t_{c}"),
+                }
+            nets[name] = frozenset(endpoints)
+        if config.ports == 2:
+            # Port-B bit lines: array bottom landing to the port-B
+            # precharge row's top edge (they do not reach the mux, and
+            # the port-A precharge row on top has no bl2 landing).
+            for polarity in ("bl2", "blb2"):
+                name = f"{polarity}_{c}"
+                nets[name] = frozenset({
+                    ("array", name),
+                    ("array", f"{polarity}_t_{c}"),
+                    ("precharge_row_b", f"{polarity}_t_{c}"),
+                })
     return nets
 
 

@@ -230,14 +230,20 @@ class TestConfigRoundTrip:
         assert config.digest(16) == config.digest()[:16]
 
     def test_digest_matches_canonical_json_recipe(self):
-        """The digest is pinned to sorted-key compact JSON -> sha256;
-        journal fingerprints and store keys rely on this recipe."""
+        """The digest is pinned to sorted-key compact JSON -> sha256
+        over to_dict() plus the resolved deck fingerprint; journal
+        fingerprints and store keys rely on this recipe."""
         import hashlib
         import json
 
+        from repro.tech.process import get_process
+
         config = self._config()
+        payload = dict(config.to_dict())
+        payload["deck_fingerprint"] = (
+            get_process(config.process).fingerprint())
         expected = hashlib.sha256(
-            json.dumps(config.to_dict(), sort_keys=True,
+            json.dumps(payload, sort_keys=True,
                        separators=(",", ":")).encode("utf-8")
         ).hexdigest()
         assert config.digest() == expected

@@ -302,6 +302,26 @@ class TestClaims:
             "time": time.time(), "key": KEY_A}), "utf-8")
         assert store.try_claim(KEY_A, stale_s=3600.0) is False
 
+    def test_fresh_unreadable_claim_is_respected(self, tmp_path):
+        """A claim file that exists but holds no parseable record yet
+        is a live writer between its O_EXCL open and the holder stamp
+        — breaking it on sight admits two builders for one digest."""
+        store = ArtifactStore(tmp_path)
+        store._claim_path(KEY_A).write_text("", "utf-8")
+        assert store.try_claim(KEY_A, stale_s=3600.0) is False
+        assert store._claim_path(KEY_A).exists()
+
+    def test_old_unreadable_claim_is_broken_by_age(self, tmp_path):
+        import os
+        import time
+
+        store = ArtifactStore(tmp_path)
+        path = store._claim_path(KEY_A)
+        path.write_text("", "utf-8")
+        stamp = time.time() - 3600.0
+        os.utime(path, (stamp, stamp))
+        assert store.try_claim(KEY_A, stale_s=60.0) is True
+
     def test_release_unowned_claim_is_a_no_op(self, tmp_path):
         ArtifactStore(tmp_path).release_claim(KEY_A)
 

@@ -1,0 +1,279 @@
+"""Technology-backend registry: discovery, validation, fingerprints.
+
+These pin the registry-era identity contract: a deck is *data*, its
+content fingerprint folds into every cache key, and a byte-identical
+copy of a deck is the same deck no matter where the registry found it.
+"""
+
+import hashlib
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro import RamConfig
+from repro.core.errors import ConfigError, DescriptorError, ReproError
+from repro.core.errors import UnknownProcessError
+from repro.tech import get_process
+from repro.techreg import (
+    TechRegistry,
+    check_descriptor,
+    default_registry,
+    load_descriptor,
+    validate_descriptor,
+)
+
+PACKAGED = Path(__file__).resolve().parents[1] / "src" / "repro" / \
+    "techreg" / "decks"
+
+
+@pytest.fixture
+def fresh_registry(monkeypatch):
+    """A fresh default registry per test; entry points off for hermeticity."""
+    import repro.techreg.registry as regmod
+
+    registry = TechRegistry(use_entry_points=False)
+    monkeypatch.setattr(regmod, "_DEFAULT", registry)
+    return registry
+
+
+def _config(**overrides):
+    params = dict(words=64, bpw=8, bpc=4, spares=4, strap_every=8)
+    params.update(overrides)
+    return RamConfig(**params)
+
+
+class TestValidator:
+    def _bad_deck(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            '[tech]\nname = "2bad"\ndeck_type = "lambda"\n'
+            'feature_um = -0.5\nmetal_layers = 2\nvdd = 3.3\n'
+            '[rules]\n"width.metal9" = 3\n'
+            '"touch.corner_connects" = 7\n'
+        )
+        return path
+
+    def test_per_field_errors(self, tmp_path):
+        desc = load_descriptor(self._bad_deck(tmp_path))
+        problems = validate_descriptor(desc)
+        fields = {p.field for p in problems}
+        assert "tech.name" in fields
+        assert "tech.feature_um" in fields
+        assert "tech.metal_layers" in fields
+        assert "rules.width.metal9" in fields
+        assert "rules.touch.corner_connects" in fields
+        assert "nmos" in fields and "pmos" in fields
+
+    def test_check_descriptor_raises_with_fields(self, tmp_path):
+        desc = load_descriptor(self._bad_deck(tmp_path))
+        with pytest.raises(DescriptorError) as exc:
+            check_descriptor(desc)
+        assert exc.value.field_errors
+        assert isinstance(exc.value, ReproError)
+
+    def test_absolute_deck_missing_rule_named(self, tmp_path):
+        text = (PACKAGED / "pfin7.toml").read_text()
+        assert '"width.poly"' in text
+        lines = [l for l in text.splitlines()
+                 if not l.startswith('"width.poly"')]
+        path = tmp_path / "gap.toml"
+        path.write_text("\n".join(lines) + "\n")
+        problems = validate_descriptor(load_descriptor(path))
+        assert any("width.poly" in p.message for p in problems)
+
+    def test_packaged_decks_validate_clean(self):
+        for deck in sorted(PACKAGED.glob("*.toml")):
+            assert validate_descriptor(load_descriptor(deck)) == []
+
+    def test_malformed_file_raises_descriptor_error(self, tmp_path):
+        path = tmp_path / "junk.toml"
+        path.write_text("this is [not toml")
+        with pytest.raises(DescriptorError):
+            load_descriptor(path)
+
+
+class TestRegistry:
+    def test_builtins_and_packaged_discovered(self, fresh_registry):
+        names = fresh_registry.names()
+        for name in ("cda05", "cda07", "mos06", "mos08",
+                     "scn4m", "pfin7"):
+            assert name in names
+
+    def test_unknown_process_taxonomy(self, fresh_registry):
+        with pytest.raises(UnknownProcessError) as exc:
+            get_process("nope")
+        assert isinstance(exc.value, ConfigError)
+        assert isinstance(exc.value, KeyError)  # era compatibility
+        assert "nope" in str(exc.value)
+        assert "cda07" in str(exc.value)
+
+    def test_search_dir_shadows_packaged(self, fresh_registry, tmp_path):
+        shutil.copy(PACKAGED / "scn4m.toml", tmp_path / "scn4m.toml")
+        fresh_registry.add_search_dir(tmp_path)
+        row = {r["name"]: r for r in fresh_registry.entries()}["scn4m"]
+        assert row["origin"] == "dir"
+        assert str(tmp_path) in row["path"]
+
+    def test_env_var_directory(self, fresh_registry, tmp_path,
+                               monkeypatch):
+        deck = (PACKAGED / "scn4m.toml").read_text().replace(
+            'name = "scn4m"', 'name = "envdeck"')
+        (tmp_path / "envdeck.toml").write_text(deck)
+        monkeypatch.setenv("REPRO_TECH_DIR", str(tmp_path))
+        fresh_registry.rescan()
+        assert get_process("envdeck").name == "envdeck"
+
+    def test_scan_errors_are_not_fatal(self, fresh_registry, tmp_path):
+        (tmp_path / "broken.toml").write_text("nope = [")
+        fresh_registry.add_search_dir(tmp_path)
+        assert "scn4m" in fresh_registry.names()
+        assert fresh_registry.scan_errors
+
+
+class TestFingerprintIdentity:
+    """The digest-stability corpus: what must and must not move keys."""
+
+    GOLDEN_FINGERPRINTS = {
+        "cda05": "181116bb20d4db39",
+        "cda07": "b0ecee842b7dd852",
+        "mos06": "4119a90e8af0cc75",
+        "mos08": "c46e8ccd36529c68",
+        "scn4m": "90c60e8261daff76",
+        "pfin7": "b6f5c2c0e8d6ccf8",
+    }
+
+    def test_golden_deck_fingerprints(self, fresh_registry):
+        for name, expected in self.GOLDEN_FINGERPRINTS.items():
+            assert get_process(name).fingerprint() == expected, name
+
+    def test_byte_identical_copy_is_digest_equal(self, fresh_registry,
+                                                 tmp_path):
+        baseline = _config(process="scn4m").digest()
+        fp = get_process("scn4m").fingerprint()
+        shutil.copy(PACKAGED / "scn4m.toml", tmp_path / "scn4m.toml")
+        fresh_registry.add_search_dir(tmp_path)
+        assert get_process("scn4m").fingerprint() == fp
+        assert _config(process="scn4m").digest() == baseline
+
+    def test_rule_edit_changes_digest_and_bundle_key(
+            self, fresh_registry, tmp_path):
+        from repro.service.bundle import bundle_key
+
+        config = _config(process="scn4m")
+        baseline_digest = config.digest()
+        baseline_key = bundle_key(config)
+        text = (PACKAGED / "scn4m.toml").read_text()
+        assert '"width.metal4" = 6' in text
+        (tmp_path / "scn4m.toml").write_text(
+            text.replace('"width.metal4" = 6', '"width.metal4" = 8'))
+        fresh_registry.add_search_dir(tmp_path)
+        assert get_process("scn4m").fingerprint() != \
+            self.GOLDEN_FINGERPRINTS["scn4m"]
+        assert config.digest() != baseline_digest
+        assert bundle_key(config) != baseline_key
+
+    def test_provenance_edit_keeps_digest(self, fresh_registry,
+                                          tmp_path):
+        """Comments/metadata are not identity: only rules and device
+        parameters fingerprint."""
+        text = (PACKAGED / "scn4m.toml").read_text()
+        (tmp_path / "scn4m.toml").write_text(
+            text + "\n# trailing comment, not a rule\n")
+        fresh_registry.add_search_dir(tmp_path)
+        assert get_process("scn4m").fingerprint() == \
+            self.GOLDEN_FINGERPRINTS["scn4m"]
+
+    def test_ports_are_digest_relevant(self, fresh_registry):
+        assert _config(ports=1).digest() != _config(ports=2).digest()
+
+
+class TestTechmatrixDriver:
+    def test_spec_embeds_deck_fingerprints(self, fresh_registry):
+        from repro.runtime.drivers import techmatrix_campaign
+
+        spec = techmatrix_campaign(
+            64, 8, 4, 4, processes=["cda07", "pfin7"], ports=(1, 2))
+        assert spec.n_shards == 4
+        fps = spec.params["deck_fingerprints"]
+        assert fps["cda07"] == \
+            TestFingerprintIdentity.GOLDEN_FINGERPRINTS["cda07"]
+        assert fps["pfin7"] == \
+            TestFingerprintIdentity.GOLDEN_FINGERPRINTS["pfin7"]
+
+    def test_spec_rejects_bad_grids(self, fresh_registry):
+        from repro.runtime.drivers import techmatrix_campaign
+
+        with pytest.raises(ConfigError):
+            techmatrix_campaign(64, 8, 4, 4, processes=[])
+        with pytest.raises(ConfigError):
+            techmatrix_campaign(64, 8, 4, 4, ports=(1, 3))
+
+    def test_shard_grid_and_determinism(self, fresh_registry):
+        from repro.runtime.drivers import (
+            techmatrix_campaign,
+            techmatrix_reduce,
+            techmatrix_shard,
+        )
+        import numpy as np
+
+        from repro.runtime.runner import ShardSpec
+
+        def _shard(index, n_shards):
+            return ShardSpec(index=index, n_shards=n_shards,
+                             seed_seq=np.random.SeedSequence(0))
+
+        spec = techmatrix_campaign(
+            16, 4, 4, 4, processes=["cda07"], ports=(1, 2),
+            strap_every=0)
+        results = [
+            techmatrix_shard(spec.params, _shard(i, spec.n_shards))
+            for i in range(spec.n_shards)
+        ]
+        assert [(r["process"], r["ports"]) for r in results] == \
+            [("cda07", 1), ("cda07", 2)]
+        assert all(r["clean"] for r in results)
+        rerun = techmatrix_shard(spec.params, _shard(1, 2))
+        assert rerun["cif_sha256"] == results[1]["cif_sha256"]
+        merged = techmatrix_reduce(results)
+        assert merged["points"] == 2 and merged["clean_points"] == 2
+        assert merged["cif_sha256"]["cda07/p2"] == \
+            results[1]["cif_sha256"]
+
+
+class TestCliSurface:
+    def test_tech_list_and_validate(self, fresh_registry, capsys,
+                                    tmp_path):
+        from repro.cli import main
+
+        assert main(["tech", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "scn4m" in out and "pfin7" in out and "builtin" in out
+        bad = tmp_path / "bad.toml"
+        bad.write_text('[tech]\nname = "x"\ndeck_type = "lambda"\n'
+                       'feature_um = 0.5\nmetal_layers = 3\nvdd = 5.0\n')
+        assert main(["tech", "validate", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "nmos" in err and "wire.r_ohm_sq" in err
+
+    def test_tech_show_and_tech_dir(self, fresh_registry, capsys,
+                                    tmp_path):
+        from repro.cli import main
+
+        deck = (PACKAGED / "scn4m.toml").read_text().replace(
+            'name = "scn4m"', 'name = "clideck"')
+        (tmp_path / "clideck.toml").write_text(deck)
+        assert main(["tech", "--tech-dir", str(tmp_path),
+                     "show", "clideck"]) == 0
+        out = capsys.readouterr().out
+        assert "clideck" in out and "width.metal4" in out
+
+    def test_unknown_process_exits_2_with_hint(self, fresh_registry,
+                                               capsys):
+        from repro.cli import main
+
+        code = main(["compile", "--words", "64", "--bpw", "8",
+                     "--bpc", "4", "--process", "missing"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "missing" in err and "available" in err
